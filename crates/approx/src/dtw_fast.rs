@@ -1,0 +1,137 @@
+//! Coarsened approximation of DTW.
+
+use crate::ApproxAlgorithm;
+use neutraj_measures::Dtw;
+use neutraj_trajectory::{Point, Trajectory};
+
+/// The classic coarsening approximation of DTW (the FastDTW / piecewise-
+/// aggregate family): resample both curves to `m` points, run banded DTW
+/// on the short curves, and rescale the summed cost by the original /
+/// coarse length ratio so values stay comparable to exact DTW.
+///
+/// Cost per pair drops from `O(L²)` to `O(m²)` with `m` fixed (plus the
+/// one-off `O(L)` resampling stored in the signature).
+#[derive(Debug, Clone, Copy)]
+pub struct DtwDownsampleApprox {
+    m: usize,
+}
+
+/// Signature: the resampled curve plus the original length (for cost
+/// rescaling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtwSignature {
+    /// Curve resampled to `m` points.
+    pub coarse: Vec<Point>,
+    /// Original number of points.
+    pub orig_len: usize,
+}
+
+impl DtwDownsampleApprox {
+    /// Creates the approximation with coarse length `m ≥ 2`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "coarse length must be at least 2");
+        Self { m }
+    }
+
+    /// The coarse resolution `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl ApproxAlgorithm for DtwDownsampleApprox {
+    type Sig = DtwSignature;
+
+    fn name(&self) -> &'static str {
+        "AP-DTW(downsample)"
+    }
+
+    fn signature(&self, t: &Trajectory) -> DtwSignature {
+        let coarse = if t.len() <= self.m || t.len() < 2 {
+            t.points().to_vec()
+        } else {
+            t.resample(self.m)
+                .expect("len >= 2 checked above")
+                .points()
+                .to_vec()
+        };
+        DtwSignature {
+            coarse,
+            orig_len: t.len(),
+        }
+    }
+
+    fn dist(&self, a: &DtwSignature, b: &DtwSignature) -> f64 {
+        let coarse = Dtw::banded(&a.coarse, &b.coarse, self.m / 4 + 1);
+        if coarse.is_infinite() {
+            return coarse;
+        }
+        // DTW cost grows with the number of aligned pairs (≈ max length);
+        // rescale so the estimate lives on the exact measure's scale.
+        let scale = a.orig_len.max(b.orig_len) as f64 / a.coarse.len().max(b.coarse.len()) as f64;
+        coarse * scale.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_measures::Measure;
+
+    fn wavy(id: u64, n: usize, y0: f64) -> Trajectory {
+        Trajectory::new_unchecked(
+            id,
+            (0..n)
+                .map(|k| Point::new(k as f64, y0 + (k as f64 * 0.4).cos() * 2.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn signatures_are_short() {
+        let ap = DtwDownsampleApprox::new(16);
+        let sig = ap.signature(&wavy(0, 300, 0.0));
+        assert_eq!(sig.coarse.len(), 16);
+        assert_eq!(sig.orig_len, 300);
+        // Short inputs pass through unresampled.
+        let sig = ap.signature(&wavy(1, 8, 0.0));
+        assert_eq!(sig.coarse.len(), 8);
+    }
+
+    #[test]
+    fn identical_curves_score_zero() {
+        let ap = DtwDownsampleApprox::new(16);
+        let t = wavy(0, 100, 0.0);
+        let s = ap.signature(&t);
+        assert_eq!(ap.dist(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_order_of_magnitude() {
+        let ap = DtwDownsampleApprox::new(16);
+        let a = wavy(0, 120, 0.0);
+        let b = wavy(1, 120, 8.0);
+        let exact = Dtw.dist(a.points(), b.points());
+        let approx = ap.dist(&ap.signature(&a), &ap.signature(&b));
+        // Same order of magnitude (the baseline is heuristic, not tight).
+        assert!(
+            approx > exact * 0.2 && approx < exact * 5.0,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn ranking_correlates_with_distance() {
+        let ap = DtwDownsampleApprox::new(16);
+        let q = ap.signature(&wavy(0, 100, 0.0));
+        let near = ap.signature(&wavy(1, 90, 3.0));
+        let far = ap.signature(&wavy(2, 110, 30.0));
+        assert!(ap.dist(&q, &near) < ap.dist(&q, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_m() {
+        let _ = DtwDownsampleApprox::new(1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Table VI's embedding column in criterion form: throughput of the
+//! offline embedding pass (SAM vs plain LSTM backbones), and the
+//! linear-time claim — embedding cost vs trajectory length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neutraj_eval::harness::{DatasetKind, ExperimentWorld, WorldConfig};
+use neutraj_measures::MeasureKind;
+use neutraj_model::TrainConfig;
+use neutraj_trajectory::gen::PortoLikeGenerator;
+use neutraj_trajectory::Trajectory;
+use std::hint::black_box;
+
+fn bench_embedding(c: &mut Criterion) {
+    let world = ExperimentWorld::build(WorldConfig {
+        size: 200,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let measure = MeasureKind::Frechet.measure();
+
+    let corpus: Vec<Trajectory> = PortoLikeGenerator {
+        num_trajectories: 200,
+        ..Default::default()
+    }
+    .generate(11)
+    .into_trajectories();
+
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    for preset in [TrainConfig::neutraj(), TrainConfig::nt_no_sam()] {
+        let cfg = TrainConfig {
+            dim: 32,
+            epochs: 1,
+            ..preset
+        };
+        let name = cfg.method_name();
+        let (model, _) = world.train(&*measure, cfg);
+        group.bench_function(BenchmarkId::new("corpus_200", name), |b| {
+            b.iter(|| black_box(model.embed_all(black_box(&corpus), 4)))
+        });
+    }
+
+    // Linear-time claim: embedding cost grows linearly with length.
+    let (model, _) = world.train(
+        &*measure,
+        TrainConfig {
+            dim: 32,
+            epochs: 1,
+            ..TrainConfig::neutraj()
+        },
+    );
+    for len in [25usize, 50, 100, 200] {
+        let t = corpus[0].resample(len).expect("resample");
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("embed_by_len", len), &len, |b, _| {
+            b.iter(|| black_box(model.embed(black_box(&t))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

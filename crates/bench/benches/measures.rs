@@ -1,0 +1,46 @@
+//! Per-pair cost of the exact measures vs trajectory length — the
+//! quadratic-growth evidence behind the paper's motivation (§I) and the
+//! complexity analysis (§VI-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutraj_measures::MeasureKind;
+use neutraj_trajectory::gen::PortoLikeGenerator;
+use neutraj_trajectory::Trajectory;
+use std::hint::black_box;
+
+fn pair_of_len(len: usize) -> (Trajectory, Trajectory) {
+    let ds = PortoLikeGenerator {
+        num_trajectories: 2,
+        min_len: len,
+        max_len: len,
+        ..Default::default()
+    }
+    .generate(7);
+    let a = ds.trajectories()[0].resample(len).expect("resample");
+    let b = ds.trajectories()[1].resample(len).expect("resample");
+    (a, b)
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_measure_pair");
+    group.sample_size(20);
+    for kind in MeasureKind::ALL {
+        let measure = kind.measure();
+        for len in [50usize, 100, 200] {
+            let (a, b) = pair_of_len(len);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), len),
+                &len,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        black_box(measure.dist(black_box(a.points()), black_box(b.points())))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

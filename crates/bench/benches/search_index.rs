@@ -1,0 +1,78 @@
+//! Table V in criterion form: index-assisted candidate generation +
+//! ranking — R-tree vs grid inverted index, BruteForce vs NeuTraj ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutraj_eval::harness::{DatasetKind, ExperimentWorld, WorldConfig};
+use neutraj_index::{GridInvertedIndex, RTree, SpatialIndex};
+use neutraj_measures::{knn_query, MeasureKind};
+use neutraj_model::{EmbeddingStore, TrainConfig};
+use neutraj_trajectory::gen::PortoLikeGenerator;
+use neutraj_trajectory::{Grid, Trajectory};
+use std::hint::black_box;
+
+const K: usize = 50;
+const SIZE: usize = 1000;
+
+fn bench_index_search(c: &mut Criterion) {
+    let world = ExperimentWorld::build(WorldConfig {
+        size: 200,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let measure = MeasureKind::Frechet.measure();
+    let (model, _) = world.train(
+        &*measure,
+        TrainConfig {
+            dim: 32,
+            epochs: 2,
+            ..TrainConfig::neutraj()
+        },
+    );
+
+    let big: Vec<Trajectory> = PortoLikeGenerator {
+        num_trajectories: SIZE,
+        ..Default::default()
+    }
+    .generate(5)
+    .into_trajectories();
+    let db: Vec<Trajectory> = big
+        .iter()
+        .map(|t| world.grid.rescale_trajectory(t))
+        .collect();
+    let extent = db
+        .iter()
+        .fold(neutraj_trajectory::BoundingBox::EMPTY, |bb, t| {
+            bb.union(&t.mbr())
+        });
+    let radius = extent.margin() / 6.0;
+
+    let rtree = RTree::build(&db);
+    let inverted = GridInvertedIndex::build(Grid::covering(&db, 2.0).expect("db"), &db);
+    let store = EmbeddingStore::build(&model, &big, 4);
+    let query = &db[0];
+
+    let mut group = c.benchmark_group("search_with_index");
+    group.sample_size(10);
+
+    for (index_name, index) in [
+        ("rtree", &rtree as &dyn SpatialIndex),
+        ("inverted", &inverted as &dyn SpatialIndex),
+    ] {
+        group.bench_function(BenchmarkId::new("candidates", index_name), |b| {
+            b.iter(|| black_box(index.candidates(black_box(query), radius)))
+        });
+        let candidates = index.candidates(query, radius);
+        group.bench_function(BenchmarkId::new("bruteforce_rank", index_name), |b| {
+            b.iter(|| black_box(knn_query(&*measure, query, &db, &candidates, K)))
+        });
+        group.bench_function(BenchmarkId::new("neutraj_rank", index_name), |b| {
+            b.iter(|| {
+                let emb = model.embed(black_box(&big[0]));
+                black_box(store.knn_candidates(&emb, &candidates, K))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_search);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table IV in criterion form: one top-50 query against databases of
+//! growing size — BruteForce vs AP vs NeuTraj (embed + scan + re-rank).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutraj_eval::harness::{build_ap_for_world, DatasetKind, ExperimentWorld, WorldConfig};
+use neutraj_measures::{knn_scan, knn_scan_pruned, MeasureKind};
+use neutraj_model::{EmbeddingStore, TrainConfig};
+use neutraj_trajectory::gen::PortoLikeGenerator;
+use neutraj_trajectory::Trajectory;
+use std::hint::black_box;
+
+const K: usize = 50;
+const SIZES: [usize; 3] = [250, 500, 1000];
+
+fn bench_search(c: &mut Criterion) {
+    let world = ExperimentWorld::build(WorldConfig {
+        size: 200,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let kind = MeasureKind::Frechet;
+    let measure = kind.measure();
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 2,
+        ..TrainConfig::neutraj()
+    };
+    let (model, _) = world.train(&*measure, cfg);
+
+    let big: Vec<Trajectory> = PortoLikeGenerator {
+        num_trajectories: *SIZES.last().expect("non-empty"),
+        ..Default::default()
+    }
+    .generate(3)
+    .into_trajectories();
+    let big_rescaled: Vec<Trajectory> = big
+        .iter()
+        .map(|t| world.grid.rescale_trajectory(t))
+        .collect();
+
+    let mut group = c.benchmark_group("search_noindex_frechet");
+    group.sample_size(10);
+    for &size in &SIZES {
+        let db = &big_rescaled[..size];
+        let db_orig = &big[..size];
+        let query = &db[0];
+
+        group.bench_with_input(BenchmarkId::new("BruteForce", size), &size, |b, _| {
+            b.iter(|| black_box(knn_scan(&*measure, black_box(query), db, K)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("BruteForce-pruned", size), &size, |b, _| {
+            b.iter(|| black_box(knn_scan_pruned(&*measure, black_box(query), db, K)))
+        });
+
+        let ap = build_ap_for_world(kind, db, 9).expect("Frechet AP");
+        group.bench_with_input(BenchmarkId::new("AP", size), &size, |b, _| {
+            b.iter(|| black_box(ap.knn(black_box(query), K)))
+        });
+
+        let store = EmbeddingStore::build(&model, db_orig, 4);
+        group.bench_with_input(BenchmarkId::new("NeuTraj", size), &size, |b, _| {
+            b.iter(|| {
+                let emb = model.embed(black_box(&db_orig[0]));
+                let short = store.knn(&emb, K);
+                // Exact re-rank of the 50, as in the paper's protocol.
+                black_box(store.knn_reranked(&emb, query, db, &*measure, K, 10))
+                    .len()
+                    + short.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

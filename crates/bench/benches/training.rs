@@ -1,0 +1,47 @@
+//! Table VI in criterion form: per-epoch training cost of each method
+//! preset (Siamese / NT-No-SAM / NT-No-WS / NeuTraj).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, WorldConfig};
+use neutraj_measures::{DistanceMatrix, MeasureKind};
+use neutraj_model::{TrainConfig, Trainer};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let world = ExperimentWorld::build(WorldConfig {
+        size: 250,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let measure = MeasureKind::Frechet.measure();
+    let seeds = world.seed_trajectories();
+    let seeds_rescaled = world.seed_rescaled();
+    let dist = DistanceMatrix::compute_parallel(&*measure, &seeds_rescaled, default_threads());
+
+    let mut group = c.benchmark_group("training_one_epoch");
+    group.sample_size(10);
+    for preset in [
+        TrainConfig::siamese(),
+        TrainConfig::nt_no_sam(),
+        TrainConfig::nt_no_ws(),
+        TrainConfig::neutraj(),
+    ] {
+        let cfg = TrainConfig {
+            dim: 32,
+            epochs: 1,
+            n_samples: 10,
+            ..preset
+        };
+        let name = cfg.method_name();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (model, report) = Trainer::new(cfg.clone(), world.grid.clone())
+                    .fit(black_box(&seeds), &dist, |_| {});
+                black_box((model.dim(), report.epoch_losses.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

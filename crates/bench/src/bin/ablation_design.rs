@@ -1,0 +1,104 @@
+//! **Design-choice ablations** (beyond the paper's Table III): the
+//! reproduction-specific decisions `DESIGN.md` §2 calls out, each compared
+//! under the standard protocol on Porto-like / Hausdorff:
+//!
+//! 1. similarity normalization — symmetric `exp(-α·D)` (our default, used
+//!    by the reference implementation) vs the paper text's row-softmax;
+//! 2. backbone — SAM-LSTM vs plain LSTM vs GRU;
+//! 3. scan width `w = 0` (memory read collapses to the current cell) vs
+//!    the paper's `w = 2`;
+//! 4. loss shape — full ranking loss vs no dissimilar margin.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin ablation_design [-- --size N]
+//! ```
+
+use neutraj_bench::{learned_rankings, Cli};
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_measures::MeasureKind;
+use neutraj_model::{BackboneKind, Normalization, RankedBatchLoss, TrainConfig};
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 400,
+        queries: 30,
+        epochs: 10,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    println!(
+        "Design ablations (Porto-like size={}, Hausdorff, {} queries, {} epochs)\n",
+        cli.size, cli.queries, cli.epochs
+    );
+
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let kind = MeasureKind::Hausdorff;
+    let measure = kind.measure();
+    let db_rescaled = world.test_db_rescaled();
+    let queries = world.query_positions(cli.queries);
+    let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+    let cell = world.grid.cell_size();
+
+    let variants: Vec<(&str, TrainConfig)> = vec![
+        ("NeuTraj (default)", cli.train_config(TrainConfig::neutraj())),
+        (
+            "normalization: row-softmax (paper text)",
+            TrainConfig {
+                normalization: Normalization::RowSoftmax,
+                ..cli.train_config(TrainConfig::neutraj())
+            },
+        ),
+        (
+            "backbone: plain LSTM",
+            TrainConfig {
+                backbone: BackboneKind::Lstm,
+                ..cli.train_config(TrainConfig::neutraj())
+            },
+        ),
+        (
+            "backbone: GRU",
+            TrainConfig {
+                backbone: BackboneKind::Gru,
+                ..cli.train_config(TrainConfig::neutraj())
+            },
+        ),
+        (
+            "scan width w = 0",
+            TrainConfig {
+                scan_width: 0,
+                ..cli.train_config(TrainConfig::neutraj())
+            },
+        ),
+        (
+            "loss: no dissimilar margin (plain MSE both sides)",
+            TrainConfig {
+                loss: RankedBatchLoss {
+                    rank_weighted: true,
+                    margin_dissimilar: false,
+                },
+                ..cli.train_config(TrainConfig::neutraj())
+            },
+        ),
+    ];
+
+    let mut table = Table::new(vec!["Variant", "HR@10", "HR@50", "R10@50", "dH10(m)"]);
+    for (name, cfg) in variants {
+        let (model, _) = world.train(&*measure, cfg);
+        let rankings = learned_rankings(&world, &model, &gt);
+        let q = gt.evaluate(&rankings).scale_distortions(cell);
+        table.row(vec![
+            name.to_string(),
+            fmt_ratio(q.hr10),
+            fmt_ratio(q.hr50),
+            fmt_ratio(q.r10_at_50),
+            format!("{}", q.delta_h10.round() as i64),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,99 @@
+//! **Figure 10** — zero-shot learning: train NeuTraj on *synthetic*
+//! road-network random-walk seeds (no real trajectories at all) and test
+//! on the real(-like) Geolife corpus; compare against the "Best" model
+//! trained on real seeds. Reports HR@10 and R10@50 on all four measures.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin fig10 [-- --size N]
+//! ```
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{
+    default_threads, model_rankings, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_measures::{DistanceMatrix, MeasureKind};
+use neutraj_model::{TrainConfig, Trainer};
+use neutraj_trajectory::gen::{RoadNetwork, RoadWalkGenerator};
+use neutraj_trajectory::Trajectory;
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 400,
+        queries: 30,
+        epochs: 10,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    // Synthetic seed count: the paper uses 6,000; scale with corpus size.
+    let n_walks = if cli.full { 2000 } else { 300 };
+    println!(
+        "Fig 10: zero-shot learning (Geolife-like size={}, {} synthetic road-walk seeds)\n",
+        cli.size, n_walks
+    );
+
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::GeolifeLike)
+    });
+
+    // Synthetic seeds: random walks on a synthetic road network covering
+    // the same city extent as the real corpus.
+    let extent = world.grid.extent();
+    let blocks = 250.0;
+    let nx = (extent.width() / blocks).ceil() as usize + 1;
+    let ny = (extent.height() / blocks).ceil() as usize + 1;
+    let net = RoadNetwork::synthetic_grid_city(nx.max(4), ny.max(4), blocks, cli.seed ^ 0xF16);
+    let walks = RoadWalkGenerator {
+        num_trajectories: n_walks,
+        ..Default::default()
+    }
+    .generate(&net, cli.seed ^ 0x10);
+    // Shift the road network onto the corpus extent (walks start at the
+    // origin corner of the synthetic grid).
+    let dx = extent.min_x;
+    let dy = extent.min_y;
+    let synth_seeds: Vec<Trajectory> = walks
+        .trajectories()
+        .iter()
+        .map(|t| t.map_points(|p| neutraj_trajectory::Point::new(p.x + dx, p.y + dy)))
+        .collect();
+    let synth_rescaled: Vec<Trajectory> = synth_seeds
+        .iter()
+        .map(|t| world.grid.rescale_trajectory(t))
+        .collect();
+
+    let db = world.test_db();
+    let db_rescaled = world.test_db_rescaled();
+    let queries = world.query_positions(cli.queries);
+
+    let mut hr_table = Table::new(vec!["Measure", "Best HR@10", "Zero HR@10", "Best R10@50", "Zero R10@50"]);
+    for kind in MeasureKind::ALL {
+        let measure = kind.measure();
+        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+
+        // Best: trained on real seeds.
+        let (best_model, _) = world.train(&*measure, cli.train_config(TrainConfig::neutraj()));
+        let best = gt.evaluate(&model_rankings(&best_model, &db, &queries, default_threads()));
+
+        // Zero: trained on the synthetic road-walk seeds.
+        let dist = DistanceMatrix::compute_parallel(&*measure, &synth_rescaled, default_threads());
+        let (zero_model, _) = Trainer::new(
+            cli.train_config(TrainConfig::neutraj()),
+            world.grid.clone(),
+        )
+        .fit(&synth_seeds, &dist, |_| {});
+        let zero = gt.evaluate(&model_rankings(&zero_model, &db, &queries, default_threads()));
+
+        hr_table.row(vec![
+            kind.name().to_string(),
+            fmt_ratio(best.hr10),
+            fmt_ratio(zero.hr10),
+            fmt_ratio(best.r10_at_50),
+            fmt_ratio(zero.r10_at_50),
+        ]);
+    }
+    println!("{}", hr_table.render());
+}

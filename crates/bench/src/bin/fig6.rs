@@ -1,0 +1,82 @@
+//! **Figure 6** — HR@10 of NeuTraj vs NT-No-SAM as the training-set size
+//! varies (paper: 500→8000 Porto seeds; scaled sweep here), on Fréchet,
+//! Hausdorff and DTW.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin fig6 [-- --size N]
+//! ```
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_eval::sweeps::sweep_training_size;
+use neutraj_measures::MeasureKind;
+use neutraj_model::TrainConfig;
+use neutraj_trajectory::SplitRatios;
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 600,
+        queries: 30,
+        epochs: 8,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    // Give the world a generous training pool to subsample from.
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ratios: SplitRatios {
+            train: 0.5,
+            validation: 0.0,
+        },
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let max_seeds = world.seed_trajectories().len();
+    let sweep: Vec<usize> = [
+        max_seeds / 8,
+        max_seeds / 4,
+        max_seeds / 2,
+        max_seeds,
+    ]
+    .into_iter()
+    .filter(|&n| n >= 20)
+    .collect();
+    println!(
+        "Fig 6: HR@10 vs training size (Porto-like, sweep {:?}, {} queries)\n",
+        sweep, cli.queries
+    );
+
+    let db_rescaled = world.test_db_rescaled();
+    let queries = world.query_positions(cli.queries);
+
+    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+        let measure = kind.measure();
+        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let mut table = Table::new(vec!["#seeds", "NeuTraj", "NT-No-SAM"]);
+        let full = sweep_training_size(
+            &world,
+            &*measure,
+            &gt,
+            &cli.train_config(TrainConfig::neutraj()),
+            &sweep,
+        );
+        let nosam = sweep_training_size(
+            &world,
+            &*measure,
+            &gt,
+            &cli.train_config(TrainConfig::nt_no_sam()),
+            &sweep,
+        );
+        for ((n, qf), (_, qn)) in full.iter().zip(&nosam) {
+            table.row(vec![
+                format!("{n}"),
+                fmt_ratio(qf.hr10),
+                fmt_ratio(qn.hr10),
+            ]);
+        }
+        println!("[{kind}]");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,60 @@
+//! **Figure 7** — HR@10 of NeuTraj vs NT-No-SAM as the embedding
+//! dimension `d` varies (paper: 8→256), on Fréchet, Hausdorff and DTW.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin fig7 [-- --size N --full]
+//! ```
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::sweeps::sweep_dim;
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_measures::MeasureKind;
+use neutraj_model::TrainConfig;
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 400,
+        queries: 30,
+        epochs: 8,
+        dim: 0, // swept
+        seed: 2019,
+        full: false,
+    });
+    let dims: &[usize] = if cli.full {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32, 64]
+    };
+    println!(
+        "Fig 7: HR@10 vs embedding dimension d (Porto-like size={}, sweep {:?})\n",
+        cli.size, dims
+    );
+
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let db_rescaled = world.test_db_rescaled();
+    let queries = world.query_positions(cli.queries);
+
+    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+        let measure = kind.measure();
+        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let mut table = Table::new(vec!["d", "NeuTraj", "NT-No-SAM"]);
+        let base_full = cli.train_config(TrainConfig::neutraj());
+        let base_nosam = cli.train_config(TrainConfig::nt_no_sam());
+        let full = sweep_dim(&world, &*measure, &gt, &base_full, dims);
+        let nosam = sweep_dim(&world, &*measure, &gt, &base_nosam, dims);
+        for ((d, qf), (_, qn)) in full.iter().zip(&nosam) {
+            table.row(vec![
+                format!("{d}"),
+                fmt_ratio(qf.hr10),
+                fmt_ratio(qn.hr10),
+            ]);
+        }
+        println!("[{kind}]");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,48 @@
+//! **Figure 8** — HR@10 of NeuTraj as the SAM scan width `w` varies in
+//! `{0, 1, 2, 3, 4}`, on Fréchet, Hausdorff and DTW.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin fig8 [-- --size N]
+//! ```
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::sweeps::sweep_scan_width;
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_measures::MeasureKind;
+use neutraj_model::TrainConfig;
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 400,
+        queries: 30,
+        epochs: 8,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    println!(
+        "Fig 8: HR@10 vs scan width w (Porto-like size={}, w in 0..=4)\n",
+        cli.size
+    );
+
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let db_rescaled = world.test_db_rescaled();
+    let queries = world.query_positions(cli.queries);
+
+    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+        let measure = kind.measure();
+        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let mut table = Table::new(vec!["w", "NeuTraj HR@10"]);
+        let base = cli.train_config(TrainConfig::neutraj());
+        for (w, q) in sweep_scan_width(&world, &*measure, &gt, &base, &[0, 1, 2, 3, 4]) {
+            table.row(vec![format!("{w}"), fmt_ratio(q.hr10)]);
+        }
+        println!("[{kind}]");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,70 @@
+//! Hyper-parameter probing utility (not a paper artifact): sweeps the
+//! similarity sharpness `α` (as a multiple of the auto heuristic) and the
+//! loss shape, reporting HR@10. Used to calibrate the reproduction's
+//! defaults; kept in-tree so the calibration is repeatable.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin tune [-- --size N]
+//! ```
+
+use neutraj_bench::{learned_rankings, Cli};
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_measures::{DistanceMatrix, MeasureKind};
+use neutraj_model::{RankedBatchLoss, SimilarityMatrix, TrainConfig};
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 400,
+        queries: 30,
+        epochs: 10,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    for dataset in [DatasetKind::GeolifeLike, DatasetKind::PortoLike] {
+        let world = ExperimentWorld::build(WorldConfig {
+            size: cli.size,
+            seed: cli.seed,
+            ..WorldConfig::small(dataset)
+        });
+        let kind = MeasureKind::Frechet;
+        let measure = kind.measure();
+        let db_rescaled = world.test_db_rescaled();
+        let queries = world.query_positions(cli.queries);
+        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let seed_rescaled = world.seed_rescaled();
+        let dist =
+            DistanceMatrix::compute_parallel(&*measure, &seed_rescaled, default_threads());
+        let auto = SimilarityMatrix::auto_alpha(&dist);
+        println!(
+            "== {} (auto alpha {:.4}) ==",
+            dataset.name(),
+            auto
+        );
+
+        let mut table = Table::new(vec!["alpha x", "loss", "HR@10", "HR@50"]);
+        for alpha_mul in [0.25, 0.5, 1.0, 2.0] {
+            for (loss_name, loss) in [
+                ("ranking", RankedBatchLoss::neutraj()),
+                ("mse", RankedBatchLoss::siamese()),
+            ] {
+                let cfg = TrainConfig {
+                    alpha: Some(auto * alpha_mul),
+                    loss,
+                    ..cli.train_config(TrainConfig::neutraj())
+                };
+                let (model, _) = world.train(&*measure, cfg);
+                let rankings = learned_rankings(&world, &model, &gt);
+                let q = gt.evaluate(&rankings);
+                table.row(vec![
+                    format!("{alpha_mul}"),
+                    loss_name.to_string(),
+                    fmt_ratio(q.hr10),
+                    fmt_ratio(q.hr50),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}

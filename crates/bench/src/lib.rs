@@ -1,0 +1,228 @@
+//! Shared plumbing for the per-table/figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the index). They share:
+//!
+//! * [`Cli`] — a tiny flag parser (`--size`, `--epochs`, `--dim`,
+//!   `--queries`, `--seed`, `--full`) so runs scale from smoke-test to
+//!   paper-scale without recompiling;
+//! * [`AccuracyRow`] / [`run_method_on_measure`] — the evaluation loop
+//!   shared by Tables II/III and Figs. 6–8/10.
+//!
+//! Default sizes are CPU-sized (minutes, not hours); `--full` selects the
+//! larger configurations recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use neutraj_eval::harness::{
+    ap_rankings, build_ap_for_world, default_threads, model_rankings, ExperimentWorld,
+    GroundTruth,
+};
+use neutraj_eval::SearchQuality;
+use neutraj_measures::MeasureKind;
+use neutraj_model::{NeuTrajModel, TrainConfig};
+
+/// Minimal command-line configuration shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Corpus size.
+    pub size: usize,
+    /// Number of evaluation queries.
+    pub queries: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Run the larger "paper-scale" configuration.
+    pub full: bool,
+}
+
+impl Cli {
+    /// Parses flags from `std::env::args`, starting from defaults.
+    ///
+    /// Unknown flags abort with a usage message (better than silently
+    /// ignoring a typo in an experiment run).
+    pub fn parse(defaults: Cli) -> Cli {
+        Self::parse_from(defaults, std::env::args().skip(1))
+    }
+
+    /// Testable core of [`Cli::parse`].
+    pub fn parse_from(mut cli: Cli, args: impl Iterator<Item = String>) -> Cli {
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut take_usize = |name: &str| -> usize {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("flag {name} needs a positive integer"))
+            };
+            match flag.as_str() {
+                "--size" => cli.size = take_usize("--size"),
+                "--queries" => cli.queries = take_usize("--queries"),
+                "--epochs" => cli.epochs = take_usize("--epochs"),
+                "--dim" => cli.dim = take_usize("--dim"),
+                "--seed" => cli.seed = take_usize("--seed") as u64,
+                "--full" => cli.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --size N --queries N --epochs N --dim N --seed N --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag: {other} (try --help)"),
+            }
+        }
+        cli
+    }
+
+    /// Default configuration for accuracy experiments.
+    pub fn accuracy_defaults() -> Cli {
+        Cli {
+            size: 400,
+            queries: 40,
+            epochs: 10,
+            dim: 32,
+            seed: 2019,
+            full: false,
+        }
+    }
+
+    /// Applies `--full` scaling used by the accuracy binaries.
+    pub fn scaled_for_full(mut self) -> Cli {
+        if self.full {
+            self.size = self.size.max(2000);
+            self.queries = self.queries.max(100);
+            self.epochs = self.epochs.max(15);
+            self.dim = self.dim.max(64);
+        }
+        self
+    }
+
+    /// The training configuration for a method preset under this CLI.
+    pub fn train_config(&self, preset: TrainConfig) -> TrainConfig {
+        TrainConfig {
+            dim: self.dim,
+            epochs: self.epochs,
+            seed: self.seed,
+            ..preset
+        }
+    }
+}
+
+/// One accuracy-table row: method name + metrics.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Method display name.
+    pub method: String,
+    /// Mean quality over the query workload.
+    pub quality: SearchQuality,
+}
+
+/// Which competitor a row runs.
+pub enum MethodSpec {
+    /// The AP approximate-algorithm baseline.
+    Ap,
+    /// A learned method with the given preset.
+    Learned(TrainConfig),
+}
+
+/// Runs one method under one measure on a world and returns its row.
+/// `gt` must be computed over `world.test_db_rescaled()` with the same
+/// queries. δ distortions are scaled to metres via the world's cell size.
+pub fn run_method_on_measure(
+    world: &ExperimentWorld,
+    kind: MeasureKind,
+    spec: &MethodSpec,
+    gt: &GroundTruth,
+) -> Option<AccuracyRow> {
+    let db_rescaled = world.test_db_rescaled();
+    let cell = world.grid.cell_size();
+    match spec {
+        MethodSpec::Ap => {
+            let ap = build_ap_for_world(kind, &db_rescaled, world.config.seed)?;
+            let rankings = ap_rankings(ap.as_ref(), &db_rescaled, &gt.queries);
+            Some(AccuracyRow {
+                method: "AP".to_string(),
+                quality: gt.evaluate(&rankings).scale_distortions(cell),
+            })
+        }
+        MethodSpec::Learned(cfg) => {
+            let measure = kind.measure();
+            let (model, _) = world.train(&*measure, cfg.clone());
+            let rankings = learned_rankings(world, &model, gt);
+            Some(AccuracyRow {
+                method: cfg.method_name().to_string(),
+                quality: gt.evaluate(&rankings).scale_distortions(cell),
+            })
+        }
+    }
+}
+
+/// Rankings of a trained model over the world's test database.
+pub fn learned_rankings(
+    world: &ExperimentWorld,
+    model: &NeuTrajModel,
+    gt: &GroundTruth,
+) -> Vec<Vec<usize>> {
+    let db = world.test_db();
+    model_rankings(model, &db, &gt.queries, default_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_flags() {
+        let d = Cli::accuracy_defaults();
+        let got = Cli::parse_from(
+            d.clone(),
+            ["--size", "99", "--dim", "8", "--full"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(got.size, 99);
+        assert_eq!(got.dim, 8);
+        assert!(got.full);
+        assert_eq!(got.queries, d.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn cli_rejects_typos() {
+        let _ = Cli::parse_from(
+            Cli::accuracy_defaults(),
+            ["--sise", "99"].iter().map(|s| s.to_string()),
+        );
+    }
+
+    #[test]
+    fn full_scaling_monotone() {
+        let mut cli = Cli::accuracy_defaults();
+        cli.full = true;
+        let scaled = cli.clone().scaled_for_full();
+        assert!(scaled.size >= cli.size);
+        assert!(scaled.epochs >= cli.epochs);
+        // Without --full nothing changes.
+        let mut small = Cli::accuracy_defaults();
+        small.full = false;
+        assert_eq!(small.clone().scaled_for_full(), small);
+    }
+
+    #[test]
+    fn train_config_inherits_cli() {
+        let cli = Cli {
+            dim: 12,
+            epochs: 3,
+            seed: 7,
+            ..Cli::accuracy_defaults()
+        };
+        let cfg = cli.train_config(TrainConfig::nt_no_sam());
+        assert_eq!(cfg.dim, 12);
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.method_name(), "NT-No-SAM");
+    }
+}

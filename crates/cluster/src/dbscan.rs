@@ -1,0 +1,216 @@
+//! DBSCAN over precomputed distances.
+
+use neutraj_measures::DistanceMatrix;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius ε.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point — the paper fixes this at 10 in Fig. 9.
+    pub min_pts: usize,
+}
+
+/// Cluster assignment of one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Noise: not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with this 0-based id.
+    Cluster(u32),
+}
+
+impl Label {
+    /// The cluster id, or `None` for noise.
+    pub fn cluster(&self) -> Option<u32> {
+        match self {
+            Label::Noise => None,
+            Label::Cluster(c) => Some(*c),
+        }
+    }
+}
+
+/// Runs DBSCAN (Ester et al.) on a precomputed distance matrix.
+///
+/// Deterministic: items are visited in index order, so cluster ids are
+/// stable. `O(N²)` time — the region query scans a matrix row, which is
+/// exactly the regime the paper's Fig. 9 operates in (a 1–10k corpus with
+/// all-pairs distances already in hand).
+pub fn dbscan(dist: &DistanceMatrix, params: DbscanParams) -> Vec<Label> {
+    assert!(params.eps >= 0.0, "eps must be non-negative");
+    let n = dist.n();
+    // State: None = unvisited, Some(label) = assigned.
+    let mut labels: Vec<Option<Label>> = vec![None; n];
+    let mut next_cluster = 0u32;
+    let region = |i: usize| -> Vec<usize> {
+        dist.row(i)
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d <= params.eps)
+            .map(|(j, _)| j)
+            .collect()
+    };
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let neighbors = region(i);
+        if neighbors.len() < params.min_pts {
+            labels[i] = Some(Label::Noise);
+            continue;
+        }
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[i] = Some(Label::Cluster(cid));
+        // Expand the cluster with a worklist of density-reachable points.
+        let mut queue: Vec<usize> = neighbors;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            match labels[j] {
+                Some(Label::Noise) => {
+                    // Border point previously marked noise: claim it.
+                    labels[j] = Some(Label::Cluster(cid));
+                }
+                Some(Label::Cluster(_)) => {}
+                None => {
+                    labels[j] = Some(Label::Cluster(cid));
+                    let jn = region(j);
+                    if jn.len() >= params.min_pts {
+                        queue.extend(jn);
+                    }
+                }
+            }
+        }
+    }
+    labels
+        .into_iter()
+        .map(|l| l.expect("every item labelled"))
+        .collect()
+}
+
+/// Number of clusters in a labelling (noise excluded).
+pub fn num_clusters(labels: &[Label]) -> usize {
+    labels
+        .iter()
+        .filter_map(Label::cluster)
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_from_line(xs: &[f64]) -> DistanceMatrix {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        DistanceMatrix::from_raw(n, d)
+    }
+
+    #[test]
+    fn two_clusters_and_noise() {
+        // Two tight groups plus one outlier.
+        let xs = [0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3, 50.0];
+        let labels = dbscan(
+            &matrix_from_line(&xs),
+            DbscanParams {
+                eps: 0.5,
+                min_pts: 3,
+            },
+        );
+        assert_eq!(num_clusters(&labels), 2);
+        assert_eq!(labels[8], Label::Noise);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[4], labels[7]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn everything_noise_when_eps_tiny() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let labels = dbscan(
+            &matrix_from_line(&xs),
+            DbscanParams {
+                eps: 0.1,
+                min_pts: 2,
+            },
+        );
+        assert!(labels.iter().all(|l| *l == Label::Noise));
+        assert_eq!(num_clusters(&labels), 0);
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let xs = [0.0, 1.0, 2.0, 30.0];
+        let labels = dbscan(
+            &matrix_from_line(&xs),
+            DbscanParams {
+                eps: 100.0,
+                min_pts: 2,
+            },
+        );
+        assert_eq!(num_clusters(&labels), 1);
+        assert!(labels.iter().all(|l| *l == Label::Cluster(0)));
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // Density-reachability chains through intermediate points.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let labels = dbscan(
+            &matrix_from_line(&xs),
+            DbscanParams {
+                eps: 1.1,
+                min_pts: 3,
+            },
+        );
+        assert_eq!(num_clusters(&labels), 1);
+        assert!(labels.iter().all(|l| l.cluster() == Some(0)));
+    }
+
+    #[test]
+    fn border_point_claimed_by_first_cluster() {
+        // Item 2 is a border point of the cluster around 0,1 (its own
+        // neighbourhood is too small to be core).
+        let xs = [0.0, 0.5, 1.4, 100.0, 100.1, 100.2];
+        let labels = dbscan(
+            &matrix_from_line(&xs),
+            DbscanParams {
+                eps: 1.0,
+                min_pts: 3,
+            },
+        );
+        assert_eq!(labels[2].cluster(), labels[0].cluster());
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * 7 % 13) as f64).collect();
+        let m = matrix_from_line(&xs);
+        let p = DbscanParams {
+            eps: 1.5,
+            min_pts: 4,
+        };
+        assert_eq!(dbscan(&m, p), dbscan(&m, p));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let labels = dbscan(
+            &DistanceMatrix::from_raw(0, vec![]),
+            DbscanParams {
+                eps: 1.0,
+                min_pts: 2,
+            },
+        );
+        assert!(labels.is_empty());
+    }
+}

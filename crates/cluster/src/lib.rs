@@ -1,0 +1,91 @@
+//! # neutraj-cluster
+//!
+//! Trajectory clustering support for the paper's Fig. 9 experiment:
+//! DBSCAN run twice — once on exact pairwise distances, once on
+//! embedding-based distances — and compared with four agreement metrics
+//! (Homogeneity, Completeness, V-measure, Adjusted Rand Index).
+//!
+//! DBSCAN operates on a precomputed [`DistanceMatrix`], so the same code
+//! path serves any measure and the learned similarity alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dbscan;
+mod metrics;
+
+pub use dbscan::{dbscan, num_clusters, DbscanParams, Label};
+pub use metrics::{adjusted_rand_index, homogeneity_completeness_v, ClusterAgreement};
+
+use neutraj_measures::DistanceMatrix;
+
+/// Runs DBSCAN on two distance matrices over the same items and reports
+/// the agreement between the two clusterings — the Fig. 9 comparison in
+/// one call.
+pub fn compare_clusterings(
+    truth: &DistanceMatrix,
+    approx: &DistanceMatrix,
+    params: DbscanParams,
+) -> (Vec<Label>, Vec<Label>, ClusterAgreement) {
+    let a = dbscan(truth, params);
+    let b = dbscan(approx, params);
+    let agreement = ClusterAgreement::between(&a, &b);
+    (a, b, agreement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_matrix() -> DistanceMatrix {
+        // Items 0-4 mutually close, 5-9 mutually close, blobs far apart.
+        let n = 10;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let same = (i < 5) == (j < 5);
+                data[i * n + j] = if i == j {
+                    0.0
+                } else if same {
+                    1.0
+                } else {
+                    100.0
+                };
+            }
+        }
+        DistanceMatrix::from_raw(n, data)
+    }
+
+    #[test]
+    fn identical_matrices_agree_perfectly() {
+        let m = two_blob_matrix();
+        let params = DbscanParams {
+            eps: 2.0,
+            min_pts: 3,
+        };
+        let (a, b, agree) = compare_clusterings(&m, &m, params);
+        assert_eq!(a, b);
+        assert_eq!(agree.ari, 1.0);
+        assert_eq!(agree.v_measure, 1.0);
+    }
+
+    #[test]
+    fn distorted_matrix_reduces_agreement() {
+        let truth = two_blob_matrix();
+        // A useless approximation: every pair at distance 1 → one cluster.
+        let approx = DistanceMatrix::from_raw(10, {
+            let mut d = vec![1.0; 100];
+            for i in 0..10 {
+                d[i * 10 + i] = 0.0;
+            }
+            d
+        });
+        let params = DbscanParams {
+            eps: 2.0,
+            min_pts: 3,
+        };
+        let (_, _, agree) = compare_clusterings(&truth, &approx, params);
+        assert!(agree.ari < 0.5, "ari {}", agree.ari);
+        assert!(agree.homogeneity < 0.5);
+    }
+}

@@ -1,0 +1,443 @@
+//! The shared experiment engine behind the paper's tables and figures.
+//!
+//! Protocol (§VII-A.2): split the corpus 20/10/70 into seeds /
+//! validation / test; train on the seeds' pairwise distances; run top-k
+//! similarity search over the test set with test-set queries; score
+//! against exact ground truth. Queries are members of the database; the
+//! query itself is removed from both ground truth and method rankings so
+//! the trivial self-hit does not inflate every method equally.
+
+use crate::metrics::{evaluate_query, SearchQuality};
+use neutraj_approx::ApproxKnn;
+use neutraj_measures::{DistanceMatrix, Measure, MeasureKind};
+use neutraj_model::{EmbeddingStore, NeuTrajModel, TrainConfig, TrainReport, Trainer};
+use neutraj_trajectory::gen::{GeolifeLikeGenerator, PortoLikeGenerator};
+use neutraj_trajectory::{Dataset, Grid, Split, SplitRatios, Trajectory};
+
+/// Which synthetic corpus stands in for which real dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Human-mobility corpus standing in for Geolife (Beijing).
+    GeolifeLike,
+    /// Taxi-trip corpus standing in for Porto.
+    PortoLike,
+}
+
+impl DatasetKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::GeolifeLike => "Geolife-like",
+            DatasetKind::PortoLike => "Porto-like",
+        }
+    }
+}
+
+/// Parameters of an experiment world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Synthetic dataset family.
+    pub kind: DatasetKind,
+    /// Corpus size (number of trajectories).
+    pub size: usize,
+    /// Grid cell size in metres (paper: 50 m).
+    pub cell_size_m: f64,
+    /// Generation / split seed.
+    pub seed: u64,
+    /// Split ratios (paper: 20/10/70).
+    pub ratios: SplitRatios,
+}
+
+impl WorldConfig {
+    /// A small default world for quick runs: 400 Porto-like taxi trips.
+    pub fn small(kind: DatasetKind) -> Self {
+        Self {
+            kind,
+            size: 400,
+            cell_size_m: 50.0,
+            seed: 2019,
+            ratios: SplitRatios::PAPER,
+        }
+    }
+}
+
+/// A fully materialized experiment world: corpus, grid and split.
+#[derive(Debug, Clone)]
+pub struct ExperimentWorld {
+    /// The configuration that produced this world.
+    pub config: WorldConfig,
+    /// Spatial grid covering the corpus (`cell_size_m` cells).
+    pub grid: Grid,
+    /// The corpus in original (metre) coordinates.
+    pub corpus: Vec<Trajectory>,
+    /// The corpus rescaled to grid units (distances computed here keep
+    /// one unit == one cell, so α and δ are measure-independent).
+    pub rescaled: Vec<Trajectory>,
+    /// Train / validation / test index split.
+    pub split: Split,
+}
+
+impl ExperimentWorld {
+    /// Generates and preprocesses the world deterministically.
+    pub fn build(config: WorldConfig) -> Self {
+        let ds: Dataset = match config.kind {
+            DatasetKind::GeolifeLike => GeolifeLikeGenerator {
+                num_trajectories: config.size,
+                ..Default::default()
+            }
+            .generate(config.seed),
+            DatasetKind::PortoLike => PortoLikeGenerator {
+                num_trajectories: config.size,
+                ..Default::default()
+            }
+            .generate(config.seed),
+        };
+        let ds = ds.filter_min_len(10);
+        let grid = Grid::covering(ds.trajectories(), config.cell_size_m)
+            .expect("generated corpus is non-empty");
+        let split = ds
+            .split(config.ratios, config.seed ^ 0x5EED)
+            .expect("paper ratios are valid");
+        let corpus: Vec<Trajectory> = ds.trajectories().to_vec();
+        let rescaled = corpus.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        Self {
+            config,
+            grid,
+            corpus,
+            rescaled,
+            split,
+        }
+    }
+
+    /// Seed trajectories (original coordinates) in split order.
+    pub fn seed_trajectories(&self) -> Vec<Trajectory> {
+        self.split
+            .train
+            .iter()
+            .map(|&i| self.corpus[i].clone())
+            .collect()
+    }
+
+    /// Seed trajectories rescaled to grid units (for the guidance matrix).
+    pub fn seed_rescaled(&self) -> Vec<Trajectory> {
+        self.split
+            .train
+            .iter()
+            .map(|&i| self.rescaled[i].clone())
+            .collect()
+    }
+
+    /// Test-set trajectories in original coordinates — the search
+    /// database of §VII-B.
+    pub fn test_db(&self) -> Vec<Trajectory> {
+        self.split
+            .test
+            .iter()
+            .map(|&i| self.corpus[i].clone())
+            .collect()
+    }
+
+    /// Test-set trajectories in grid units (for exact ground truth on the
+    /// same scale the model trains against).
+    pub fn test_db_rescaled(&self) -> Vec<Trajectory> {
+        self.split
+            .test
+            .iter()
+            .map(|&i| self.rescaled[i].clone())
+            .collect()
+    }
+
+    /// The first `n` test positions used as queries (positions are
+    /// indices *into the test db*, not the corpus).
+    pub fn query_positions(&self, n: usize) -> Vec<usize> {
+        (0..n.min(self.split.test.len())).collect()
+    }
+
+    /// Trains a method preset on this world's seeds under `measure`.
+    pub fn train(
+        &self,
+        measure: &dyn Measure,
+        cfg: TrainConfig,
+    ) -> (NeuTrajModel, TrainReport) {
+        self.train_with_callback(measure, cfg, |_| {})
+    }
+
+    /// [`Self::train`] with an epoch callback (Fig. 5 convergence curves).
+    pub fn train_with_callback(
+        &self,
+        measure: &dyn Measure,
+        cfg: TrainConfig,
+        on_epoch: impl FnMut(&neutraj_model::EpochStats),
+    ) -> (NeuTrajModel, TrainReport) {
+        let seeds = self.seed_trajectories();
+        let seed_rescaled = self.seed_rescaled();
+        let dist = DistanceMatrix::compute_parallel(measure, &seed_rescaled, default_threads());
+        Trainer::new(cfg, self.grid.clone())
+            .with_threads(default_threads())
+            .fit(&seeds, &dist, on_epoch)
+    }
+}
+
+/// Number of worker threads used by the harness.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Exact ground truth of a query workload: per-query exact distances to
+/// every database item plus the ascending ranking (self excluded).
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Query positions within the database.
+    pub queries: Vec<usize>,
+    /// `exact[q][i]`: exact distance from query `q` to database item `i`.
+    pub exact: Vec<Vec<f64>>,
+    /// Ascending exact ranking per query (query itself removed).
+    pub rankings: Vec<Vec<usize>>,
+}
+
+impl GroundTruth {
+    /// Computes the ground truth by brute force under `measure`,
+    /// parallelized over queries.
+    pub fn compute(
+        measure: &dyn Measure,
+        db: &[Trajectory],
+        queries: &[usize],
+        threads: usize,
+    ) -> Self {
+        let exact = parallel_map(queries, threads.max(1), |&q| {
+            db.iter()
+                .map(|t| measure.dist(db[q].points(), t.points()))
+                .collect::<Vec<f64>>()
+        });
+        let rankings = queries
+            .iter()
+            .zip(&exact)
+            .map(|(&q, row)| ranked_indices(row, Some(q)))
+            .collect();
+        Self {
+            queries: queries.to_vec(),
+            exact,
+            rankings,
+        }
+    }
+
+    /// Scores a method's per-query rankings against this ground truth.
+    /// `rankings[k]` must correspond to `self.queries[k]` and must not
+    /// contain the query itself (use [`strip_query`]).
+    pub fn evaluate(&self, rankings: &[Vec<usize>]) -> SearchQuality {
+        assert_eq!(rankings.len(), self.queries.len(), "ranking count");
+        let per_query: Vec<SearchQuality> = rankings
+            .iter()
+            .zip(self.rankings.iter().zip(&self.exact))
+            .map(|(result, (truth, exact))| evaluate_query(truth, result, exact))
+            .collect();
+        SearchQuality::mean(&per_query)
+    }
+}
+
+/// Ascending ranking of database indices by `dists`, excluding `skip`.
+pub fn ranked_indices(dists: &[f64], skip: Option<usize>) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..dists.len()).filter(|&i| Some(i) != skip).collect();
+    idx.sort_by(|&a, &b| {
+        dists[a]
+            .partial_cmp(&dists[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Removes the query's own index from a ranking.
+pub fn strip_query(ranking: Vec<usize>, query: usize) -> Vec<usize> {
+    ranking.into_iter().filter(|&i| i != query).collect()
+}
+
+/// Per-query rankings of a trained model over `db` (grid-unit ground
+/// truth is irrelevant here — the model embeds original coordinates).
+/// Returns the full ranked list per query, self removed.
+pub fn model_rankings(
+    model: &NeuTrajModel,
+    db: &[Trajectory],
+    queries: &[usize],
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let store = EmbeddingStore::build(model, db, threads);
+    queries
+        .iter()
+        .map(|&q| {
+            let ranked = store.knn(store.get(q), db.len());
+            strip_query(ranked.into_iter().map(|n| n.index).collect(), q)
+        })
+        .collect()
+}
+
+/// Per-query rankings of an AP baseline, self removed.
+pub fn ap_rankings(
+    ap: &dyn ApproxKnn,
+    db: &[Trajectory],
+    queries: &[usize],
+) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|&q| {
+            let ranked = ap.knn(&db[q], db.len());
+            strip_query(ranked.into_iter().map(|n| n.index).collect(), q)
+        })
+        .collect()
+}
+
+/// Builds the AP baseline appropriate for `kind` over a (rescaled) db.
+/// `None` for ERP, matching the paper's "—" entries.
+pub fn build_ap_for_world(
+    kind: MeasureKind,
+    db_rescaled: &[Trajectory],
+    seed: u64,
+) -> Option<Box<dyn ApproxKnn>> {
+    // Grid-unit coordinates (one unit = one cell). The published LSH
+    // schemes hash at coarse resolutions — a δ of ~8 cells (≈ 400 m at
+    // the paper's 50 m cells) reproduces both their speed and their
+    // characteristic accuracy loss.
+    neutraj_approx::build_ap(kind, db_rescaled, 8.0, seed)
+}
+
+/// Maps `items` through `f` on up to `threads` scoped worker threads,
+/// preserving order.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1);
+    if threads == 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_measures::Hausdorff;
+
+    fn small_world() -> ExperimentWorld {
+        ExperimentWorld::build(WorldConfig {
+            size: 120,
+            ..WorldConfig::small(DatasetKind::PortoLike)
+        })
+    }
+
+    #[test]
+    fn world_is_deterministic_and_partitioned() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.split, b.split);
+        let n = a.corpus.len();
+        assert_eq!(
+            a.split.train.len() + a.split.validation.len() + a.split.test.len(),
+            n
+        );
+        assert_eq!(a.rescaled.len(), n);
+        // Rescaled coordinates live in grid units.
+        let e = a.grid.extent();
+        for t in &a.rescaled {
+            for p in t.points() {
+                assert!(p.x >= 0.0 && p.x <= e.width() / a.grid.cell_size() + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_rankings_are_sorted_and_self_free() {
+        let w = small_world();
+        let db = w.test_db_rescaled();
+        let queries = w.query_positions(5);
+        let gt = GroundTruth::compute(&Hausdorff, &db, &queries, 2);
+        for (qi, ranking) in gt.rankings.iter().enumerate() {
+            let q = gt.queries[qi];
+            assert!(!ranking.contains(&q), "self in ranking");
+            assert_eq!(ranking.len(), db.len() - 1);
+            for w2 in ranking.windows(2) {
+                assert!(gt.exact[qi][w2[0]] <= gt.exact[qi][w2[1]]);
+            }
+        }
+        // Perfect method scores 1.0 everywhere.
+        let q = gt.evaluate(&gt.rankings);
+        assert_eq!(q.hr10, 1.0);
+        assert_eq!(q.delta_h10, 0.0);
+    }
+
+    #[test]
+    fn ground_truth_parallel_matches_sequential() {
+        let w = small_world();
+        let db = w.test_db_rescaled();
+        let queries = w.query_positions(4);
+        let seq = GroundTruth::compute(&Hausdorff, &db, &queries, 1);
+        let par = GroundTruth::compute(&Hausdorff, &db, &queries, 4);
+        assert_eq!(seq.exact, par.exact);
+        assert_eq!(seq.rankings, par.rankings);
+    }
+
+    #[test]
+    fn trained_model_beats_random_ranking() {
+        let w = small_world();
+        let cfg = TrainConfig {
+            dim: 16,
+            epochs: 6,
+            n_samples: 5,
+            ..TrainConfig::neutraj()
+        };
+        let (model, _) = w.train(&Hausdorff, cfg);
+        let db = w.test_db();
+        let db_rescaled = w.test_db_rescaled();
+        let queries = w.query_positions(8);
+        let gt = GroundTruth::compute(&Hausdorff, &db_rescaled, &queries, 4);
+        let rankings = model_rankings(&model, &db, &queries, 4);
+        let quality = gt.evaluate(&rankings);
+        // Random ranking expectation for HR@10 is 10/(N-1) ≈ 0.12 here.
+        assert!(
+            quality.hr10 > 0.25,
+            "trained model no better than chance: HR@10 = {}",
+            quality.hr10
+        );
+    }
+
+    #[test]
+    fn ap_baseline_runs_and_scores() {
+        let w = small_world();
+        let db_rescaled = w.test_db_rescaled();
+        let queries = w.query_positions(5);
+        let gt = GroundTruth::compute(&Hausdorff, &db_rescaled, &queries, 4);
+        let ap = build_ap_for_world(MeasureKind::Hausdorff, &db_rescaled, 3).unwrap();
+        let rankings = ap_rankings(ap.as_ref(), &db_rescaled, &queries);
+        let q = gt.evaluate(&rankings);
+        assert!(q.hr10 > 0.0, "AP found nothing at all");
+        assert!(build_ap_for_world(MeasureKind::Erp, &db_rescaled, 3).is_none());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<i32> = (0..37).collect();
+        let out = parallel_map(&items, 5, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let single = parallel_map(&items, 1, |x| x + 1);
+        assert_eq!(single[36], 37);
+    }
+
+    #[test]
+    fn strip_query_removes_only_query() {
+        assert_eq!(strip_query(vec![3, 1, 2], 1), vec![3, 2]);
+        assert_eq!(strip_query(vec![3, 2], 9), vec![3, 2]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # neutraj-eval
+//!
+//! Evaluation metrics and the shared experiment harness behind every
+//! table and figure of the paper's evaluation (§VII). The `neutraj-bench`
+//! crate's per-table binaries are thin wrappers over this crate; having
+//! the logic here keeps it unit-testable and reusable from user code.
+//!
+//! * [`metrics`] — top-k hitting ratio `HR@k`, cross recall `R10@50` and
+//!   the distance distortions `δ_H10`/`δ_R10` (§VII-A.4).
+//! * [`harness`] — corpus construction, ground-truth computation, method
+//!   runners (BruteForce / AP / Siamese / NeuTraj + ablations) and the
+//!   per-measure evaluation pipeline.
+//! * [`report`] — fixed-width table and CSV emission for the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod sweeps;
+
+pub use harness::{DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+pub use metrics::SearchQuality;

@@ -1,0 +1,191 @@
+//! Brute-force top-k similarity search — the `BruteForce` baseline of
+//! Tables IV and V.
+
+use crate::Measure;
+use neutraj_trajectory::Trajectory;
+
+/// A search result: database index plus its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the trajectory within the searched database slice.
+    pub index: usize,
+    /// Distance to the query under the search measure.
+    pub dist: f64,
+}
+
+/// Scans the whole `database` and returns the `k` nearest trajectories to
+/// `query` under `measure`, ascending by distance (ties by index).
+///
+/// This is exact and `O(N · L²)` — the quadratic per-pair cost the paper
+/// sets out to remove.
+pub fn knn_scan(
+    measure: &dyn Measure,
+    query: &Trajectory,
+    database: &[Trajectory],
+    k: usize,
+) -> Vec<Neighbor> {
+    let dists: Vec<f64> = database
+        .iter()
+        .map(|t| measure.dist(query.points(), t.points()))
+        .collect();
+    top_k(&dists, k)
+}
+
+/// Like [`knn_scan`] but skips candidates whose [`Measure::lower_bound`]
+/// already exceeds the current k-th best distance — identical results,
+/// often far fewer exact computations (see the `pruning` tests).
+pub fn knn_scan_pruned(
+    measure: &dyn Measure,
+    query: &Trajectory,
+    database: &[Trajectory],
+    k: usize,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Current top-k kept sorted ascending (k is small: 10-50).
+    let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for (index, t) in database.iter().enumerate() {
+        let threshold = if best.len() == k {
+            best.last().expect("k > 0").dist
+        } else {
+            f64::INFINITY
+        };
+        if measure.lower_bound(query.points(), t.points()) > threshold {
+            continue;
+        }
+        let dist = measure.dist(query.points(), t.points());
+        if dist > threshold || (dist == threshold && best.len() == k) {
+            continue;
+        }
+        let pos = best
+            .partition_point(|n| (n.dist, n.index) < (dist, index));
+        best.insert(pos, Neighbor { index, dist });
+        best.truncate(k);
+    }
+    best
+}
+
+/// Like [`knn_scan`] but restricted to `candidates` (indices into
+/// `database`) — the shape index-assisted search takes: an index prunes to
+/// candidates, an exact or learned measure ranks them.
+pub fn knn_query(
+    measure: &dyn Measure,
+    query: &Trajectory,
+    database: &[Trajectory],
+    candidates: &[usize],
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut out: Vec<Neighbor> = candidates
+        .iter()
+        .map(|&i| Neighbor {
+            index: i,
+            dist: measure.dist(query.points(), database[i].points()),
+        })
+        .collect();
+    sort_neighbors(&mut out);
+    out.truncate(k);
+    out
+}
+
+/// Selects the `k` smallest entries of `dists` as neighbours, ascending.
+pub fn top_k(dists: &[f64], k: usize) -> Vec<Neighbor> {
+    let mut out: Vec<Neighbor> = dists
+        .iter()
+        .enumerate()
+        .map(|(index, &dist)| Neighbor { index, dist })
+        .collect();
+    sort_neighbors(&mut out);
+    out.truncate(k);
+    out
+}
+
+fn sort_neighbors(v: &mut [Neighbor]) {
+    v.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hausdorff;
+    use neutraj_trajectory::Point;
+
+    fn corpus(n: usize) -> Vec<Trajectory> {
+        (0..n as u64)
+            .map(|id| {
+                Trajectory::new_unchecked(
+                    id,
+                    vec![Point::new(id as f64, 0.0), Point::new(id as f64 + 0.5, 0.0)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_finds_nearest_in_order() {
+        let db = corpus(10);
+        let res = knn_scan(&Hausdorff, &db[3], &db, 3);
+        assert_eq!(res[0].index, 3);
+        assert_eq!(res[0].dist, 0.0);
+        assert_eq!(res[1].index, 2); // tie with 4 broken by index
+        assert_eq!(res[2].index, 4);
+    }
+
+    #[test]
+    fn query_respects_candidate_set() {
+        let db = corpus(10);
+        let res = knn_query(&Hausdorff, &db[0], &db, &[9, 5, 7], 2);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].index, 5);
+        assert_eq!(res[1].index, 7);
+    }
+
+    #[test]
+    fn pruned_scan_matches_plain_scan() {
+        use crate::{DiscreteFrechet, Dtw, Hausdorff, Measure};
+        let db = corpus(60);
+        let measures: [&dyn Measure; 3] = [&DiscreteFrechet, &Hausdorff, &Dtw];
+        for m in measures {
+            for k in [1usize, 5, 20] {
+                let plain = knn_scan(m, &db[7], &db, k);
+                let pruned = knn_scan_pruned(m, &db[7], &db, k);
+                assert_eq!(plain, pruned, "{} k={k}", m.name());
+            }
+        }
+        assert!(knn_scan_pruned(&Hausdorff, &db[0], &db, 0).is_empty());
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_distance() {
+        use crate::{DiscreteFrechet, Dtw, Erp, Hausdorff, Measure};
+        let db = corpus(15);
+        let measures: [&dyn Measure; 4] = [&DiscreteFrechet, &Hausdorff, &Dtw, &Erp::default()];
+        for m in measures {
+            for i in 0..db.len() {
+                for j in 0..db.len() {
+                    let lb = m.lower_bound(db[i].points(), db[j].points());
+                    let d = m.dist(db[i].points(), db[j].points());
+                    assert!(
+                        lb <= d + 1e-9,
+                        "{}: lower bound {lb} > dist {d}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_handles_over_ask_and_nan() {
+        let res = top_k(&[3.0, 1.0, f64::NAN, 2.0], 10);
+        assert_eq!(res.len(), 4);
+        assert_eq!(res[0].index, 1);
+        let res = top_k(&[], 5);
+        assert!(res.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Additional measures demonstrating the "generic" claim.
+//!
+//! The paper argues NeuTraj accommodates *any* trajectory measure; these
+//! three extensions (EDR, LCSS, SSPD) exercise that claim in tests and
+//! examples beyond the four measures of the paper's evaluation.
+
+use crate::Measure;
+use neutraj_trajectory::Point;
+
+/// Edit Distance on Real sequence (Chen et al., SIGMOD'05).
+///
+/// Counts the minimum number of edit operations to transform one sequence
+/// into the other, where two points "match" when within `epsilon`. Values
+/// are integers in `0..=max(|a|,|b|)`; we normalize by `max(|a|,|b|)` so
+/// corpora of mixed lengths remain comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct Edr {
+    /// Matching tolerance (same unit as coordinates).
+    pub epsilon: f64,
+}
+
+impl Edr {
+    /// Creates EDR with the given matching tolerance.
+    pub fn new(epsilon: f64) -> Self {
+        Self { epsilon }
+    }
+}
+
+impl Measure for Edr {
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let cols = inner.len();
+        let mut prev: Vec<f64> = (0..=cols).map(|j| j as f64).collect();
+        let mut cur = vec![0.0; cols + 1];
+        for (i, pi) in outer.iter().enumerate() {
+            cur[0] = (i + 1) as f64;
+            for j in 1..=cols {
+                let subcost = if pi.dist(&inner[j - 1]) <= self.epsilon {
+                    0.0
+                } else {
+                    1.0
+                };
+                cur[j] = (prev[j - 1] + subcost)
+                    .min(prev[j] + 1.0)
+                    .min(cur[j - 1] + 1.0);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[cols] / outer.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+
+    fn is_metric(&self) -> bool {
+        false // EDR violates the triangle inequality in general.
+    }
+}
+
+/// Longest Common SubSequence dissimilarity (Vlachos et al., ICDE'02).
+///
+/// `1 - LCSS(a,b) / min(|a|,|b|)`: zero when one sequence is an
+/// ε-approximate subsequence of the other, one when nothing matches.
+#[derive(Debug, Clone, Copy)]
+pub struct Lcss {
+    /// Matching tolerance (same unit as coordinates).
+    pub epsilon: f64,
+}
+
+impl Lcss {
+    /// Creates LCSS with the given matching tolerance.
+    pub fn new(epsilon: f64) -> Self {
+        Self { epsilon }
+    }
+}
+
+impl Measure for Lcss {
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let cols = inner.len();
+        let mut prev = vec![0u32; cols + 1];
+        let mut cur = vec![0u32; cols + 1];
+        for pi in outer {
+            cur[0] = 0;
+            for j in 1..=cols {
+                cur[j] = if pi.dist(&inner[j - 1]) <= self.epsilon {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        let lcss = prev[cols] as f64;
+        1.0 - lcss / inner.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "LCSS"
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+/// Symmetrized Segment-Path Distance (Besse et al.).
+///
+/// Mean over the points of one trajectory of their distance to the other
+/// trajectory's *polyline* (point-to-segment, not point-to-point),
+/// symmetrized by averaging both directions. Robust to sampling-rate
+/// differences; not a metric but widely used for clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sspd;
+
+impl Sspd {
+    fn point_to_polyline(p: Point, poly: &[Point]) -> f64 {
+        if poly.len() == 1 {
+            return p.dist(&poly[0]);
+        }
+        poly.windows(2)
+            .map(|w| dist_point_segment(p, w[0], w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn directed(a: &[Point], b: &[Point]) -> f64 {
+        a.iter()
+            .map(|p| Self::point_to_polyline(*p, b))
+            .sum::<f64>()
+            / a.len() as f64
+    }
+}
+
+impl Measure for Sspd {
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        0.5 * (Self::directed(a, b) + Self::directed(b, a))
+    }
+
+    fn name(&self) -> &'static str {
+        "SSPD"
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+fn dist_point_segment(p: Point, a: Point, b: Point) -> f64 {
+    let ab = b - a;
+    let denom = ab.x * ab.x + ab.y * ab.y;
+    if denom == 0.0 {
+        return p.dist(&a);
+    }
+    let t = (((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / denom).clamp(0.0, 1.0);
+    p.dist(&a.lerp(&b, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn edr_identical_zero_and_disjoint_one() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let e = Edr::new(0.5);
+        assert_eq!(e.dist(&a, &a), 0.0);
+        let far = pts(&[(100.0, 100.0), (101.0, 100.0), (102.0, 100.0)]);
+        assert_eq!(e.dist(&a, &far), 1.0);
+    }
+
+    #[test]
+    fn edr_tolerance_controls_matching() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.3, 0.0), (1.3, 0.0)]);
+        assert_eq!(Edr::new(0.5).dist(&a, &b), 0.0);
+        assert!(Edr::new(0.1).dist(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn lcss_subsequence_is_zero() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let sub = pts(&[(1.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(Lcss::new(0.1).dist(&a, &sub), 0.0);
+    }
+
+    #[test]
+    fn lcss_range_is_unit_interval() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(50.0, 50.0), (51.0, 50.0), (52.0, 50.0)]);
+        let l = Lcss::new(0.5);
+        let d = l.dist(&a, &b);
+        assert_eq!(d, 1.0);
+        assert!(l.dist(&a, &a) == 0.0);
+    }
+
+    #[test]
+    fn sspd_handles_resampling_gracefully() {
+        // Same geometric path sampled at different rates: SSPD stays tiny.
+        let coarse = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        let fine = pts(&[(0.0, 0.0), (2.5, 0.0), (5.0, 0.0), (7.5, 0.0), (10.0, 0.0)]);
+        let d = Sspd.dist(&coarse, &fine);
+        assert!(d < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn sspd_symmetric_and_positive() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0)]);
+        let b = pts(&[(3.0, 1.0), (4.0, 0.0), (5.0, 2.0)]);
+        assert_eq!(Sspd.dist(&a, &b), Sspd.dist(&b, &a));
+        assert!(Sspd.dist(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn all_extras_infinite_on_empty() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert_eq!(Edr::new(1.0).dist(&a, &[]), f64::INFINITY);
+        assert_eq!(Lcss::new(1.0).dist(&[], &a), f64::INFINITY);
+        assert_eq!(Sspd.dist(&[], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(dist_point_segment(Point::new(5.0, 3.0), a, b), 3.0);
+        assert_eq!(dist_point_segment(Point::new(-4.0, 3.0), a, b), 5.0);
+        assert_eq!(dist_point_segment(Point::new(1.0, 1.0), a, a), 2f64.sqrt());
+    }
+}

@@ -1,0 +1,241 @@
+//! Pairwise distance matrices.
+
+use crate::Measure;
+use neutraj_trajectory::Trajectory;
+
+/// A dense, symmetric `N × N` pairwise distance matrix.
+///
+/// This is the matrix **D** the paper computes over the seed pool 𝔖 (§III-B)
+/// and the ground truth for every accuracy experiment. Stored row-major so
+/// a row — the importance vector used by distance-weighted sampling — is a
+/// contiguous slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances of `trajectories` under `measure`,
+    /// sequentially. Diagonal entries are 0 by definition.
+    pub fn compute(measure: &dyn Measure, trajectories: &[Trajectory]) -> Self {
+        let n = trajectories.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = measure.dist(trajectories[i].points(), trajectories[j].points());
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Computes all pairwise distances using `threads` worker threads.
+    ///
+    /// Rows are dealt round-robin (row `i` costs `n - i` distance calls, so
+    /// striding balances the triangular workload well).
+    pub fn compute_parallel(
+        measure: &dyn Measure,
+        trajectories: &[Trajectory],
+        threads: usize,
+    ) -> Self {
+        let n = trajectories.len();
+        let threads = threads.max(1).min(n.max(1));
+        if threads == 1 || n < 32 {
+            return Self::compute(measure, trajectories);
+        }
+        // Each worker produces its rows' upper-triangle segments.
+        let mut rows: Vec<Vec<(usize, Vec<f64>)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = t;
+                        while i < n {
+                            let mut row = Vec::with_capacity(n - i - 1);
+                            for j in i + 1..n {
+                                row.push(
+                                    measure
+                                        .dist(trajectories[i].points(), trajectories[j].points()),
+                                );
+                            }
+                            out.push((i, row));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                rows.push(h.join().expect("distance worker panicked"));
+            }
+        });
+        let mut data = vec![0.0; n * n];
+        for worker_rows in rows {
+            for (i, row) in worker_rows {
+                for (off, d) in row.into_iter().enumerate() {
+                    let j = i + 1 + off;
+                    data[i * n + j] = d;
+                    data[j * n + i] = d;
+                }
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Builds a matrix from raw row-major data. Panics when `data` is not
+    /// `n²` long.
+    pub fn from_raw(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data must be n^2");
+        Self { n, data }
+    }
+
+    /// Number of rows (== columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a contiguous slice — the importance vector `I_a`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Maximum finite off-diagonal entry; `None` when `n < 2` or all
+    /// entries are infinite.
+    pub fn max_finite(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let v = self.get(i, j);
+                if v.is_finite() {
+                    best = Some(best.map_or(v, |b: f64| b.max(v)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean of the finite off-diagonal entries (0 when there are none).
+    pub fn mean_finite(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.get(i, j).is_finite() {
+                    sum += self.get(i, j);
+                    cnt += 1;
+                }
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum / cnt as f64
+        }
+    }
+
+    /// Indices of the `k` nearest neighbours of row `i` (excluding `i`),
+    /// ascending by distance. Ties broken by index for determinism.
+    pub fn knn_of(&self, i: usize, k: usize) -> Vec<usize> {
+        let row = self.row(i);
+        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| {
+            row[a]
+                .partial_cmp(&row[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hausdorff;
+    use neutraj_trajectory::Point;
+
+    fn corpus(n: usize) -> Vec<Trajectory> {
+        (0..n as u64)
+            .map(|id| {
+                Trajectory::new_unchecked(
+                    id,
+                    (0..5)
+                        .map(|k| Point::new(id as f64 * 2.0 + k as f64 * 0.25, 0.0))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_matrix_is_symmetric_with_zero_diagonal() {
+        let ts = corpus(6);
+        let m = DistanceMatrix::compute(&Hausdorff, &ts);
+        for i in 0..6 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ts = corpus(40);
+        let seq = DistanceMatrix::compute(&Hausdorff, &ts);
+        let par = DistanceMatrix::compute_parallel(&Hausdorff, &ts, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let ts = corpus(5); // items at x = 0, 2, 4, 6, 8
+        let m = DistanceMatrix::compute(&Hausdorff, &ts);
+        assert_eq!(m.knn_of(0, 2), vec![1, 2]);
+        assert_eq!(m.knn_of(2, 4), vec![1, 3, 0, 4]);
+        // Over-asking truncates to n - 1.
+        assert_eq!(m.knn_of(0, 100).len(), 4);
+    }
+
+    #[test]
+    fn aggregates() {
+        let ts = corpus(3);
+        let m = DistanceMatrix::compute(&Hausdorff, &ts);
+        assert!(m.max_finite().unwrap() > 0.0);
+        assert!(m.mean_finite() > 0.0);
+        let empty = DistanceMatrix::from_raw(1, vec![0.0]);
+        assert!(empty.max_finite().is_none());
+        assert_eq!(empty.mean_finite(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n^2")]
+    fn from_raw_validates_shape() {
+        let _ = DistanceMatrix::from_raw(2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn row_slice_matches_get() {
+        let ts = corpus(4);
+        let m = DistanceMatrix::compute(&Hausdorff, &ts);
+        for i in 0..4 {
+            for (j, v) in m.row(i).iter().enumerate() {
+                assert_eq!(*v, m.get(i, j));
+            }
+        }
+    }
+}

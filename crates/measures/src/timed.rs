@@ -1,0 +1,214 @@
+//! Time-aware similarity measures over [`TimedTrajectory`] — substrate
+//! for the paper's "time dimension" future-work direction (§VIII).
+//!
+//! Two measures are provided:
+//!
+//! * [`Sed`] — Synchronized Euclidean Distance: the mean distance between
+//!   the two objects' interpolated positions at common clock ticks over
+//!   their overlapping time window. The classic spatio-temporal measure
+//!   (used e.g. in trajectory compression literature as the error bound).
+//! * [`TimeWindowDtw`] — DTW restricted to alignments whose matched
+//!   samples are within `window` seconds of each other; the standard way
+//!   to make warping "time-respecting".
+//!
+//! Both reduce to per-pair functions over `TimedTrajectory`; to reuse the
+//! whole NeuTraj pipeline unchanged, synchronize the corpus onto a common
+//! clock (`neutraj_trajectory::timed::synchronize`) and train on the
+//! resulting plain trajectories with any lockstep-friendly measure.
+
+use crate::Dtw;
+use neutraj_trajectory::timed::TimedTrajectory;
+
+/// Synchronized Euclidean Distance.
+#[derive(Debug, Clone, Copy)]
+pub struct Sed {
+    /// Number of common clock ticks sampled over the overlap window.
+    pub samples: usize,
+}
+
+impl Default for Sed {
+    fn default() -> Self {
+        Self { samples: 32 }
+    }
+}
+
+impl Sed {
+    /// Creates SED with an explicit tick count (≥ 2).
+    pub fn new(samples: usize) -> Self {
+        assert!(samples >= 2, "need at least two ticks");
+        Self { samples }
+    }
+
+    /// Mean distance between the two interpolated positions over the
+    /// overlapping time window. `f64::INFINITY` when either trajectory is
+    /// empty or the windows do not overlap (objects never coexist).
+    pub fn dist(&self, a: &TimedTrajectory, b: &TimedTrajectory) -> f64 {
+        let (Some((a0, a1)), Some((b0, b1))) = (a.time_span(), b.time_span()) else {
+            return f64::INFINITY;
+        };
+        let lo = a0.max(b0);
+        let hi = a1.min(b1);
+        if lo > hi {
+            return f64::INFINITY;
+        }
+        let n = self.samples;
+        let mut sum = 0.0;
+        for k in 0..n {
+            let t = if n == 1 {
+                lo
+            } else {
+                lo + (hi - lo) * k as f64 / (n - 1) as f64
+            };
+            let pa = a.position_at(t).expect("non-empty");
+            let pb = b.position_at(t).expect("non-empty");
+            sum += pa.dist(&pb);
+        }
+        sum / n as f64
+    }
+}
+
+/// DTW constrained to time-compatible alignments.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWindowDtw {
+    /// Maximum timestamp difference (seconds) of matched samples.
+    pub window: f64,
+}
+
+impl TimeWindowDtw {
+    /// Creates the measure with a time window (> 0 seconds).
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        Self { window }
+    }
+
+    /// Time-windowed DTW: like DTW, but a pair `(i, j)` may only be
+    /// aligned when `|tᵢ − tⱼ| ≤ window`. `f64::INFINITY` when no
+    /// monotone time-compatible alignment exists (e.g. disjoint spans).
+    pub fn dist(&self, a: &TimedTrajectory, b: &TimedTrajectory) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let (n, m) = (a.len(), b.len());
+        let ap = a.points();
+        let bp = b.points();
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut cur = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for i in 1..=n {
+            cur[0] = f64::INFINITY;
+            for j in 1..=m {
+                let compatible = (ap[i - 1].t - bp[j - 1].t).abs() <= self.window;
+                cur[j] = if compatible {
+                    let d = ap[i - 1].pos.dist(&bp[j - 1].pos);
+                    let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+                    if best.is_infinite() {
+                        f64::INFINITY
+                    } else {
+                        best + d
+                    }
+                } else {
+                    f64::INFINITY
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[m]
+    }
+
+    /// Falls back to unconstrained DTW on the positions — useful to
+    /// quantify how much the time constraint changes the alignment.
+    pub fn unconstrained(&self, a: &TimedTrajectory, b: &TimedTrajectory) -> f64 {
+        Dtw::full(a.to_trajectory().points(), b.to_trajectory().points())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_trajectory::timed::TimedPoint;
+
+    fn line(id: u64, speed: f64, t0: f64, n: usize) -> TimedTrajectory {
+        TimedTrajectory::new(
+            id,
+            (0..n)
+                .map(|i| TimedPoint::new(i as f64 * speed, 0.0, t0 + i as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sed_zero_for_identical_motion() {
+        let a = line(0, 1.0, 0.0, 10);
+        let b = line(1, 1.0, 0.0, 10);
+        assert!(Sed::default().dist(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn sed_detects_time_shift_on_same_path() {
+        // Same geometric path, but b starts 3 s later: at any shared
+        // instant the objects are 3 units apart.
+        let a = line(0, 1.0, 0.0, 20);
+        let b = line(1, 1.0, 3.0, 20);
+        let d = Sed::new(64).dist(&a, &b);
+        assert!((d - 3.0).abs() < 0.2, "SED {d}");
+        // A pure-shape measure sees (nearly) nothing.
+        use crate::Measure as _;
+        let shape = crate::Hausdorff.dist(
+            a.to_trajectory().points(),
+            b.to_trajectory().points(),
+        );
+        assert!(shape <= 3.0, "sanity: {shape}");
+    }
+
+    #[test]
+    fn sed_infinite_when_never_coexisting() {
+        let a = line(0, 1.0, 0.0, 5); // t in [0,4]
+        let b = line(1, 1.0, 100.0, 5); // t in [100,104]
+        assert_eq!(Sed::default().dist(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn sed_symmetric() {
+        let a = line(0, 1.0, 0.0, 8);
+        let b = line(1, 2.0, 2.0, 8);
+        let s = Sed::new(16);
+        assert!((s.dist(&a, &b) - s.dist(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_dtw_matches_dtw_with_wide_window() {
+        let a = line(0, 1.0, 0.0, 10);
+        let b = line(1, 1.3, 0.0, 8);
+        let w = TimeWindowDtw::new(1e9);
+        let full = w.unconstrained(&a, &b);
+        assert!((w.dist(&a, &b) - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_dtw_forbids_time_travel() {
+        // Paths identical in space but 50 s apart: a 1 s window admits no
+        // alignment at all.
+        let a = line(0, 1.0, 0.0, 10);
+        let b = line(1, 1.0, 50.0, 10);
+        assert_eq!(TimeWindowDtw::new(1.0).dist(&a, &b), f64::INFINITY);
+        // A window covering the shift admits it again.
+        assert!(TimeWindowDtw::new(60.0).dist(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn windowed_dtw_upper_bounds_unconstrained() {
+        let a = line(0, 1.0, 0.0, 12);
+        let b = line(1, 0.8, 2.0, 12);
+        let w = TimeWindowDtw::new(5.0);
+        let constrained = w.dist(&a, &b);
+        let free = w.unconstrained(&a, &b);
+        assert!(constrained >= free - 1e-9, "{constrained} < {free}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_bad_window() {
+        let _ = TimeWindowDtw::new(0.0);
+    }
+}

@@ -1,0 +1,493 @@
+//! Encoder backbones and the trained model handle.
+
+use crate::config::{BackboneKind, TrainConfig};
+use neutraj_nn::{
+    Adam, GruCache, GruEncoder, GruGrads, LstmCache, LstmEncoder, LstmGrads, SamCache,
+    SamGrads, SamLstmEncoder,
+};
+use neutraj_trajectory::{Grid, Trajectory};
+
+/// Normalized network inputs of one trajectory: coordinates + grid cells.
+pub type SeqInputs = (Vec<(f64, f64)>, Vec<(u32, u32)>);
+
+/// A recurrent encoder backbone (SAM-LSTM / LSTM / GRU) with uniform
+/// forward/backward/optimize entry points so the trainer is
+/// architecture-agnostic.
+#[derive(Debug, Clone)]
+pub enum Backbone {
+    /// SAM-augmented LSTM with its spatial memory.
+    Sam(SamLstmEncoder),
+    /// Plain LSTM.
+    Lstm(LstmEncoder),
+    /// GRU.
+    Gru(GruEncoder),
+}
+
+/// BPTT cache matching the backbone that produced it.
+#[derive(Debug, Clone)]
+pub enum BackboneCache {
+    /// SAM cache.
+    Sam(SamCache),
+    /// LSTM cache.
+    Lstm(LstmCache),
+    /// GRU cache.
+    Gru(GruCache),
+}
+
+/// Parameter gradients matching the backbone.
+#[derive(Debug, Clone)]
+pub enum BackboneGrads {
+    /// SAM gradients.
+    Sam(SamGrads),
+    /// LSTM gradients.
+    Lstm(LstmGrads),
+    /// GRU gradients.
+    Gru(GruGrads),
+}
+
+impl BackboneGrads {
+    /// Resets all gradient tensors to zero.
+    pub fn fill_zero(&mut self) {
+        match self {
+            Self::Sam(g) => g.fill_zero(),
+            Self::Lstm(g) => g.fill_zero(),
+            Self::Gru(g) => g.fill_zero(),
+        }
+    }
+
+    /// Accumulates another gradient buffer (same variant) into this one —
+    /// the reduction step when gradients are computed on worker threads.
+    ///
+    /// Panics on variant mismatch.
+    pub fn merge(&mut self, other: &BackboneGrads) {
+        match (self, other) {
+            (Self::Sam(a), Self::Sam(b)) => a.merge(b),
+            (Self::Lstm(a), Self::Lstm(b)) => a.merge(b),
+            (Self::Gru(a), Self::Gru(b)) => a.merge(b),
+            _ => panic!("gradient variant mismatch"),
+        }
+    }
+}
+
+impl Backbone {
+    /// Builds the backbone named by `cfg` over `grid`.
+    pub fn build(cfg: &TrainConfig, grid: &Grid) -> Self {
+        match cfg.backbone {
+            BackboneKind::SamLstm => Backbone::Sam(SamLstmEncoder::new(
+                cfg.dim,
+                grid.cols() as usize,
+                grid.rows() as usize,
+                cfg.scan_width,
+                cfg.seed,
+            )),
+            BackboneKind::Lstm => Backbone::Lstm(LstmEncoder::new(cfg.dim, cfg.seed)),
+            BackboneKind::Gru => Backbone::Gru(GruEncoder::new(cfg.dim, cfg.seed)),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            Self::Sam(e) => e.cell.dim(),
+            Self::Lstm(e) => e.cell.dim(),
+            Self::Gru(e) => e.cell.dim(),
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Self::Sam(e) => e.cell.num_params(),
+            Self::Lstm(e) => e.cell.num_params(),
+            Self::Gru(e) => e.cell.num_params(),
+        }
+    }
+
+    /// Training-mode forward (SAM writes to its memory).
+    pub fn forward_train(
+        &mut self,
+        coords: &[(f64, f64)],
+        cells: &[(u32, u32)],
+    ) -> (Vec<f64>, BackboneCache) {
+        match self {
+            Self::Sam(e) => {
+                let (h, c) = e.forward(coords, cells, true);
+                (h, BackboneCache::Sam(c))
+            }
+            Self::Lstm(e) => {
+                let (h, c) = e.forward(coords);
+                (h, BackboneCache::Lstm(c))
+            }
+            Self::Gru(e) => {
+                let (h, c) = e.forward(coords);
+                (h, BackboneCache::Gru(c))
+            }
+        }
+    }
+
+    /// Inference-mode forward: read-only, shareable across threads.
+    pub fn forward_frozen(&self, coords: &[(f64, f64)], cells: &[(u32, u32)]) -> Vec<f64> {
+        match self {
+            Self::Sam(e) => e.forward_frozen(coords, cells).0,
+            Self::Lstm(e) => e.forward(coords).0,
+            Self::Gru(e) => e.forward(coords).0,
+        }
+    }
+
+    /// BPTT from an embedding gradient, accumulating into `grads`.
+    ///
+    /// Panics when `cache`/`grads` do not match the backbone variant.
+    pub fn backward(&self, cache: &BackboneCache, d_emb: &[f64], grads: &mut BackboneGrads) {
+        match (self, cache, grads) {
+            (Self::Sam(e), BackboneCache::Sam(c), BackboneGrads::Sam(g)) => {
+                e.backward(c, d_emb, g)
+            }
+            (Self::Lstm(e), BackboneCache::Lstm(c), BackboneGrads::Lstm(g)) => {
+                e.backward(c, d_emb, g)
+            }
+            (Self::Gru(e), BackboneCache::Gru(c), BackboneGrads::Gru(g)) => {
+                e.backward(c, d_emb, g)
+            }
+            _ => panic!("backbone/cache/grads variant mismatch"),
+        }
+    }
+
+    /// Training-mode forward over many sequences.
+    ///
+    /// Memory-free backbones (plain LSTM/GRU) fan the sequences out over
+    /// `threads` scoped worker threads; the SAM backbone runs
+    /// sequentially because its training forward writes to the shared
+    /// memory in input order (determinism requires a fixed write order).
+    pub fn forward_train_batch(
+        &mut self,
+        inputs: &[&SeqInputs],
+        threads: usize,
+    ) -> Vec<(Vec<f64>, BackboneCache)> {
+        if self.has_memory() || threads <= 1 || inputs.len() < 4 {
+            return inputs
+                .iter()
+                .map(|(coords, cells)| self.forward_train(coords, cells))
+                .collect();
+        }
+        let this: &Backbone = self;
+        let chunk = inputs.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(inputs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|(coords, _cells)| match this {
+                                Backbone::Lstm(e) => {
+                                    let (h, c) = e.forward(coords);
+                                    (h, BackboneCache::Lstm(c))
+                                }
+                                Backbone::Gru(e) => {
+                                    let (h, c) = e.forward(coords);
+                                    (h, BackboneCache::Gru(c))
+                                }
+                                Backbone::Sam(_) => unreachable!("guarded by has_memory"),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("forward worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// BPTT over many (cache, embedding-gradient) jobs, fanning out over
+    /// `threads` workers with per-thread gradient buffers merged at the
+    /// end. Gradient accumulation is exactly equivalent to the sequential
+    /// order because addition of per-sequence gradients commutes.
+    pub fn backward_batch(
+        &self,
+        jobs: &[(&BackboneCache, &[f64])],
+        grads: &mut BackboneGrads,
+        threads: usize,
+    ) {
+        if threads <= 1 || jobs.len() < 4 {
+            for (cache, d) in jobs {
+                self.backward(cache, d, grads);
+            }
+            return;
+        }
+        let chunk = jobs.len().div_ceil(threads);
+        let mut partials: Vec<BackboneGrads> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut g = self.zero_grads();
+                        for (cache, d) in part {
+                            self.backward(cache, d, &mut g);
+                        }
+                        g
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("backward worker panicked"));
+            }
+        });
+        for p in &partials {
+            grads.merge(p);
+        }
+    }
+
+    /// Clears the SAM spatial memory (no-op for other backbones).
+    ///
+    /// The trainer resets the memory at every epoch start so stored cell
+    /// embeddings always reflect the *current* parameters rather than
+    /// stale values from many updates ago.
+    pub fn reset_memory(&mut self) {
+        if let Self::Sam(e) = self {
+            e.memory.reset();
+        }
+    }
+
+    /// Whether this backbone carries a spatial memory.
+    pub fn has_memory(&self) -> bool {
+        matches!(self, Self::Sam(_))
+    }
+
+    /// Zero gradients shaped like this backbone's parameters.
+    pub fn zero_grads(&self) -> BackboneGrads {
+        match self {
+            Self::Sam(e) => BackboneGrads::Sam(SamGrads::zeros_like(&e.cell)),
+            Self::Lstm(e) => BackboneGrads::Lstm(LstmGrads::zeros_like(&e.cell)),
+            Self::Gru(e) => BackboneGrads::Gru(GruGrads::zeros_like(&e.cell)),
+        }
+    }
+
+    /// Registers all parameter tensors with `adam`; returns slot ids in
+    /// the order [`Self::adam_step`] consumes them.
+    pub fn register_adam(&self, adam: &mut Adam) -> Vec<usize> {
+        match self {
+            Self::Sam(e) => vec![
+                adam.register(e.cell.p.as_slice().len()),
+                adam.register(e.cell.w_his.as_slice().len()),
+                adam.register(e.cell.b_his.len()),
+            ],
+            Self::Lstm(e) => vec![adam.register(e.cell.p.as_slice().len())],
+            Self::Gru(e) => vec![
+                adam.register(e.cell.pzr.as_slice().len()),
+                adam.register(e.cell.ph.as_slice().len()),
+            ],
+        }
+    }
+
+    /// Applies one Adam update from `grads` scaled by `scale` (e.g.
+    /// `1/batch`). `slots` must come from [`Self::register_adam`].
+    pub fn adam_step(&mut self, adam: &mut Adam, slots: &[usize], grads: &BackboneGrads, scale: f64) {
+        fn scaled(g: &[f64], s: f64) -> Vec<f64> {
+            g.iter().map(|v| v * s).collect()
+        }
+        match (self, grads) {
+            (Self::Sam(e), BackboneGrads::Sam(g)) => {
+                adam.step(slots[0], e.cell.p.as_mut_slice(), &scaled(g.p.as_slice(), scale));
+                adam.step(
+                    slots[1],
+                    e.cell.w_his.as_mut_slice(),
+                    &scaled(g.w_his.as_slice(), scale),
+                );
+                adam.step(slots[2], &mut e.cell.b_his, &scaled(&g.b_his, scale));
+            }
+            (Self::Lstm(e), BackboneGrads::Lstm(g)) => {
+                adam.step(slots[0], e.cell.p.as_mut_slice(), &scaled(g.p.as_slice(), scale));
+            }
+            (Self::Gru(e), BackboneGrads::Gru(g)) => {
+                adam.step(
+                    slots[0],
+                    e.cell.pzr.as_mut_slice(),
+                    &scaled(g.pzr.as_slice(), scale),
+                );
+                adam.step(slots[1], e.cell.ph.as_mut_slice(), &scaled(g.ph.as_slice(), scale));
+            }
+            _ => panic!("backbone/grads variant mismatch"),
+        }
+    }
+}
+
+/// A trained NeuTraj model: backbone + the grid that defines its input
+/// normalization and memory layout.
+#[derive(Debug, Clone)]
+pub struct NeuTrajModel {
+    backbone: Backbone,
+    grid: Grid,
+    config: TrainConfig,
+}
+
+impl NeuTrajModel {
+    pub(crate) fn new(backbone: Backbone, grid: Grid, config: TrainConfig) -> Self {
+        Self {
+            backbone,
+            grid,
+            config,
+        }
+    }
+
+    /// The training configuration the model was fitted with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The spatial grid the model normalizes against.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The backbone (for inspection / ablation tooling).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Mutable backbone access (the trainer uses this; exposed for
+    /// fine-tuning scenarios).
+    pub fn backbone_mut(&mut self) -> &mut Backbone {
+        &mut self.backbone
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.backbone.dim()
+    }
+
+    /// Converts a trajectory to normalized network inputs: coordinates in
+    /// `[-1, 1]`-ish units (grid units scaled by `2/max(P,Q)`, centred)
+    /// plus the grid-cell sequence for the SAM memory.
+    pub fn seq_inputs(&self, t: &Trajectory) -> SeqInputs {
+        seq_inputs(&self.grid, t)
+    }
+
+    /// Embeds one trajectory in `O(L)` (read-only; thread-safe via
+    /// [`NeuTrajModel::embed_all`]).
+    pub fn embed(&self, t: &Trajectory) -> Vec<f64> {
+        let (coords, cells) = self.seq_inputs(t);
+        self.backbone.forward_frozen(&coords, &cells)
+    }
+
+    /// Embeds a corpus using `threads` worker threads (memory frozen).
+    pub fn embed_all(&self, ts: &[Trajectory], threads: usize) -> Vec<Vec<f64>> {
+        let threads = threads.max(1);
+        if threads == 1 || ts.len() < 16 {
+            return ts.iter().map(|t| self.embed(t)).collect();
+        }
+        let chunk = ts.len().div_ceil(threads);
+        let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ts
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(|t| self.embed(t)).collect()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("embed worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Learned similarity `g(Ti,Tj) = exp(-‖E_i − E_j‖)` of two
+    /// trajectories (each embedded on the fly).
+    pub fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        crate::loss::pair_similarity(&self.embed(a), &self.embed(b))
+    }
+}
+
+/// Normalized network inputs for a trajectory over `grid` (free function
+/// used by both training and inference).
+pub(crate) fn seq_inputs(grid: &Grid, t: &Trajectory) -> SeqInputs {
+    let gs = grid.map_trajectory(t);
+    let span = grid.cols().max(grid.rows()) as f64;
+    let scale = 2.0 / span;
+    let coords = gs
+        .coords
+        .iter()
+        .map(|&(x, y)| (x as f64 * scale - 1.0, y as f64 * scale - 1.0))
+        .collect();
+    let cells = gs.cells.iter().map(|c| (c.col, c.row)).collect();
+    (coords, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_trajectory::{BoundingBox, Point};
+
+    fn grid() -> Grid {
+        Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap()
+    }
+
+    fn traj(id: u64) -> Trajectory {
+        Trajectory::new_unchecked(
+            id,
+            (0..12)
+                .map(|k| Point::new(50.0 + 70.0 * k as f64, 100.0 + 20.0 * k as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn seq_inputs_are_normalized() {
+        let g = grid();
+        let (coords, cells) = seq_inputs(&g, &traj(0));
+        assert_eq!(coords.len(), 12);
+        assert_eq!(cells.len(), 12);
+        for &(x, y) in &coords {
+            assert!((-1.0..=1.0).contains(&x), "x = {x}");
+            assert!((-1.0..=1.0).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn all_backbones_build_and_embed() {
+        let g = grid();
+        for kind in [BackboneKind::SamLstm, BackboneKind::Lstm, BackboneKind::Gru] {
+            let cfg = TrainConfig {
+                backbone: kind,
+                dim: 8,
+                ..TrainConfig::neutraj()
+            };
+            let bb = Backbone::build(&cfg, &g);
+            assert_eq!(bb.dim(), 8);
+            assert!(bb.num_params() > 0);
+            let model = NeuTrajModel::new(bb, g.clone(), cfg);
+            let e = model.embed(&traj(1));
+            assert_eq!(e.len(), 8);
+            assert!(e.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn embed_all_parallel_matches_sequential() {
+        let g = grid();
+        let cfg = TrainConfig {
+            dim: 8,
+            ..TrainConfig::neutraj()
+        };
+        let model = NeuTrajModel::new(Backbone::build(&cfg, &g), g.clone(), cfg);
+        let ts: Vec<Trajectory> = (0..40).map(traj).collect();
+        let seq = model.embed_all(&ts, 1);
+        let par = model.embed_all(&ts, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn similarity_is_one_on_self() {
+        let g = grid();
+        let cfg = TrainConfig {
+            dim: 8,
+            ..TrainConfig::neutraj()
+        };
+        let model = NeuTrajModel::new(Backbone::build(&cfg, &g), g.clone(), cfg);
+        let t = traj(3);
+        assert!((model.similarity(&t, &t) - 1.0).abs() < 1e-12);
+        let far = traj(999).map_points(|p| p + Point::new(400.0, 300.0));
+        assert!(model.similarity(&t, &far) <= 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Training configuration and the paper's method presets.
+
+use crate::loss::RankedBatchLoss;
+use crate::similarity::Normalization;
+
+/// Which recurrent backbone encodes trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackboneKind {
+    /// The SAM-augmented LSTM (the paper's encoder, §IV).
+    SamLstm,
+    /// A standard LSTM (Siamese baseline / NT-No-SAM ablation).
+    Lstm,
+    /// A GRU (beyond-paper backbone option).
+    Gru,
+}
+
+/// Full training configuration for [`crate::Trainer`].
+///
+/// Defaults (via [`TrainConfig::neutraj`]) follow §VII-A.5 scaled to CPU:
+/// the paper uses `d = 128`, `w = 2`, batch size 20 and sampling size
+/// `n = 10` on a P100 GPU; the reproduction defaults to `d = 32` which
+/// trains in seconds-to-minutes on a laptop while preserving every
+/// qualitative result. Benchmarks sweep `d` up to 128 (Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Embedding / hidden dimensionality `d`.
+    pub dim: usize,
+    /// SAM scan half-width `w` (ignored by non-SAM backbones).
+    pub scan_width: u32,
+    /// Encoder architecture.
+    pub backbone: BackboneKind,
+    /// Distance-weighted sampling (`false` = uniform random, NT-No-WS).
+    pub weighted_sampling: bool,
+    /// Pairwise loss shape (rank weighting + dissimilar margin).
+    pub loss: RankedBatchLoss,
+    /// Samples per side `n`: each anchor trains against `n` similar and
+    /// `n` dissimilar seeds.
+    pub n_samples: usize,
+    /// Anchors per optimizer step (paper batch size: 20).
+    pub batch_anchors: usize,
+    /// Training epochs (each epoch visits every seed once as anchor).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Similarity sharpness `α`; `None` picks it automatically
+    /// ([`crate::SimilarityMatrix::auto`]).
+    pub alpha: Option<f64>,
+    /// How distances become similarity targets. [`Normalization::ExpDecay`]
+    /// (symmetric) is the default; the paper text's row-softmax is kept as
+    /// an ablation option (see `DESIGN.md` §2).
+    pub normalization: Normalization,
+    /// RNG seed for weight init and sampling.
+    pub seed: u64,
+    /// Stop early when the epoch loss has not improved for this many
+    /// consecutive epochs (`None` = always run all epochs).
+    pub patience: Option<usize>,
+}
+
+impl TrainConfig {
+    /// The full NeuTraj configuration (§V).
+    pub fn neutraj() -> Self {
+        Self {
+            dim: 32,
+            scan_width: 2,
+            backbone: BackboneKind::SamLstm,
+            weighted_sampling: true,
+            loss: RankedBatchLoss::neutraj(),
+            n_samples: 10,
+            batch_anchors: 20,
+            epochs: 15,
+            lr: 0.008,
+            alpha: None,
+            normalization: Normalization::ExpDecay,
+            seed: 2019,
+            patience: None,
+        }
+    }
+
+    /// NT-No-SAM ablation: SAM unit replaced by a standard LSTM
+    /// (§VII-A.3).
+    pub fn nt_no_sam() -> Self {
+        Self {
+            backbone: BackboneKind::Lstm,
+            ..Self::neutraj()
+        }
+    }
+
+    /// NT-No-WS ablation: distance-weighted sampling replaced by random
+    /// sampling (§VII-A.3).
+    pub fn nt_no_ws() -> Self {
+        Self {
+            weighted_sampling: false,
+            ..Self::neutraj()
+        }
+    }
+
+    /// The Siamese-network baseline (Pei et al.): LSTM backbone, random
+    /// pair sampling, uniform-weight MSE regression of the similarity.
+    pub fn siamese() -> Self {
+        Self {
+            backbone: BackboneKind::Lstm,
+            weighted_sampling: false,
+            loss: RankedBatchLoss::siamese(),
+            ..Self::neutraj()
+        }
+    }
+
+    /// Human-readable method name matching the paper's tables.
+    pub fn method_name(&self) -> &'static str {
+        match (
+            self.backbone,
+            self.weighted_sampling,
+            self.loss.rank_weighted,
+        ) {
+            (BackboneKind::SamLstm, true, _) => "NeuTraj",
+            (BackboneKind::SamLstm, false, _) => "NT-No-WS",
+            (BackboneKind::Lstm, true, _) => "NT-No-SAM",
+            (BackboneKind::Lstm, false, true) => "NT-No-SAM-No-WS",
+            (BackboneKind::Lstm, false, false) => "Siamese",
+            (BackboneKind::Gru, _, _) => "NeuTraj-GRU",
+        }
+    }
+
+    /// Validates parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be positive".into());
+        }
+        if self.n_samples == 0 {
+            return Err("n_samples must be positive".into());
+        }
+        if self.batch_anchors == 0 {
+            return Err("batch_anchors must be positive".into());
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(format!("lr must be finite-positive, got {}", self.lr));
+        }
+        if let Some(a) = self.alpha {
+            if !(a > 0.0 && a.is_finite()) {
+                return Err(format!("alpha must be finite-positive, got {a}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_name_themselves() {
+        assert_eq!(TrainConfig::neutraj().method_name(), "NeuTraj");
+        assert_eq!(TrainConfig::nt_no_sam().method_name(), "NT-No-SAM");
+        assert_eq!(TrainConfig::nt_no_ws().method_name(), "NT-No-WS");
+        assert_eq!(TrainConfig::siamese().method_name(), "Siamese");
+    }
+
+    #[test]
+    fn presets_differ_in_exactly_the_ablated_axis() {
+        let full = TrainConfig::neutraj();
+        let no_sam = TrainConfig::nt_no_sam();
+        assert_eq!(no_sam.backbone, BackboneKind::Lstm);
+        assert_eq!(no_sam.weighted_sampling, full.weighted_sampling);
+        let no_ws = TrainConfig::nt_no_ws();
+        assert_eq!(no_ws.backbone, BackboneKind::SamLstm);
+        assert!(!no_ws.weighted_sampling);
+        let siamese = TrainConfig::siamese();
+        assert!(!siamese.loss.rank_weighted && !siamese.loss.margin_dissimilar);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = TrainConfig::neutraj();
+        assert!(c.validate().is_ok());
+        c.dim = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::neutraj();
+        c.lr = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::neutraj();
+        c.alpha = Some(-2.0);
+        assert!(c.validate().is_err());
+    }
+}

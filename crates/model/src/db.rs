@@ -1,0 +1,323 @@
+//! A high-level similarity database: one trained model + a growing corpus
+//! with precomputed embeddings.
+//!
+//! This is the deployment-shaped API (§VI-A: "for a trajectory database,
+//! the trajectories embeddings only need to be computed once; when new
+//! trajectory similarity query is conducted, we generate the embedding of
+//! the new trajectory and perform search based on the distance of
+//! embeddings").
+
+use crate::backbone::NeuTrajModel;
+use crate::loss::pair_similarity;
+use neutraj_measures::{Measure, Neighbor};
+use neutraj_nn::linalg::euclidean;
+use neutraj_trajectory::Trajectory;
+
+/// A corpus of trajectories indexed by a trained NeuTraj model.
+///
+/// Inserts cost one `O(L)` embedding; queries cost one embedding plus an
+/// `O(N·d)` scan. The database owns its trajectories so results can be
+/// re-ranked with an exact measure on demand.
+#[derive(Debug, Clone)]
+pub struct SimilarityDb {
+    model: NeuTrajModel,
+    trajectories: Vec<Trajectory>,
+    /// Flat row-major embedding storage (`len × dim`).
+    embeddings: Vec<f64>,
+}
+
+impl SimilarityDb {
+    /// Creates an empty database over a trained model.
+    pub fn new(model: NeuTrajModel) -> Self {
+        Self {
+            model,
+            trajectories: Vec::new(),
+            embeddings: Vec::new(),
+        }
+    }
+
+    /// Creates a database and bulk-loads `corpus` with `threads` workers.
+    pub fn with_corpus(model: NeuTrajModel, corpus: Vec<Trajectory>, threads: usize) -> Self {
+        let mut db = Self::new(model);
+        db.insert_batch(corpus, threads);
+        db
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &NeuTrajModel {
+        &self.model
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Returns `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Borrow a stored trajectory.
+    pub fn get(&self, idx: usize) -> Option<&Trajectory> {
+        self.trajectories.get(idx)
+    }
+
+    /// Embedding of stored item `idx`.
+    pub fn embedding(&self, idx: usize) -> &[f64] {
+        let d = self.model.dim();
+        &self.embeddings[idx * d..(idx + 1) * d]
+    }
+
+    /// Inserts one trajectory; returns its index.
+    pub fn insert(&mut self, t: Trajectory) -> usize {
+        let e = self.model.embed(&t);
+        self.embeddings.extend_from_slice(&e);
+        self.trajectories.push(t);
+        self.trajectories.len() - 1
+    }
+
+    /// Inserts many trajectories, embedding them on `threads` workers.
+    pub fn insert_batch(&mut self, ts: Vec<Trajectory>, threads: usize) {
+        let embs = self.model.embed_all(&ts, threads);
+        for e in &embs {
+            self.embeddings.extend_from_slice(e);
+        }
+        self.trajectories.extend(ts);
+    }
+
+    /// Top-k most similar stored trajectories to an ad-hoc `query`,
+    /// ascending by embedding distance.
+    pub fn knn(&self, query: &Trajectory, k: usize) -> Vec<Neighbor> {
+        let qe = self.model.embed(query);
+        self.knn_embedding(&qe, k)
+    }
+
+    /// Top-k by a precomputed query embedding.
+    pub fn knn_embedding(&self, query_emb: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query_emb.len(), self.model.dim(), "query dim mismatch");
+        let d = self.model.dim();
+        let dists: Vec<f64> = (0..self.len())
+            .map(|i| euclidean(query_emb, &self.embeddings[i * d..(i + 1) * d]))
+            .collect();
+        neutraj_measures::top_k(&dists, k)
+    }
+
+    /// Top-k of a *stored* item (excluding itself).
+    pub fn knn_of(&self, idx: usize, k: usize) -> Vec<Neighbor> {
+        self.knn_embedding(self.embedding(idx), k + 1)
+            .into_iter()
+            .filter(|n| n.index != idx)
+            .take(k)
+            .collect()
+    }
+
+    /// The paper's protocol: shortlist by embeddings, re-rank the
+    /// shortlist by the exact `measure` (computed on grid-rescaled
+    /// coordinates so values match the training scale), return top-k.
+    pub fn knn_reranked(
+        &self,
+        query: &Trajectory,
+        measure: &dyn Measure,
+        shortlist: usize,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let grid = self.model.grid();
+        let q = grid.rescale_trajectory(query);
+        let short = self.knn(query, shortlist);
+        let mut out: Vec<Neighbor> = short
+            .into_iter()
+            .map(|n| Neighbor {
+                index: n.index,
+                dist: measure.dist(
+                    q.points(),
+                    grid.rescale_trajectory(&self.trajectories[n.index]).points(),
+                ),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Learned similarity `g` between two *stored* items.
+    pub fn pair_similarity(&self, i: usize, j: usize) -> f64 {
+        pair_similarity(self.embedding(i), self.embedding(j))
+    }
+
+    /// Similarity join (the paper's motivating all-pairs workload, §I):
+    /// all stored pairs `(i, j)` with exact distance ≤ `tau` under
+    /// `measure`, found by **embedding-space candidate generation**
+    /// (pairs with embedding distance ≤ `emb_radius`, an `O(N²·d)` scan)
+    /// followed by **exact verification** of the survivors only.
+    ///
+    /// Exact distances are computed in grid units (the training scale),
+    /// so `tau` is in grid units too. The result is exact on the
+    /// candidate set; recall depends on `emb_radius` — since the model is
+    /// trained so `exp(-‖E_i−E_j‖) ≈ exp(-α·D_ij)`, a radius of
+    /// `α·tau·slack` with `slack ≈ 2–3` captures nearly all true pairs at
+    /// a fraction of the `O(N²·L²)` exact-join cost. Pairs are returned
+    /// with their exact distance, `i < j`, sorted ascending by distance.
+    pub fn similarity_join(
+        &self,
+        measure: &dyn Measure,
+        tau: f64,
+        emb_radius: f64,
+    ) -> Vec<(usize, usize, f64)> {
+        let grid = self.model.grid();
+        let rescaled: Vec<Trajectory> = self
+            .trajectories
+            .iter()
+            .map(|t| grid.rescale_trajectory(t))
+            .collect();
+        let n = self.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if euclidean(self.embedding(i), self.embedding(j)) > emb_radius {
+                    continue;
+                }
+                let d = measure.dist(rescaled[i].points(), rescaled[j].points());
+                if d <= tau {
+                    out.push((i, j, d));
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TrainConfig, Trainer};
+    use neutraj_measures::{DistanceMatrix, Hausdorff};
+    use neutraj_trajectory::gen::PortoLikeGenerator;
+    use neutraj_trajectory::Grid;
+
+    fn trained_model_and_corpus() -> (NeuTrajModel, Vec<Trajectory>) {
+        let ds = PortoLikeGenerator {
+            num_trajectories: 40,
+            max_len: 30,
+            ..Default::default()
+        }
+        .generate(5);
+        let trajs = ds.trajectories().to_vec();
+        let grid = Grid::covering(&trajs, 100.0).unwrap();
+        let rescaled: Vec<Trajectory> =
+            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let dist = DistanceMatrix::compute(&Hausdorff, &rescaled[..20]);
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 3,
+            n_samples: 4,
+            ..TrainConfig::neutraj()
+        };
+        let (model, _) = Trainer::new(cfg, grid).fit(&trajs[..20], &dist, |_| {});
+        (model, trajs)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut db = SimilarityDb::new(model);
+        assert!(db.is_empty());
+        for t in &trajs[..30] {
+            db.insert(t.clone());
+        }
+        assert_eq!(db.len(), 30);
+        // Query with a stored trajectory: it must rank itself first.
+        let res = db.knn(&trajs[7], 3);
+        assert_eq!(res[0].index, 7);
+        assert!(res[0].dist < 1e-12);
+        // knn_of excludes self.
+        let res = db.knn_of(7, 3);
+        assert!(res.iter().all(|n| n.index != 7));
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn batch_insert_matches_single_insert() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut a = SimilarityDb::new(model.clone());
+        for t in &trajs {
+            a.insert(t.clone());
+        }
+        let b = SimilarityDb::with_corpus(model, trajs.clone(), 4);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.embedding(i), b.embedding(i));
+        }
+    }
+
+    #[test]
+    fn rerank_orders_by_exact_distance() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        let res = db.knn_reranked(&trajs[3], &Hausdorff, 10, 5);
+        assert_eq!(res.len(), 5);
+        assert_eq!(res[0].index, 3); // exact self-distance 0
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn similarity_join_is_sound_and_recalls_with_wide_radius() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        // Exact reference join.
+        let grid = db.model().grid().clone();
+        let rescaled: Vec<Trajectory> =
+            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let tau = 3.0; // grid units
+        let mut truth = Vec::new();
+        for i in 0..trajs.len() {
+            for j in i + 1..trajs.len() {
+                let d = Hausdorff.dist(rescaled[i].points(), rescaled[j].points());
+                if d <= tau {
+                    truth.push((i, j));
+                }
+            }
+        }
+        // Infinite radius ⇒ the join must equal the exact join.
+        let full = db.similarity_join(&Hausdorff, tau, f64::INFINITY);
+        let full_pairs: Vec<(usize, usize)> = full.iter().map(|&(i, j, _)| (i, j)).collect();
+        let mut sorted_truth = truth.clone();
+        sorted_truth.sort_unstable();
+        let mut sorted_full = full_pairs.clone();
+        sorted_full.sort_unstable();
+        assert_eq!(sorted_full, sorted_truth);
+        // Soundness at any radius: results ⊆ exact join, distances ≤ tau,
+        // ascending order.
+        let pruned = db.similarity_join(&Hausdorff, tau, 1.0);
+        for w in pruned.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        for &(i, j, d) in &pruned {
+            assert!(d <= tau);
+            assert!(sorted_truth.binary_search(&(i, j)).is_ok());
+        }
+        assert!(pruned.len() <= full.len());
+    }
+
+    #[test]
+    fn pair_similarity_bounds() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs, 2);
+        assert!((db.pair_similarity(0, 0) - 1.0).abs() < 1e-12);
+        let g = db.pair_similarity(0, 1);
+        assert!(g > 0.0 && g <= 1.0);
+        assert_eq!(db.pair_similarity(0, 1), db.pair_similarity(1, 0));
+    }
+}

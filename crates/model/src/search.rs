@@ -1,0 +1,196 @@
+//! Embedding storage and linear-time top-k search.
+//!
+//! Once a corpus is embedded (`O(L)` each, once), a top-k query costs one
+//! embedding plus an `O(N·d)` scan — the linear-time claim of the paper.
+//! The paper's protocol re-ranks the learned top-50 with the exact
+//! measure (§VII-C.1); [`EmbeddingStore::knn_reranked`] implements that.
+
+use crate::backbone::NeuTrajModel;
+use neutraj_measures::{top_k, Measure, Neighbor};
+use neutraj_nn::linalg::euclidean;
+use neutraj_trajectory::Trajectory;
+
+/// A flat store of `N` trajectory embeddings of dimension `d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingStore {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl EmbeddingStore {
+    /// Builds a store by embedding `corpus` with `model` on `threads`
+    /// threads.
+    pub fn build(model: &NeuTrajModel, corpus: &[Trajectory], threads: usize) -> Self {
+        let embs = model.embed_all(corpus, threads);
+        Self::from_embeddings(model.dim(), &embs)
+    }
+
+    /// Builds a store from precomputed embeddings. Panics when any
+    /// embedding has the wrong dimension.
+    pub fn from_embeddings(dim: usize, embs: &[Vec<f64>]) -> Self {
+        let mut data = Vec::with_capacity(embs.len() * dim);
+        for e in embs {
+            assert_eq!(e.len(), dim, "embedding dim mismatch");
+            data.extend_from_slice(e);
+        }
+        Self { dim, data }
+    }
+
+    /// Number of stored embeddings.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Returns `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embedding of item `i`.
+    pub fn get(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Top-k nearest stored items to `query` by embedding distance
+    /// (equivalently, highest learned similarity `exp(-dist)`).
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let dists: Vec<f64> = (0..self.len())
+            .map(|i| euclidean(query, self.get(i)))
+            .collect();
+        top_k(&dists, k)
+    }
+
+    /// Like [`Self::knn`] but restricted to `candidates` (indices into the
+    /// store) — the index-assisted search path of Table V.
+    pub fn knn_candidates(&self, query: &[f64], candidates: &[usize], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut out: Vec<Neighbor> = candidates
+            .iter()
+            .map(|&i| Neighbor {
+                index: i,
+                dist: euclidean(query, self.get(i)),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// The paper's search protocol (§VII-C.1): retrieve `shortlist` items
+    /// by embedding distance, then re-rank that shortlist with the exact
+    /// `measure` and return the top `k`.
+    pub fn knn_reranked(
+        &self,
+        query_emb: &[f64],
+        query: &Trajectory,
+        corpus: &[Trajectory],
+        measure: &dyn Measure,
+        shortlist: usize,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let short = self.knn(query_emb, shortlist);
+        let mut out: Vec<Neighbor> = short
+            .into_iter()
+            .map(|n| Neighbor {
+                index: n.index,
+                dist: measure.dist(query.points(), corpus[n.index].points()),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_measures::Hausdorff;
+    use neutraj_trajectory::Point;
+
+    fn store() -> EmbeddingStore {
+        // Five 2-d embeddings on a line.
+        let embs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 0.0]).collect();
+        EmbeddingStore::from_embeddings(2, &embs)
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let s = store();
+        let res = s.knn(&[2.1, 0.0], 3);
+        assert_eq!(res[0].index, 2); // 0.1
+        assert_eq!(res[1].index, 3); // 0.9
+        assert_eq!(res[2].index, 1); // 1.1
+    }
+
+    #[test]
+    fn knn_exact_distances() {
+        let s = store();
+        let res = s.knn(&[2.0, 0.0], 5);
+        assert_eq!(res[0].index, 2);
+        assert_eq!(res[0].dist, 0.0);
+        // ties at distance 1 broken by index
+        assert_eq!(res[1].index, 1);
+        assert_eq!(res[2].index, 3);
+    }
+
+    #[test]
+    fn candidates_restrict_search() {
+        let s = store();
+        let res = s.knn_candidates(&[0.0, 0.0], &[4, 3], 1);
+        assert_eq!(res[0].index, 3);
+    }
+
+    #[test]
+    fn rerank_uses_exact_measure() {
+        // Embeddings deliberately disagree with geometry: item 0 is
+        // embedded far but geometrically identical to the query.
+        let embs = vec![vec![100.0, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]];
+        let s = EmbeddingStore::from_embeddings(2, &embs);
+        let mk = |id: u64, x: f64| {
+            Trajectory::new_unchecked(id, vec![Point::new(x, 0.0), Point::new(x + 1.0, 0.0)])
+        };
+        let corpus = vec![mk(0, 0.0), mk(1, 50.0), mk(2, 80.0)];
+        let query = mk(9, 0.0);
+        // Shortlist of all 3 lets the exact measure rescue item 0.
+        let res = s.knn_reranked(&[0.0, 0.0], &query, &corpus, &Hausdorff, 3, 1);
+        assert_eq!(res[0].index, 0);
+        assert_eq!(res[0].dist, 0.0);
+        // Shortlist of 2 misses it (embedding pruned it) — documents the
+        // approximation trade-off.
+        let res = s.knn_reranked(&[0.0, 0.0], &query, &corpus, &Hausdorff, 2, 1);
+        assert_ne!(res[0].index, 0);
+    }
+
+    #[test]
+    fn len_and_dims() {
+        let s = store();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.dim(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(3), &[3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn dim_mismatch_panics() {
+        let s = store();
+        let _ = s.knn(&[0.0, 0.0, 0.0], 1);
+    }
+}

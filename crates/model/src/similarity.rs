@@ -1,0 +1,230 @@
+//! Distance-to-similarity normalization (§V-B).
+
+use neutraj_measures::DistanceMatrix;
+
+/// How raw distances become `[0, 1]` similarity targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// `S_ij = exp(-α·D_ij)` — symmetric in `(i, j)`, matching the
+    /// symmetry of the learned `g(Ti,Tj) = exp(-‖E_i−E_j‖)`. This is what
+    /// the paper's reference implementation uses and the default here:
+    /// the row-softmax of the paper text yields *asymmetric* targets for
+    /// a symmetric regressor, which measurably hurts fitting (see
+    /// `DESIGN.md` §2).
+    ExpDecay,
+    /// `S_ij = exp(-α·D_ij) / Σ_n exp(-α·D_in)` — the paper text's
+    /// row-softmax (§V-B). Kept for fidelity and ablation.
+    RowSoftmax,
+}
+
+/// The normalized similarity matrix **S** built from a seed distance
+/// matrix **D** (§V-B).
+///
+/// `α` controls how sharply similarity decays with distance;
+/// [`SimilarityMatrix::auto_alpha`] picks it so the k-th nearest seed of a
+/// median row still receives a markedly non-zero similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    alpha: f64,
+    data: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Normalizes `dist` with an explicit `α > 0` and the chosen
+    /// normalization.
+    ///
+    /// Infinite distances map to similarity 0. Panics when `alpha` is not
+    /// finite-positive.
+    pub fn with_normalization(dist: &DistanceMatrix, alpha: f64, norm: Normalization) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let n = dist.n();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            let row = dist.row(i);
+            let out = &mut data[i * n..(i + 1) * n];
+            let mut sum = 0.0;
+            for (j, &d) in row.iter().enumerate() {
+                let s = if d.is_finite() { (-alpha * d).exp() } else { 0.0 };
+                out[j] = s;
+                sum += s;
+            }
+            if norm == Normalization::RowSoftmax && sum > 0.0 {
+                let inv = 1.0 / sum;
+                for v in out.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+        Self { n, alpha, data }
+    }
+
+    /// The paper-text row-softmax normalization with explicit `α`.
+    pub fn from_distances(dist: &DistanceMatrix, alpha: f64) -> Self {
+        Self::with_normalization(dist, alpha, Normalization::RowSoftmax)
+    }
+
+    /// Symmetric `exp(-α·D)` normalization with explicit `α` (the
+    /// training default).
+    pub fn exp_decay(dist: &DistanceMatrix, alpha: f64) -> Self {
+        Self::with_normalization(dist, alpha, Normalization::ExpDecay)
+    }
+
+    /// [`SimilarityMatrix::exp_decay`] with an automatically chosen `α`.
+    ///
+    /// Heuristic: `α = ln 2 / median_a(D_{a,(k)})` with `k = min(10, N−1)`,
+    /// i.e. the similarity at a typical 10-th-nearest-neighbour distance is
+    /// half the self-similarity. This keeps the top of each row
+    /// discriminative regardless of measure scale.
+    pub fn auto(dist: &DistanceMatrix) -> Self {
+        Self::exp_decay(dist, Self::auto_alpha(dist))
+    }
+
+    /// The `α` chosen by the heuristic described on [`SimilarityMatrix::auto`].
+    pub fn auto_alpha(dist: &DistanceMatrix) -> f64 {
+        let n = dist.n();
+        if n < 2 {
+            return 1.0;
+        }
+        let k = 10.min(n - 1);
+        let mut kth: Vec<f64> = (0..n)
+            .filter_map(|i| {
+                let nn = dist.knn_of(i, k);
+                nn.last().map(|&j| dist.get(i, j)).filter(|d| d.is_finite())
+            })
+            .collect();
+        if kth.is_empty() {
+            return 1.0;
+        }
+        kth.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = kth[kth.len() / 2];
+        if median <= 0.0 {
+            1.0
+        } else {
+            std::f64::consts::LN_2 / median
+        }
+    }
+
+    /// Number of seeds `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `α` used for normalization.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Similarity of seeds `i` and `j` (row-normalized; *not* symmetric).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` — the importance vector `I_a` for anchor `a` (§V-B).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dist() -> DistanceMatrix {
+        // 4 items on a line at 0, 1, 2, 10.
+        let xs: [f64; 4] = [0.0, 1.0, 2.0, 10.0];
+        let mut data = vec![0.0; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                data[i * 4 + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        DistanceMatrix::from_raw(4, data)
+    }
+
+    #[test]
+    fn rows_are_normalized_distributions() {
+        let s = SimilarityMatrix::from_distances(&toy_dist(), 0.7);
+        for i in 0..4 {
+            let sum: f64 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+            assert!(s.row(i).iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn similarity_order_reverses_distance_order() {
+        let s = SimilarityMatrix::from_distances(&toy_dist(), 0.7);
+        // For anchor 0: self > 1 > 2 > 3.
+        assert!(s.get(0, 0) > s.get(0, 1));
+        assert!(s.get(0, 1) > s.get(0, 2));
+        assert!(s.get(0, 2) > s.get(0, 3));
+    }
+
+    #[test]
+    fn infinite_distance_yields_zero_similarity() {
+        let mut data = vec![0.0, 1.0, 1.0, 0.0];
+        data[1] = f64::INFINITY;
+        let d = DistanceMatrix::from_raw(2, data);
+        let s = SimilarityMatrix::from_distances(&d, 1.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn alpha_sharpness_monotonicity() {
+        let d = toy_dist();
+        let soft = SimilarityMatrix::from_distances(&d, 0.1);
+        let sharp = SimilarityMatrix::from_distances(&d, 5.0);
+        // A sharper alpha concentrates more mass on the self entry.
+        assert!(sharp.get(0, 0) > soft.get(0, 0));
+    }
+
+    #[test]
+    fn auto_alpha_is_scale_invariant() {
+        let d1 = toy_dist();
+        let scaled: Vec<f64> = (0..16).map(|i| d1.row(i / 4)[i % 4] * 1000.0).collect();
+        let d2 = DistanceMatrix::from_raw(4, scaled);
+        let a1 = SimilarityMatrix::auto_alpha(&d1);
+        let a2 = SimilarityMatrix::auto_alpha(&d2);
+        assert!((a1 / a2 / 1000.0 - 1.0).abs() < 1e-9, "a1={a1} a2={a2}");
+        // Similarities end up identical after normalization.
+        let s1 = SimilarityMatrix::auto(&d1);
+        let s2 = SimilarityMatrix::auto(&d2);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((s1.get(i, j) - s2.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_rejected() {
+        let _ = SimilarityMatrix::from_distances(&toy_dist(), -1.0);
+    }
+
+    #[test]
+    fn degenerate_single_seed() {
+        let d = DistanceMatrix::from_raw(1, vec![0.0]);
+        let s = SimilarityMatrix::auto(&d);
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn exp_decay_is_symmetric_row_softmax_is_not() {
+        // Rows with different densities break row-softmax symmetry.
+        let d = DistanceMatrix::from_raw(
+            3,
+            vec![0.0, 1.0, 9.0, 1.0, 0.0, 0.5, 9.0, 0.5, 0.0],
+        );
+        let e = SimilarityMatrix::exp_decay(&d, 1.0);
+        let r = SimilarityMatrix::from_distances(&d, 1.0);
+        assert_eq!(e.get(0, 1), e.get(1, 0));
+        assert!((r.get(0, 1) - r.get(1, 0)).abs() > 1e-6);
+        // ExpDecay keeps the self-similarity at exactly 1.
+        assert_eq!(e.get(2, 2), 1.0);
+    }
+}

@@ -1,0 +1,475 @@
+//! The seed-guided metric-learning training loop (§V).
+
+use crate::backbone::{seq_inputs, Backbone, BackboneCache, NeuTrajModel, SeqInputs};
+use crate::config::TrainConfig;
+use crate::loss::pair_similarity;
+use crate::sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
+use crate::similarity::SimilarityMatrix;
+use neutraj_measures::DistanceMatrix;
+use neutraj_nn::linalg::add_assign;
+use neutraj_nn::Adam;
+use neutraj_trajectory::{Grid, Trajectory};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Per-epoch statistics delivered to the training callback (drives the
+/// Fig. 5 convergence curves and Table VI timing rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss per anchor.
+    pub loss: f64,
+    /// Wall-clock duration of the epoch in seconds.
+    pub seconds: f64,
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean per-anchor loss after each epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+    /// The similarity sharpness α that was used.
+    pub alpha: f64,
+    /// Whether early stopping fired before `epochs` completed.
+    pub early_stopped: bool,
+}
+
+/// Trains NeuTraj (or a baseline/ablation preset) from seed guidance.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    grid: Grid,
+    threads: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer. Panics when `cfg` fails validation — the
+    /// configuration is a programming input, not runtime data.
+    pub fn new(cfg: TrainConfig, grid: Grid) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TrainConfig: {e}");
+        }
+        Self {
+            cfg,
+            grid,
+            threads: 1,
+        }
+    }
+
+    /// Enables multi-threaded forward/BPTT within each batch.
+    ///
+    /// Only memory-free backbones (plain LSTM / GRU — the Siamese and
+    /// NT-No-SAM presets) parallelize the forward pass; the SAM forward
+    /// stays sequential for deterministic memory writes, but its backward
+    /// pass still fans out. Results are bit-identical to single-threaded
+    /// training up to floating-point addition order in merged gradients.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configuration this trainer runs.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Fits a model to `seeds` whose pairwise distances are `dist`
+    /// (already computed under the target measure, on trajectories
+    /// rescaled to grid units — see [`Grid::rescale_trajectory`]).
+    ///
+    /// `on_epoch` is invoked after every epoch with loss/time stats.
+    ///
+    /// Panics when `seeds` is empty or `dist` does not match its length.
+    pub fn fit(
+        &self,
+        seeds: &[Trajectory],
+        dist: &DistanceMatrix,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> (NeuTrajModel, TrainReport) {
+        assert!(!seeds.is_empty(), "need at least one seed trajectory");
+        assert_eq!(dist.n(), seeds.len(), "distance matrix/seed count mismatch");
+        if let Some(pos) = seeds.iter().position(|t| t.is_empty()) {
+            panic!("seed trajectory at index {pos} is empty (id {})", seeds[pos].id);
+        }
+        let cfg = &self.cfg;
+        let sim = {
+            let alpha = cfg
+                .alpha
+                .unwrap_or_else(|| SimilarityMatrix::auto_alpha(dist));
+            SimilarityMatrix::with_normalization(dist, alpha, cfg.normalization)
+        };
+        // Precompute network inputs for every seed once.
+        let inputs: Vec<SeqInputs> = seeds
+            .iter()
+            .map(|t| seq_inputs(&self.grid, t))
+            .collect();
+
+        let mut backbone = Backbone::build(cfg, &self.grid);
+        let mut adam = Adam::new(cfg.lr);
+        let slots = backbone.register_adam(&mut adam);
+        let mut grads = backbone.zero_grads();
+
+        let n_seeds = seeds.len();
+        let mut order: Vec<usize> = (0..n_seeds).collect();
+        let mut report = TrainReport {
+            epoch_losses: Vec::with_capacity(cfg.epochs),
+            epoch_seconds: Vec::with_capacity(cfg.epochs),
+            alpha: sim.alpha(),
+            early_stopped: false,
+        };
+        let mut best_loss = f64::INFINITY;
+        let mut stale = 0usize;
+
+        for epoch in 0..cfg.epochs {
+            let t0 = Instant::now();
+            // Fresh memory every epoch: stored cell embeddings then always
+            // reflect the current parameters (stale entries from many
+            // updates ago act as noise in the attention read).
+            backbone.reset_memory();
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+
+            for batch in order.chunks(cfg.batch_anchors) {
+                // 1. Sample pair lists for every anchor in the batch.
+                let samples: Vec<AnchorSamples> = batch
+                    .iter()
+                    .map(|&a| {
+                        if cfg.weighted_sampling {
+                            ranked_weighted_samples(&sim, a, cfg.n_samples, &mut rng)
+                        } else {
+                            ranked_random_samples(&sim, a, cfg.n_samples, &mut rng)
+                        }
+                    })
+                    .collect();
+
+                // 2. Embed every distinct trajectory the batch touches.
+                //    Deterministic ascending order keeps SAM memory writes
+                //    reproducible.
+                let mut involved: Vec<usize> = samples
+                    .iter()
+                    .flat_map(|s| {
+                        std::iter::once(s.anchor)
+                            .chain(s.similar.iter().copied())
+                            .chain(s.dissimilar.iter().copied())
+                    })
+                    .collect();
+                involved.sort_unstable();
+                involved.dedup();
+
+                let batch_inputs: Vec<&SeqInputs> =
+                    involved.iter().map(|&idx| &inputs[idx]).collect();
+                let results = backbone.forward_train_batch(&batch_inputs, self.threads);
+                let mut embeddings: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+                let mut caches: BTreeMap<usize, BackboneCache> = BTreeMap::new();
+                for (&idx, (emb, cache)) in involved.iter().zip(results) {
+                    embeddings.insert(idx, emb);
+                    caches.insert(idx, cache);
+                }
+
+                // 3. Pair losses → embedding gradients.
+                let mut d_emb: BTreeMap<usize, Vec<f64>> = involved
+                    .iter()
+                    .map(|&i| (i, vec![0.0; cfg.dim]))
+                    .collect();
+                let mut batch_loss = 0.0;
+                for s in &samples {
+                    let anchor_emb = embeddings[&s.anchor].clone();
+                    for (list, dissimilar) in [(&s.similar, false), (&s.dissimilar, true)] {
+                        let sample_embs: Vec<&[f64]> =
+                            list.iter().map(|&i| embeddings[&i].as_slice()).collect();
+                        let targets: Vec<f64> =
+                            list.iter().map(|&i| sim.get(s.anchor, i)).collect();
+                        let pair_losses = if dissimilar {
+                            cfg.loss.dissimilar_list(&anchor_emb, &sample_embs, &targets)
+                        } else {
+                            cfg.loss.similar_list(&anchor_emb, &sample_embs, &targets)
+                        };
+                        for (pl, &i) in pair_losses.iter().zip(list) {
+                            batch_loss += pl.loss;
+                            add_assign(
+                                d_emb.get_mut(&s.anchor).expect("anchor embedded"),
+                                &pl.d_anchor,
+                            );
+                            add_assign(d_emb.get_mut(&i).expect("sample embedded"), &pl.d_sample);
+                        }
+                    }
+                }
+                epoch_loss += batch_loss;
+
+                // 4. BPTT per trajectory, then one optimizer step.
+                grads.fill_zero();
+                let jobs: Vec<(&BackboneCache, &[f64])> = involved
+                    .iter()
+                    .filter(|&&idx| d_emb[&idx].iter().any(|v| *v != 0.0))
+                    .map(|&idx| (&caches[&idx], d_emb[&idx].as_slice()))
+                    .collect();
+                backbone.backward_batch(&jobs, &mut grads, self.threads);
+                adam.next_step();
+                backbone.adam_step(&mut adam, &slots, &grads, 1.0 / batch.len() as f64);
+            }
+
+            let loss = epoch_loss / n_seeds as f64;
+            let seconds = t0.elapsed().as_secs_f64();
+            report.epoch_losses.push(loss);
+            report.epoch_seconds.push(seconds);
+            on_epoch(&EpochStats {
+                epoch,
+                loss,
+                seconds,
+            });
+
+            if let Some(patience) = cfg.patience {
+                if loss + 1e-12 < best_loss {
+                    best_loss = loss;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= patience {
+                        report.early_stopped = true;
+                        break;
+                    }
+                }
+            } else {
+                best_loss = best_loss.min(loss);
+            }
+        }
+
+        // Final memory refresh: repopulate the spatial memory with one
+        // coherent writing pass over every seed under the *final*
+        // parameters, in a fixed order, so inference reads a memory whose
+        // contents match the trained encoder.
+        if backbone.has_memory() {
+            backbone.reset_memory();
+            for (coords, cells) in &inputs {
+                let _ = backbone.forward_train(coords, cells);
+            }
+        }
+
+        (
+            NeuTrajModel::new(backbone, self.grid.clone(), cfg.clone()),
+            report,
+        )
+    }
+}
+
+/// Convenience: how well a model's learned similarity matches seed ground
+/// truth — mean squared error of `g` vs `S` over all seed pairs. Used by
+/// validation-loss tracking in experiments.
+pub fn seed_mse(model: &NeuTrajModel, seeds: &[Trajectory], sim: &SimilarityMatrix) -> f64 {
+    let embs = model.embed_all(seeds, 1);
+    let n = seeds.len();
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let g = pair_similarity(&embs[i], &embs[j]);
+            let f = sim.get(i, j);
+            sum += (g - f) * (g - f);
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutraj_measures::Hausdorff;
+    use neutraj_trajectory::{gen::PortoLikeGenerator, Dataset};
+
+    fn tiny_world() -> (Grid, Vec<Trajectory>, DistanceMatrix) {
+        let ds: Dataset = PortoLikeGenerator {
+            num_trajectories: 30,
+            num_templates: 6,
+            max_len: 30,
+            ..Default::default()
+        }
+        .generate(11);
+        let grid = Grid::covering(ds.trajectories(), 100.0).unwrap();
+        let seeds: Vec<Trajectory> = ds.trajectories().to_vec();
+        let rescaled: Vec<Trajectory> =
+            seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let dist = DistanceMatrix::compute(&Hausdorff, &rescaled);
+        (grid, seeds, dist)
+    }
+
+    fn fast_cfg() -> TrainConfig {
+        TrainConfig {
+            dim: 8,
+            n_samples: 4,
+            batch_anchors: 10,
+            epochs: 3,
+            ..TrainConfig::neutraj()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (grid, seeds, dist) = tiny_world();
+        let mut stats = Vec::new();
+        let (_, report) = Trainer::new(fast_cfg(), grid).fit(&seeds, &dist, |s| {
+            stats.push(s.clone());
+        });
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert_eq!(stats.len(), 3);
+        assert!(
+            report.epoch_losses[2] < report.epoch_losses[0],
+            "loss did not decrease: {:?}",
+            report.epoch_losses
+        );
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (grid, seeds, dist) = tiny_world();
+        let (m1, r1) = Trainer::new(fast_cfg(), grid.clone()).fit(&seeds, &dist, |_| {});
+        let (m2, r2) = Trainer::new(fast_cfg(), grid).fit(&seeds, &dist, |_| {});
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        assert_eq!(m1.embed(&seeds[0]), m2.embed(&seeds[0]));
+    }
+
+    #[test]
+    fn all_presets_train() {
+        let (grid, seeds, dist) = tiny_world();
+        for preset in [
+            TrainConfig::neutraj(),
+            TrainConfig::nt_no_sam(),
+            TrainConfig::nt_no_ws(),
+            TrainConfig::siamese(),
+        ] {
+            let cfg = TrainConfig {
+                dim: 8,
+                n_samples: 3,
+                epochs: 1,
+                ..preset
+            };
+            let name = cfg.method_name();
+            let (model, report) = Trainer::new(cfg, grid.clone()).fit(&seeds, &dist, |_| {});
+            assert_eq!(report.epoch_losses.len(), 1, "{name}");
+            assert!(report.epoch_losses[0].is_finite(), "{name}");
+            assert!(model.embed(&seeds[1]).iter().all(|v| v.is_finite()), "{name}");
+        }
+    }
+
+    #[test]
+    fn learned_similarity_correlates_with_ground_truth() {
+        // After a few epochs the embedding distance ordering should agree
+        // with the exact measure far better than chance: check Spearman-ish
+        // sign agreement over sampled pairs.
+        let (grid, seeds, dist) = tiny_world();
+        let cfg = TrainConfig {
+            dim: 16,
+            epochs: 10,
+            n_samples: 6,
+            ..TrainConfig::neutraj()
+        };
+        let (model, _) = Trainer::new(cfg, grid).fit(&seeds, &dist, |_| {});
+        let embs = model.embed_all(&seeds, 2);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for a in 0..seeds.len() {
+            for i in 0..seeds.len() {
+                for j in (i + 1)..seeds.len() {
+                    if i == a || j == a {
+                        continue;
+                    }
+                    let truth = dist.get(a, i) < dist.get(a, j);
+                    let learned = neutraj_nn::linalg::euclidean(&embs[a], &embs[i])
+                        < neutraj_nn::linalg::euclidean(&embs[a], &embs[j]);
+                    if truth == learned {
+                        agree += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let acc = agree as f64 / total as f64;
+        assert!(acc > 0.65, "pairwise order agreement only {acc:.3}");
+    }
+
+    #[test]
+    fn parallel_training_matches_sequential() {
+        let (grid, seeds, dist) = tiny_world();
+        for preset in [TrainConfig::nt_no_sam(), TrainConfig::neutraj()] {
+            let cfg = TrainConfig {
+                dim: 8,
+                epochs: 2,
+                n_samples: 4,
+                ..preset
+            };
+            let name = cfg.method_name();
+            let (m1, r1) = Trainer::new(cfg.clone(), grid.clone()).fit(&seeds, &dist, |_| {});
+            let (m4, r4) = Trainer::new(cfg, grid.clone())
+                .with_threads(4)
+                .fit(&seeds, &dist, |_| {});
+            // Same pairs, same forward results; only gradient-merge
+            // addition order may differ -> losses agree to fp tolerance.
+            for (a, b) in r1.epoch_losses.iter().zip(&r4.epoch_losses) {
+                assert!((a - b).abs() < 1e-9, "{name}: losses {a} vs {b}");
+            }
+            let e1 = m1.embed(&seeds[0]);
+            let e4 = m4.embed(&seeds[0]);
+            for (a, b) in e1.iter().zip(&e4) {
+                assert!((a - b).abs() < 1e-6, "{name}: embedding drift {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_stopping_fires() {
+        let (grid, seeds, dist) = tiny_world();
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 50,
+            lr: 1e-9, // effectively frozen ⇒ loss cannot improve
+            patience: Some(2),
+            ..TrainConfig::neutraj()
+        };
+        let (_, report) = Trainer::new(cfg, grid).fit(&seeds, &dist, |_| {});
+        assert!(report.early_stopped);
+        assert!(report.epoch_losses.len() < 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TrainConfig")]
+    fn invalid_config_panics() {
+        let (grid, _, _) = tiny_world();
+        let cfg = TrainConfig {
+            dim: 0,
+            ..TrainConfig::neutraj()
+        };
+        let _ = Trainer::new(cfg, grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_seed_trajectory_rejected_with_clear_message() {
+        let (grid, mut seeds, _) = tiny_world();
+        seeds[3] = Trajectory::new_unchecked(999, vec![]);
+        let dist = DistanceMatrix::from_raw(seeds.len(), vec![0.0; seeds.len() * seeds.len()]);
+        let _ = Trainer::new(fast_cfg(), grid).fit(&seeds, &dist, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_distance_matrix_panics() {
+        let (grid, seeds, _) = tiny_world();
+        let bad = DistanceMatrix::from_raw(2, vec![0.0; 4]);
+        let _ = Trainer::new(fast_cfg(), grid).fit(&seeds, &bad, |_| {});
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the model crate: similarity normalization,
+//! sampling invariants, loss gradients and persistence on random inputs.
+
+use neutraj_measures::DistanceMatrix;
+use neutraj_model::{
+    pair_similarity, ranked_random_samples, ranked_weighted_samples, Normalization,
+    RankedBatchLoss, SimilarityMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random symmetric distance matrix with zero diagonal.
+fn arb_dist(n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    prop::collection::vec(0.01f64..50.0, n * (n - 1) / 2).prop_map(move |upper| {
+        let mut data = vec![0.0; n * n];
+        let mut it = upper.into_iter();
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = it.next().expect("enough entries");
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix::from_raw(n, data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exp_decay_similarities_are_valid_and_symmetric(
+        dist in arb_dist(8),
+        alpha in 0.01f64..5.0,
+    ) {
+        let s = SimilarityMatrix::exp_decay(&dist, alpha);
+        for i in 0..8 {
+            prop_assert!((s.get(i, i) - 1.0).abs() < 1e-12, "self-sim must be 1");
+            for j in 0..8 {
+                prop_assert!((0.0..=1.0).contains(&s.get(i, j)));
+                prop_assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn row_softmax_rows_are_distributions(dist in arb_dist(7), alpha in 0.01f64..5.0) {
+        let s = SimilarityMatrix::with_normalization(&dist, alpha, Normalization::RowSoftmax);
+        for i in 0..7 {
+            prop_assert!((s.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn similarity_preserves_distance_order(dist in arb_dist(6), alpha in 0.05f64..3.0) {
+        let s = SimilarityMatrix::exp_decay(&dist, alpha);
+        for a in 0..6 {
+            for i in 0..6 {
+                for j in 0..6 {
+                    if dist.get(a, i) < dist.get(a, j) {
+                        prop_assert!(
+                            s.get(a, i) >= s.get(a, j),
+                            "closer seed got lower similarity"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_invariants_hold(
+        dist in arb_dist(12),
+        anchor in 0usize..12,
+        n in 1usize..8,
+        rng_seed in 0u64..1000,
+    ) {
+        let sim = SimilarityMatrix::auto(&dist);
+        for weighted in [true, false] {
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let s = if weighted {
+                ranked_weighted_samples(&sim, anchor, n, &mut rng)
+            } else {
+                ranked_random_samples(&sim, anchor, n, &mut rng)
+            };
+            let all: Vec<usize> = s.similar.iter().chain(&s.dissimilar).copied().collect();
+            prop_assert!(!all.contains(&anchor), "anchor sampled as its own pair");
+            prop_assert!(all.iter().all(|&i| i < 12));
+            // Ranked orders.
+            let row = sim.row(anchor);
+            for w in s.similar.windows(2) {
+                prop_assert!(row[w[0]] >= row[w[1]]);
+            }
+            for w in s.dissimilar.windows(2) {
+                prop_assert!(row[w[0]] <= row[w[1]]);
+            }
+            // Weighted sampling: each list individually duplicate-free.
+            let mut ss = s.similar.clone();
+            ss.sort_unstable();
+            ss.dedup();
+            prop_assert_eq!(ss.len(), s.similar.len());
+        }
+    }
+
+    #[test]
+    fn rank_weights_always_normalized(n in 1usize..50) {
+        for cfg in [RankedBatchLoss::neutraj(), RankedBatchLoss::siamese()] {
+            let w = cfg.rank_weights(n);
+            prop_assert_eq!(w.len(), n);
+            prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn pair_loss_gradients_match_finite_differences(
+        anchor in prop::collection::vec(-2.0f64..2.0, 4),
+        sample in prop::collection::vec(-2.0f64..2.0, 4),
+        target in 0.0f64..1.0,
+    ) {
+        // Skip the non-differentiable coincidence point.
+        prop_assume!(neutraj_nn::linalg::euclidean(&anchor, &sample) > 1e-3);
+        let cfg = RankedBatchLoss::neutraj();
+        let out = &cfg.similar_list(&anchor, &[&sample], &[target])[0];
+        let eps = 1e-6;
+        for k in 0..4 {
+            let mut ap = anchor.clone();
+            let mut am = anchor.clone();
+            ap[k] += eps;
+            am[k] -= eps;
+            let fp = cfg.similar_list(&ap, &[&sample], &[target])[0].loss;
+            let fm = cfg.similar_list(&am, &[&sample], &[target])[0].loss;
+            let num = (fp - fm) / (2.0 * eps);
+            prop_assert!(
+                (num - out.d_anchor[k]).abs() < 1e-5,
+                "k={k}: {num} vs {}",
+                out.d_anchor[k]
+            );
+        }
+    }
+
+    #[test]
+    fn pair_similarity_is_a_valid_kernel(
+        a in prop::collection::vec(-5.0f64..5.0, 6),
+        b in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let g = pair_similarity(&a, &b);
+        prop_assert!(g > 0.0 && g <= 1.0);
+        prop_assert!((pair_similarity(&a, &b) - pair_similarity(&b, &a)).abs() < 1e-15);
+        prop_assert!((pair_similarity(&a, &a) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,136 @@
+//! The Adam optimizer.
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the paper
+/// trains NeuTraj with (§V-B).
+///
+/// Parameter tensors are registered once via [`Adam::register`]; each call
+/// returns a slot id whose first/second-moment buffers persist across
+/// steps. A training step then calls [`Adam::step`] per tensor after
+/// advancing the shared timestep with [`Adam::next_step`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: i32,
+    slots: Vec<Moments>,
+}
+
+#[derive(Debug, Clone)]
+struct Moments {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter tensor of `len` values; returns its slot id.
+    pub fn register(&mut self, len: usize) -> usize {
+        self.slots.push(Moments {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        });
+        self.slots.len() - 1
+    }
+
+    /// Advances the global timestep. Call once per optimization step,
+    /// before the per-tensor [`Adam::step`] calls.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Current timestep (number of completed `next_step` calls).
+    pub fn timestep(&self) -> i32 {
+        self.t
+    }
+
+    /// Applies one Adam update to `param` given `grad`, using the moment
+    /// buffers of `slot`. Panics on length mismatch or an unregistered
+    /// slot, and debug-asserts that `next_step` has been called.
+    pub fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        debug_assert!(self.t > 0, "call next_step() before step()");
+        let mom = &mut self.slots[slot];
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        assert_eq!(param.len(), mom.m.len(), "slot registered with other len");
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for i in 0..param.len() {
+            let g = grad[i];
+            mom.m[i] = self.beta1 * mom.m[i] + (1.0 - self.beta1) * g;
+            mom.v[i] = self.beta2 * mom.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = mom.m[i] / b1t;
+            let v_hat = mom.v[i] / b2t;
+            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut adam = Adam::new(0.1);
+        let slot = adam.register(1);
+        let mut x = [0.0f64];
+        for _ in 0..500 {
+            adam.next_step();
+            let g = [2.0 * (x[0] - 3.0)];
+            adam.step(slot, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // With bias correction, the very first update has magnitude ≈ lr.
+        let mut adam = Adam::new(0.01);
+        let slot = adam.register(1);
+        let mut x = [0.0f64];
+        adam.next_step();
+        adam.step(slot, &mut x, &[123.0]);
+        assert!((x[0].abs() - 0.01).abs() < 1e-6, "step {}", x[0]);
+    }
+
+    #[test]
+    fn slots_are_independent(){
+        let mut adam = Adam::new(0.1);
+        let a = adam.register(1);
+        let b = adam.register(1);
+        let mut xa = [0.0f64];
+        let mut xb = [0.0f64];
+        adam.next_step();
+        adam.step(a, &mut xa, &[1.0]);
+        // Slot b is untouched by slot a's moments.
+        adam.step(b, &mut xb, &[1.0]);
+        assert!((xa[0] - xb[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut adam = Adam::new(0.1);
+        let slot = adam.register(2);
+        let mut x = [0.0f64; 2];
+        adam.next_step();
+        adam.step(slot, &mut x, &[1.0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Every backward pass in this crate is hand-derived; these helpers verify
+//! them against central differences. They are exposed publicly (not just
+//! `#[cfg(test)]`) so downstream crates (`neutraj-model`) can gradient-check
+//! their loss functions too.
+
+/// Checks an analytic gradient against central finite differences.
+///
+/// `f` evaluates the scalar objective given the *current* parameter slice
+/// (the slice is mutated in place during probing and restored afterwards).
+/// Returns the worst relative error; panics with a diagnostic when it
+/// exceeds `tol`.
+///
+/// Relative error uses the standard symmetric form
+/// `|num - ana| / max(1e-8, |num| + |ana|)`.
+pub fn check_gradient(
+    params: &mut [f64],
+    analytic: &[f64],
+    eps: f64,
+    tol: f64,
+    mut f: impl FnMut(&[f64]) -> f64,
+) -> f64 {
+    assert_eq!(params.len(), analytic.len(), "gradient length mismatch");
+    let mut worst = 0.0f64;
+    let mut worst_idx = 0usize;
+    let mut worst_pair = (0.0, 0.0);
+    for i in 0..params.len() {
+        let orig = params[i];
+        params[i] = orig + eps;
+        let fp = f(params);
+        params[i] = orig - eps;
+        let fm = f(params);
+        params[i] = orig;
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = analytic[i];
+        let rel = (num - ana).abs() / (num.abs() + ana.abs()).max(1e-8);
+        if rel > worst {
+            worst = rel;
+            worst_idx = i;
+            worst_pair = (num, ana);
+        }
+    }
+    assert!(
+        worst <= tol,
+        "gradient check failed at index {worst_idx}: numeric {} vs analytic {} \
+         (rel err {worst:.3e} > tol {tol:.1e})",
+        worst_pair.0,
+        worst_pair.1
+    );
+    worst
+}
+
+/// Convenience: checks a *subset* of indices (useful for large tensors
+/// where probing every entry is slow). Indices are sampled evenly.
+pub fn check_gradient_sampled(
+    params: &mut [f64],
+    analytic: &[f64],
+    eps: f64,
+    tol: f64,
+    max_probes: usize,
+    mut f: impl FnMut(&[f64]) -> f64,
+) -> f64 {
+    assert_eq!(params.len(), analytic.len(), "gradient length mismatch");
+    let n = params.len();
+    let stride = (n / max_probes.max(1)).max(1);
+    let mut worst = 0.0f64;
+    for i in (0..n).step_by(stride) {
+        let orig = params[i];
+        params[i] = orig + eps;
+        let fp = f(params);
+        params[i] = orig - eps;
+        let fm = f(params);
+        params[i] = orig;
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = analytic[i];
+        let rel = (num - ana).abs() / (num.abs() + ana.abs()).max(1e-8);
+        assert!(
+            rel <= tol,
+            "gradient check failed at index {i}: numeric {num} vs analytic {ana} \
+             (rel err {rel:.3e} > tol {tol:.1e})"
+        );
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        // f(p) = p0² + 3 p1, grad = [2 p0, 3].
+        let mut p = vec![1.5, -2.0];
+        let ana = vec![3.0, 3.0];
+        let worst = check_gradient(&mut p, &ana, 1e-6, 1e-6, |p| {
+            p[0] * p[0] + 3.0 * p[1]
+        });
+        assert!(worst < 1e-6);
+        // Parameters restored after probing.
+        assert_eq!(p, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn rejects_wrong_gradient() {
+        let mut p = vec![1.0];
+        let ana = vec![5.0]; // true gradient is 2.
+        check_gradient(&mut p, &ana, 1e-6, 1e-4, |p| p[0] * p[0]);
+    }
+
+    #[test]
+    fn sampled_variant_probes_subset() {
+        let mut p: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
+        let ana: Vec<f64> = p.iter().map(|x| 2.0 * x).collect();
+        check_gradient_sampled(&mut p, &ana, 1e-6, 1e-6, 10, |p| {
+            p.iter().map(|x| x * x).sum()
+        });
+    }
+}

@@ -1,0 +1,279 @@
+//! GRU cell and encoder — an alternative RNN backbone.
+//!
+//! The paper notes its SAM module "augments existing RNN architectures
+//! (GRU, LSTM)"; this GRU lets downstream code swap backbones and serves
+//! as an ablation axis beyond the paper.
+
+use crate::linalg::{sigmoid, Mat};
+use crate::Encoder;
+
+/// A GRU cell with fused gate parameters.
+///
+/// `pzr` has shape `(2d) × (in + d + 1)` over `z = [x; h_{t-1}; 1]` and
+/// produces update gate `z` (rows `0..d`) and reset gate `r`
+/// (rows `d..2d`). `ph` has shape `d × (in + d + 1)` over
+/// `[x; r ⊙ h_{t-1}; 1]` and produces the candidate state.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    dim: usize,
+    in_dim: usize,
+    /// Update/reset gate weights.
+    pub pzr: Mat,
+    /// Candidate-state weights.
+    pub ph: Mat,
+}
+
+/// Gradients for a [`GruCell`].
+#[derive(Debug, Clone)]
+pub struct GruGrads {
+    /// Gradient of the gate weights.
+    pub pzr: Mat,
+    /// Gradient of the candidate weights.
+    pub ph: Mat,
+}
+
+impl GruGrads {
+    /// Zero gradients shaped like `cell`.
+    pub fn zeros_like(cell: &GruCell) -> Self {
+        Self {
+            pzr: Mat::zeros(cell.pzr.rows(), cell.pzr.cols()),
+            ph: Mat::zeros(cell.ph.rows(), cell.ph.cols()),
+        }
+    }
+
+    /// Resets to zero.
+    pub fn fill_zero(&mut self) {
+        self.pzr.fill_zero();
+        self.ph.fill_zero();
+    }
+
+    /// Accumulates another gradient buffer into this one (used to merge
+    /// per-thread partial gradients).
+    pub fn merge(&mut self, other: &GruGrads) {
+        self.pzr.add_from(&other.pzr);
+        self.ph.add_from(&other.ph);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// `[x; h_{t-1}; 1]`.
+    zin: Vec<f64>,
+    /// `[x; r ⊙ h_{t-1}; 1]`.
+    zh: Vec<f64>,
+    /// Update gate.
+    gz: Vec<f64>,
+    /// Reset gate.
+    gr: Vec<f64>,
+    /// Candidate.
+    hc: Vec<f64>,
+    /// Previous hidden state.
+    h_prev: Vec<f64>,
+}
+
+/// Forward cache for BPTT.
+#[derive(Debug, Clone, Default)]
+pub struct GruCache {
+    steps: Vec<StepCache>,
+}
+
+impl GruCell {
+    /// New Xavier-initialized cell.
+    pub fn new(in_dim: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0 && in_dim > 0);
+        Self {
+            dim,
+            in_dim,
+            pzr: Mat::xavier(2 * dim, in_dim + dim + 1, seed ^ 0x9E37_79B9),
+            ph: Mat::xavier(dim, in_dim + dim + 1, seed ^ 0x85EB_CA6B),
+        }
+    }
+
+    /// Hidden dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.pzr.rows() * self.pzr.cols() + self.ph.rows() * self.ph.cols()
+    }
+
+    /// Runs the cell over the sequence; returns final hidden state + cache.
+    pub fn forward(&self, inputs: &[Vec<f64>]) -> (Vec<f64>, GruCache) {
+        assert!(!inputs.is_empty(), "cannot encode an empty sequence");
+        let d = self.dim;
+        let mut h = vec![0.0; d];
+        let mut cache = GruCache {
+            steps: Vec::with_capacity(inputs.len()),
+        };
+        for x in inputs {
+            assert_eq!(x.len(), self.in_dim, "input arity");
+            let mut zin = Vec::with_capacity(self.in_dim + d + 1);
+            zin.extend_from_slice(x);
+            zin.extend_from_slice(&h);
+            zin.push(1.0);
+            let mut a = self.pzr.matvec(&zin);
+            for v in &mut a {
+                *v = sigmoid(*v);
+            }
+            let (gz, gr) = a.split_at(d);
+            let mut zh = Vec::with_capacity(self.in_dim + d + 1);
+            zh.extend_from_slice(x);
+            for k in 0..d {
+                zh.push(gr[k] * h[k]);
+            }
+            zh.push(1.0);
+            let mut hc = self.ph.matvec(&zh);
+            for v in &mut hc {
+                *v = v.tanh();
+            }
+            let h_prev = h.clone();
+            for k in 0..d {
+                h[k] = (1.0 - gz[k]) * h_prev[k] + gz[k] * hc[k];
+            }
+            cache.steps.push(StepCache {
+                zin,
+                zh,
+                gz: gz.to_vec(),
+                gr: gr.to_vec(),
+                hc,
+                h_prev,
+            });
+        }
+        (h, cache)
+    }
+
+    /// BPTT from the final hidden-state gradient, accumulating into `grads`.
+    pub fn backward(&self, cache: &GruCache, d_h_final: &[f64], grads: &mut GruGrads) {
+        let d = self.dim;
+        assert_eq!(d_h_final.len(), d);
+        let mut dh = d_h_final.to_vec();
+        let mut da = vec![0.0; 2 * d];
+        let mut dpre_h = vec![0.0; d];
+        let mut dzh = vec![0.0; self.in_dim + d + 1];
+        let mut dzin = vec![0.0; self.in_dim + d + 1];
+        for step in cache.steps.iter().rev() {
+            let mut dh_prev = vec![0.0; d];
+            // h = (1-z) h_prev + z hc
+            for k in 0..d {
+                let dz_gate = dh[k] * (step.hc[k] - step.h_prev[k]);
+                let dhc = dh[k] * step.gz[k];
+                dh_prev[k] += dh[k] * (1.0 - step.gz[k]);
+                dpre_h[k] = dhc * (1.0 - step.hc[k] * step.hc[k]);
+                da[k] = dz_gate * step.gz[k] * (1.0 - step.gz[k]);
+            }
+            grads.ph.outer_acc(&dpre_h, &step.zh);
+            dzh.fill(0.0);
+            self.ph.matvec_t_into(&dpre_h, &mut dzh);
+            // zh's h-part is r ⊙ h_prev.
+            for k in 0..d {
+                let drh = dzh[self.in_dim + k];
+                let dr = drh * step.h_prev[k];
+                dh_prev[k] += drh * step.gr[k];
+                da[d + k] = dr * step.gr[k] * (1.0 - step.gr[k]);
+            }
+            grads.pzr.outer_acc(&da, &step.zin);
+            dzin.fill(0.0);
+            self.pzr.matvec_t_into(&da, &mut dzin);
+            for k in 0..d {
+                dh_prev[k] += dzin[self.in_dim + k];
+            }
+            dh = dh_prev;
+        }
+    }
+}
+
+/// Sequence encoder over a [`GruCell`].
+#[derive(Debug, Clone)]
+pub struct GruEncoder {
+    /// The underlying cell.
+    pub cell: GruCell,
+}
+
+impl GruEncoder {
+    /// New encoder for 2-D coordinates.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self {
+            cell: GruCell::new(2, dim, seed),
+        }
+    }
+
+    /// Encodes coordinates; returns embedding + cache.
+    pub fn forward(&self, coords: &[(f64, f64)]) -> (Vec<f64>, GruCache) {
+        let inputs: Vec<Vec<f64>> = coords.iter().map(|&(x, y)| vec![x, y]).collect();
+        self.cell.forward(&inputs)
+    }
+
+    /// See [`GruCell::backward`].
+    pub fn backward(&self, cache: &GruCache, d_h: &[f64], grads: &mut GruGrads) {
+        self.cell.backward(cache, d_h, grads);
+    }
+}
+
+impl Encoder for GruEncoder {
+    fn dim(&self) -> usize {
+        self.cell.dim()
+    }
+
+    fn embed(&mut self, coords: &[(f64, f64)], _cells: &[(u32, u32)]) -> Vec<f64> {
+        self.forward(coords).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradient;
+    use crate::linalg::dot;
+
+    fn toy_inputs() -> Vec<Vec<f64>> {
+        vec![vec![0.4, -0.6], vec![0.9, 0.2], vec![-0.3, 0.7]]
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let cell = GruCell::new(2, 6, 5);
+        let (h, cache) = cell.forward(&toy_inputs());
+        assert_eq!(h.len(), 6);
+        assert_eq!(cache.steps.len(), 3);
+        // GRU hidden state is a convex combination of tanh values → (-1,1).
+        assert!(h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn grad_check_pzr_and_ph() {
+        let d = 4;
+        let cell = GruCell::new(2, d, 13);
+        let inputs = toy_inputs();
+        let w: Vec<f64> = (0..d).map(|i| 1.0 - 0.3 * i as f64).collect();
+        let (_, cache) = cell.forward(&inputs);
+        let mut grads = GruGrads::zeros_like(&cell);
+        cell.backward(&cache, &w, &mut grads);
+
+        // Check pzr.
+        let analytic = grads.pzr.as_slice().to_vec();
+        let mut params = cell.pzr.as_slice().to_vec();
+        let base = cell.clone();
+        check_gradient(&mut params, &analytic, 1e-6, 1e-6, |p| {
+            let mut probe = base.clone();
+            probe.pzr = Mat::from_vec(2 * d, 2 + d + 1, p.to_vec());
+            dot(&w, &probe.forward(&inputs).0)
+        });
+        // Check ph.
+        let analytic = grads.ph.as_slice().to_vec();
+        let mut params = cell.ph.as_slice().to_vec();
+        check_gradient(&mut params, &analytic, 1e-6, 1e-6, |p| {
+            let mut probe = base.clone();
+            probe.ph = Mat::from_vec(d, 2 + d + 1, p.to_vec());
+            dot(&w, &probe.forward(&inputs).0)
+        });
+    }
+
+    #[test]
+    fn encoder_trait_impl() {
+        let mut enc = GruEncoder::new(5, 2);
+        let e = enc.embed(&[(0.1, 0.2), (0.3, 0.4)], &[]);
+        assert_eq!(e.len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! # neutraj-nn
+//!
+//! A minimal, from-scratch neural-network substrate for NeuTraj-RS.
+//!
+//! The allowed dependency set contains no ML framework, so every forward
+//! *and* backward pass here is hand-derived and verified against central
+//! finite differences (see the `grad_check` tests in each module).
+//!
+//! Contents:
+//!
+//! * [`linalg`] — dense row-major `f64` matrices and the handful of BLAS-1/2
+//!   kernels recurrent nets need.
+//! * [`LstmCell`] / [`LstmEncoder`] — a standard LSTM used by the Siamese
+//!   baseline and the NT-No-SAM ablation.
+//! * [`GruCell`] / [`GruEncoder`] — a GRU backbone option (the paper notes
+//!   SAM can augment "existing RNN architectures (GRU, LSTM)").
+//! * [`SpatialMemory`] — the `P × Q × d` grid memory tensor **M** (§IV-A).
+//! * [`SamLstmEncoder`] — the SAM-augmented LSTM of §IV-B/§IV-C: four
+//!   sigmoid gates (forget/input/spatial/output), tanh candidate, an
+//!   attention *read* over the `(2w+1)²` scan window and a gated sparse
+//!   *write* back into the memory.
+//! * [`Adam`] — the Adam optimizer (§V-B trains with Adam + BPTT).
+//!
+//! Design notes (mirrors `DESIGN.md` §2):
+//!
+//! * Everything is `f64`. At the scales the reproduction runs (d ≤ 128,
+//!   sequences ≤ a few hundred steps) this is fast enough on CPU, and it
+//!   makes gradient checking trustworthy.
+//! * Memory writes happen during the forward pass but gradients do **not**
+//!   flow through stored memory slots: the read matrix `G_t` is treated as
+//!   a constant. Gradients *do* flow through the attention weights into
+//!   the intermediate cell state `ĉ_t`. This matches the reference
+//!   implementation of the paper, which detaches the memory tensor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+pub mod gradcheck;
+mod gru;
+pub mod linalg;
+mod lstm;
+mod memory;
+mod sam;
+
+pub use adam::Adam;
+pub use gru::{GruCache, GruCell, GruEncoder, GruGrads};
+pub use lstm::{LstmCache, LstmCell, LstmEncoder, LstmGrads};
+pub use memory::SpatialMemory;
+pub use sam::{MemoryMode, SamCache, SamGrads, SamLstmCell, SamLstmEncoder};
+
+/// A recurrent trajectory encoder: maps a coordinate/grid-cell sequence to
+/// a fixed-size embedding (the RNN's final hidden state, §V-A) and
+/// supports backpropagation-through-time from an embedding gradient.
+pub trait Encoder {
+    /// Embedding dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Encodes a sequence of `(x, y)` inputs (grid-unit coordinates) with
+    /// optional grid cells (ignored by plain RNNs). Returns the embedding.
+    fn embed(&mut self, coords: &[(f64, f64)], cells: &[(u32, u32)]) -> Vec<f64>;
+}

@@ -1,0 +1,314 @@
+//! Dense row-major matrices and the small kernel set RNN training needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix: entries uniform in
+    /// `±sqrt(6 / (rows + cols))`. Deterministic given `seed`.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data. Panics on shape mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every entry to zero (for gradient reuse between steps).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `y = A·x` (allocates `y`). Panics when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y += A·x` into a caller-provided buffer of length `rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr += acc;
+        }
+    }
+
+    /// `y += Aᵀ·x` into a caller-provided buffer of length `cols`.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length");
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (yc, &a) in y.iter_mut().zip(row) {
+                *yc += xr * a;
+            }
+        }
+    }
+
+    /// Elementwise `self += other` (merging per-thread gradient buffers).
+    /// Panics on shape mismatch.
+    pub fn add_from(&mut self, other: &Mat) {
+        assert_eq!(self.rows, other.rows, "add_from: rows");
+        assert_eq!(self.cols, other.cols, "add_from: cols");
+        add_assign(&mut self.data, &other.data);
+    }
+
+    /// Rank-1 update `A += u·vᵀ` (gradient accumulation of linear layers).
+    pub fn outer_acc(&mut self, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "outer_acc: u length");
+        assert_eq!(v.len(), self.cols, "outer_acc: v length");
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &b) in row.iter_mut().zip(v) {
+                *a += ur * b;
+            }
+        }
+    }
+}
+
+/// `a += b` elementwise.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a += s·b` elementwise (axpy).
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// In-place numerically-stable softmax.
+pub fn softmax_inplace(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Backward of softmax: given output `y = softmax(s)` and upstream `dy`,
+/// writes `ds = y ⊙ (dy - y·dy)` into `ds`.
+pub fn softmax_backward(y: &[f64], dy: &[f64], ds: &mut [f64]) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), ds.len());
+    let ydy = dot(y, dy);
+    for i in 0..y.len() {
+        ds[i] = y[i] * (dy[i] - ydy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 3];
+        a.matvec_t_into(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut a = Mat::zeros(2, 2);
+        a.outer_acc(&[1.0, 2.0], &[3.0, 4.0]);
+        a.outer_acc(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let a = Mat::xavier(8, 8, 3);
+        let b = Mat::xavier(8, 8, 3);
+        assert_eq!(a, b);
+        let bound = (6.0 / 16.0f64).sqrt();
+        assert!(a.as_slice().iter().all(|v| v.abs() < bound));
+        assert!(a.as_slice().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 3.0]);
+        axpy(&mut a, 2.0, &[1.0, 0.0]);
+        assert_eq!(a, vec![4.0, 3.0]);
+        assert_eq!(dot(&a, &[1.0, 1.0]), 7.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn softmax_normalizes_and_is_stable() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+        // Large inputs do not overflow.
+        let mut big = vec![1000.0, 1000.0];
+        softmax_inplace(&mut big);
+        assert!((big[0] - 0.5).abs() < 1e-12);
+        // Empty input is a no-op.
+        softmax_inplace(&mut []);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let s = vec![0.3, -0.5, 1.1, 0.0];
+        let dy = vec![0.7, -0.2, 0.4, 1.3];
+        let f = |s: &[f64]| -> f64 {
+            let mut y = s.to_vec();
+            softmax_inplace(&mut y);
+            dot(&y, &dy)
+        };
+        let mut y = s.clone();
+        softmax_inplace(&mut y);
+        let mut ds = vec![0.0; 4];
+        softmax_backward(&y, &dy, &mut ds);
+        let eps = 1e-6;
+        for i in 0..4 {
+            let mut sp = s.clone();
+            let mut sm = s.clone();
+            sp[i] += eps;
+            sm[i] -= eps;
+            let num = (f(&sp) - f(&sm)) / (2.0 * eps);
+            assert!((num - ds[i]).abs() < 1e-8, "i={i}: {num} vs {}", ds[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_validates() {
+        let _ = Mat::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Standard LSTM cell and sequence encoder.
+//!
+//! Used as the backbone of the Siamese baseline and the NT-No-SAM ablation
+//! (§VII-A.3), and as the base the SAM unit extends.
+
+use crate::linalg::{sigmoid, Mat};
+use crate::Encoder;
+
+/// A standard LSTM cell with fused parameters.
+///
+/// All gate weights live in one matrix `P` of shape `(4d) × (in + d + 1)`
+/// applied to the concatenated vector `z = [x; h_{t-1}; 1]` (the trailing 1
+/// folds the bias in). Gate row order: input `i`, forget `f`, output `o`,
+/// candidate `g`.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    dim: usize,
+    in_dim: usize,
+    /// Fused weight matrix (see type docs).
+    pub p: Mat,
+}
+
+/// Gradients of an [`LstmCell`], same shapes as the parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient of the fused weight matrix.
+    pub p: Mat,
+}
+
+impl LstmGrads {
+    /// Zero gradients for `cell`.
+    pub fn zeros_like(cell: &LstmCell) -> Self {
+        Self {
+            p: Mat::zeros(cell.p.rows(), cell.p.cols()),
+        }
+    }
+
+    /// Resets all gradients to zero.
+    pub fn fill_zero(&mut self) {
+        self.p.fill_zero();
+    }
+
+    /// Accumulates another gradient buffer into this one (used to merge
+    /// per-thread partial gradients).
+    pub fn merge(&mut self, other: &LstmGrads) {
+        self.p.add_from(&other.p);
+    }
+}
+
+/// Per-step values retained for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// `z = [x; h_{t-1}; 1]`.
+    z: Vec<f64>,
+    /// Activated gates `[i, f, o, g]`, length `4d`.
+    gates: Vec<f64>,
+    /// Cell state after this step.
+    c: Vec<f64>,
+    /// `tanh(c)`.
+    tanh_c: Vec<f64>,
+}
+
+/// Forward-pass cache of a whole sequence, consumed by backward.
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+}
+
+impl LstmCell {
+    /// New cell with Xavier-initialized weights and zero biases.
+    pub fn new(in_dim: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0 && in_dim > 0);
+        let mut p = Mat::xavier(4 * dim, in_dim + dim + 1, seed);
+        // Zero the bias column; set the forget-gate bias to 1 (standard
+        // trick for gradient flow early in training).
+        let bias_col = in_dim + dim;
+        for r in 0..4 * dim {
+            *p.get_mut(r, bias_col) = 0.0;
+        }
+        for r in dim..2 * dim {
+            *p.get_mut(r, bias_col) = 1.0;
+        }
+        Self { dim, in_dim, p }
+    }
+
+    /// Hidden/cell dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.p.rows() * self.p.cols()
+    }
+
+    /// Runs the cell over `inputs` (each of length `in_dim`), returning the
+    /// final hidden state and the cache for [`Self::backward`].
+    ///
+    /// Panics when `inputs` is empty or any input has the wrong arity.
+    pub fn forward(&self, inputs: &[Vec<f64>]) -> (Vec<f64>, LstmCache) {
+        assert!(!inputs.is_empty(), "cannot encode an empty sequence");
+        let d = self.dim;
+        let zlen = self.in_dim + d + 1;
+        let mut h = vec![0.0; d];
+        let mut c = vec![0.0; d];
+        let mut cache = LstmCache {
+            steps: Vec::with_capacity(inputs.len()),
+        };
+        for x in inputs {
+            assert_eq!(x.len(), self.in_dim, "input arity");
+            let mut z = Vec::with_capacity(zlen);
+            z.extend_from_slice(x);
+            z.extend_from_slice(&h);
+            z.push(1.0);
+            let mut a = self.p.matvec(&z);
+            // Activate: [i, f, o] sigmoid; [g] tanh.
+            for v in &mut a[..3 * d] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut a[3 * d..] {
+                *v = v.tanh();
+            }
+            let (gi, gf, go, gg) = (&a[..d], &a[d..2 * d], &a[2 * d..3 * d], &a[3 * d..]);
+            let mut tanh_c = vec![0.0; d];
+            for k in 0..d {
+                c[k] = gf[k] * c[k] + gi[k] * gg[k];
+                tanh_c[k] = c[k].tanh();
+                h[k] = go[k] * tanh_c[k];
+            }
+            cache.steps.push(StepCache {
+                z,
+                gates: a,
+                c: c.clone(),
+                tanh_c,
+            });
+        }
+        (h, cache)
+    }
+
+    /// Backpropagates `d_h` (gradient w.r.t. the final hidden state)
+    /// through the cached sequence, accumulating parameter gradients into
+    /// `grads`. Returns nothing — input gradients are not needed because
+    /// trajectory coordinates are constants.
+    pub fn backward(&self, cache: &LstmCache, d_h_final: &[f64], grads: &mut LstmGrads) {
+        let d = self.dim;
+        assert_eq!(d_h_final.len(), d, "d_h arity");
+        let mut dh = d_h_final.to_vec();
+        let mut dc = vec![0.0; d];
+        let mut da = vec![0.0; 4 * d];
+        let mut dz = vec![0.0; self.in_dim + d + 1];
+        for t in (0..cache.steps.len()).rev() {
+            let step = &cache.steps[t];
+            let (gi, gf, go, gg) = (
+                &step.gates[..d],
+                &step.gates[d..2 * d],
+                &step.gates[2 * d..3 * d],
+                &step.gates[3 * d..],
+            );
+            let c_prev: Option<&[f64]> = if t > 0 {
+                Some(&cache.steps[t - 1].c)
+            } else {
+                None
+            };
+            for k in 0..d {
+                // h = o ⊙ tanh(c)
+                let d_o = dh[k] * step.tanh_c[k];
+                let d_c_total = dc[k] + dh[k] * go[k] * (1.0 - step.tanh_c[k] * step.tanh_c[k]);
+                // c = f ⊙ c_prev + i ⊙ g
+                let cp = c_prev.map_or(0.0, |c| c[k]);
+                let d_f = d_c_total * cp;
+                let d_i = d_c_total * gg[k];
+                let d_g = d_c_total * gi[k];
+                dc[k] = d_c_total * gf[k]; // becomes dc for t-1
+                da[k] = d_i * gi[k] * (1.0 - gi[k]);
+                da[d + k] = d_f * gf[k] * (1.0 - gf[k]);
+                da[2 * d + k] = d_o * go[k] * (1.0 - go[k]);
+                da[3 * d + k] = d_g * (1.0 - gg[k] * gg[k]);
+            }
+            grads.p.outer_acc(&da, &step.z);
+            dz.fill(0.0);
+            self.p.matvec_t_into(&da, &mut dz);
+            dh.copy_from_slice(&dz[self.in_dim..self.in_dim + d]);
+        }
+    }
+}
+
+/// Sequence encoder over an [`LstmCell`]: coordinates in, embedding out.
+#[derive(Debug, Clone)]
+pub struct LstmEncoder {
+    /// The underlying cell (public for optimizer access).
+    pub cell: LstmCell,
+}
+
+impl LstmEncoder {
+    /// New encoder for 2-D coordinate inputs.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self {
+            cell: LstmCell::new(2, dim, seed),
+        }
+    }
+
+    /// Encodes a coordinate sequence, returning embedding + cache.
+    pub fn forward(&self, coords: &[(f64, f64)]) -> (Vec<f64>, LstmCache) {
+        let inputs: Vec<Vec<f64>> = coords.iter().map(|&(x, y)| vec![x, y]).collect();
+        self.cell.forward(&inputs)
+    }
+
+    /// See [`LstmCell::backward`].
+    pub fn backward(&self, cache: &LstmCache, d_h: &[f64], grads: &mut LstmGrads) {
+        self.cell.backward(cache, d_h, grads);
+    }
+}
+
+impl Encoder for LstmEncoder {
+    fn dim(&self) -> usize {
+        self.cell.dim()
+    }
+
+    fn embed(&mut self, coords: &[(f64, f64)], _cells: &[(u32, u32)]) -> Vec<f64> {
+        self.forward(coords).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradient;
+    use crate::linalg::dot;
+
+    fn toy_inputs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.5, -0.2],
+            vec![1.0, 0.3],
+            vec![-0.4, 0.8],
+            vec![0.1, 0.1],
+        ]
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let cell = LstmCell::new(2, 8, 42);
+        let (h1, cache) = cell.forward(&toy_inputs());
+        let (h2, _) = cell.forward(&toy_inputs());
+        assert_eq!(h1.len(), 8);
+        assert_eq!(cache.steps.len(), 4);
+        assert_eq!(h1, h2);
+        assert!(h1.iter().any(|v| *v != 0.0));
+        assert!(h1.iter().all(|v| v.abs() <= 1.0)); // h = o·tanh(c) ∈ (-1,1)
+    }
+
+    #[test]
+    fn different_sequences_embed_differently() {
+        let cell = LstmCell::new(2, 8, 1);
+        let (h1, _) = cell.forward(&toy_inputs());
+        let mut other = toy_inputs();
+        other[2] = vec![5.0, -5.0];
+        let (h2, _) = cell.forward(&other);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let cell = LstmCell::new(2, 4, 0);
+        let _ = cell.forward(&[]);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let cell = LstmCell::new(2, 4, 9);
+        let bias_col = 2 + 4;
+        for r in 4..8 {
+            assert_eq!(cell.p.get(r, bias_col), 1.0);
+        }
+        for r in 0..4 {
+            assert_eq!(cell.p.get(r, bias_col), 0.0);
+        }
+    }
+
+    /// The critical test: BPTT gradients match finite differences on a
+    /// scalar objective `w · h_T`.
+    #[test]
+    fn grad_check_full_bptt() {
+        let d = 5;
+        let cell = LstmCell::new(2, d, 7);
+        let inputs = toy_inputs();
+        let w: Vec<f64> = (0..d).map(|i| 0.3 + 0.1 * i as f64).collect();
+
+        let (h, cache) = cell.forward(&inputs);
+        assert_eq!(h.len(), d);
+        let mut grads = LstmGrads::zeros_like(&cell);
+        cell.backward(&cache, &w, &mut grads);
+
+        let analytic = grads.p.as_slice().to_vec();
+        let in_dim = 2;
+        let dim = d;
+        let rows = 4 * dim;
+        let cols = in_dim + dim + 1;
+        let mut params = cell.p.as_slice().to_vec();
+        check_gradient(&mut params, &analytic, 1e-6, 1e-6, |p| {
+            let mut probe = LstmCell::new(in_dim, dim, 0);
+            probe.p = Mat::from_vec(rows, cols, p.to_vec());
+            let (h, _) = probe.forward(&inputs);
+            dot(&w, &h)
+        });
+    }
+
+    #[test]
+    fn grad_check_single_step() {
+        // Degenerate one-step sequence exercises the t == 0 path (c_prev = 0).
+        let d = 4;
+        let cell = LstmCell::new(2, d, 3);
+        let inputs = vec![vec![0.7, -0.9]];
+        let w = vec![1.0, -0.5, 0.25, 2.0];
+        let (_, cache) = cell.forward(&inputs);
+        let mut grads = LstmGrads::zeros_like(&cell);
+        cell.backward(&cache, &w, &mut grads);
+        let analytic = grads.p.as_slice().to_vec();
+        let mut params = cell.p.as_slice().to_vec();
+        check_gradient(&mut params, &analytic, 1e-6, 1e-6, |p| {
+            let mut probe = LstmCell::new(2, d, 0);
+            probe.p = Mat::from_vec(4 * d, 2 + d + 1, p.to_vec());
+            let (h, _) = probe.forward(&inputs);
+            dot(&w, &h)
+        });
+    }
+
+    #[test]
+    fn encoder_trait_impl() {
+        let mut enc = LstmEncoder::new(6, 11);
+        let coords = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)];
+        let e = enc.embed(&coords, &[]);
+        assert_eq!(e.len(), 6);
+        assert_eq!(Encoder::dim(&enc), 6);
+    }
+}

@@ -1,0 +1,168 @@
+//! The spatial memory tensor **M** (§IV-A).
+
+/// A `P × Q × d` grid-cell memory: each cell of the spatial grid owns a
+/// `d`-dimensional embedding that accumulates information from every
+/// trajectory that passed through it.
+///
+/// All slots are zero-initialized ("all grid cell embeddings are
+/// initialized with 0 before training", §IV-A). The *writer* updates a
+/// slot as a gated interpolation; the *reader* gathers the `(2w+1)²` scan
+/// window around a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialMemory {
+    cols: usize,
+    rows: usize,
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl SpatialMemory {
+    /// Creates a zeroed memory for a `cols × rows` grid with `dim`-sized
+    /// slots.
+    pub fn new(cols: usize, rows: usize, dim: usize) -> Self {
+        assert!(cols > 0 && rows > 0 && dim > 0, "degenerate memory shape");
+        Self {
+            cols,
+            rows,
+            dim,
+            data: vec![0.0; cols * rows * dim],
+        }
+    }
+
+    /// Grid width `P`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height `Q`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Slot dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Zeroes every slot (fresh training run).
+    pub fn reset(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    #[inline]
+    fn offset(&self, col: u32, row: u32) -> usize {
+        debug_assert!((col as usize) < self.cols && (row as usize) < self.rows);
+        (row as usize * self.cols + col as usize) * self.dim
+    }
+
+    /// The embedding slot of cell `(col, row)`.
+    #[inline]
+    pub fn slot(&self, col: u32, row: u32) -> &[f64] {
+        let o = self.offset(col, row);
+        &self.data[o..o + self.dim]
+    }
+
+    /// Cells of the scan window of half-width `w` around `(col, row)`,
+    /// clipped to the grid, in row-major order (§IV-C.1).
+    pub fn window(&self, col: u32, row: u32, w: u32) -> Vec<(u32, u32)> {
+        let c0 = col.saturating_sub(w);
+        let c1 = (col + w).min(self.cols as u32 - 1);
+        let r0 = row.saturating_sub(w);
+        let r1 = (row + w).min(self.rows as u32 - 1);
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.push((c, r));
+            }
+        }
+        out
+    }
+
+    /// Gathers the window slots into a flat `K × dim` row-major buffer
+    /// (the matrix `G_t` of §IV-C.1). Returns the buffer and `K`.
+    pub fn gather(&self, col: u32, row: u32, w: u32) -> (Vec<f64>, usize) {
+        let cells = self.window(col, row, w);
+        let mut g = Vec::with_capacity(cells.len() * self.dim);
+        for (c, r) in &cells {
+            g.extend_from_slice(self.slot(*c, *r));
+        }
+        let k = cells.len();
+        (g, k)
+    }
+
+    /// The writer (§IV-C.2): `M(cell) ← w ⊙ value + (1 - w) ⊙ M(cell)`
+    /// with a per-dimension interpolation weight `w ∈ [0, 1]`.
+    pub fn write(&mut self, col: u32, row: u32, weight: &[f64], value: &[f64]) {
+        assert_eq!(weight.len(), self.dim, "write weight arity");
+        assert_eq!(value.len(), self.dim, "write value arity");
+        let o = self.offset(col, row);
+        let slot = &mut self.data[o..o + self.dim];
+        for k in 0..self.dim {
+            debug_assert!((0.0..=1.0).contains(&weight[k]), "weight out of range");
+            slot[k] = weight[k] * value[k] + (1.0 - weight[k]) * slot[k];
+        }
+    }
+
+    /// Fraction of slots that have been written to (any non-zero entry).
+    /// Useful diagnostics for how much of the city the training data covers.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.cols * self.rows;
+        let occupied = (0..total)
+            .filter(|i| {
+                self.data[i * self.dim..(i + 1) * self.dim]
+                    .iter()
+                    .any(|v| *v != 0.0)
+            })
+            .count();
+        occupied as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = SpatialMemory::new(4, 3, 2);
+        assert!(m.slot(0, 0).iter().all(|v| *v == 0.0));
+        assert_eq!(m.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn write_interpolates() {
+        let mut m = SpatialMemory::new(2, 2, 2);
+        m.write(1, 0, &[1.0, 0.5], &[10.0, 10.0]);
+        assert_eq!(m.slot(1, 0), &[10.0, 5.0]);
+        m.write(1, 0, &[0.5, 0.0], &[0.0, 99.0]);
+        assert_eq!(m.slot(1, 0), &[5.0, 5.0]);
+        assert_eq!(m.occupancy(), 0.25);
+    }
+
+    #[test]
+    fn window_clips_at_borders() {
+        let m = SpatialMemory::new(5, 4, 1);
+        assert_eq!(m.window(2, 2, 1).len(), 9);
+        assert_eq!(m.window(0, 0, 1).len(), 4);
+        assert_eq!(m.window(4, 3, 2).len(), 9); // 3 x 3 corner clip
+        assert_eq!(m.window(2, 2, 0), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn gather_layout_matches_window() {
+        let mut m = SpatialMemory::new(3, 3, 2);
+        m.write(1, 1, &[1.0, 1.0], &[7.0, 8.0]);
+        let (g, k) = m.gather(0, 0, 1);
+        assert_eq!(k, 4); // cells (0,0),(1,0),(0,1),(1,1)
+        assert_eq!(&g[6..8], &[7.0, 8.0]); // last window cell is (1,1)
+        assert!(g[..6].iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = SpatialMemory::new(2, 2, 3);
+        m.write(0, 1, &[1.0; 3], &[1.0, 2.0, 3.0]);
+        m.reset();
+        assert_eq!(m.occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Corpus statistics, used for workload validation and reports.
+
+use crate::Dataset;
+
+/// Summary statistics of a trajectory corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of trajectories.
+    pub count: usize,
+    /// Total number of points across the corpus.
+    pub total_points: usize,
+    /// Minimum trajectory length (points).
+    pub min_len: usize,
+    /// Maximum trajectory length (points).
+    pub max_len: usize,
+    /// Mean trajectory length (points).
+    pub mean_len: f64,
+    /// Median trajectory length (points).
+    pub median_len: usize,
+    /// Mean polyline length, coordinate units.
+    pub mean_path_length: f64,
+    /// Mean spacing between consecutive fixes, coordinate units.
+    pub mean_fix_spacing: f64,
+}
+
+impl CorpusStats {
+    /// Computes statistics over `ds`. Returns `None` for an empty corpus.
+    pub fn compute(ds: &Dataset) -> Option<CorpusStats> {
+        if ds.is_empty() {
+            return None;
+        }
+        let mut lens: Vec<usize> = ds.trajectories().iter().map(|t| t.len()).collect();
+        lens.sort_unstable();
+        let total_points: usize = lens.iter().sum();
+        let mut path_sum = 0.0;
+        let mut seg_count = 0usize;
+        for t in ds.trajectories() {
+            path_sum += t.path_length();
+            seg_count += t.len().saturating_sub(1);
+        }
+        Some(CorpusStats {
+            count: ds.len(),
+            total_points,
+            min_len: lens[0],
+            max_len: *lens.last().expect("non-empty"),
+            mean_len: total_points as f64 / ds.len() as f64,
+            median_len: lens[lens.len() / 2],
+            mean_path_length: path_sum / ds.len() as f64,
+            mean_fix_spacing: if seg_count > 0 {
+                path_sum / seg_count as f64
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} trajectories, {} points, len [{}..{}] mean {:.1} median {}, \
+             mean path {:.1}, mean fix spacing {:.1}",
+            self.count,
+            self.total_points,
+            self.min_len,
+            self.max_len,
+            self.mean_len,
+            self.median_len,
+            self.mean_path_length,
+            self.mean_fix_spacing
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Trajectory};
+
+    #[test]
+    fn empty_corpus_yields_none() {
+        assert!(CorpusStats::compute(&Dataset::default()).is_none());
+    }
+
+    #[test]
+    fn stats_on_known_corpus() {
+        let ds = Dataset::new(vec![
+            Trajectory::new_unchecked(
+                0,
+                vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)], // path 5
+            ),
+            Trajectory::new_unchecked(
+                1,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                    Point::new(2.0, 0.0),
+                    Point::new(3.0, 0.0),
+                ], // path 3
+            ),
+        ]);
+        let s = CorpusStats::compute(&ds).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_points, 6);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 4);
+        assert_eq!(s.mean_len, 3.0);
+        assert_eq!(s.median_len, 4);
+        assert_eq!(s.mean_path_length, 4.0);
+        assert_eq!(s.mean_fix_spacing, 2.0);
+        let text = s.to_string();
+        assert!(text.contains("2 trajectories"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Trajectory clustering with learned similarities — the paper's
+//! motivating "tasks that require the distances between all trajectory
+//! pairs" (§I): computing all-pairs exact distances is quadratic in both
+//! corpus size and trajectory length; NeuTraj replaces the inner quadratic
+//! with an O(L) embedding, then DBSCAN runs over cheap embedding
+//! distances.
+//!
+//! ```text
+//! cargo run --release --example clustering
+//! ```
+
+use neutraj::cluster::{compare_clusterings, num_clusters, DbscanParams};
+use neutraj::nn::linalg::euclidean;
+use neutraj::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let corpus = GeolifeLikeGenerator {
+        num_trajectories: 300,
+        num_templates: 12, // few templates => clear cluster structure
+        ..Default::default()
+    }
+    .generate(99);
+    let trajs = corpus.trajectories();
+    let grid = Grid::covering(trajs, 50.0).expect("non-empty corpus");
+    let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+
+    // Ground truth: exact all-pairs Fréchet (the expensive way).
+    println!("computing exact all-pairs Frechet distances ({} trajectories)...", trajs.len());
+    let t0 = Instant::now();
+    let exact = DistanceMatrix::compute_parallel(&DiscreteFrechet, &rescaled, 4);
+    let t_exact = t0.elapsed().as_secs_f64();
+
+    // Learned: train on 25% seeds, embed everything, all-pairs in O(N² d).
+    let n_seeds = trajs.len() / 4;
+    let seeds: Vec<Trajectory> = trajs[..n_seeds].to_vec();
+    let seed_dist = DistanceMatrix::compute_parallel(
+        &DiscreteFrechet,
+        &rescaled[..n_seeds],
+        4,
+    );
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 8,
+        ..TrainConfig::neutraj()
+    };
+    let (model, _) = Trainer::new(cfg, grid).fit(&seeds, &seed_dist, |_| {});
+
+    let t0 = Instant::now();
+    let store = EmbeddingStore::build(&model, trajs, 4);
+    let n = trajs.len();
+    let mut emb = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            emb[i * n + j] = euclidean(store.get(i), store.get(j));
+        }
+    }
+    let t_emb = t0.elapsed().as_secs_f64();
+    let emb = DistanceMatrix::from_raw(n, emb);
+    // Bring embedding distances onto the exact scale for a shared eps.
+    let scale = exact.mean_finite() / emb.mean_finite().max(1e-12);
+    let emb = DistanceMatrix::from_raw(n, (0..n * n).map(|i| emb.row(i / n)[i % n] * scale).collect());
+
+    println!(
+        "all-pairs time: exact {t_exact:.2}s vs embed+scan {t_emb:.2}s ({:.0}x)\n",
+        t_exact / t_emb.max(1e-9)
+    );
+
+    println!("eps      #clusters(exact)  #clusters(learned)  V-measure  ARI");
+    for frac in [0.05, 0.1, 0.2, 0.3] {
+        let eps = exact.mean_finite() * frac;
+        let (a, b, agree) = compare_clusterings(
+            &exact,
+            &emb,
+            DbscanParams { eps, min_pts: 10 },
+        );
+        println!(
+            "{eps:>7.2}  {:>16}  {:>18}  {:>9.3}  {:.3}",
+            num_clusters(&a),
+            num_clusters(&b),
+            agree.v_measure,
+            agree.ari
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Deployment lifecycle: train once, save the model, reload it in a
+//! fresh process, and serve an incrementally growing database — the
+//! "embeddings only need to be computed once" workflow of §VI-A.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use neutraj::model::SimilarityDb;
+use neutraj::prelude::*;
+
+fn main() {
+    let corpus = PortoLikeGenerator {
+        num_trajectories: 300,
+        ..Default::default()
+    }
+    .generate(31);
+    let trajs = corpus.trajectories().to_vec();
+    let grid = Grid::covering(&trajs, 50.0).expect("non-empty corpus");
+
+    // Offline phase: seed distances + training, then save.
+    let seeds = &trajs[..80];
+    let rescaled: Vec<Trajectory> = seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
+    let dist = DistanceMatrix::compute_parallel(&DiscreteFrechet, &rescaled, 4);
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 8,
+        ..TrainConfig::neutraj()
+    };
+    let (model, _) = Trainer::new(cfg, grid).fit(seeds, &dist, |_| {});
+    let path = std::env::temp_dir().join("neutraj_example_model.ntm");
+    model.save(&path).expect("save model");
+    println!(
+        "saved trained model ({} parameters) to {}",
+        model.backbone().num_params(),
+        path.display()
+    );
+
+    // Online phase (fresh process in real life): load + serve.
+    let model = NeuTrajModel::load(&path).expect("load model");
+    let mut db = SimilarityDb::with_corpus(model, trajs[80..250].to_vec(), 4);
+    println!("database loaded with {} trajectories", db.len());
+
+    // New trajectories arrive one by one — O(L) insert each.
+    for t in &trajs[250..] {
+        db.insert(t.clone());
+    }
+    println!("after streaming inserts: {} trajectories", db.len());
+
+    // Ad-hoc query with exact re-ranking of the learned shortlist.
+    let query = &trajs[0]; // not in the db
+    let top = db.knn_reranked(query, &DiscreteFrechet, 50, 5);
+    println!("\ntop-5 for an unseen query (exact-reranked Frechet, grid units):");
+    for n in &top {
+        println!(
+            "  T{:<6} exact dist {:>8.2}   learned g = {:.4}",
+            db.get(n.index).expect("in range").id,
+            n.dist,
+            neutraj::model::pair_similarity(db.embedding(n.index), &db.model().embed(query)),
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

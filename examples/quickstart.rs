@@ -1,0 +1,75 @@
+//! Quickstart: train NeuTraj on a small taxi corpus and answer top-k
+//! similarity queries in linear time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neutraj::prelude::*;
+
+fn main() {
+    // 1. A corpus. Real deployments load GPS data via `trajectory::io`;
+    //    here we synthesize 500 Porto-like taxi trips.
+    let corpus = PortoLikeGenerator {
+        num_trajectories: 500,
+        ..Default::default()
+    }
+    .generate(2019);
+    println!(
+        "corpus: {}",
+        neutraj::trajectory::stats::CorpusStats::compute(&corpus).expect("non-empty")
+    );
+
+    // 2. Spatial grid (50 m cells, as in the paper) and a 20% seed pool.
+    let grid = Grid::covering(corpus.trajectories(), 50.0).expect("corpus covers an area");
+    let split = corpus.split(SplitRatios::PAPER, 7).expect("valid ratios");
+    let seeds: Vec<Trajectory> = split
+        .train
+        .iter()
+        .map(|&i| corpus.trajectories()[i].clone())
+        .collect();
+
+    // 3. Seed guidance: exact pairwise Hausdorff distances, computed on
+    //    grid-unit coordinates so training scales are measure-independent.
+    let seeds_rescaled: Vec<Trajectory> =
+        seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
+    println!("computing {}x{} seed distance matrix...", seeds.len(), seeds.len());
+    let dist = DistanceMatrix::compute_parallel(&Hausdorff, &seeds_rescaled, 4);
+
+    // 4. Train.
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 8,
+        ..TrainConfig::neutraj()
+    };
+    println!("training NeuTraj (d=32, 8 epochs)...");
+    let (model, report) = Trainer::new(cfg, grid.clone()).fit(&seeds, &dist, |e| {
+        println!("  epoch {:>2}: loss {:.5} ({:.2}s)", e.epoch + 1, e.loss, e.seconds);
+    });
+    println!("alpha = {:.4}, final loss = {:.5}", report.alpha, report.epoch_losses.last().unwrap());
+
+    // 5. Embed the whole database once (O(L) each), then answer queries.
+    let db: Vec<Trajectory> = split
+        .test
+        .iter()
+        .map(|&i| corpus.trajectories()[i].clone())
+        .collect();
+    let store = EmbeddingStore::build(&model, &db, 4);
+    let query = &db[0];
+    println!("\ntop-5 most similar to T{} ({} points):", query.id, query.len());
+    let top = store.knn(store.get(0), 6); // includes self at rank 0
+    for n in top.iter().skip(1) {
+        let exact = Hausdorff.dist(
+            grid.rescale_trajectory(query).points(),
+            grid.rescale_trajectory(&db[n.index]).points(),
+        ) * grid.cell_size();
+        println!(
+            "  T{:<6} embedding-dist {:.4}  exact Hausdorff {:>7.1} m",
+            db[n.index].id, n.dist, exact
+        );
+    }
+
+    // 6. Ad-hoc pair similarity (the O(L) primitive).
+    let g = model.similarity(&db[1], &db[2]);
+    println!("\nsimilarity g(T{}, T{}) = {:.4}", db[1].id, db[2].id, g);
+}

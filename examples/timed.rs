@@ -1,0 +1,126 @@
+//! Time-aware similarity (the paper's future-work direction): timed
+//! trajectories, the Synchronized Euclidean Distance, and NeuTraj trained
+//! to approximate a time-respecting measure via clock synchronization.
+//!
+//! ```text
+//! cargo run --release --example timed
+//! ```
+
+use neutraj::measures::timed::Sed;
+use neutraj::prelude::*;
+use neutraj::trajectory::timed::{synchronize, TimedTrajectory};
+
+/// Lockstep measure over clock-synchronized trajectories: point `k` of
+/// both inputs corresponds to elapsed time `k·dt`, so the mean pairwise
+/// distance over the common prefix *is* a synchronized Euclidean
+/// distance, unmatched tail charged at the last shared position.
+struct LockstepSed;
+
+impl Measure for LockstepSed {
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let common = a.len().min(b.len());
+        let mut sum = 0.0;
+        for k in 0..common {
+            sum += a[k].dist(&b[k]);
+        }
+        // Tail: the shorter object has stopped; charge distance to its
+        // final position.
+        let (longer, last) = if a.len() >= b.len() {
+            (&a[common..], b[common - 1])
+        } else {
+            (&b[common..], a[common - 1])
+        };
+        for p in longer {
+            sum += p.dist(&last);
+        }
+        sum / a.len().max(b.len()) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "LockstepSED"
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+fn main() {
+    // Build a timed corpus: taxi paths with per-trip speeds, so two trips
+    // on the same road at different speeds are spatially identical but
+    // temporally different.
+    let base = PortoLikeGenerator {
+        num_trajectories: 300,
+        ..Default::default()
+    }
+    .generate(77);
+    let timed: Vec<TimedTrajectory> = base
+        .trajectories()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let speed = 6.0 + (i % 7) as f64 * 2.0; // 6..18 m/s
+            TimedTrajectory::from_trajectory(t, speed, 0.0).expect("valid")
+        })
+        .collect();
+
+    // Exact SED demonstration: same path, different speed.
+    let fast = TimedTrajectory::from_trajectory(&base.trajectories()[0], 18.0, 0.0).unwrap();
+    let slow = TimedTrajectory::from_trajectory(&base.trajectories()[0], 6.0, 0.0).unwrap();
+    println!(
+        "same path, different speed: SED = {:.1} m (a shape measure sees 0)",
+        Sed::new(64).dist(&fast, &slow)
+    );
+
+    // Synchronize onto a 15 s clock (Porto's sampling period) and train
+    // NeuTraj on the lockstep SED — no pipeline changes needed.
+    let sync = synchronize(&timed, 15.0);
+    println!(
+        "synchronized corpus: {} trajectories, mean len {:.0} ticks",
+        sync.len(),
+        sync.iter().map(|t| t.len() as f64).sum::<f64>() / sync.len() as f64
+    );
+    let grid = Grid::covering(&sync, 50.0).expect("non-empty corpus");
+    let n_seeds = 80;
+    let rescaled: Vec<Trajectory> = sync.iter().map(|t| grid.rescale_trajectory(t)).collect();
+    let dist = DistanceMatrix::compute_parallel(&LockstepSed, &rescaled[..n_seeds], 4);
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 8,
+        ..TrainConfig::neutraj()
+    };
+    println!("training NeuTraj on {} under LockstepSED...", LockstepSed.name());
+    let (model, _) = Trainer::new(cfg, grid).fit(&sync[..n_seeds], &dist, |_| {});
+
+    // Evaluate HR@10 against exact SED ground truth on held-out data.
+    let db = &sync[n_seeds..];
+    let db_rescaled = &rescaled[n_seeds..];
+    let store = EmbeddingStore::build(&model, db, 4);
+    let mut hits = 0;
+    let mut total = 0;
+    for q in 0..20 {
+        let exact: Vec<f64> = db_rescaled
+            .iter()
+            .map(|t| LockstepSed.dist(db_rescaled[q].points(), t.points()))
+            .collect();
+        let mut truth: Vec<usize> = (0..db.len()).filter(|&i| i != q).collect();
+        truth.sort_by(|&x, &y| exact[x].partial_cmp(&exact[y]).expect("finite"));
+        let learned: Vec<usize> = store
+            .knn(store.get(q), 11)
+            .into_iter()
+            .map(|n| n.index)
+            .filter(|&i| i != q)
+            .take(10)
+            .collect();
+        hits += learned.iter().filter(|i| truth[..10].contains(i)).count();
+        total += 10;
+    }
+    println!(
+        "HR@10 on the time-aware measure: {:.3} (chance {:.3})",
+        hits as f64 / total as f64,
+        10.0 / (db.len() - 1) as f64
+    );
+}

@@ -1,0 +1,261 @@
+//! `neutraj` — command-line interface to NeuTraj-RS.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! neutraj generate --kind porto --n 2000 --seed 1 --out corpus.csv
+//! neutraj stats    --data corpus.csv
+//! neutraj train    --data corpus.csv --measure frechet --seeds 400 \
+//!                  --dim 64 --epochs 15 --out model.ntm
+//! neutraj embed    --model model.ntm --data corpus.csv --out embeddings.csv
+//! neutraj knn      --model model.ntm --data corpus.csv --query 17 --k 10 [--rerank]
+//! ```
+//!
+//! Trajectory CSV format: one line per trajectory, `id,x0,y0,x1,y1,...`
+//! (see `neutraj::trajectory::io`).
+
+use neutraj::prelude::*;
+use neutraj::trajectory::io;
+use neutraj::trajectory::stats::CorpusStats;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "train" => cmd_train(&flags),
+        "embed" => cmd_embed(&flags),
+        "knn" => cmd_knn(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "neutraj — linear-time trajectory similarity (NeuTraj, ICDE'19)
+
+USAGE:
+  neutraj generate --kind porto|geolife --n N [--seed S] --out FILE.csv
+  neutraj stats    --data FILE.csv
+  neutraj train    --data FILE.csv --measure frechet|hausdorff|erp|dtw
+                   [--seeds N] [--dim D] [--epochs E] [--cell-size M]
+                   [--seed S] [--threads T] --out MODEL.ntm
+  neutraj embed    --model MODEL.ntm --data FILE.csv --out EMB.csv
+  neutraj knn      --model MODEL.ntm --data FILE.csv --query ID --k K
+                   [--measure M --rerank]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {a}"));
+        };
+        // Boolean flags take no value.
+        if name == "rerank" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let v = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn opt_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+    }
+}
+
+fn load_corpus(flags: &Flags) -> Result<Dataset, String> {
+    let path = req(flags, "data")?;
+    io::read_csv_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let kind = req(flags, "kind")?;
+    let n: usize = opt_parse(flags, "n", 1000)?;
+    let seed: u64 = opt_parse(flags, "seed", 2019)?;
+    let out = req(flags, "out")?;
+    let ds = match kind {
+        "porto" => PortoLikeGenerator {
+            num_trajectories: n,
+            ..Default::default()
+        }
+        .generate(seed),
+        "geolife" => GeolifeLikeGenerator {
+            num_trajectories: n,
+            ..Default::default()
+        }
+        .generate(seed),
+        other => return Err(format!("unknown dataset kind: {other} (porto|geolife)")),
+    };
+    io::write_csv_file(&ds, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} trajectories to {out}", ds.len());
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let ds = load_corpus(flags)?;
+    match CorpusStats::compute(&ds) {
+        Some(s) => println!("{s}"),
+        None => println!("empty corpus"),
+    }
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let ds = load_corpus(flags)?;
+    if ds.is_empty() {
+        return Err("corpus is empty".into());
+    }
+    let measure_kind: MeasureKind = req(flags, "measure")?.parse()?;
+    let n_seeds: usize = opt_parse(flags, "seeds", (ds.len() / 5).max(2))?;
+    let dim: usize = opt_parse(flags, "dim", 64)?;
+    let epochs: usize = opt_parse(flags, "epochs", 15)?;
+    let cell_size: f64 = opt_parse(flags, "cell-size", 50.0)?;
+    let seed: u64 = opt_parse(flags, "seed", 2019)?;
+    let threads: usize = opt_parse(flags, "threads", default_threads())?;
+    let out = req(flags, "out")?;
+
+    let grid =
+        Grid::covering(ds.trajectories(), cell_size).map_err(|e| format!("grid: {e}"))?;
+    let seed_idx = ds.sample_indices(n_seeds, seed);
+    let seeds: Vec<Trajectory> = seed_idx
+        .iter()
+        .map(|&i| ds.trajectories()[i].clone())
+        .collect();
+    let rescaled: Vec<Trajectory> = seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
+    eprintln!(
+        "computing {}x{} seed {} distances on {threads} threads...",
+        seeds.len(),
+        seeds.len(),
+        measure_kind
+    );
+    let measure = measure_kind.measure();
+    let dist = DistanceMatrix::compute_parallel(&*measure, &rescaled, threads);
+    let cfg = TrainConfig {
+        dim,
+        epochs,
+        seed,
+        ..TrainConfig::neutraj()
+    };
+    eprintln!("training NeuTraj (d={dim}, {epochs} epochs)...");
+    let (model, report) = Trainer::new(cfg, grid).with_threads(threads).fit(&seeds, &dist, |e| {
+        eprintln!(
+            "  epoch {:>3}: loss {:.6} ({:.1}s)",
+            e.epoch + 1,
+            e.loss,
+            e.seconds
+        );
+    });
+    model.save(out).map_err(|e| format!("saving {out}: {e}"))?;
+    println!(
+        "saved model to {out} (alpha {:.5}, final loss {:.6})",
+        report.alpha,
+        report.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn cmd_embed(flags: &Flags) -> Result<(), String> {
+    let model = NeuTrajModel::load(req(flags, "model")?).map_err(|e| e.to_string())?;
+    let ds = load_corpus(flags)?;
+    let out = req(flags, "out")?;
+    let threads: usize = opt_parse(flags, "threads", default_threads())?;
+    let embs = model.embed_all(ds.trajectories(), threads);
+    let mut text = String::new();
+    for (t, e) in ds.trajectories().iter().zip(&embs) {
+        text.push_str(&t.id.to_string());
+        for v in e {
+            text.push(',');
+            text.push_str(&format!("{v}"));
+        }
+        text.push('\n');
+    }
+    std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("embedded {} trajectories (d={}) -> {out}", ds.len(), model.dim());
+    Ok(())
+}
+
+fn cmd_knn(flags: &Flags) -> Result<(), String> {
+    let model = NeuTrajModel::load(req(flags, "model")?).map_err(|e| e.to_string())?;
+    let ds = load_corpus(flags)?;
+    let query_id: u64 = req(flags, "query")?
+        .parse()
+        .map_err(|_| "bad --query id".to_string())?;
+    let k: usize = opt_parse(flags, "k", 10)?;
+    let threads: usize = opt_parse(flags, "threads", default_threads())?;
+    let rerank = flags.contains_key("rerank");
+
+    let trajs = ds.trajectories();
+    let q_pos = trajs
+        .iter()
+        .position(|t| t.id == query_id)
+        .ok_or_else(|| format!("query id {query_id} not in corpus"))?;
+    let store = EmbeddingStore::build(&model, trajs, threads);
+    let results = if rerank {
+        let kind: MeasureKind = req(flags, "measure")?.parse()?;
+        let measure = kind.measure();
+        // Compare in grid units (the model's training scale).
+        let grid = model.grid();
+        let rescaled: Vec<Trajectory> =
+            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        store.knn_reranked(
+            store.get(q_pos),
+            &rescaled[q_pos],
+            &rescaled,
+            &*measure,
+            (k + 1).max(50),
+            k + 1,
+        )
+    } else {
+        store.knn(store.get(q_pos), k + 1)
+    };
+    println!("top-{k} similar to T{query_id}:");
+    for n in results.iter().filter(|n| n.index != q_pos).take(k) {
+        println!("  T{:<8} dist {:.5}", trajs[n.index].id, n.dist);
+    }
+    Ok(())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration tests: the full paper pipeline (generate →
+//! split → seed distances → train → embed → search) across crates.
+
+use neutraj::eval::harness::{
+    build_ap_for_world, default_threads, model_rankings, DatasetKind, ExperimentWorld,
+    GroundTruth, WorldConfig,
+};
+use neutraj::prelude::*;
+
+fn world(size: usize, seed: u64) -> ExperimentWorld {
+    ExperimentWorld::build(WorldConfig {
+        size,
+        seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    })
+}
+
+fn hr10_of(
+    world: &ExperimentWorld,
+    kind: MeasureKind,
+    cfg: TrainConfig,
+    gt: &GroundTruth,
+) -> f64 {
+    let measure = kind.measure();
+    let (model, _) = world.train(&*measure, cfg);
+    let db = world.test_db();
+    let rankings = model_rankings(&model, &db, &gt.queries, default_threads());
+    gt.evaluate(&rankings).hr10
+}
+
+#[test]
+fn neutraj_beats_chance_and_ap_on_hausdorff() {
+    let w = world(220, 31);
+    let kind = MeasureKind::Hausdorff;
+    let db_rescaled = w.test_db_rescaled();
+    let queries = w.query_positions(12);
+    let gt = GroundTruth::compute(&*kind.measure(), &db_rescaled, &queries, default_threads());
+
+    let cfg = TrainConfig {
+        dim: 24,
+        epochs: 14,
+        n_samples: 8,
+        ..TrainConfig::neutraj()
+    };
+    let neutraj_hr = hr10_of(&w, kind, cfg, &gt);
+
+    let ap = build_ap_for_world(kind, &db_rescaled, 31).expect("Hausdorff AP");
+    let ap_rankings = neutraj::eval::harness::ap_rankings(ap.as_ref(), &db_rescaled, &queries);
+    let ap_hr = gt.evaluate(&ap_rankings).hr10;
+
+    let chance = 10.0 / (db_rescaled.len() - 1) as f64;
+    assert!(
+        neutraj_hr > 2.0 * chance,
+        "NeuTraj HR@10 {neutraj_hr:.3} not above chance {chance:.3}"
+    );
+    assert!(
+        neutraj_hr > ap_hr,
+        "NeuTraj HR@10 {neutraj_hr:.3} did not beat AP {ap_hr:.3}"
+    );
+}
+
+#[test]
+fn pipeline_works_on_every_paper_measure() {
+    let w = world(150, 17);
+    let queries = w.query_positions(6);
+    let db_rescaled = w.test_db_rescaled();
+    let chance = 10.0 / (db_rescaled.len() - 1) as f64;
+    for kind in MeasureKind::ALL {
+        let gt = GroundTruth::compute(&*kind.measure(), &db_rescaled, &queries, default_threads());
+        let cfg = TrainConfig {
+            dim: 16,
+            epochs: 6,
+            n_samples: 5,
+            ..TrainConfig::neutraj()
+        };
+        let hr = hr10_of(&w, kind, cfg, &gt);
+        assert!(
+            hr > 1.5 * chance,
+            "{kind}: HR@10 {hr:.3} vs chance {chance:.3}"
+        );
+    }
+}
+
+#[test]
+fn reranking_improves_or_preserves_top10_quality() {
+    // The paper's protocol: re-rank the learned top-50 by exact distance.
+    // δ of the re-ranked list (δ_R10) must be ≤ δ of the raw list (δ_H10).
+    let w = world(200, 5);
+    let kind = MeasureKind::Frechet;
+    let db_rescaled = w.test_db_rescaled();
+    let queries = w.query_positions(10);
+    let gt = GroundTruth::compute(&*kind.measure(), &db_rescaled, &queries, default_threads());
+    let cfg = TrainConfig {
+        dim: 16,
+        epochs: 6,
+        ..TrainConfig::neutraj()
+    };
+    let measure = kind.measure();
+    let (model, _) = w.train(&*measure, cfg);
+    let db = w.test_db();
+    let rankings = model_rankings(&model, &db, &queries, default_threads());
+    let q = gt.evaluate(&rankings);
+    assert!(
+        q.delta_r10 <= q.delta_h10 + 1e-9,
+        "re-ranked distortion {} worse than raw {}",
+        q.delta_r10,
+        q.delta_h10
+    );
+}
+
+#[test]
+fn siamese_trains_and_is_finite() {
+    let w = world(120, 2);
+    let measure = MeasureKind::Dtw.measure();
+    let cfg = TrainConfig {
+        dim: 12,
+        epochs: 3,
+        ..TrainConfig::siamese()
+    };
+    let (model, report) = w.train(&*measure, cfg);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    let e = model.embed(&w.corpus[0]);
+    assert!(e.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn index_assisted_search_agrees_with_full_search_at_large_radius() {
+    use neutraj::index::{RTree, SpatialIndex};
+    let w = world(150, 9);
+    let db = w.test_db_rescaled();
+    let tree = RTree::build(&db);
+    // A radius covering everything makes pruned search == full search.
+    let candidates = tree.candidates(&db[0], f64::INFINITY);
+    assert_eq!(candidates.len(), db.len());
+    let full = neutraj::measures::knn_scan(&Hausdorff, &db[0], &db, 10);
+    let pruned = neutraj::measures::knn_query(&Hausdorff, &db[0], &db, &candidates, 10);
+    assert_eq!(full, pruned);
+}
