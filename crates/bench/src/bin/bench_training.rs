@@ -1,0 +1,107 @@
+//! Training-throughput benchmark for the two-phase parallel SAM trainer.
+//!
+//! Trains the full NeuTraj preset (SAM backbone) on the same world at 1
+//! and 4 worker threads and writes per-epoch wall-clock seconds plus the
+//! resulting speedup to `BENCH_training.json`. Because batch training is
+//! bit-identical across thread counts (see `DESIGN.md`, "Threading &
+//! determinism"), the two runs do the exact same numerical work — the
+//! timing delta is pure parallel efficiency. The trainer clamps workers
+//! to the host's cores, so the recorded `host_cpus` field is needed to
+//! interpret the speedup (a 1-core host reports ≈ 1.0 by construction).
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin bench_training [-- --size 250 --epochs 5]
+//! ```
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, WorldConfig};
+use neutraj_measures::{DistanceMatrix, MeasureKind};
+use neutraj_model::{TrainConfig, Trainer};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 250,
+        queries: 0,
+        epochs: 5,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    let seeds = world.seed_trajectories();
+    let seed_rescaled = world.seed_rescaled();
+    let measure = MeasureKind::Frechet.measure();
+    let dist = DistanceMatrix::compute_parallel(&*measure, &seed_rescaled, default_threads());
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_training: SAM backbone, {} seeds, dim {}, {} epochs, threads {:?}, host cpus {}",
+        seeds.len(),
+        cli.dim,
+        cli.epochs,
+        THREAD_COUNTS,
+        host_cpus
+    );
+
+    let mut runs: Vec<(usize, Vec<f64>, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let cfg = TrainConfig {
+            dim: cli.dim,
+            epochs: cli.epochs,
+            patience: None,
+            ..TrainConfig::neutraj()
+        };
+        let trainer = Trainer::new(cfg, world.grid.clone()).with_threads(threads);
+        let (_, report) = trainer.fit(&seeds, &dist, |s| {
+            println!("  threads={threads} epoch {} {:.3}s loss {:.5}", s.epoch, s.seconds, s.loss);
+        });
+        let mean = report.epoch_seconds.iter().sum::<f64>() / report.epoch_seconds.len() as f64;
+        println!("  threads={threads}: mean epoch {mean:.3}s");
+        runs.push((threads, report.epoch_seconds, mean));
+    }
+
+    let speedup = runs[0].2 / runs[runs.len() - 1].2;
+    println!("speedup ({}t vs 1t): {speedup:.2}x", THREAD_COUNTS[1]);
+
+    let json = render_json(&runs, speedup, &cli, host_cpus);
+    let path = "BENCH_training.json";
+    std::fs::write(path, json).expect("write BENCH_training.json");
+    println!("wrote {path}");
+}
+
+/// Hand-rolled JSON (the dependency set has no serde_json).
+fn render_json(runs: &[(usize, Vec<f64>, f64)], speedup: f64, cli: &Cli, host_cpus: usize) -> String {
+    let fmt_list = |v: &[f64]| {
+        v.iter()
+            .map(|s| format!("{s:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let run_objs = runs
+        .iter()
+        .map(|(threads, secs, mean)| {
+            format!(
+                "    {{\n      \"threads\": {threads},\n      \"epoch_seconds\": [{}],\n      \"mean_epoch_seconds\": {mean:.6}\n    }}",
+                fmt_list(secs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"training\",\n  \"backbone\": \"sam_lstm\",\n  \"dataset\": \"porto_like\",\n  \"corpus_size\": {},\n  \"seeds\": {},\n  \"dim\": {},\n  \"epochs\": {},\n  \"host_cpus\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup_vs_single_thread\": {:.4}\n}}\n",
+        cli.size,
+        (cli.size as f64 * 0.2) as usize,
+        cli.dim,
+        cli.epochs,
+        host_cpus,
+        run_objs,
+        speedup
+    )
+}

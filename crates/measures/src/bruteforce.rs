@@ -83,30 +83,44 @@ pub fn knn_query(
             dist: measure.dist(query.points(), database[i].points()),
         })
         .collect();
-    sort_neighbors(&mut out);
-    out.truncate(k);
+    partial_sort_neighbors(&mut out, k);
     out
 }
 
 /// Selects the `k` smallest entries of `dists` as neighbours, ascending.
+///
+/// `O(N + k log k)` — a partial selection followed by a sort of the `k`
+/// survivors only, instead of sorting all `N` candidates (`k` is 10–50 in
+/// the paper's experiments while `N` is the corpus size).
 pub fn top_k(dists: &[f64], k: usize) -> Vec<Neighbor> {
     let mut out: Vec<Neighbor> = dists
         .iter()
         .enumerate()
         .map(|(index, &dist)| Neighbor { index, dist })
         .collect();
-    sort_neighbors(&mut out);
-    out.truncate(k);
+    partial_sort_neighbors(&mut out, k);
     out
 }
 
-fn sort_neighbors(v: &mut [Neighbor]) {
-    v.sort_by(|a, b| {
-        a.dist
-            .partial_cmp(&b.dist)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.index.cmp(&b.index))
-    });
+/// Keeps only the `k` smallest neighbours of `v`, sorted ascending by
+/// `(dist, index)`. Distances are compared with [`f64::total_cmp`], which
+/// is a genuine total order (NaNs sort last rather than poisoning the
+/// comparator).
+pub fn partial_sort_neighbors(v: &mut Vec<Neighbor>, k: usize) {
+    if k == 0 {
+        v.clear();
+        return;
+    }
+    if k < v.len() {
+        // Partition so v[..k] holds the k smallest (in arbitrary order).
+        v.select_nth_unstable_by(k - 1, neighbor_order);
+        v.truncate(k);
+    }
+    v.sort_unstable_by(neighbor_order);
+}
+
+fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index))
 }
 
 #[cfg(test)]
@@ -185,7 +199,27 @@ mod tests {
         let res = top_k(&[3.0, 1.0, f64::NAN, 2.0], 10);
         assert_eq!(res.len(), 4);
         assert_eq!(res[0].index, 1);
+        assert_eq!(res[3].index, 2, "NaN must sort last under total_cmp");
         let res = top_k(&[], 5);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Pseudo-random distances with duplicates to exercise tie-breaks.
+        let dists: Vec<f64> = (0..200u64)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 7) % 97) as f64 * 0.5)
+            .collect();
+        let mut full: Vec<Neighbor> = dists
+            .iter()
+            .enumerate()
+            .map(|(index, &dist)| Neighbor { index, dist })
+            .collect();
+        full.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index)));
+        for k in [0usize, 1, 7, 50, 199, 200, 500] {
+            let got = top_k(&dists, k);
+            assert_eq!(got.len(), k.min(dists.len()));
+            assert_eq!(&got[..], &full[..k.min(full.len())], "k = {k}");
+        }
     }
 }

@@ -32,7 +32,7 @@ mod hausdorff;
 mod matrix;
 pub mod timed;
 
-pub use bruteforce::{knn_query, knn_scan, knn_scan_pruned, top_k, Neighbor};
+pub use bruteforce::{knn_query, knn_scan, knn_scan_pruned, partial_sort_neighbors, top_k, Neighbor};
 pub use dtw::Dtw;
 pub use erp::Erp;
 pub use extra::{Edr, Lcss, Sspd};

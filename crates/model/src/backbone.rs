@@ -3,7 +3,7 @@
 use crate::config::{BackboneKind, TrainConfig};
 use neutraj_nn::{
     Adam, GruCache, GruEncoder, GruGrads, LstmCache, LstmEncoder, LstmGrads, SamCache,
-    SamGrads, SamLstmEncoder,
+    SamGrads, SamLstmEncoder, Workspace, WriteLog,
 };
 use neutraj_trajectory::{Grid, Trajectory};
 
@@ -138,15 +138,27 @@ impl Backbone {
     ///
     /// Panics when `cache`/`grads` do not match the backbone variant.
     pub fn backward(&self, cache: &BackboneCache, d_emb: &[f64], grads: &mut BackboneGrads) {
+        self.backward_ws(cache, d_emb, grads, &mut Workspace::new());
+    }
+
+    /// [`Self::backward`] with caller-provided scratch buffers (one
+    /// workspace per worker thread).
+    pub fn backward_ws(
+        &self,
+        cache: &BackboneCache,
+        d_emb: &[f64],
+        grads: &mut BackboneGrads,
+        ws: &mut Workspace,
+    ) {
         match (self, cache, grads) {
             (Self::Sam(e), BackboneCache::Sam(c), BackboneGrads::Sam(g)) => {
-                e.backward(c, d_emb, g)
+                e.cell.backward_ws(c, d_emb, g, ws)
             }
             (Self::Lstm(e), BackboneCache::Lstm(c), BackboneGrads::Lstm(g)) => {
-                e.backward(c, d_emb, g)
+                e.backward_ws(c, d_emb, g, ws)
             }
             (Self::Gru(e), BackboneCache::Gru(c), BackboneGrads::Gru(g)) => {
-                e.backward(c, d_emb, g)
+                e.backward_ws(c, d_emb, g, ws)
             }
             _ => panic!("backbone/cache/grads variant mismatch"),
         }
@@ -155,43 +167,51 @@ impl Backbone {
     /// Training-mode forward over many sequences.
     ///
     /// Memory-free backbones (plain LSTM/GRU) fan the sequences out over
-    /// `threads` scoped worker threads; the SAM backbone runs
-    /// sequentially because its training forward writes to the shared
-    /// memory in input order (determinism requires a fixed write order).
+    /// `threads` scoped worker threads. The SAM backbone processes the
+    /// batch in fixed rounds of [`Self::SAM_ROUND`] sequences, each round
+    /// running the two-phase memory protocol: phase A runs every sequence
+    /// of the round against an immutable snapshot of the spatial memory
+    /// (in parallel when `threads > 1`), buffering each sequence's writes
+    /// in a private [`WriteLog`]; phase B commits the round's logs in
+    /// input order on this thread before the next round starts. Round
+    /// boundaries and both phases are fixed at *every* thread count, so
+    /// the result is bit-identical for any `threads` value, while memory
+    /// staleness is bounded by one round rather than the whole batch.
     pub fn forward_train_batch(
         &mut self,
         inputs: &[&SeqInputs],
         threads: usize,
     ) -> Vec<(Vec<f64>, BackboneCache)> {
-        if self.has_memory() || threads <= 1 || inputs.len() < 4 {
-            return inputs
-                .iter()
-                .map(|(coords, cells)| self.forward_train(coords, cells))
-                .collect();
+        if let Self::Sam(enc) = self {
+            return Self::sam_forward_train_batch(enc, inputs, threads);
         }
         let this: &Backbone = self;
+        let run = |part: &[&SeqInputs]| {
+            let mut ws = Workspace::new();
+            part.iter()
+                .map(|(coords, _cells)| match this {
+                    Backbone::Lstm(e) => {
+                        let (h, c) = e.forward_ws(coords, &mut ws);
+                        (h, BackboneCache::Lstm(c))
+                    }
+                    Backbone::Gru(e) => {
+                        let (h, c) = e.forward_ws(coords, &mut ws);
+                        (h, BackboneCache::Gru(c))
+                    }
+                    Backbone::Sam(_) => unreachable!("SAM handled above"),
+                })
+                .collect::<Vec<_>>()
+        };
+        if threads <= 1 || inputs.len() < 4 {
+            return run(inputs);
+        }
+        let run = &run;
         let chunk = inputs.len().div_ceil(threads);
         let mut out = Vec::with_capacity(inputs.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|(coords, _cells)| match this {
-                                Backbone::Lstm(e) => {
-                                    let (h, c) = e.forward(coords);
-                                    (h, BackboneCache::Lstm(c))
-                                }
-                                Backbone::Gru(e) => {
-                                    let (h, c) = e.forward(coords);
-                                    (h, BackboneCache::Gru(c))
-                                }
-                                Backbone::Sam(_) => unreachable!("guarded by has_memory"),
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
+                .map(|part| scope.spawn(move || run(part)))
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("forward worker panicked"));
@@ -200,45 +220,142 @@ impl Backbone {
         out
     }
 
-    /// BPTT over many (cache, embedding-gradient) jobs, fanning out over
-    /// `threads` workers with per-thread gradient buffers merged at the
-    /// end. Gradient accumulation is exactly equivalent to the sequential
-    /// order because addition of per-sequence gradients commutes.
+    /// Round-based two-phase SAM batch forward (see
+    /// [`Self::forward_train_batch`]).
+    fn sam_forward_train_batch(
+        enc: &mut SamLstmEncoder,
+        inputs: &[&SeqInputs],
+        threads: usize,
+    ) -> Vec<(Vec<f64>, BackboneCache)> {
+        let mut out: Vec<(Vec<f64>, BackboneCache)> = Vec::with_capacity(inputs.len());
+        let mut logs: Vec<WriteLog> = (0..Self::SAM_ROUND.min(inputs.len()))
+            .map(|_| WriteLog::new())
+            .collect();
+        let mut ws = Workspace::new();
+        for round in inputs.chunks(Self::SAM_ROUND) {
+            let r = round.len();
+            for log in logs.iter_mut().take(r) {
+                log.clear();
+            }
+            // Phase A: forwards against the round-start snapshot, writes
+            // buffered. The threaded and sequential paths run the exact
+            // same per-sequence computation (buffered reads through the
+            // log overlay), so the embeddings and logs do not depend on
+            // `threads`.
+            if threads <= 1 || r < 4 {
+                for ((coords, cells), log) in round.iter().zip(logs.iter_mut()) {
+                    let (h, c) = enc.forward_buffered_ws(coords, cells, log, &mut ws);
+                    out.push((h, BackboneCache::Sam(c)));
+                }
+            } else {
+                let frozen: &SamLstmEncoder = enc;
+                let chunk = r.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = round
+                        .chunks(chunk)
+                        .zip(logs[..r].chunks_mut(chunk))
+                        .map(|(part, log_part)| {
+                            scope.spawn(move || {
+                                let mut ws = Workspace::new();
+                                part.iter()
+                                    .zip(log_part.iter_mut())
+                                    .map(|((coords, cells), log)| {
+                                        let (h, c) = frozen
+                                            .forward_buffered_ws(coords, cells, log, &mut ws);
+                                        (h, BackboneCache::Sam(c))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        out.extend(h.join().expect("forward worker panicked"));
+                    }
+                });
+            }
+            // Phase B: single-threaded ordered commit — the memory ends up
+            // identical to replaying the round's writes in input order, and
+            // the next round reads the updated memory.
+            for log in &logs[..r] {
+                enc.memory.commit(log);
+            }
+        }
+        out
+    }
+
+    /// BPTT over many (cache, embedding-gradient) jobs.
+    ///
+    /// Jobs are accumulated in fixed-size groups of [`Self::GRAD_GROUP`]
+    /// (independent of `threads`), each into its own partial gradient
+    /// buffer; the partials are then merged in group index order. Because
+    /// floating-point addition is not associative, this fixed reduction
+    /// tree — rather than per-thread accumulation — is what makes the
+    /// result a function of the job list alone: bit-identical for every
+    /// thread count, including 1.
     pub fn backward_batch(
         &self,
         jobs: &[(&BackboneCache, &[f64])],
         grads: &mut BackboneGrads,
         threads: usize,
     ) {
-        if threads <= 1 || jobs.len() < 4 {
-            for (cache, d) in jobs {
-                self.backward(cache, d, grads);
-            }
+        if jobs.is_empty() {
             return;
         }
-        let chunk = jobs.len().div_ceil(threads);
-        let mut partials: Vec<BackboneGrads> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let mut g = self.zero_grads();
-                        for (cache, d) in part {
-                            self.backward(cache, d, &mut g);
-                        }
-                        g
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("backward worker panicked"));
+        let groups: Vec<&[(&BackboneCache, &[f64])]> = jobs.chunks(Self::GRAD_GROUP).collect();
+        let reduce_group = |part: &[(&BackboneCache, &[f64])], ws: &mut Workspace| {
+            let mut g = self.zero_grads();
+            for (cache, d) in part {
+                self.backward_ws(cache, d, &mut g, ws);
             }
-        });
+            g
+        };
+        let mut partials: Vec<BackboneGrads> = Vec::with_capacity(groups.len());
+        if threads <= 1 || jobs.len() < 4 {
+            let mut ws = Workspace::new();
+            for part in &groups {
+                partials.push(reduce_group(part, &mut ws));
+            }
+        } else {
+            // Contiguous runs of groups per worker keep the partials in
+            // group order no matter how many workers there are.
+            let reduce_group = &reduce_group;
+            let per = groups.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .chunks(per)
+                    .map(|run| {
+                        scope.spawn(move || {
+                            let mut ws = Workspace::new();
+                            run.iter()
+                                .map(|part| reduce_group(part, &mut ws))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.extend(h.join().expect("backward worker panicked"));
+                }
+            });
+        }
         for p in &partials {
             grads.merge(p);
         }
     }
+
+    /// Number of jobs accumulated into one partial gradient buffer by
+    /// [`Self::backward_batch`]. Chosen small enough to give ~`batch/8`
+    /// units of parallelism and large enough to amortize the zeroed
+    /// partial buffer per group.
+    pub const GRAD_GROUP: usize = 8;
+
+    /// Sequences per SAM forward round (see
+    /// [`Self::forward_train_batch`]). One round is the unit of memory
+    /// staleness: sequences within a round read the memory as of the
+    /// round start, and every round boundary commits buffered writes.
+    /// 8 keeps every worker busy at typical thread counts while staying
+    /// empirically indistinguishable from the fully sequential write
+    /// schedule (larger rounds start to shift training trajectories).
+    pub const SAM_ROUND: usize = 8;
 
     /// Clears the SAM spatial memory (no-op for other backbones).
     ///

@@ -53,7 +53,7 @@ mod search;
 mod similarity;
 mod trainer;
 
-pub use backbone::{Backbone, NeuTrajModel};
+pub use backbone::{Backbone, BackboneCache, BackboneGrads, NeuTrajModel, SeqInputs};
 pub use config::{BackboneKind, TrainConfig};
 pub use db::SimilarityDb;
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};

@@ -6,8 +6,8 @@
 //! measure (§VII-C.1); [`EmbeddingStore::knn_reranked`] implements that.
 
 use crate::backbone::NeuTrajModel;
-use neutraj_measures::{top_k, Measure, Neighbor};
-use neutraj_nn::linalg::euclidean;
+use neutraj_measures::{partial_sort_neighbors, top_k, Measure, Neighbor};
+use neutraj_nn::linalg::euclidean_sq;
 use neutraj_trajectory::Trajectory;
 
 /// A flat store of `N` trajectory embeddings of dimension `d`.
@@ -58,12 +58,20 @@ impl EmbeddingStore {
 
     /// Top-k nearest stored items to `query` by embedding distance
     /// (equivalently, highest learned similarity `exp(-dist)`).
+    ///
+    /// The `O(N·d)` scan compares *squared* distances (monotonic in the
+    /// true distance, so ranks are identical) and takes a square root only
+    /// for the `k` survivors.
     pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
         let dists: Vec<f64> = (0..self.len())
-            .map(|i| euclidean(query, self.get(i)))
+            .map(|i| euclidean_sq(query, self.get(i)))
             .collect();
-        top_k(&dists, k)
+        let mut out = top_k(&dists, k);
+        for n in &mut out {
+            n.dist = n.dist.sqrt();
+        }
+        out
     }
 
     /// Like [`Self::knn`] but restricted to `candidates` (indices into the
@@ -74,16 +82,13 @@ impl EmbeddingStore {
             .iter()
             .map(|&i| Neighbor {
                 index: i,
-                dist: euclidean(query, self.get(i)),
+                dist: euclidean_sq(query, self.get(i)),
             })
             .collect();
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        out.truncate(k);
+        partial_sort_neighbors(&mut out, k);
+        for n in &mut out {
+            n.dist = n.dist.sqrt();
+        }
         out
     }
 
@@ -107,13 +112,7 @@ impl EmbeddingStore {
                 dist: measure.dist(query.points(), corpus[n.index].points()),
             })
             .collect();
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        out.truncate(k);
+        partial_sort_neighbors(&mut out, k);
         out
     }
 }
@@ -148,6 +147,19 @@ mod tests {
         // ties at distance 1 broken by index
         assert_eq!(res[1].index, 1);
         assert_eq!(res[2].index, 3);
+    }
+
+    #[test]
+    fn knn_reports_true_distances_not_squared() {
+        let s = store();
+        let res = s.knn(&[0.0, 3.0], 2);
+        assert_eq!(res[0].index, 0);
+        assert!((res[0].dist - 3.0).abs() < 1e-12);
+        assert!((res[1].dist - 10.0_f64.sqrt()).abs() < 1e-12);
+        let rc = s.knn_candidates(&[0.0, 3.0], &[2, 1], 2);
+        assert_eq!(rc[0].index, 1);
+        assert!((rc[0].dist - 10.0_f64.sqrt()).abs() < 1e-12);
+        assert!((rc[1].dist - 13.0_f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

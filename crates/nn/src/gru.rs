@@ -4,7 +4,8 @@
 //! (GRU, LSTM)"; this GRU lets downstream code swap backbones and serves
 //! as an ablation axis beyond the paper.
 
-use crate::linalg::{sigmoid, Mat};
+use crate::linalg::{activate_gates, Mat};
+use crate::workspace::{prep, Workspace};
 use crate::Encoder;
 
 /// A GRU cell with fused gate parameters.
@@ -55,26 +56,51 @@ impl GruGrads {
     }
 }
 
-#[derive(Debug, Clone)]
-struct StepCache {
-    /// `[x; h_{t-1}; 1]`.
+/// Forward cache for BPTT, stored as flat `T × len` buffers (see
+/// [`crate::LstmCache`] for the layout rationale).
+#[derive(Debug, Clone, Default)]
+pub struct GruCache {
+    len: usize,
+    d: usize,
+    zlen: usize,
+    /// `[x; h_{t-1}; 1]`, `T × zlen`.
     zin: Vec<f64>,
-    /// `[x; r ⊙ h_{t-1}; 1]`.
+    /// `[x; r ⊙ h_{t-1}; 1]`, `T × zlen`.
     zh: Vec<f64>,
-    /// Update gate.
+    /// Update gates, `T × d`.
     gz: Vec<f64>,
-    /// Reset gate.
+    /// Reset gates, `T × d`.
     gr: Vec<f64>,
-    /// Candidate.
+    /// Candidates, `T × d`.
     hc: Vec<f64>,
-    /// Previous hidden state.
+    /// Previous hidden states, `T × d`.
     h_prev: Vec<f64>,
 }
 
-/// Forward cache for BPTT.
-#[derive(Debug, Clone, Default)]
-pub struct GruCache {
-    steps: Vec<StepCache>,
+impl GruCache {
+    /// Number of cached timesteps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn reset(&mut self, t: usize, d: usize, zlen: usize) {
+        self.len = 0;
+        self.d = d;
+        self.zlen = zlen;
+        self.zin.clear();
+        self.zin.reserve(t * zlen);
+        self.zh.clear();
+        self.zh.reserve(t * zlen);
+        for v in [&mut self.gz, &mut self.gr, &mut self.hc, &mut self.h_prev] {
+            v.clear();
+            v.reserve(t * d);
+        }
+    }
 }
 
 impl GruCell {
@@ -99,87 +125,137 @@ impl GruCell {
         self.pzr.rows() * self.pzr.cols() + self.ph.rows() * self.ph.cols()
     }
 
-    /// Runs the cell over the sequence; returns final hidden state + cache.
-    pub fn forward(&self, inputs: &[Vec<f64>]) -> (Vec<f64>, GruCache) {
-        assert!(!inputs.is_empty(), "cannot encode an empty sequence");
+    /// One timestep: consumes input `x`, updates `ws.h`, appends to `cache`.
+    #[inline]
+    fn step(&self, x: &[f64], ws: &mut Workspace, cache: &mut GruCache) {
+        assert_eq!(x.len(), self.in_dim, "input arity");
         let d = self.dim;
-        let mut h = vec![0.0; d];
-        let mut cache = GruCache {
-            steps: Vec::with_capacity(inputs.len()),
-        };
-        for x in inputs {
-            assert_eq!(x.len(), self.in_dim, "input arity");
-            let mut zin = Vec::with_capacity(self.in_dim + d + 1);
-            zin.extend_from_slice(x);
-            zin.extend_from_slice(&h);
-            zin.push(1.0);
-            let mut a = self.pzr.matvec(&zin);
-            for v in &mut a {
-                *v = sigmoid(*v);
-            }
-            let (gz, gr) = a.split_at(d);
-            let mut zh = Vec::with_capacity(self.in_dim + d + 1);
-            zh.extend_from_slice(x);
-            for k in 0..d {
-                zh.push(gr[k] * h[k]);
-            }
-            zh.push(1.0);
-            let mut hc = self.ph.matvec(&zh);
-            for v in &mut hc {
+        let t = cache.len;
+        let zlen = cache.zlen;
+        cache.h_prev.extend_from_slice(&ws.h);
+        cache.zin.extend_from_slice(x);
+        cache.zin.extend_from_slice(&ws.h);
+        cache.zin.push(1.0);
+        let a = prep(&mut ws.gates, 2 * d);
+        self.pzr
+            .matvec_into(&cache.zin[t * zlen..(t + 1) * zlen], a);
+        activate_gates(a, 2 * d); // both gates sigmoid
+        let (gz, gr) = a.split_at(d);
+        cache.gz.extend_from_slice(gz);
+        cache.gr.extend_from_slice(gr);
+        cache.zh.extend_from_slice(x);
+        for (g, h) in gr.iter().zip(ws.h.iter()) {
+            cache.zh.push(g * h);
+        }
+        cache.zh.push(1.0);
+        cache.hc.resize((t + 1) * d, 0.0);
+        {
+            let hc = &mut cache.hc[t * d..(t + 1) * d];
+            self.ph.matvec_into(&cache.zh[t * zlen..(t + 1) * zlen], hc);
+            for v in hc.iter_mut() {
                 *v = v.tanh();
             }
-            let h_prev = h.clone();
             for k in 0..d {
-                h[k] = (1.0 - gz[k]) * h_prev[k] + gz[k] * hc[k];
+                ws.h[k] = (1.0 - gz[k]) * ws.h[k] + gz[k] * hc[k];
             }
-            cache.steps.push(StepCache {
-                zin,
-                zh,
-                gz: gz.to_vec(),
-                gr: gr.to_vec(),
-                hc,
-                h_prev,
-            });
         }
-        (h, cache)
+        cache.len += 1;
+    }
+
+    /// Runs the cell over the sequence; returns final hidden state + cache.
+    pub fn forward(&self, inputs: &[Vec<f64>]) -> (Vec<f64>, GruCache) {
+        self.forward_ws(inputs, &mut Workspace::new())
+    }
+
+    /// [`Self::forward`] with caller-provided scratch buffers.
+    pub fn forward_ws(&self, inputs: &[Vec<f64>], ws: &mut Workspace) -> (Vec<f64>, GruCache) {
+        assert!(!inputs.is_empty(), "cannot encode an empty sequence");
+        let d = self.dim;
+        let mut cache = GruCache::default();
+        cache.reset(inputs.len(), d, self.in_dim + d + 1);
+        prep(&mut ws.h, d);
+        for x in inputs {
+            self.step(x, ws, &mut cache);
+        }
+        (ws.h.clone(), cache)
+    }
+
+    /// Coordinate-sequence forward without materializing per-step input
+    /// vectors (the encoder hot path). Requires `in_dim == 2`.
+    pub fn forward_coords_ws(
+        &self,
+        coords: &[(f64, f64)],
+        ws: &mut Workspace,
+    ) -> (Vec<f64>, GruCache) {
+        assert!(!coords.is_empty(), "cannot encode an empty sequence");
+        let d = self.dim;
+        let mut cache = GruCache::default();
+        cache.reset(coords.len(), d, self.in_dim + d + 1);
+        prep(&mut ws.h, d);
+        for &(x, y) in coords {
+            self.step(&[x, y], ws, &mut cache);
+        }
+        (ws.h.clone(), cache)
     }
 
     /// BPTT from the final hidden-state gradient, accumulating into `grads`.
     pub fn backward(&self, cache: &GruCache, d_h_final: &[f64], grads: &mut GruGrads) {
+        self.backward_ws(cache, d_h_final, grads, &mut Workspace::new());
+    }
+
+    /// [`Self::backward`] with caller-provided scratch buffers.
+    pub fn backward_ws(
+        &self,
+        cache: &GruCache,
+        d_h_final: &[f64],
+        grads: &mut GruGrads,
+        ws: &mut Workspace,
+    ) {
         let d = self.dim;
         assert_eq!(d_h_final.len(), d);
-        let mut dh = d_h_final.to_vec();
-        let mut da = vec![0.0; 2 * d];
-        let mut dpre_h = vec![0.0; d];
-        let mut dzh = vec![0.0; self.in_dim + d + 1];
-        let mut dzin = vec![0.0; self.in_dim + d + 1];
-        for step in cache.steps.iter().rev() {
-            let mut dh_prev = vec![0.0; d];
+        let zlen = cache.zlen;
+        let dh = prep(&mut ws.h, d);
+        dh.copy_from_slice(d_h_final);
+        let dh_prev = prep(&mut ws.c, d);
+        let da = prep(&mut ws.gates, 2 * d);
+        let dpre_h = prep(&mut ws.t1, d);
+        let dzh = prep(&mut ws.z2, zlen);
+        let dzin = prep(&mut ws.z, zlen);
+        for t in (0..cache.len).rev() {
+            let gz = &cache.gz[t * d..(t + 1) * d];
+            let gr = &cache.gr[t * d..(t + 1) * d];
+            let hc = &cache.hc[t * d..(t + 1) * d];
+            let h_prev = &cache.h_prev[t * d..(t + 1) * d];
+            dh_prev.fill(0.0);
             // h = (1-z) h_prev + z hc
             for k in 0..d {
-                let dz_gate = dh[k] * (step.hc[k] - step.h_prev[k]);
-                let dhc = dh[k] * step.gz[k];
-                dh_prev[k] += dh[k] * (1.0 - step.gz[k]);
-                dpre_h[k] = dhc * (1.0 - step.hc[k] * step.hc[k]);
-                da[k] = dz_gate * step.gz[k] * (1.0 - step.gz[k]);
+                let dz_gate = dh[k] * (hc[k] - h_prev[k]);
+                let dhc = dh[k] * gz[k];
+                dh_prev[k] += dh[k] * (1.0 - gz[k]);
+                dpre_h[k] = dhc * (1.0 - hc[k] * hc[k]);
+                da[k] = dz_gate * gz[k] * (1.0 - gz[k]);
             }
-            grads.ph.outer_acc(&dpre_h, &step.zh);
+            grads
+                .ph
+                .outer_acc(dpre_h, &cache.zh[t * zlen..(t + 1) * zlen]);
             dzh.fill(0.0);
-            self.ph.matvec_t_into(&dpre_h, &mut dzh);
+            self.ph.matvec_t_into(dpre_h, dzh);
             // zh's h-part is r ⊙ h_prev.
             for k in 0..d {
                 let drh = dzh[self.in_dim + k];
-                let dr = drh * step.h_prev[k];
-                dh_prev[k] += drh * step.gr[k];
-                da[d + k] = dr * step.gr[k] * (1.0 - step.gr[k]);
+                let dr = drh * h_prev[k];
+                dh_prev[k] += drh * gr[k];
+                da[d + k] = dr * gr[k] * (1.0 - gr[k]);
             }
-            grads.pzr.outer_acc(&da, &step.zin);
+            grads
+                .pzr
+                .outer_acc(da, &cache.zin[t * zlen..(t + 1) * zlen]);
             dzin.fill(0.0);
-            self.pzr.matvec_t_into(&da, &mut dzin);
+            self.pzr.matvec_t_into(da, dzin);
             for k in 0..d {
                 dh_prev[k] += dzin[self.in_dim + k];
             }
-            dh = dh_prev;
+            dh.copy_from_slice(dh_prev);
         }
     }
 }
@@ -201,13 +277,28 @@ impl GruEncoder {
 
     /// Encodes coordinates; returns embedding + cache.
     pub fn forward(&self, coords: &[(f64, f64)]) -> (Vec<f64>, GruCache) {
-        let inputs: Vec<Vec<f64>> = coords.iter().map(|&(x, y)| vec![x, y]).collect();
-        self.cell.forward(&inputs)
+        self.cell.forward_coords_ws(coords, &mut Workspace::new())
+    }
+
+    /// [`Self::forward`] with reusable scratch buffers.
+    pub fn forward_ws(&self, coords: &[(f64, f64)], ws: &mut Workspace) -> (Vec<f64>, GruCache) {
+        self.cell.forward_coords_ws(coords, ws)
     }
 
     /// See [`GruCell::backward`].
     pub fn backward(&self, cache: &GruCache, d_h: &[f64], grads: &mut GruGrads) {
         self.cell.backward(cache, d_h, grads);
+    }
+
+    /// See [`GruCell::backward_ws`].
+    pub fn backward_ws(
+        &self,
+        cache: &GruCache,
+        d_h: &[f64],
+        grads: &mut GruGrads,
+        ws: &mut Workspace,
+    ) {
+        self.cell.backward_ws(cache, d_h, grads, ws);
     }
 }
 
@@ -236,9 +327,26 @@ mod tests {
         let cell = GruCell::new(2, 6, 5);
         let (h, cache) = cell.forward(&toy_inputs());
         assert_eq!(h.len(), 6);
-        assert_eq!(cache.steps.len(), 3);
+        assert_eq!(cache.len(), 3);
         // GRU hidden state is a convex combination of tanh values → (-1,1).
         assert!(h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh() {
+        let cell = GruCell::new(2, 6, 5);
+        let mut ws = Workspace::new();
+        let _ = cell.forward_ws(&vec![vec![3.0, 3.0]; 9], &mut ws);
+        let (h_fresh, cache) = cell.forward(&toy_inputs());
+        let (h_reused, _) = cell.forward_ws(&toy_inputs(), &mut ws);
+        assert_eq!(h_fresh, h_reused);
+        let w = vec![0.25; 6];
+        let mut g1 = GruGrads::zeros_like(&cell);
+        let mut g2 = GruGrads::zeros_like(&cell);
+        cell.backward(&cache, &w, &mut g1);
+        cell.backward_ws(&cache, &w, &mut g2, &mut ws);
+        assert_eq!(g1.pzr.as_slice(), g2.pzr.as_slice());
+        assert_eq!(g1.ph.as_slice(), g2.ph.as_slice());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   baseline and the NT-No-SAM ablation.
 //! * [`GruCell`] / [`GruEncoder`] — a GRU backbone option (the paper notes
 //!   SAM can augment "existing RNN architectures (GRU, LSTM)").
-//! * [`SpatialMemory`] — the `P × Q × d` grid memory tensor **M** (§IV-A).
+//! * [`SpatialMemory`] / [`WriteLog`] — the `P × Q × d` grid memory tensor
+//!   **M** (§IV-A) and the buffered write log of the two-phase parallel
+//!   training protocol.
+//! * [`Workspace`] — reusable scratch buffers threaded through every cell's
+//!   `*_ws` entry points, so steady-state training does zero per-timestep
+//!   heap allocation.
 //! * [`SamLstmEncoder`] — the SAM-augmented LSTM of §IV-B/§IV-C: four
 //!   sigmoid gates (forget/input/spatial/output), tanh candidate, an
 //!   attention *read* over the `(2w+1)²` scan window and a gated sparse
@@ -42,12 +47,14 @@ pub mod linalg;
 mod lstm;
 mod memory;
 mod sam;
+mod workspace;
 
 pub use adam::Adam;
 pub use gru::{GruCache, GruCell, GruEncoder, GruGrads};
 pub use lstm::{LstmCache, LstmCell, LstmEncoder, LstmGrads};
-pub use memory::SpatialMemory;
+pub use memory::{SpatialMemory, WriteLog};
 pub use sam::{MemoryMode, SamCache, SamGrads, SamLstmCell, SamLstmEncoder};
+pub use workspace::Workspace;
 
 /// A recurrent trajectory encoder: maps a coordinate/grid-cell sequence to
 /// a fixed-size embedding (the RNN's final hidden state, §V-A) and

@@ -170,18 +170,59 @@ pub fn norm(a: &[f64]) -> f64 {
 
 /// Euclidean distance between two vectors.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance (no `sqrt`).
+///
+/// Top-k scans compare squared distances — the square root is monotone,
+/// so the ordering (and any tie) is identical — and take a single `sqrt`
+/// only for the k survivors.
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
 }
 
 /// Logistic sigmoid.
 #[inline]
 pub fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Fused gate activation: sigmoid on the first `n_sigmoid` entries, tanh
+/// on the rest. One pass over the pre-activation buffer — the RNN cells
+/// call this right after the fused `P·z` matvec.
+#[inline]
+pub fn activate_gates(a: &mut [f64], n_sigmoid: usize) {
+    debug_assert!(n_sigmoid <= a.len());
+    let (sig, tan) = a.split_at_mut(n_sigmoid);
+    for v in sig {
+        *v = sigmoid(*v);
+    }
+    for v in tan {
+        *v = v.tanh();
+    }
+}
+
+/// Fused LSTM cell update (one loop, no temporaries):
+///
+/// `c ← f ⊙ c + i ⊙ g`, `tanh_c ← tanh(c)`, `h ← o ⊙ tanh_c`,
+///
+/// with `gates = [i, f, o, g]` of length `4d` already activated.
+#[inline]
+pub fn lstm_cell_update(gates: &[f64], c: &mut [f64], tanh_c: &mut [f64], h: &mut [f64]) {
+    let d = c.len();
+    debug_assert_eq!(gates.len(), 4 * d);
+    debug_assert_eq!(tanh_c.len(), d);
+    debug_assert_eq!(h.len(), d);
+    let (gi, rest) = gates.split_at(d);
+    let (gf, rest) = rest.split_at(d);
+    let (go, gg) = rest.split_at(d);
+    for k in 0..d {
+        c[k] = gf[k] * c[k] + gi[k] * gg[k];
+        tanh_c[k] = c[k].tanh();
+        h[k] = go[k] * tanh_c[k];
+    }
 }
 
 /// In-place numerically-stable softmax.
@@ -258,6 +299,40 @@ mod tests {
         assert_eq!(dot(&a, &[1.0, 1.0]), 7.0);
         assert_eq!(norm(&[3.0, 4.0]), 5.0);
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn euclidean_sq_matches_euclidean() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 1.5, 2.5];
+        assert_eq!(euclidean_sq(&a, &b).sqrt(), euclidean(&a, &b));
+        assert_eq!(euclidean_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn activate_gates_splits_sigmoid_tanh() {
+        let mut a = vec![0.0, 1.0, -1.0, 0.5];
+        activate_gates(&mut a, 2);
+        assert_eq!(a[0], sigmoid(0.0));
+        assert_eq!(a[1], sigmoid(1.0));
+        assert_eq!(a[2], (-1.0f64).tanh());
+        assert_eq!(a[3], 0.5f64.tanh());
+    }
+
+    #[test]
+    fn lstm_cell_update_matches_scalar_formulas() {
+        let d = 2;
+        let gates = vec![0.3, 0.6, 0.9, 0.2, 0.7, 0.5, 0.4, -0.8]; // [i,f,o,g]
+        let c_prev = [1.0, -1.0];
+        let mut c = c_prev.to_vec();
+        let mut tanh_c = vec![0.0; d];
+        let mut h = vec![0.0; d];
+        lstm_cell_update(&gates, &mut c, &mut tanh_c, &mut h);
+        let c0 = 0.9 * c_prev[0] + 0.3 * 0.4;
+        let c1 = 0.2 * c_prev[1] + 0.6 * -0.8;
+        assert_eq!(c, vec![c0, c1]);
+        assert_eq!(tanh_c, vec![c0.tanh(), c1.tanh()]);
+        assert_eq!(h, vec![0.7 * c0.tanh(), 0.5 * c1.tanh()]);
     }
 
     #[test]

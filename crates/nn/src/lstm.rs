@@ -3,7 +3,8 @@
 //! Used as the backbone of the Siamese baseline and the NT-No-SAM ablation
 //! (§VII-A.3), and as the base the SAM unit extends.
 
-use crate::linalg::{sigmoid, Mat};
+use crate::linalg::{activate_gates, lstm_cell_update, Mat};
+use crate::workspace::{prep, Workspace};
 use crate::Encoder;
 
 /// A standard LSTM cell with fused parameters.
@@ -47,23 +48,51 @@ impl LstmGrads {
     }
 }
 
-/// Per-step values retained for BPTT.
-#[derive(Debug, Clone)]
-struct StepCache {
-    /// `z = [x; h_{t-1}; 1]`.
+/// Forward-pass cache of a whole sequence, consumed by backward.
+///
+/// Stored as flat per-quantity buffers (`T × len` row-major) rather than a
+/// `Vec` of per-step structs: one exactly-sized allocation per quantity
+/// per sequence instead of four small allocations per timestep, and the
+/// backward sweep walks contiguous memory.
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    len: usize,
+    d: usize,
+    zlen: usize,
+    /// `z_t = [x; h_{t-1}; 1]`, `T × zlen`.
     z: Vec<f64>,
-    /// Activated gates `[i, f, o, g]`, length `4d`.
+    /// Activated gates `[i, f, o, g]`, `T × 4d`.
     gates: Vec<f64>,
-    /// Cell state after this step.
+    /// Cell states, `T × d`.
     c: Vec<f64>,
-    /// `tanh(c)`.
+    /// `tanh(c_t)`, `T × d`.
     tanh_c: Vec<f64>,
 }
 
-/// Forward-pass cache of a whole sequence, consumed by backward.
-#[derive(Debug, Clone, Default)]
-pub struct LstmCache {
-    steps: Vec<StepCache>,
+impl LstmCache {
+    /// Number of cached timesteps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn reset(&mut self, t: usize, d: usize, zlen: usize) {
+        self.len = 0;
+        self.d = d;
+        self.zlen = zlen;
+        self.z.clear();
+        self.z.reserve(t * zlen);
+        self.gates.clear();
+        self.gates.reserve(t * 4 * d);
+        self.c.clear();
+        self.c.reserve(t * d);
+        self.tanh_c.clear();
+        self.tanh_c.reserve(t * d);
+    }
 }
 
 impl LstmCell {
@@ -98,48 +127,76 @@ impl LstmCell {
         self.p.rows() * self.p.cols()
     }
 
+    /// One timestep: consumes input `x`, updates `ws.h`/`ws.c`, appends to
+    /// `cache`.
+    #[inline]
+    fn step(&self, x: &[f64], ws: &mut Workspace, cache: &mut LstmCache) {
+        assert_eq!(x.len(), self.in_dim, "input arity");
+        let d = self.dim;
+        let t = cache.len;
+        let zlen = cache.zlen;
+        cache.z.extend_from_slice(x);
+        cache.z.extend_from_slice(&ws.h);
+        cache.z.push(1.0);
+        cache.gates.resize((t + 1) * 4 * d, 0.0);
+        {
+            let z = &cache.z[t * zlen..(t + 1) * zlen];
+            let a = &mut cache.gates[t * 4 * d..(t + 1) * 4 * d];
+            self.p.matvec_into(z, a);
+            // Activate: [i, f, o] sigmoid; [g] tanh.
+            activate_gates(a, 3 * d);
+        }
+        cache.tanh_c.resize((t + 1) * d, 0.0);
+        lstm_cell_update(
+            &cache.gates[t * 4 * d..(t + 1) * 4 * d],
+            &mut ws.c,
+            &mut cache.tanh_c[t * d..(t + 1) * d],
+            &mut ws.h,
+        );
+        cache.c.extend_from_slice(&ws.c);
+        cache.len += 1;
+    }
+
     /// Runs the cell over `inputs` (each of length `in_dim`), returning the
     /// final hidden state and the cache for [`Self::backward`].
     ///
     /// Panics when `inputs` is empty or any input has the wrong arity.
     pub fn forward(&self, inputs: &[Vec<f64>]) -> (Vec<f64>, LstmCache) {
+        self.forward_ws(inputs, &mut Workspace::new())
+    }
+
+    /// [`Self::forward`] with caller-provided scratch buffers: zero
+    /// per-timestep allocations beyond the exactly-sized cache.
+    pub fn forward_ws(&self, inputs: &[Vec<f64>], ws: &mut Workspace) -> (Vec<f64>, LstmCache) {
         assert!(!inputs.is_empty(), "cannot encode an empty sequence");
         let d = self.dim;
-        let zlen = self.in_dim + d + 1;
-        let mut h = vec![0.0; d];
-        let mut c = vec![0.0; d];
-        let mut cache = LstmCache {
-            steps: Vec::with_capacity(inputs.len()),
-        };
+        let mut cache = LstmCache::default();
+        cache.reset(inputs.len(), d, self.in_dim + d + 1);
+        prep(&mut ws.h, d);
+        prep(&mut ws.c, d);
         for x in inputs {
-            assert_eq!(x.len(), self.in_dim, "input arity");
-            let mut z = Vec::with_capacity(zlen);
-            z.extend_from_slice(x);
-            z.extend_from_slice(&h);
-            z.push(1.0);
-            let mut a = self.p.matvec(&z);
-            // Activate: [i, f, o] sigmoid; [g] tanh.
-            for v in &mut a[..3 * d] {
-                *v = sigmoid(*v);
-            }
-            for v in &mut a[3 * d..] {
-                *v = v.tanh();
-            }
-            let (gi, gf, go, gg) = (&a[..d], &a[d..2 * d], &a[2 * d..3 * d], &a[3 * d..]);
-            let mut tanh_c = vec![0.0; d];
-            for k in 0..d {
-                c[k] = gf[k] * c[k] + gi[k] * gg[k];
-                tanh_c[k] = c[k].tanh();
-                h[k] = go[k] * tanh_c[k];
-            }
-            cache.steps.push(StepCache {
-                z,
-                gates: a,
-                c: c.clone(),
-                tanh_c,
-            });
+            self.step(x, ws, &mut cache);
         }
-        (h, cache)
+        (ws.h.clone(), cache)
+    }
+
+    /// Coordinate-sequence forward without materializing per-step input
+    /// vectors (the encoder hot path). Requires `in_dim == 2`.
+    pub fn forward_coords_ws(
+        &self,
+        coords: &[(f64, f64)],
+        ws: &mut Workspace,
+    ) -> (Vec<f64>, LstmCache) {
+        assert!(!coords.is_empty(), "cannot encode an empty sequence");
+        let d = self.dim;
+        let mut cache = LstmCache::default();
+        cache.reset(coords.len(), d, self.in_dim + d + 1);
+        prep(&mut ws.h, d);
+        prep(&mut ws.c, d);
+        for &(x, y) in coords {
+            self.step(&[x, y], ws, &mut cache);
+        }
+        (ws.h.clone(), cache)
     }
 
     /// Backpropagates `d_h` (gradient w.r.t. the final hidden state)
@@ -147,29 +204,43 @@ impl LstmCell {
     /// `grads`. Returns nothing — input gradients are not needed because
     /// trajectory coordinates are constants.
     pub fn backward(&self, cache: &LstmCache, d_h_final: &[f64], grads: &mut LstmGrads) {
+        self.backward_ws(cache, d_h_final, grads, &mut Workspace::new());
+    }
+
+    /// [`Self::backward`] with caller-provided scratch buffers.
+    pub fn backward_ws(
+        &self,
+        cache: &LstmCache,
+        d_h_final: &[f64],
+        grads: &mut LstmGrads,
+        ws: &mut Workspace,
+    ) {
         let d = self.dim;
         assert_eq!(d_h_final.len(), d, "d_h arity");
-        let mut dh = d_h_final.to_vec();
-        let mut dc = vec![0.0; d];
-        let mut da = vec![0.0; 4 * d];
-        let mut dz = vec![0.0; self.in_dim + d + 1];
-        for t in (0..cache.steps.len()).rev() {
-            let step = &cache.steps[t];
+        let zlen = cache.zlen;
+        let dh = prep(&mut ws.h, d);
+        dh.copy_from_slice(d_h_final);
+        let dc = prep(&mut ws.c, d);
+        let da = prep(&mut ws.gates, 4 * d);
+        let dz = prep(&mut ws.z, zlen);
+        for t in (0..cache.len).rev() {
+            let gates = &cache.gates[t * 4 * d..(t + 1) * 4 * d];
             let (gi, gf, go, gg) = (
-                &step.gates[..d],
-                &step.gates[d..2 * d],
-                &step.gates[2 * d..3 * d],
-                &step.gates[3 * d..],
+                &gates[..d],
+                &gates[d..2 * d],
+                &gates[2 * d..3 * d],
+                &gates[3 * d..],
             );
+            let tanh_c = &cache.tanh_c[t * d..(t + 1) * d];
             let c_prev: Option<&[f64]> = if t > 0 {
-                Some(&cache.steps[t - 1].c)
+                Some(&cache.c[(t - 1) * d..t * d])
             } else {
                 None
             };
             for k in 0..d {
                 // h = o ⊙ tanh(c)
-                let d_o = dh[k] * step.tanh_c[k];
-                let d_c_total = dc[k] + dh[k] * go[k] * (1.0 - step.tanh_c[k] * step.tanh_c[k]);
+                let d_o = dh[k] * tanh_c[k];
+                let d_c_total = dc[k] + dh[k] * go[k] * (1.0 - tanh_c[k] * tanh_c[k]);
                 // c = f ⊙ c_prev + i ⊙ g
                 let cp = c_prev.map_or(0.0, |c| c[k]);
                 let d_f = d_c_total * cp;
@@ -181,9 +252,9 @@ impl LstmCell {
                 da[2 * d + k] = d_o * go[k] * (1.0 - go[k]);
                 da[3 * d + k] = d_g * (1.0 - gg[k] * gg[k]);
             }
-            grads.p.outer_acc(&da, &step.z);
+            grads.p.outer_acc(da, &cache.z[t * zlen..(t + 1) * zlen]);
             dz.fill(0.0);
-            self.p.matvec_t_into(&da, &mut dz);
+            self.p.matvec_t_into(da, dz);
             dh.copy_from_slice(&dz[self.in_dim..self.in_dim + d]);
         }
     }
@@ -206,13 +277,28 @@ impl LstmEncoder {
 
     /// Encodes a coordinate sequence, returning embedding + cache.
     pub fn forward(&self, coords: &[(f64, f64)]) -> (Vec<f64>, LstmCache) {
-        let inputs: Vec<Vec<f64>> = coords.iter().map(|&(x, y)| vec![x, y]).collect();
-        self.cell.forward(&inputs)
+        self.cell.forward_coords_ws(coords, &mut Workspace::new())
+    }
+
+    /// [`Self::forward`] with reusable scratch buffers.
+    pub fn forward_ws(&self, coords: &[(f64, f64)], ws: &mut Workspace) -> (Vec<f64>, LstmCache) {
+        self.cell.forward_coords_ws(coords, ws)
     }
 
     /// See [`LstmCell::backward`].
     pub fn backward(&self, cache: &LstmCache, d_h: &[f64], grads: &mut LstmGrads) {
         self.cell.backward(cache, d_h, grads);
+    }
+
+    /// See [`LstmCell::backward_ws`].
+    pub fn backward_ws(
+        &self,
+        cache: &LstmCache,
+        d_h: &[f64],
+        grads: &mut LstmGrads,
+        ws: &mut Workspace,
+    ) {
+        self.cell.backward_ws(cache, d_h, grads, ws);
     }
 }
 
@@ -247,10 +333,38 @@ mod tests {
         let (h1, cache) = cell.forward(&toy_inputs());
         let (h2, _) = cell.forward(&toy_inputs());
         assert_eq!(h1.len(), 8);
-        assert_eq!(cache.steps.len(), 4);
+        assert_eq!(cache.len(), 4);
         assert_eq!(h1, h2);
         assert!(h1.iter().any(|v| *v != 0.0));
         assert!(h1.iter().all(|v| v.abs() <= 1.0)); // h = o·tanh(c) ∈ (-1,1)
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh() {
+        let cell = LstmCell::new(2, 8, 42);
+        let mut ws = Workspace::new();
+        // Dirty the workspace with a different sequence first.
+        let other = vec![vec![9.0, -9.0]; 7];
+        let _ = cell.forward_ws(&other, &mut ws);
+        let (h_fresh, cache_fresh) = cell.forward(&toy_inputs());
+        let (h_reused, cache_reused) = cell.forward_ws(&toy_inputs(), &mut ws);
+        assert_eq!(h_fresh, h_reused);
+        let mut g1 = LstmGrads::zeros_like(&cell);
+        let mut g2 = LstmGrads::zeros_like(&cell);
+        let w = vec![0.5; 8];
+        cell.backward(&cache_fresh, &w, &mut g1);
+        cell.backward_ws(&cache_reused, &w, &mut g2, &mut ws);
+        assert_eq!(g1.p.as_slice(), g2.p.as_slice());
+    }
+
+    #[test]
+    fn coords_forward_matches_vec_forward() {
+        let cell = LstmCell::new(2, 6, 8);
+        let coords = [(0.5, -0.2), (1.0, 0.3), (-0.4, 0.8)];
+        let inputs: Vec<Vec<f64>> = coords.iter().map(|&(x, y)| vec![x, y]).collect();
+        let (h1, _) = cell.forward(&inputs);
+        let (h2, _) = cell.forward_coords_ws(&coords, &mut Workspace::new());
+        assert_eq!(h1, h2);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The spatial memory tensor **M** (§IV-A).
+//! The spatial memory tensor **M** (§IV-A) and the two-phase write log.
+
+use std::collections::HashMap;
 
 /// A `P × Q × d` grid-cell memory: each cell of the spatial grid owns a
 /// `d`-dimensional embedding that accumulates information from every
@@ -62,13 +64,21 @@ impl SpatialMemory {
         &self.data[o..o + self.dim]
     }
 
-    /// Cells of the scan window of half-width `w` around `(col, row)`,
-    /// clipped to the grid, in row-major order (§IV-C.1).
-    pub fn window(&self, col: u32, row: u32, w: u32) -> Vec<(u32, u32)> {
+    /// Scan-window bounds of half-width `w` around `(col, row)`, clipped
+    /// to the grid: `(c0, c1, r0, r1)`, all inclusive.
+    #[inline]
+    fn window_bounds(&self, col: u32, row: u32, w: u32) -> (u32, u32, u32, u32) {
         let c0 = col.saturating_sub(w);
         let c1 = (col + w).min(self.cols as u32 - 1);
         let r0 = row.saturating_sub(w);
         let r1 = (row + w).min(self.rows as u32 - 1);
+        (c0, c1, r0, r1)
+    }
+
+    /// Cells of the scan window of half-width `w` around `(col, row)`,
+    /// clipped to the grid, in row-major order (§IV-C.1).
+    pub fn window(&self, col: u32, row: u32, w: u32) -> Vec<(u32, u32)> {
+        let (c0, c1, r0, r1) = self.window_bounds(col, row, w);
         let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
         for r in r0..=r1 {
             for c in c0..=c1 {
@@ -81,13 +91,24 @@ impl SpatialMemory {
     /// Gathers the window slots into a flat `K × dim` row-major buffer
     /// (the matrix `G_t` of §IV-C.1). Returns the buffer and `K`.
     pub fn gather(&self, col: u32, row: u32, w: u32) -> (Vec<f64>, usize) {
-        let cells = self.window(col, row, w);
-        let mut g = Vec::with_capacity(cells.len() * self.dim);
-        for (c, r) in &cells {
-            g.extend_from_slice(self.slot(*c, *r));
-        }
-        let k = cells.len();
+        let mut g = Vec::new();
+        let k = self.gather_append(col, row, w, &mut g);
         (g, k)
+    }
+
+    /// [`Self::gather`] into a caller-provided buffer (appended, not
+    /// cleared — the SAM cache packs all steps of a sequence into one flat
+    /// allocation). Returns `K`.
+    pub fn gather_append(&self, col: u32, row: u32, w: u32, out: &mut Vec<f64>) -> usize {
+        let (c0, c1, r0, r1) = self.window_bounds(col, row, w);
+        let k = ((c1 - c0 + 1) * (r1 - r0 + 1)) as usize;
+        out.reserve(k * self.dim);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.extend_from_slice(self.slot(c, r));
+            }
+        }
+        k
     }
 
     /// The writer (§IV-C.2): `M(cell) ← w ⊙ value + (1 - w) ⊙ M(cell)`
@@ -103,6 +124,16 @@ impl SpatialMemory {
         }
     }
 
+    /// Phase B of the two-phase training protocol: replays a sequence's
+    /// buffered writes against this memory, in the exact order they were
+    /// recorded. Committing the logs of a batch in input order reproduces
+    /// the write order of a fully sequential pass over that batch.
+    pub fn commit(&mut self, log: &WriteLog) {
+        for e in &log.entries {
+            self.write(e.col, e.row, &e.weight, &e.value);
+        }
+    }
+
     /// Fraction of slots that have been written to (any non-zero entry).
     /// Useful diagnostics for how much of the city the training data covers.
     pub fn occupancy(&self) -> f64 {
@@ -115,6 +146,117 @@ impl SpatialMemory {
             })
             .count();
         occupied as f64 / total as f64
+    }
+}
+
+/// One buffered memory update, replayed verbatim by
+/// [`SpatialMemory::commit`].
+#[derive(Debug, Clone)]
+struct WriteEntry {
+    col: u32,
+    row: u32,
+    weight: Vec<f64>,
+    value: Vec<f64>,
+}
+
+/// Pending memory writes of one sequence — phase A of the two-phase
+/// training protocol.
+///
+/// During the parallel phase every sequence runs against an immutable
+/// snapshot of the spatial memory and records its writes here instead of
+/// mutating the shared tensor. Reads *through* the log
+/// ([`Self::slot`], [`Self::gather_append`]) see the sequence's own
+/// pending writes overlaid on the snapshot, so a buffered forward is
+/// bit-identical to a sequential training forward started from the same
+/// memory state. Phase B replays the logs in fixed input order via
+/// [`SpatialMemory::commit`], preserving the deterministic write order.
+#[derive(Debug, Clone, Default)]
+pub struct WriteLog {
+    entries: Vec<WriteEntry>,
+    /// Current local value of every cell this sequence has written.
+    /// Lookup-only (never iterated), so map order cannot leak into
+    /// results.
+    overlay: HashMap<(u32, u32), Vec<f64>>,
+}
+
+impl WriteLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all buffered writes (reuse across sequences).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.overlay.clear();
+    }
+
+    /// Buffers the gated write `slot ← w ⊙ value + (1 - w) ⊙ slot` against
+    /// `base`, keeping the sequence-local slot value readable through
+    /// [`Self::slot`].
+    pub fn record(
+        &mut self,
+        base: &SpatialMemory,
+        col: u32,
+        row: u32,
+        weight: &[f64],
+        value: &[f64],
+    ) {
+        assert_eq!(weight.len(), base.dim, "write weight arity");
+        assert_eq!(value.len(), base.dim, "write value arity");
+        let slot = self
+            .overlay
+            .entry((col, row))
+            .or_insert_with(|| base.slot(col, row).to_vec());
+        for k in 0..base.dim {
+            debug_assert!((0.0..=1.0).contains(&weight[k]), "weight out of range");
+            slot[k] = weight[k] * value[k] + (1.0 - weight[k]) * slot[k];
+        }
+        self.entries.push(WriteEntry {
+            col,
+            row,
+            weight: weight.to_vec(),
+            value: value.to_vec(),
+        });
+    }
+
+    /// The slot of `(col, row)` as this sequence sees it: its own pending
+    /// write if one exists, else the snapshot's value.
+    pub fn slot<'a>(&'a self, base: &'a SpatialMemory, col: u32, row: u32) -> &'a [f64] {
+        match self.overlay.get(&(col, row)) {
+            Some(v) => v.as_slice(),
+            None => base.slot(col, row),
+        }
+    }
+
+    /// [`SpatialMemory::gather_append`] reading through the overlay.
+    pub fn gather_append(
+        &self,
+        base: &SpatialMemory,
+        col: u32,
+        row: u32,
+        w: u32,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        let (c0, c1, r0, r1) = base.window_bounds(col, row, w);
+        let k = ((c1 - c0 + 1) * (r1 - r0 + 1)) as usize;
+        out.reserve(k * base.dim);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.extend_from_slice(self.slot(base, c, r));
+            }
+        }
+        k
     }
 }
 
@@ -159,10 +301,69 @@ mod tests {
     }
 
     #[test]
+    fn gather_append_does_not_clear() {
+        let mut m = SpatialMemory::new(3, 3, 1);
+        m.write(0, 0, &[1.0], &[5.0]);
+        let mut buf = vec![-1.0];
+        let k = m.gather_append(0, 0, 0, &mut buf);
+        assert_eq!(k, 1);
+        assert_eq!(buf, vec![-1.0, 5.0]);
+    }
+
+    #[test]
     fn reset_clears() {
         let mut m = SpatialMemory::new(2, 2, 3);
         m.write(0, 1, &[1.0; 3], &[1.0, 2.0, 3.0]);
         m.reset();
         assert_eq!(m.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn log_reads_see_own_writes_base_untouched() {
+        let base = SpatialMemory::new(3, 3, 2);
+        let mut log = WriteLog::new();
+        assert_eq!(log.slot(&base, 1, 1), &[0.0, 0.0]);
+        log.record(&base, 1, 1, &[1.0, 0.5], &[4.0, 4.0]);
+        assert_eq!(log.slot(&base, 1, 1), &[4.0, 2.0]);
+        assert_eq!(base.slot(1, 1), &[0.0, 0.0], "snapshot must stay frozen");
+        assert_eq!(log.len(), 1);
+        // Second write interpolates against the overlay, like the
+        // sequential writer would against the live memory.
+        log.record(&base, 1, 1, &[0.5, 0.5], &[0.0, 0.0]);
+        assert_eq!(log.slot(&base, 1, 1), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn commit_replays_in_order_matching_sequential_writes() {
+        let mut seq = SpatialMemory::new(3, 3, 1);
+        let base = seq.clone();
+        let mut log = WriteLog::new();
+        let writes: [(u32, u32, f64, f64); 4] =
+            [(0, 0, 0.7, 3.0), (1, 2, 1.0, -2.0), (0, 0, 0.3, 9.0), (2, 1, 0.5, 1.0)];
+        for &(c, r, w, v) in &writes {
+            seq.write(c, r, &[w], &[v]);
+            log.record(&base, c, r, &[w], &[v]);
+        }
+        let mut committed = base.clone();
+        committed.commit(&log);
+        assert_eq!(committed, seq, "commit must replay the exact write order");
+    }
+
+    #[test]
+    fn log_gather_overlays_window() {
+        let mut base = SpatialMemory::new(3, 3, 1);
+        base.write(0, 0, &[1.0], &[1.0]);
+        let mut log = WriteLog::new();
+        log.record(&base, 1, 0, &[1.0], &[7.0]);
+        let mut g = Vec::new();
+        let k = log.gather_append(&base, 0, 0, 1, &mut g);
+        assert_eq!(k, 4);
+        // window (0,0),(1,0),(0,1),(1,1): base value, overlaid, base, base.
+        assert_eq!(g, vec![1.0, 7.0, 0.0, 0.0]);
+        log.clear();
+        assert!(log.is_empty());
+        let mut g2 = Vec::new();
+        log.gather_append(&base, 0, 0, 1, &mut g2);
+        assert_eq!(g2, vec![1.0, 0.0, 0.0, 0.0]);
     }
 }

@@ -14,9 +14,20 @@
 //! Gradients flow through the read path (attention weights depend on
 //! `ĉ_t`) but the gathered memory rows `G_t` are treated as constants and
 //! writes are not backpropagated — see the crate docs.
+//!
+//! # Memory access modes
+//!
+//! Training used to require `&mut SpatialMemory`, serializing the whole
+//! batch. [`MemoryMode::Buffered`] is phase A of the two-phase protocol:
+//! the forward reads an immutable memory snapshot (shareable across
+//! threads) and records its writes into a per-sequence [`WriteLog`] whose
+//! overlay keeps within-sequence read-after-write semantics intact. Phase
+//! B ([`SamLstmEncoder::commit`]) replays the logs in input order on one
+//! thread.
 
-use crate::linalg::{dot, sigmoid, softmax_backward, softmax_inplace, Mat};
-use crate::memory::SpatialMemory;
+use crate::linalg::{activate_gates, dot, sigmoid, softmax_backward, softmax_inplace, Mat};
+use crate::memory::{SpatialMemory, WriteLog};
+use crate::workspace::{prep, Workspace};
 use crate::Encoder;
 
 /// How a forward pass accesses the spatial memory.
@@ -24,8 +35,19 @@ use crate::Encoder;
 pub enum MemoryMode<'a> {
     /// Read-only access (inference); many threads may share one memory.
     Frozen(&'a SpatialMemory),
-    /// Read-write access (training): cell states are written back.
+    /// Read-write access (sequential training): cell states are written
+    /// back to the live memory at every step.
     Train(&'a mut SpatialMemory),
+    /// Phase A of two-phase training: reads go through `log`'s overlay on
+    /// the frozen `base` snapshot (so the sequence sees its own pending
+    /// writes exactly as [`MemoryMode::Train`] would), and writes are
+    /// buffered in `log` for a later ordered [`SpatialMemory::commit`].
+    Buffered {
+        /// Immutable batch-start snapshot of the memory.
+        base: &'a SpatialMemory,
+        /// This sequence's pending writes.
+        log: &'a mut WriteLog,
+    },
 }
 
 impl MemoryMode<'_> {
@@ -33,6 +55,7 @@ impl MemoryMode<'_> {
         match self {
             MemoryMode::Frozen(m) => m,
             MemoryMode::Train(m) => m,
+            MemoryMode::Buffered { base, .. } => base,
         }
     }
 }
@@ -85,7 +108,7 @@ impl SamGrads {
     }
 
     /// Accumulates another gradient buffer into this one (used to merge
-    /// per-thread partial gradients).
+    /// per-group partial gradients in a fixed order).
     pub fn merge(&mut self, other: &SamGrads) {
         self.p.add_from(&other.p);
         self.w_his.add_from(&other.w_his);
@@ -93,35 +116,93 @@ impl SamGrads {
     }
 }
 
+/// Forward cache of a sequence for BPTT.
+///
+/// Flat struct-of-arrays layout: every per-step quantity lives in one
+/// contiguous row-major buffer (`T × len` for the fixed-size quantities;
+/// ragged with the `k_off` prefix-sum index for the per-step attention
+/// window, whose size `K_t ≤ (2w+1)²` shrinks at grid borders).
 #[derive(Debug, Clone)]
-struct StepCache {
-    /// `z = [x; h_{t-1}; 1]`.
+pub struct SamCache {
+    len: usize,
+    d: usize,
+    zlen: usize,
+    /// `z_t = [x; h_{t-1}; 1]`, `T × zlen`.
     z: Vec<f64>,
-    /// Activated gates `[f, i, s, o, g]`, length `5d`.
+    /// Activated gates `[f, i, s, o, g]`, `T × 5d`.
     gates: Vec<f64>,
-    /// Intermediate cell state `ĉ_t` (Eq. 3).
+    /// Intermediate cell state `ĉ_t` (Eq. 3), `T × d`.
     c_hat: Vec<f64>,
-    /// Final cell state `c_t` (Eq. 4).
+    /// Final cell state `c_t` (Eq. 4), `T × d`.
     c: Vec<f64>,
-    /// `tanh(c_t)`.
+    /// `tanh(c_t)`, `T × d`.
     tanh_c: Vec<f64>,
-    /// Gathered window rows `G_t` (`k × d` row-major), copied because the
-    /// memory mutates after the step.
-    g_rows: Vec<f64>,
-    /// Window size `K ≤ (2w+1)²`.
-    k: usize,
-    /// Attention weights `A` (post-softmax).
-    attn: Vec<f64>,
-    /// Attention mix `G_tᵀ·A`.
+    /// Attention mix `G_tᵀ·A`, `T × d`.
     mix: Vec<f64>,
-    /// `c_t^his = tanh(W_his·[ĉ; mix] + b_his)`.
+    /// `c_t^his = tanh(W_his·[ĉ; mix] + b_his)`, `T × d`.
     c_his: Vec<f64>,
+    /// Window-size prefix sums: step `t` owns attention indices
+    /// `k_off[t]..k_off[t+1]` (and `G` rows `k_off[t]*d..k_off[t+1]*d`).
+    k_off: Vec<usize>,
+    /// Gathered window rows `G_t` (ragged `K_t × d` blocks), copied
+    /// because the memory mutates after the step.
+    g_rows: Vec<f64>,
+    /// Attention weights `A` (post-softmax, ragged).
+    attn: Vec<f64>,
 }
 
-/// Forward cache of a sequence for BPTT.
-#[derive(Debug, Clone, Default)]
-pub struct SamCache {
-    steps: Vec<StepCache>,
+impl Default for SamCache {
+    fn default() -> Self {
+        Self::with_capacity(0, 0, 0, 0)
+    }
+}
+
+impl SamCache {
+    fn with_capacity(t: usize, d: usize, zlen: usize, scan_width: u32) -> Self {
+        let kmax = ((2 * scan_width + 1) * (2 * scan_width + 1)) as usize;
+        let mut k_off = Vec::with_capacity(t + 1);
+        k_off.push(0);
+        Self {
+            len: 0,
+            d,
+            zlen,
+            z: Vec::with_capacity(t * zlen),
+            gates: Vec::with_capacity(t * 5 * d),
+            c_hat: Vec::with_capacity(t * d),
+            c: Vec::with_capacity(t * d),
+            tanh_c: Vec::with_capacity(t * d),
+            mix: Vec::with_capacity(t * d),
+            c_his: Vec::with_capacity(t * d),
+            k_off,
+            g_rows: Vec::with_capacity(t * kmax * d),
+            attn: Vec::with_capacity(t * kmax),
+        }
+    }
+
+    /// Number of cached timesteps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Attention-window size `K_t` of step `t` (clipped at grid borders).
+    pub fn window_size(&self, t: usize) -> usize {
+        self.k_off[t + 1] - self.k_off[t]
+    }
+
+    /// Post-softmax attention weights of step `t`.
+    pub fn attn(&self, t: usize) -> &[f64] {
+        &self.attn[self.k_off[t]..self.k_off[t + 1]]
+    }
+
+    /// Gathered window rows of step `t` (`K_t × d` row-major).
+    fn g_rows(&self, t: usize) -> &[f64] {
+        &self.g_rows[self.k_off[t] * self.d..self.k_off[t + 1] * self.d]
+    }
 }
 
 impl SamLstmCell {
@@ -183,46 +264,58 @@ impl SamLstmCell {
         self.forward_with(coords, cells, mode, scan_width)
     }
 
+    /// [`Self::forward_with_ws`] with a one-shot workspace.
+    pub fn forward_with(
+        &self,
+        coords: &[(f64, f64)],
+        cells: &[(u32, u32)],
+        mode: MemoryMode<'_>,
+        scan_width: u32,
+    ) -> (Vec<f64>, SamCache) {
+        self.forward_with_ws(coords, cells, mode, scan_width, &mut Workspace::new())
+    }
+
     /// Runs the cell over a sequence of coordinates + grid cells.
     ///
     /// The memory is read at every step; in [`MemoryMode::Train`] the
-    /// step's cell state is also written back. [`MemoryMode::Frozen`]
-    /// borrows the memory immutably, so inference-time embedding is
-    /// read-only and can run on many threads over one shared memory.
+    /// step's cell state is also written back, in [`MemoryMode::Buffered`]
+    /// it is recorded in the write log. [`MemoryMode::Frozen`] borrows the
+    /// memory immutably, so inference-time embedding is read-only and can
+    /// run on many threads over one shared memory.
     ///
     /// Panics on empty input or mismatched coord/cell lengths.
-    pub fn forward_with(
+    pub fn forward_with_ws(
         &self,
         coords: &[(f64, f64)],
         cells: &[(u32, u32)],
         mut mode: MemoryMode<'_>,
         scan_width: u32,
+        ws: &mut Workspace,
     ) -> (Vec<f64>, SamCache) {
         assert!(!coords.is_empty(), "cannot encode an empty sequence");
         assert_eq!(coords.len(), cells.len(), "coords/cells length mismatch");
         assert_eq!(mode.memory().dim(), self.dim, "memory dim mismatch");
         let d = self.dim;
-        let mut h = vec![0.0; d];
-        let mut c = vec![0.0; d];
-        let mut cache = SamCache {
-            steps: Vec::with_capacity(coords.len()),
-        };
-        let mut write_w = vec![0.0; d];
+        let zlen = self.in_dim + d + 1;
+        let mut cache = SamCache::with_capacity(coords.len(), d, zlen, scan_width);
+        let h = prep(&mut ws.h, d);
+        let c = prep(&mut ws.c, d);
+        let write_w = prep(&mut ws.t1, d);
+        let ccat = prep(&mut ws.cat, 2 * d);
         for (t, &(x, y)) in coords.iter().enumerate() {
             let (col, row) = cells[t];
-            let mut z = Vec::with_capacity(self.in_dim + d + 1);
-            z.push(x);
-            z.push(y);
-            z.extend_from_slice(&h);
-            z.push(1.0);
-            let mut a = self.p.matvec(&z);
-            for v in &mut a[..4 * d] {
-                *v = sigmoid(*v);
+            cache.z.push(x);
+            cache.z.push(y);
+            cache.z.extend_from_slice(h);
+            cache.z.push(1.0);
+            cache.gates.resize((t + 1) * 5 * d, 0.0);
+            {
+                let a = &mut cache.gates[t * 5 * d..];
+                self.p.matvec_into(&cache.z[t * zlen..(t + 1) * zlen], a);
+                activate_gates(a, 4 * d);
             }
-            for v in &mut a[4 * d..] {
-                *v = v.tanh();
-            }
-            let (gf, gi, gs, _go, gg) = (
+            let a = &cache.gates[t * 5 * d..(t + 1) * 5 * d];
+            let (gf, gi, gs, go, gg) = (
                 &a[..d],
                 &a[d..2 * d],
                 &a[2 * d..3 * d],
@@ -230,130 +323,171 @@ impl SamLstmCell {
                 &a[4 * d..],
             );
             // Eq. 3: intermediate cell state.
-            let mut c_hat = vec![0.0; d];
-            for k in 0..d {
-                c_hat[k] = gf[k] * c[k] + gi[k] * gg[k];
-            }
-            // Read (§IV-C.1).
-            let (g_rows, kwin) = mode.memory().gather(col, row, scan_width);
-            let mut attn = vec![0.0; kwin];
-            for (ki, av) in attn.iter_mut().enumerate() {
-                *av = dot(&g_rows[ki * d..(ki + 1) * d], &c_hat);
-            }
-            softmax_inplace(&mut attn);
-            let mut mix = vec![0.0; d];
-            for (ki, &av) in attn.iter().enumerate() {
-                let row_k = &g_rows[ki * d..(ki + 1) * d];
+            cache.c_hat.resize((t + 1) * d, 0.0);
+            {
+                let c_hat = &mut cache.c_hat[t * d..];
                 for k in 0..d {
-                    mix[k] += av * row_k[k];
+                    c_hat[k] = gf[k] * c[k] + gi[k] * gg[k];
                 }
             }
-            let mut ccat = Vec::with_capacity(2 * d);
-            ccat.extend_from_slice(&c_hat);
-            ccat.extend_from_slice(&mix);
-            let mut c_his = self.w_his.matvec(&ccat);
-            for (k, v) in c_his.iter_mut().enumerate() {
-                *v = (*v + self.b_his[k]).tanh();
+            let c_hat = &cache.c_hat[t * d..(t + 1) * d];
+            // Read (§IV-C.1). Buffered mode reads through the log's
+            // overlay so the sequence sees its own earlier writes.
+            let kwin = match &mode {
+                MemoryMode::Frozen(m) => m.gather_append(col, row, scan_width, &mut cache.g_rows),
+                MemoryMode::Train(m) => m.gather_append(col, row, scan_width, &mut cache.g_rows),
+                MemoryMode::Buffered { base, log } => {
+                    log.gather_append(base, col, row, scan_width, &mut cache.g_rows)
+                }
+            };
+            let off = *cache.k_off.last().expect("k_off starts with 0");
+            cache.k_off.push(off + kwin);
+            let g_rows = &cache.g_rows[off * d..(off + kwin) * d];
+            cache.attn.resize(off + kwin, 0.0);
+            {
+                let attn = &mut cache.attn[off..];
+                for (ki, av) in attn.iter_mut().enumerate() {
+                    *av = dot(&g_rows[ki * d..(ki + 1) * d], c_hat);
+                }
+                softmax_inplace(attn);
+            }
+            let attn = &cache.attn[off..off + kwin];
+            cache.mix.resize((t + 1) * d, 0.0);
+            {
+                let mix = &mut cache.mix[t * d..];
+                for (ki, &av) in attn.iter().enumerate() {
+                    let row_k = &g_rows[ki * d..(ki + 1) * d];
+                    for k in 0..d {
+                        mix[k] += av * row_k[k];
+                    }
+                }
+            }
+            ccat[..d].copy_from_slice(c_hat);
+            ccat[d..].copy_from_slice(&cache.mix[t * d..(t + 1) * d]);
+            cache.c_his.resize((t + 1) * d, 0.0);
+            {
+                let c_his = &mut cache.c_his[t * d..];
+                self.w_his.matvec_into(ccat, c_his);
+                for (k, v) in c_his.iter_mut().enumerate() {
+                    *v = (*v + self.b_his[k]).tanh();
+                }
             }
             // Eq. 4: blend; Eq. 6: hidden state.
-            let gs_slice = gs;
-            let mut tanh_c = vec![0.0; d];
-            for k in 0..d {
-                c[k] = c_hat[k] + gs_slice[k] * c_his[k];
-                tanh_c[k] = c[k].tanh();
-                h[k] = a[3 * d + k] * tanh_c[k];
+            cache.c.resize((t + 1) * d, 0.0);
+            cache.tanh_c.resize((t + 1) * d, 0.0);
+            {
+                let c_his = &cache.c_his[t * d..(t + 1) * d];
+                let c_out = &mut cache.c[t * d..];
+                let tanh_c = &mut cache.tanh_c[t * d..];
+                for k in 0..d {
+                    c[k] = c_hat[k] + gs[k] * c_his[k];
+                    tanh_c[k] = c[k].tanh();
+                    h[k] = go[k] * tanh_c[k];
+                    c_out[k] = c[k];
+                }
             }
             // Write (§IV-C.2), outside the gradient tape.
-            if let MemoryMode::Train(memory) = &mut mode {
-                for k in 0..d {
-                    write_w[k] = sigmoid(gs_slice[k]);
+            match &mut mode {
+                MemoryMode::Train(memory) => {
+                    for k in 0..d {
+                        write_w[k] = sigmoid(gs[k]);
+                    }
+                    memory.write(col, row, write_w, c);
                 }
-                memory.write(col, row, &write_w, &c);
+                MemoryMode::Buffered { base, log } => {
+                    for k in 0..d {
+                        write_w[k] = sigmoid(gs[k]);
+                    }
+                    log.record(base, col, row, write_w, c);
+                }
+                MemoryMode::Frozen(_) => {}
             }
-            cache.steps.push(StepCache {
-                z,
-                gates: a,
-                c_hat,
-                c: c.clone(),
-                tanh_c,
-                g_rows,
-                k: kwin,
-                attn,
-                mix,
-                c_his,
-            });
+            cache.len += 1;
         }
-        (h, cache)
+        (h.to_vec(), cache)
+    }
+
+    /// [`Self::backward_ws`] with a one-shot workspace.
+    pub fn backward(&self, cache: &SamCache, d_h_final: &[f64], grads: &mut SamGrads) {
+        self.backward_ws(cache, d_h_final, grads, &mut Workspace::new());
     }
 
     /// BPTT from the gradient of the final hidden state, accumulating
-    /// parameter gradients into `grads`.
-    pub fn backward(&self, cache: &SamCache, d_h_final: &[f64], grads: &mut SamGrads) {
+    /// parameter gradients into `grads`, using `ws` for all scratch.
+    pub fn backward_ws(
+        &self,
+        cache: &SamCache,
+        d_h_final: &[f64],
+        grads: &mut SamGrads,
+        ws: &mut Workspace,
+    ) {
         let d = self.dim;
         assert_eq!(d_h_final.len(), d);
-        let mut dh = d_h_final.to_vec();
-        let mut dc = vec![0.0; d];
-        let mut da = vec![0.0; 5 * d];
-        let mut dz = vec![0.0; self.in_dim + d + 1];
-        let mut dccat = vec![0.0; 2 * d];
-        for t in (0..cache.steps.len()).rev() {
-            let step = &cache.steps[t];
+        assert_eq!(cache.d, d, "cache dim mismatch");
+        let zlen = cache.zlen;
+        let dh = prep(&mut ws.h, d);
+        dh.copy_from_slice(d_h_final);
+        let dc = prep(&mut ws.c, d);
+        let da = prep(&mut ws.gates, 5 * d);
+        let dz = prep(&mut ws.z, zlen);
+        let ccat = prep(&mut ws.cat, 2 * d);
+        let dccat = prep(&mut ws.dcat, 2 * d);
+        let dpre_his = prep(&mut ws.t1, d);
+        let d_c_hat = prep(&mut ws.t2, d);
+        let d_s = prep(&mut ws.t3, d);
+        let d_o = prep(&mut ws.t4, d);
+        for t in (0..cache.len).rev() {
+            let gates = &cache.gates[t * 5 * d..(t + 1) * 5 * d];
             let (gf, gi, gs, go, gg) = (
-                &step.gates[..d],
-                &step.gates[d..2 * d],
-                &step.gates[2 * d..3 * d],
-                &step.gates[3 * d..4 * d],
-                &step.gates[4 * d..],
+                &gates[..d],
+                &gates[d..2 * d],
+                &gates[2 * d..3 * d],
+                &gates[3 * d..4 * d],
+                &gates[4 * d..],
             );
+            let tanh_c = &cache.tanh_c[t * d..(t + 1) * d];
+            let c_his = &cache.c_his[t * d..(t + 1) * d];
+            let c_hat = &cache.c_hat[t * d..(t + 1) * d];
             let c_prev: Option<&[f64]> = if t > 0 {
-                Some(&cache.steps[t - 1].c)
+                Some(&cache.c[(t - 1) * d..t * d])
             } else {
                 None
             };
-            // h = o ⊙ tanh(c); c = ĉ + s ⊙ c_his.
-            let mut d_c_hat = vec![0.0; d];
-            let mut d_chis = vec![0.0; d];
-            let mut d_s = vec![0.0; d];
-            let mut d_o = vec![0.0; d];
-            for k in 0..d {
-                d_o[k] = dh[k] * step.tanh_c[k];
-                let d_c_total = dc[k] + dh[k] * go[k] * (1.0 - step.tanh_c[k] * step.tanh_c[k]);
-                d_c_hat[k] = d_c_total;
-                d_s[k] = d_c_total * step.c_his[k];
-                d_chis[k] = d_c_total * gs[k];
-                dc[k] = d_c_total; // reused below for the ĉ split; overwritten at step end
-            }
+            // h = o ⊙ tanh(c); c = ĉ + s ⊙ c_his;
             // c_his = tanh(W_his·ccat + b_his).
-            let mut dpre_his = vec![0.0; d];
-            for (k, dv) in dpre_his.iter_mut().enumerate() {
-                *dv = d_chis[k] * (1.0 - step.c_his[k] * step.c_his[k]);
+            for k in 0..d {
+                d_o[k] = dh[k] * tanh_c[k];
+                let d_c_total = dc[k] + dh[k] * go[k] * (1.0 - tanh_c[k] * tanh_c[k]);
+                d_c_hat[k] = d_c_total;
+                d_s[k] = d_c_total * c_his[k];
+                dpre_his[k] = d_c_total * gs[k] * (1.0 - c_his[k] * c_his[k]);
             }
-            let mut ccat = Vec::with_capacity(2 * d);
-            ccat.extend_from_slice(&step.c_hat);
-            ccat.extend_from_slice(&step.mix);
-            grads.w_his.outer_acc(&dpre_his, &ccat);
-            crate::linalg::add_assign(&mut grads.b_his, &dpre_his);
+            ccat[..d].copy_from_slice(c_hat);
+            ccat[d..].copy_from_slice(&cache.mix[t * d..(t + 1) * d]);
+            grads.w_his.outer_acc(dpre_his, ccat);
+            crate::linalg::add_assign(&mut grads.b_his, dpre_his);
             dccat.fill(0.0);
-            self.w_his.matvec_t_into(&dpre_his, &mut dccat);
+            self.w_his.matvec_t_into(dpre_his, dccat);
             for k in 0..d {
                 d_c_hat[k] += dccat[k];
             }
             let d_mix = &dccat[d..2 * d];
             // mix = Gᵀ A ⇒ dA[k] = G[k]·dmix.
-            let kwin = step.k;
-            let mut d_attn = vec![0.0; kwin];
+            let kwin = cache.window_size(t);
+            let g_rows = cache.g_rows(t);
+            let d_attn = prep(&mut ws.win, kwin);
             for (ki, dv) in d_attn.iter_mut().enumerate() {
-                *dv = dot(&step.g_rows[ki * d..(ki + 1) * d], d_mix);
+                *dv = dot(&g_rows[ki * d..(ki + 1) * d], d_mix);
             }
             // A = softmax(scores).
-            let mut d_scores = vec![0.0; kwin];
-            softmax_backward(&step.attn, &d_attn, &mut d_scores);
+            let d_scores = prep(&mut ws.win2, kwin);
+            softmax_backward(cache.attn(t), d_attn, d_scores);
             // scores[k] = G[k]·ĉ ⇒ dĉ += Σ d_scores[k]·G[k].
             for (ki, &dsv) in d_scores.iter().enumerate() {
                 if dsv == 0.0 {
                     continue;
                 }
-                let row_k = &step.g_rows[ki * d..(ki + 1) * d];
+                let row_k = &g_rows[ki * d..(ki + 1) * d];
                 for k in 0..d {
                     d_c_hat[k] += dsv * row_k[k];
                 }
@@ -371,9 +505,9 @@ impl SamLstmCell {
                 da[3 * d + k] = d_o[k] * go[k] * (1.0 - go[k]);
                 da[4 * d + k] = d_g * (1.0 - gg[k] * gg[k]);
             }
-            grads.p.outer_acc(&da, &step.z);
+            grads.p.outer_acc(da, &cache.z[t * zlen..(t + 1) * zlen]);
             dz.fill(0.0);
-            self.p.matvec_t_into(&da, &mut dz);
+            self.p.matvec_t_into(da, dz);
             dh.copy_from_slice(&dz[self.in_dim..self.in_dim + d]);
         }
     }
@@ -426,6 +560,45 @@ impl SamLstmEncoder {
         )
     }
 
+    /// Phase-A training encode: reads the encoder's memory as a frozen
+    /// snapshot, buffers writes into `log`. Borrows `self` immutably, so
+    /// many sequences can run concurrently (one log + workspace each);
+    /// apply the logs afterwards in input order with [`Self::commit`].
+    pub fn forward_buffered_ws(
+        &self,
+        coords: &[(f64, f64)],
+        cells: &[(u32, u32)],
+        log: &mut WriteLog,
+        ws: &mut Workspace,
+    ) -> (Vec<f64>, SamCache) {
+        self.cell.forward_with_ws(
+            coords,
+            cells,
+            MemoryMode::Buffered {
+                base: &self.memory,
+                log,
+            },
+            self.scan_width,
+            ws,
+        )
+    }
+
+    /// [`Self::forward_buffered_ws`] with a one-shot workspace.
+    pub fn forward_buffered(
+        &self,
+        coords: &[(f64, f64)],
+        cells: &[(u32, u32)],
+        log: &mut WriteLog,
+    ) -> (Vec<f64>, SamCache) {
+        self.forward_buffered_ws(coords, cells, log, &mut Workspace::new())
+    }
+
+    /// Phase B: replays a sequence's buffered writes against the live
+    /// memory. Call once per sequence, in batch input order.
+    pub fn commit(&mut self, log: &WriteLog) {
+        self.memory.commit(log);
+    }
+
     /// See [`SamLstmCell::backward`].
     pub fn backward(&self, cache: &SamCache, d_h: &[f64], grads: &mut SamGrads) {
         self.cell.backward(cache, d_h, grads);
@@ -476,7 +649,7 @@ mod tests {
         let mut enc = SamLstmEncoder::new(8, 6, 6, 2, 1);
         let (h, cache) = enc.forward(&coords, &cells, true);
         assert_eq!(h.len(), 8);
-        assert_eq!(cache.steps.len(), 4);
+        assert_eq!(cache.len(), 4);
         assert!(h.iter().all(|v| v.abs() <= 1.0));
     }
 
@@ -508,9 +681,74 @@ mod tests {
         enc.memory = warmed_memory(4);
         let (h, cache) = enc.forward(&coords, &cells, false);
         assert_eq!(h.len(), 4);
-        assert!(cache.steps.iter().all(|s| s.k == 1));
+        assert!((0..cache.len()).all(|t| cache.window_size(t) == 1));
         // Softmax over one score is exactly 1.
-        assert!(cache.steps.iter().all(|s| (s.attn[0] - 1.0).abs() < 1e-15));
+        assert!((0..cache.len()).all(|t| (cache.attn(t)[0] - 1.0).abs() < 1e-15));
+    }
+
+    /// The whole point of the buffered mode: a phase-A forward against a
+    /// frozen snapshot must be bit-identical to a sequential training
+    /// forward from the same memory state — including the within-sequence
+    /// read-after-write path (toy_seq revisits no cell, so also check a
+    /// self-crossing trajectory) — and committing the log must leave the
+    /// memory bit-identical to the sequential writer's.
+    #[test]
+    fn buffered_forward_matches_sequential_train_forward() {
+        let coords = vec![(0.5, 0.5), (1.4, 0.6), (0.6, 0.4), (1.5, 1.5)];
+        let cells = vec![(0, 0), (1, 0), (0, 0), (1, 1)]; // revisits (0,0)
+        let cell = SamLstmCell::new(2, 5, 11);
+        let base = warmed_memory(5);
+
+        let mut seq_mem = base.clone();
+        let (h_seq, cache_seq) = cell.forward(&coords, &cells, &mut seq_mem, 1, true);
+
+        let mut log = WriteLog::new();
+        let (h_buf, cache_buf) = cell.forward_with(
+            &coords,
+            &cells,
+            MemoryMode::Buffered {
+                base: &base,
+                log: &mut log,
+            },
+            1,
+        );
+        assert_eq!(h_seq, h_buf, "buffered forward diverged from train forward");
+        for t in 0..cache_seq.len() {
+            assert_eq!(cache_seq.attn(t), cache_buf.attn(t));
+        }
+        assert_eq!(log.len(), coords.len());
+
+        let mut committed = base.clone();
+        committed.commit(&log);
+        assert_eq!(committed, seq_mem, "commit diverged from sequential writes");
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh() {
+        let (coords, cells) = toy_seq();
+        let cell = SamLstmCell::new(2, 4, 31);
+        let mem = warmed_memory(4);
+        let w = vec![0.3, -0.9, 0.5, 0.1];
+
+        let (h_fresh, cache_fresh) =
+            cell.forward_with(&coords, &cells, MemoryMode::Frozen(&mem), 1);
+        let mut grads_fresh = SamGrads::zeros_like(&cell);
+        cell.backward(&cache_fresh, &w, &mut grads_fresh);
+
+        // Dirty the workspace with an unrelated sequence first.
+        let mut ws = Workspace::new();
+        let dirty: Vec<(f64, f64)> = (0..9).map(|i| (i as f64 * 0.3, 1.0 - i as f64 * 0.1)).collect();
+        let dirty_cells: Vec<(u32, u32)> = (0..9).map(|i| (i % 6, (i * 2) % 6)).collect();
+        let _ = cell.forward_with_ws(&dirty, &dirty_cells, MemoryMode::Frozen(&mem), 2, &mut ws);
+        let (h_reuse, cache_reuse) =
+            cell.forward_with_ws(&coords, &cells, MemoryMode::Frozen(&mem), 1, &mut ws);
+        let mut grads_reuse = SamGrads::zeros_like(&cell);
+        cell.backward_ws(&cache_reuse, &w, &mut grads_reuse, &mut ws);
+
+        assert_eq!(h_fresh, h_reuse);
+        assert_eq!(grads_fresh.p.as_slice(), grads_reuse.p.as_slice());
+        assert_eq!(grads_fresh.w_his.as_slice(), grads_reuse.w_his.as_slice());
+        assert_eq!(grads_fresh.b_his, grads_reuse.b_his);
     }
 
     /// Gradient check for the fused recurrent weights `P` through the full

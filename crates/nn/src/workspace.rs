@@ -1,0 +1,77 @@
+//! Reusable scratch buffers for the RNN forward/backward hot paths.
+//!
+//! Every cell used to allocate a handful of `vec![0.0; d]` temporaries per
+//! timestep (and per backward step). A [`Workspace`] owns those buffers
+//! once; the `*_ws` entry points on [`crate::LstmCell`], [`crate::GruCell`]
+//! and [`crate::SamLstmCell`] reuse them across steps and across
+//! sequences, so steady-state training performs zero per-timestep heap
+//! allocations outside the (exactly-sized, once-per-sequence) BPTT caches.
+
+/// Scratch buffers shared by all RNN cells.
+///
+/// A workspace is plain reusable memory: it carries no results between
+/// calls and any `*_ws` method may be called with any (possibly
+/// previously used) workspace. Each worker thread owns one.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Running hidden state (forward) / `dh` (backward).
+    pub(crate) h: Vec<f64>,
+    /// Running cell state (forward) / `dc` (backward).
+    pub(crate) c: Vec<f64>,
+    /// Gate pre-activations (forward) / `da` (backward); up to `5d`.
+    pub(crate) gates: Vec<f64>,
+    /// `z`-sized scratch (`dz` / `dzin`).
+    pub(crate) z: Vec<f64>,
+    /// Second `z`-sized scratch (`dzh` for the GRU).
+    pub(crate) z2: Vec<f64>,
+    /// `[ĉ; mix]` concatenation scratch (`2d`, SAM).
+    pub(crate) cat: Vec<f64>,
+    /// Gradient of the concatenation (`2d`, SAM).
+    pub(crate) dcat: Vec<f64>,
+    /// Small `d`-sized scratch (SAM write weights, `dĉ`, GRU `dh_prev`…).
+    pub(crate) t1: Vec<f64>,
+    /// Small `d`-sized scratch.
+    pub(crate) t2: Vec<f64>,
+    /// Small `d`-sized scratch.
+    pub(crate) t3: Vec<f64>,
+    /// Small `d`-sized scratch.
+    pub(crate) t4: Vec<f64>,
+    /// Attention-window scratch (`d_attn`, size `K ≤ (2w+1)²`).
+    pub(crate) win: Vec<f64>,
+    /// Attention-window scratch (`d_scores`).
+    pub(crate) win2: Vec<f64>,
+}
+
+impl Workspace {
+    /// A fresh (empty) workspace; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resets `v` to `n` zeros without shrinking its allocation. Returns the
+/// buffer as a slice for convenience.
+#[inline]
+pub(crate) fn prep(v: &mut Vec<f64>, n: usize) -> &mut [f64] {
+    v.clear();
+    v.resize(n, 0.0);
+    v.as_mut_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prep_zeroes_and_keeps_capacity() {
+        let mut v = vec![1.0; 16];
+        let cap = v.capacity();
+        let s = prep(&mut v, 8);
+        assert_eq!(s, &[0.0; 8]);
+        assert_eq!(v.len(), 8);
+        assert!(v.capacity() >= cap);
+        prep(&mut v, 16);
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+}
