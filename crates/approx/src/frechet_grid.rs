@@ -84,12 +84,7 @@ mod tests {
         Trajectory::new_unchecked(
             id,
             (0..n)
-                .map(|k| {
-                    Point::new(
-                        k as f64 * 2.0,
-                        y0 + (k as f64 * 0.7).sin() * 3.0,
-                    )
-                })
+                .map(|k| Point::new(k as f64 * 2.0, y0 + (k as f64 * 0.7).sin() * 3.0))
                 .collect(),
         )
     }
@@ -99,7 +94,11 @@ mod tests {
         let ap = FrechetGridApprox::new(10.0, 1);
         let t = wavy(0, 200, 0.0);
         let sig = ap.signature(&t);
-        assert!(sig.len() < t.len() / 2, "signature {} not shorter", sig.len());
+        assert!(
+            sig.len() < t.len() / 2,
+            "signature {} not shorter",
+            sig.len()
+        );
         assert!(!sig.is_empty());
     }
 

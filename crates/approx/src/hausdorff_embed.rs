@@ -101,10 +101,7 @@ mod tests {
     use neutraj_measures::{Hausdorff, Measure};
 
     fn hline(id: u64, y: f64) -> Trajectory {
-        Trajectory::new_unchecked(
-            id,
-            (0..20).map(|k| Point::new(k as f64 * 5.0, y)).collect(),
-        )
+        Trajectory::new_unchecked(id, (0..20).map(|k| Point::new(k as f64 * 5.0, y)).collect())
     }
 
     fn extent() -> BoundingBox {

@@ -135,8 +135,7 @@ pub trait ApproxKnn: Send + Sync {
     /// Top-k search (see [`ApproxIndex::knn`]).
     fn knn(&self, query: &Trajectory, k: usize) -> Vec<Neighbor>;
     /// Candidate-restricted top-k (see [`ApproxIndex::knn_candidates`]).
-    fn knn_candidates(&self, query: &Trajectory, candidates: &[usize], k: usize)
-        -> Vec<Neighbor>;
+    fn knn_candidates(&self, query: &Trajectory, candidates: &[usize], k: usize) -> Vec<Neighbor>;
 }
 
 impl<A: ApproxAlgorithm> ApproxKnn for ApproxIndex<A> {
@@ -148,12 +147,7 @@ impl<A: ApproxAlgorithm> ApproxKnn for ApproxIndex<A> {
         ApproxIndex::knn(self, query, k)
     }
 
-    fn knn_candidates(
-        &self,
-        query: &Trajectory,
-        candidates: &[usize],
-        k: usize,
-    ) -> Vec<Neighbor> {
+    fn knn_candidates(&self, query: &Trajectory, candidates: &[usize], k: usize) -> Vec<Neighbor> {
         ApproxIndex::knn_candidates(self, query, candidates, k)
     }
 }
@@ -260,12 +254,7 @@ impl ApproxKnn for LshKnn {
         top_k(&self.scores(query), k)
     }
 
-    fn knn_candidates(
-        &self,
-        query: &Trajectory,
-        candidates: &[usize],
-        k: usize,
-    ) -> Vec<Neighbor> {
+    fn knn_candidates(&self, query: &Trajectory, candidates: &[usize], k: usize) -> Vec<Neighbor> {
         let scores = self.scores(query);
         let mut out: Vec<Neighbor> = candidates
             .iter()

@@ -9,10 +9,9 @@ use neutraj_trajectory::{BoundingBox, Point, Trajectory};
 use proptest::prelude::*;
 
 fn arb_traj(id: u64) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..25)
-        .prop_map(move |pts| {
-            Trajectory::new_unchecked(id, pts.into_iter().map(Point::from).collect())
-        })
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..25).prop_map(move |pts| {
+        Trajectory::new_unchecked(id, pts.into_iter().map(Point::from).collect())
+    })
 }
 
 proptest! {

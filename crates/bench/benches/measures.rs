@@ -28,15 +28,10 @@ fn bench_measures(c: &mut Criterion) {
         let measure = kind.measure();
         for len in [50usize, 100, 200] {
             let (a, b) = pair_of_len(len);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), len),
-                &len,
-                |bencher, _| {
-                    bencher.iter(|| {
-                        black_box(measure.dist(black_box(a.points()), black_box(b.points())))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), len), &len, |bencher, _| {
+                bencher
+                    .iter(|| black_box(measure.dist(black_box(a.points()), black_box(b.points()))))
+            });
         }
     }
     group.finish();

@@ -48,9 +48,11 @@ fn bench_search(c: &mut Criterion) {
             b.iter(|| black_box(knn_scan(&*measure, black_box(query), db, K)))
         });
 
-        group.bench_with_input(BenchmarkId::new("BruteForce-pruned", size), &size, |b, _| {
-            b.iter(|| black_box(knn_scan_pruned(&*measure, black_box(query), db, K)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("BruteForce-pruned", size),
+            &size,
+            |b, _| b.iter(|| black_box(knn_scan_pruned(&*measure, black_box(query), db, K))),
+        );
 
         let ap = build_ap_for_world(kind, db, 9).expect("Frechet AP");
         group.bench_with_input(BenchmarkId::new("AP", size), &size, |b, _| {
@@ -63,9 +65,7 @@ fn bench_search(c: &mut Criterion) {
                 let emb = model.embed(black_box(&db_orig[0]));
                 let short = store.knn(&emb, K);
                 // Exact re-rank of the 50, as in the paper's protocol.
-                black_box(store.knn_reranked(&emb, query, db, &*measure, K, 10))
-                    .len()
-                    + short.len()
+                black_box(store.knn_reranked(&emb, query, db, &*measure, K, 10)).len() + short.len()
             })
         });
     }

@@ -34,8 +34,11 @@ fn bench_training(c: &mut Criterion) {
         let name = cfg.method_name();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let (model, report) = Trainer::new(cfg.clone(), world.grid.clone())
-                    .fit(black_box(&seeds), &dist, |_| {});
+                let (model, report) = Trainer::new(cfg.clone(), world.grid.clone()).fit(
+                    black_box(&seeds),
+                    &dist,
+                    |_| {},
+                );
                 black_box((model.dim(), report.epoch_losses.len()))
             })
         });

@@ -14,7 +14,9 @@
 //! ```
 
 use neutraj_bench::{learned_rankings, Cli};
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_measures::MeasureKind;
 use neutraj_model::{BackboneKind, Normalization, RankedBatchLoss, TrainConfig};
@@ -46,7 +48,10 @@ fn main() {
     let cell = world.grid.cell_size();
 
     let variants: Vec<(&str, TrainConfig)> = vec![
-        ("NeuTraj (default)", cli.train_config(TrainConfig::neutraj())),
+        (
+            "NeuTraj (default)",
+            cli.train_config(TrainConfig::neutraj()),
+        ),
         (
             "normalization: row-softmax (paper text)",
             TrainConfig {

@@ -1,0 +1,259 @@
+//! Serving-path throughput benchmark: batched GEMM inference and
+//! norm-trick top-k scans versus their scalar baselines.
+//!
+//! Two measurements, both single-threaded (queries/sec is per-core
+//! throughput; `embed_all` parallelism is benchmarked elsewhere):
+//!
+//! * **scan** — `EmbeddingStore::knn_batch` (one GEMM per corpus block
+//!   via the norm trick `‖q−x‖² = ‖q‖² − 2·q·x + ‖x‖²`) against
+//!   `knn_naive` (per-row `euclidean_sq` + full top-k buffer), over
+//!   synthetic corpora of N ∈ {10k, 100k} embeddings at d = 32.
+//! * **embed** — `NeuTrajModel::embed_batch` (lockstep per-timestep
+//!   GEMM forward) against a per-trajectory `embed` loop, B = 32, for
+//!   all three backbones.
+//!
+//! Both pairs are bit-for-bit result-checked in this binary before any
+//! timing is reported — the speedups below are for *identical* answers
+//! (see `DESIGN.md`, "Serving path").
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin bench_query [-- --size 5000 --queries 8]
+//! ```
+//!
+//! `--size N` replaces the default {10k, 100k} corpus sweep with a
+//! single corpus of N rows (the CI smoke run uses this); `--queries`
+//! sets the query batch size B; `--dim` the embedding dimension.
+
+use std::time::Instant;
+
+use neutraj_model::{BackboneKind, EmbeddingStore, NeuTrajModel, TrainConfig};
+use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
+
+/// Search depth; k = 10 matches the paper's top-k experiments.
+const K: usize = 10;
+
+/// Minimum wall-clock per timed measurement. Short enough to keep the
+/// default run in seconds, long enough to amortise timer noise.
+const MIN_SECONDS: f64 = 0.25;
+
+fn main() {
+    let cli = neutraj_bench::Cli::parse(neutraj_bench::Cli {
+        size: 0, // 0 = sweep the default {10k, 100k} corpus sizes
+        queries: 32,
+        epochs: 0,
+        dim: 32,
+        seed: 2019,
+        full: false,
+    });
+    let sizes: Vec<usize> = if cli.size == 0 {
+        vec![10_000, 100_000]
+    } else {
+        vec![cli.size]
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_query: dim {}, k {K}, batch {}, corpora {:?}, host cpus {host_cpus}",
+        cli.dim, cli.queries, sizes
+    );
+
+    let mut scan_rows = Vec::new();
+    for &n in &sizes {
+        scan_rows.push(bench_scan(n, cli.dim, cli.queries, cli.seed));
+    }
+    let embed_rows = [BackboneKind::SamLstm, BackboneKind::Lstm, BackboneKind::Gru]
+        .map(|kind| bench_embed(kind, cli.dim, cli.queries, cli.seed));
+
+    let json = render_json(&cli, host_cpus, &scan_rows, &embed_rows);
+    let path = "BENCH_query.json";
+    std::fs::write(path, json).expect("write BENCH_query.json");
+    println!("wrote {path}");
+}
+
+/// One scan measurement: naive vs GEMM queries/sec over an N-row corpus.
+struct ScanRow {
+    n: usize,
+    naive_qps: f64,
+    gemm_qps: f64,
+}
+
+/// One embed measurement: scalar vs lockstep-batched queries/sec.
+struct EmbedRow {
+    backbone: &'static str,
+    scalar_qps: f64,
+    batched_qps: f64,
+}
+
+fn bench_scan(n: usize, dim: usize, batch: usize, seed: u64) -> ScanRow {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let store = {
+        let mut store = EmbeddingStore::new(dim);
+        let mut row = vec![0.0; dim];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = unit_f64(&mut state);
+            }
+            store.push(&row);
+        }
+        store
+    };
+    let queries: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..dim).map(|_| unit_f64(&mut state)).collect())
+        .collect();
+    let qrefs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+
+    // Result check before timing: the GEMM scan must agree with the
+    // naive one (indices exactly; distances to rounding) and be
+    // bit-identical to the scalar `knn` it generalises.
+    let batched = store.knn_batch(&qrefs, K);
+    for (q, got) in qrefs.iter().zip(&batched) {
+        assert_eq!(&store.knn(q, K), got, "scalar knn diverged from batch");
+        let naive = store.knn_naive(q, K);
+        for (a, b) in naive.iter().zip(got) {
+            assert_eq!(a.index, b.index, "naive/GEMM rank mismatch");
+            assert!((a.dist - b.dist).abs() <= 1e-9 * (1.0 + a.dist));
+        }
+    }
+
+    let naive_qps = time_qps(batch, || {
+        for q in &qrefs {
+            std::hint::black_box(store.knn_naive(q, K));
+        }
+    });
+    let gemm_qps = time_qps(batch, || {
+        std::hint::black_box(store.knn_batch(&qrefs, K));
+    });
+    println!(
+        "  scan n={n}: naive {naive_qps:.1} q/s, gemm {gemm_qps:.1} q/s ({:.2}x)",
+        gemm_qps / naive_qps
+    );
+    ScanRow {
+        n,
+        naive_qps,
+        gemm_qps,
+    }
+}
+
+fn bench_embed(kind: BackboneKind, dim: usize, batch: usize, seed: u64) -> EmbedRow {
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+    let cfg = TrainConfig {
+        backbone: kind,
+        dim,
+        seed,
+        ..TrainConfig::neutraj()
+    };
+    let backbone = match kind {
+        BackboneKind::SamLstm => "sam_lstm",
+        BackboneKind::Lstm => "lstm",
+        BackboneKind::Gru => "gru",
+    };
+    let model = NeuTrajModel::untrained(cfg, grid);
+    let ts: Vec<Trajectory> = (0..batch as u64)
+        .map(|i| synth_traj(i, 20 + (i as usize * 7) % 41))
+        .collect();
+
+    // Bit-identity check before timing.
+    let batched = model.embed_batch(&ts);
+    for (t, got) in ts.iter().zip(&batched) {
+        assert_eq!(&model.embed(t), got, "{backbone}: batched embed diverged");
+    }
+
+    let scalar_qps = time_qps(ts.len(), || {
+        for t in &ts {
+            std::hint::black_box(model.embed(t));
+        }
+    });
+    let batched_qps = time_qps(ts.len(), || {
+        std::hint::black_box(model.embed_batch(&ts));
+    });
+    println!(
+        "  embed {backbone}: scalar {scalar_qps:.1} q/s, batched {batched_qps:.1} q/s ({:.2}x)",
+        batched_qps / scalar_qps
+    );
+    EmbedRow {
+        backbone,
+        scalar_qps,
+        batched_qps,
+    }
+}
+
+/// Times `f` (which processes `per_round` queries per call) until at
+/// least [`MIN_SECONDS`] elapse and returns queries per second.
+fn time_qps(per_round: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: touch the scratch buffers, fault in pages
+    let mut rounds = 0usize;
+    let start = Instant::now();
+    loop {
+        f();
+        rounds += 1;
+        let secs = start.elapsed().as_secs_f64();
+        if secs >= MIN_SECONDS {
+            return (rounds * per_round) as f64 / secs;
+        }
+    }
+}
+
+/// splitmix64 step mapped to [-1, 1] — deterministic synthetic
+/// embeddings without touching the `rand` crate.
+fn unit_f64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+/// Deterministic trajectory shaped by `id` so every batch slot differs.
+fn synth_traj(id: u64, len: usize) -> Trajectory {
+    Trajectory::new_unchecked(
+        id,
+        (0..len)
+            .map(|k| {
+                let (t, i) = (k as f64, id as f64);
+                Point::new(
+                    500.0 + 450.0 * (0.37 * t + 0.13 * i).sin(),
+                    250.0 + 220.0 * (0.23 * t - 0.29 * i).cos(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Hand-rolled JSON (the dependency set has no serde_json).
+fn render_json(
+    cli: &neutraj_bench::Cli,
+    host_cpus: usize,
+    scan: &[ScanRow],
+    embed: &[EmbedRow],
+) -> String {
+    let scan_objs = scan
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"n\": {},\n      \"naive_qps\": {:.2},\n      \"gemm_qps\": {:.2},\n      \"speedup\": {:.4}\n    }}",
+                r.n,
+                r.naive_qps,
+                r.gemm_qps,
+                r.gemm_qps / r.naive_qps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let embed_objs = embed
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"backbone\": \"{}\",\n      \"scalar_qps\": {:.2},\n      \"batched_qps\": {:.2},\n      \"speedup\": {:.4}\n    }}",
+                r.backbone,
+                r.scalar_qps,
+                r.batched_qps,
+                r.batched_qps / r.scalar_qps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ]\n}}\n",
+        cli.dim, cli.queries, host_cpus, scan_objs, embed_objs
+    )
+}

@@ -60,7 +60,10 @@ fn main() {
         };
         let trainer = Trainer::new(cfg, world.grid.clone()).with_threads(threads);
         let (_, report) = trainer.fit(&seeds, &dist, |s| {
-            println!("  threads={threads} epoch {} {:.3}s loss {:.5}", s.epoch, s.seconds, s.loss);
+            println!(
+                "  threads={threads} epoch {} {:.3}s loss {:.5}",
+                s.epoch, s.seconds, s.loss
+            );
         });
         let mean = report.epoch_seconds.iter().sum::<f64>() / report.epoch_seconds.len() as f64;
         println!("  threads={threads}: mean epoch {mean:.3}s");
@@ -77,7 +80,12 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the dependency set has no serde_json).
-fn render_json(runs: &[(usize, Vec<f64>, f64)], speedup: f64, cli: &Cli, host_cpus: usize) -> String {
+fn render_json(
+    runs: &[(usize, Vec<f64>, f64)],
+    speedup: f64,
+    cli: &Cli,
+    host_cpus: usize,
+) -> String {
     let fmt_list = |v: &[f64]| {
         v.iter()
             .map(|s| format!("{s:.6}"))

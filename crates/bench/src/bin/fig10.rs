@@ -69,14 +69,25 @@ fn main() {
     let db_rescaled = world.test_db_rescaled();
     let queries = world.query_positions(cli.queries);
 
-    let mut hr_table = Table::new(vec!["Measure", "Best HR@10", "Zero HR@10", "Best R10@50", "Zero R10@50"]);
+    let mut hr_table = Table::new(vec![
+        "Measure",
+        "Best HR@10",
+        "Zero HR@10",
+        "Best R10@50",
+        "Zero R10@50",
+    ]);
     for kind in MeasureKind::ALL {
         let measure = kind.measure();
         let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
 
         // Best: trained on real seeds.
         let (best_model, _) = world.train(&*measure, cli.train_config(TrainConfig::neutraj()));
-        let best = gt.evaluate(&model_rankings(&best_model, &db, &queries, default_threads()));
+        let best = gt.evaluate(&model_rankings(
+            &best_model,
+            &db,
+            &queries,
+            default_threads(),
+        ));
 
         // Zero: trained on the synthetic road-walk seeds.
         let dist = DistanceMatrix::compute_parallel(&*measure, &synth_rescaled, default_threads());
@@ -85,7 +96,12 @@ fn main() {
             world.grid.clone(),
         )
         .fit(&synth_seeds, &dist, |_| {});
-        let zero = gt.evaluate(&model_rankings(&zero_model, &db, &queries, default_threads()));
+        let zero = gt.evaluate(&model_rankings(
+            &zero_model,
+            &db,
+            &queries,
+            default_threads(),
+        ));
 
         hr_table.row(vec![
             kind.name().to_string(),

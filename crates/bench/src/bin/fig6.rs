@@ -7,7 +7,9 @@
 //! ```
 
 use neutraj_bench::Cli;
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_eval::sweeps::sweep_training_size;
 use neutraj_measures::MeasureKind;
@@ -34,15 +36,10 @@ fn main() {
         ..WorldConfig::small(DatasetKind::PortoLike)
     });
     let max_seeds = world.seed_trajectories().len();
-    let sweep: Vec<usize> = [
-        max_seeds / 8,
-        max_seeds / 4,
-        max_seeds / 2,
-        max_seeds,
-    ]
-    .into_iter()
-    .filter(|&n| n >= 20)
-    .collect();
+    let sweep: Vec<usize> = [max_seeds / 8, max_seeds / 4, max_seeds / 2, max_seeds]
+        .into_iter()
+        .filter(|&n| n >= 20)
+        .collect();
     println!(
         "Fig 6: HR@10 vs training size (Porto-like, sweep {:?}, {} queries)\n",
         sweep, cli.queries
@@ -51,7 +48,11 @@ fn main() {
     let db_rescaled = world.test_db_rescaled();
     let queries = world.query_positions(cli.queries);
 
-    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+    for kind in [
+        MeasureKind::Frechet,
+        MeasureKind::Hausdorff,
+        MeasureKind::Dtw,
+    ] {
         let measure = kind.measure();
         let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
         let mut table = Table::new(vec!["#seeds", "NeuTraj", "NT-No-SAM"]);
@@ -70,11 +71,7 @@ fn main() {
             &sweep,
         );
         for ((n, qf), (_, qn)) in full.iter().zip(&nosam) {
-            table.row(vec![
-                format!("{n}"),
-                fmt_ratio(qf.hr10),
-                fmt_ratio(qn.hr10),
-            ]);
+            table.row(vec![format!("{n}"), fmt_ratio(qf.hr10), fmt_ratio(qn.hr10)]);
         }
         println!("[{kind}]");
         println!("{}", table.render());

@@ -6,9 +6,11 @@
 //! ```
 
 use neutraj_bench::Cli;
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
-use neutraj_eval::sweeps::sweep_dim;
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_eval::sweeps::sweep_dim;
 use neutraj_measures::MeasureKind;
 use neutraj_model::TrainConfig;
 
@@ -39,7 +41,11 @@ fn main() {
     let db_rescaled = world.test_db_rescaled();
     let queries = world.query_positions(cli.queries);
 
-    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+    for kind in [
+        MeasureKind::Frechet,
+        MeasureKind::Hausdorff,
+        MeasureKind::Dtw,
+    ] {
         let measure = kind.measure();
         let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
         let mut table = Table::new(vec!["d", "NeuTraj", "NT-No-SAM"]);
@@ -48,11 +54,7 @@ fn main() {
         let full = sweep_dim(&world, &*measure, &gt, &base_full, dims);
         let nosam = sweep_dim(&world, &*measure, &gt, &base_nosam, dims);
         for ((d, qf), (_, qn)) in full.iter().zip(&nosam) {
-            table.row(vec![
-                format!("{d}"),
-                fmt_ratio(qf.hr10),
-                fmt_ratio(qn.hr10),
-            ]);
+            table.row(vec![format!("{d}"), fmt_ratio(qf.hr10), fmt_ratio(qn.hr10)]);
         }
         println!("[{kind}]");
         println!("{}", table.render());

@@ -6,9 +6,11 @@
 //! ```
 
 use neutraj_bench::Cli;
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
-use neutraj_eval::sweeps::sweep_scan_width;
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_ratio, Table};
+use neutraj_eval::sweeps::sweep_scan_width;
 use neutraj_measures::MeasureKind;
 use neutraj_model::TrainConfig;
 
@@ -34,7 +36,11 @@ fn main() {
     let db_rescaled = world.test_db_rescaled();
     let queries = world.query_positions(cli.queries);
 
-    for kind in [MeasureKind::Frechet, MeasureKind::Hausdorff, MeasureKind::Dtw] {
+    for kind in [
+        MeasureKind::Frechet,
+        MeasureKind::Hausdorff,
+        MeasureKind::Dtw,
+    ] {
         let measure = kind.measure();
         let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
         let mut table = Table::new(vec!["w", "NeuTraj HR@10"]);

@@ -54,18 +54,25 @@ fn main() {
         }
     }
     let emb = DistanceMatrix::from_raw(n, emb);
-    let scale = exact.mean_finite() / emb.mean_finite().max(1e-12);
+    // One upper-triangle pass per matrix (the mean is reused for the ε
+    // sweep below).
+    let exact_stats = exact.finite_stats();
+    let scale = exact_stats.mean / emb.finite_stats().mean.max(1e-12);
     let emb = DistanceMatrix::from_raw(
         n,
-        (0..n * n)
-            .map(|i| emb.row(i / n)[i % n] * scale)
-            .collect(),
+        (0..n * n).map(|i| emb.row(i / n)[i % n] * scale).collect(),
     );
 
     // ε sweep over quantiles of the exact distance distribution.
-    let mean = exact.mean_finite();
+    let mean = exact_stats.mean;
     let mut table = Table::new(vec![
-        "eps", "#clusters(GT)", "#clusters(Emb)", "Homog", "Compl", "V-meas", "ARI",
+        "eps",
+        "#clusters(GT)",
+        "#clusters(Emb)",
+        "Homog",
+        "Compl",
+        "V-meas",
+        "ARI",
     ]);
     for frac in [0.05, 0.1, 0.15, 0.2, 0.3, 0.4] {
         let eps = mean * frac;

@@ -6,7 +6,9 @@
 //! ```
 
 use neutraj_bench::{run_method_on_measure, Cli, MethodSpec};
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_metres, fmt_ratio, Table};
 use neutraj_measures::MeasureKind;
 use neutraj_model::TrainConfig;

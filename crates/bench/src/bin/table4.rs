@@ -67,8 +67,16 @@ fn main() {
     for measure_kind in MeasureKind::ALL {
         println!("[{measure_kind}]");
         let measure = measure_kind.measure();
-        let neutraj = train_once(&train_world, measure_kind, cli.train_config(TrainConfig::neutraj()));
-        let no_sam = train_once(&train_world, measure_kind, cli.train_config(TrainConfig::nt_no_sam()));
+        let neutraj = train_once(
+            &train_world,
+            measure_kind,
+            cli.train_config(TrainConfig::neutraj()),
+        );
+        let no_sam = train_once(
+            &train_world,
+            measure_kind,
+            cli.train_config(TrainConfig::nt_no_sam()),
+        );
 
         let mut header = vec!["Method".to_string()];
         header.extend(sizes.iter().map(|s| format!("{s}")));
@@ -88,7 +96,9 @@ fn main() {
             for q in &queries {
                 let _ = knn_scan(&*measure, q, db, K);
             }
-            brute_row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+            brute_row.push(fmt_seconds(
+                t0.elapsed().as_secs_f64() / queries.len() as f64,
+            ));
 
             // AP: preprocess offline, query online (+ exact re-rank of 50).
             match build_ap_for_world(measure_kind, db, cli.seed) {
@@ -98,7 +108,9 @@ fn main() {
                         let short = ap.knn(q, K);
                         rerank(&*measure, q, db, &short);
                     }
-                    ap_row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+                    ap_row.push(fmt_seconds(
+                        t0.elapsed().as_secs_f64() / queries.len() as f64,
+                    ));
                 }
                 None => ap_row.push("-".to_string()),
             }
@@ -115,7 +127,9 @@ fn main() {
                     let short = store.knn(&q_emb, K);
                     rerank(&*measure, &db[qi], db, &short);
                 }
-                row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+                row.push(fmt_seconds(
+                    t0.elapsed().as_secs_f64() / queries.len() as f64,
+                ));
             }
         }
         table.row(brute_row);
@@ -126,11 +140,7 @@ fn main() {
     }
 }
 
-fn train_once(
-    world: &ExperimentWorld,
-    kind: MeasureKind,
-    cfg: TrainConfig,
-) -> NeuTrajModel {
+fn train_once(world: &ExperimentWorld, kind: MeasureKind, cfg: TrainConfig) -> NeuTrajModel {
     let measure = kind.measure();
     world.train(&*measure, cfg).0
 }

@@ -10,9 +10,9 @@
 use neutraj_bench::Cli;
 use neutraj_eval::harness::{build_ap_for_world, DatasetKind, ExperimentWorld, WorldConfig};
 use neutraj_eval::report::{fmt_seconds, Table};
+use neutraj_index::{GridInvertedIndex, RTree, SpatialIndex};
 use neutraj_measures::{knn_query, MeasureKind};
 use neutraj_model::{EmbeddingStore, TrainConfig};
-use neutraj_index::{GridInvertedIndex, RTree, SpatialIndex};
 use neutraj_trajectory::gen::PortoLikeGenerator;
 use neutraj_trajectory::{Grid, Trajectory};
 use std::time::Instant;
@@ -97,10 +97,7 @@ fn main() {
             // paper also charges index lookup to every row — we include it).
             let candidate_sets: Vec<Vec<usize>> = queries
                 .iter()
-                .map(|&q| {
-                    
-                    index.candidates(&db[q], radius)
-                })
+                .map(|&q| index.candidates(&db[q], radius))
                 .collect();
             for c in &candidate_sets {
                 involved_total += c.len();
@@ -111,7 +108,9 @@ fn main() {
             for (qi, &q) in queries.iter().enumerate() {
                 let _ = knn_query(&*measure, &db[q], db, &candidate_sets[qi], K);
             }
-            brute_row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+            brute_row.push(fmt_seconds(
+                t0.elapsed().as_secs_f64() / queries.len() as f64,
+            ));
 
             // AP over candidates (+ exact re-rank of the 50).
             let t0 = Instant::now();
@@ -125,7 +124,9 @@ fn main() {
                     K,
                 );
             }
-            ap_row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+            ap_row.push(fmt_seconds(
+                t0.elapsed().as_secs_f64() / queries.len() as f64,
+            ));
 
             // NeuTraj over candidates (+ exact re-rank of the 50).
             let t0 = Instant::now();
@@ -140,7 +141,9 @@ fn main() {
                     K,
                 );
             }
-            neutraj_row.push(fmt_seconds(t0.elapsed().as_secs_f64() / queries.len() as f64));
+            neutraj_row.push(fmt_seconds(
+                t0.elapsed().as_secs_f64() / queries.len() as f64,
+            ));
             involved_row.push(format!("{}", involved_total / queries.len()));
         }
         table.row(brute_row);

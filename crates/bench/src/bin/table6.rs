@@ -51,7 +51,11 @@ fn main() {
     .into_trajectories();
 
     let mut table = Table::new(vec![
-        "Method", "t_epoch", "#epoch", "t_total", &format!("Embed {embed_n}"),
+        "Method",
+        "t_epoch",
+        "#epoch",
+        "t_total",
+        &format!("Embed {embed_n}"),
     ]);
 
     for preset in [

@@ -72,7 +72,12 @@ fn main() {
             quality.delta_h10 * cell,
             quality.delta_r10 * cell,
         );
-        let mut table = Table::new(vec!["Rank", "Ground truth", "NeuTraj", "GT rank of NeuTraj pick"]);
+        let mut table = Table::new(vec![
+            "Rank",
+            "Ground truth",
+            "NeuTraj",
+            "GT rank of NeuTraj pick",
+        ]);
         for r in 0..3 {
             let gt_id = truth.get(r).map(|&i| format!("T{}", db[i].id));
             let nt = result.get(r);

@@ -8,7 +8,9 @@
 //! ```
 
 use neutraj_bench::{learned_rankings, Cli};
-use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+use neutraj_eval::harness::{
+    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+};
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_measures::{DistanceMatrix, MeasureKind};
 use neutraj_model::{RankedBatchLoss, SimilarityMatrix, TrainConfig};
@@ -34,14 +36,9 @@ fn main() {
         let queries = world.query_positions(cli.queries);
         let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
         let seed_rescaled = world.seed_rescaled();
-        let dist =
-            DistanceMatrix::compute_parallel(&*measure, &seed_rescaled, default_threads());
+        let dist = DistanceMatrix::compute_parallel(&*measure, &seed_rescaled, default_threads());
         let auto = SimilarityMatrix::auto_alpha(&dist);
-        println!(
-            "== {} (auto alpha {:.4}) ==",
-            dataset.name(),
-            auto
-        );
+        println!("== {} (auto alpha {:.4}) ==", dataset.name(), auto);
 
         let mut table = Table::new(vec!["alpha x", "loss", "HR@10", "HR@50"]);
         for alpha_mul in [0.25, 0.5, 1.0, 2.0] {

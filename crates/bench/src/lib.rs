@@ -16,8 +16,7 @@
 #![warn(missing_docs)]
 
 use neutraj_eval::harness::{
-    ap_rankings, build_ap_for_world, default_threads, model_rankings, ExperimentWorld,
-    GroundTruth,
+    ap_rankings, build_ap_for_world, default_threads, model_rankings, ExperimentWorld, GroundTruth,
 };
 use neutraj_eval::SearchQuality;
 use neutraj_measures::MeasureKind;
@@ -66,9 +65,7 @@ impl Cli {
                 "--seed" => cli.seed = take_usize("--seed") as u64,
                 "--full" => cli.full = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --size N --queries N --epochs N --dim N --seed N --full"
-                    );
+                    eprintln!("flags: --size N --queries N --epochs N --dim N --seed N --full");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag: {other} (try --help)"),

@@ -108,8 +108,16 @@ fn homogeneity_completeness_v_codes(t: &[i64], p: &[i64]) -> (f64, f64, f64) {
         h_t_given_p -= (c / n) * (c / pp).ln();
         h_p_given_t -= (c / n) * (c / pt).ln();
     }
-    let homogeneity = if h_t == 0.0 { 1.0 } else { 1.0 - h_t_given_p / h_t };
-    let completeness = if h_p == 0.0 { 1.0 } else { 1.0 - h_p_given_t / h_p };
+    let homogeneity = if h_t == 0.0 {
+        1.0
+    } else {
+        1.0 - h_t_given_p / h_t
+    };
+    let completeness = if h_p == 0.0 {
+        1.0
+    } else {
+        1.0 - h_p_given_t / h_p
+    };
     let v = if homogeneity + completeness == 0.0 {
         0.0
     } else {

@@ -154,11 +154,7 @@ impl ExperimentWorld {
     }
 
     /// Trains a method preset on this world's seeds under `measure`.
-    pub fn train(
-        &self,
-        measure: &dyn Measure,
-        cfg: TrainConfig,
-    ) -> (NeuTrajModel, TrainReport) {
+    pub fn train(&self, measure: &dyn Measure, cfg: TrainConfig) -> (NeuTrajModel, TrainReport) {
         self.train_with_callback(measure, cfg, |_| {})
     }
 
@@ -272,11 +268,7 @@ pub fn model_rankings(
 }
 
 /// Per-query rankings of an AP baseline, self removed.
-pub fn ap_rankings(
-    ap: &dyn ApproxKnn,
-    db: &[Trajectory],
-    queries: &[usize],
-) -> Vec<Vec<usize>> {
+pub fn ap_rankings(ap: &dyn ApproxKnn, db: &[Trajectory], queries: &[usize]) -> Vec<Vec<usize>> {
     queries
         .iter()
         .map(|&q| {

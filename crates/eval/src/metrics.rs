@@ -69,8 +69,8 @@ pub fn evaluate_query(truth: &[usize], result: &[usize], exact: &[f64]) -> Searc
     let r10_at_50 = cross_recall(truth, result, 10, 50);
     let truth_avg10 = avg_exact_distance(truth, exact, 10).unwrap_or(0.0);
     // δ_H10: method's own top-10, measured in exact distance.
-    let delta_h10 = avg_exact_distance(result, exact, 10)
-        .map_or(0.0, |avg| (avg - truth_avg10).abs());
+    let delta_h10 =
+        avg_exact_distance(result, exact, 10).map_or(0.0, |avg| (avg - truth_avg10).abs());
     // δ_R10: best 10 by exact distance within the method's top-50.
     let mut top50: Vec<usize> = result[..50.min(result.len())].to_vec();
     top50.sort_by(|&a, &b| {
@@ -79,8 +79,8 @@ pub fn evaluate_query(truth: &[usize], result: &[usize], exact: &[f64]) -> Searc
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    let delta_r10 = avg_exact_distance(&top50, exact, 10)
-        .map_or(0.0, |avg| (avg - truth_avg10).abs());
+    let delta_r10 =
+        avg_exact_distance(&top50, exact, 10).map_or(0.0, |avg| (avg - truth_avg10).abs());
     SearchQuality {
         hr10,
         hr50,

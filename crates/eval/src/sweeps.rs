@@ -88,11 +88,8 @@ pub fn sweep_training_size(
         .iter()
         .map(|&raw_n| {
             let n = raw_n.clamp(2, pool.len());
-            let dist = DistanceMatrix::compute_parallel(
-                measure,
-                &pool_rescaled[..n],
-                default_threads(),
-            );
+            let dist =
+                DistanceMatrix::compute_parallel(measure, &pool_rescaled[..n], default_threads());
             let (model, _) = Trainer::new(base.clone(), world.grid.clone())
                 .with_threads(default_threads())
                 .fit(&pool[..n], &dist, |_| {});

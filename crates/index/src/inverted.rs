@@ -118,7 +118,9 @@ mod tests {
     fn hline(id: u64, y: f64) -> Trajectory {
         Trajectory::new_unchecked(
             id,
-            (0..10).map(|k| Point::new(5.0 + 10.0 * k as f64, y)).collect(),
+            (0..10)
+                .map(|k| Point::new(5.0 + 10.0 * k as f64, y))
+                .collect(),
         )
     }
 
@@ -168,7 +170,10 @@ mod tests {
                 .flat_map(|p| ts[0].points().iter().map(move |q| p.dist(q)))
                 .fold(f64::INFINITY, f64::min);
             if min_d <= radius {
-                assert!(cands.contains(&i), "lost trajectory {i} at min dist {min_d}");
+                assert!(
+                    cands.contains(&i),
+                    "lost trajectory {i} at min dist {min_d}"
+                );
             }
         }
     }

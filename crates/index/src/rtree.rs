@@ -393,7 +393,9 @@ mod tests {
     #[test]
     fn knn_mbr_edge_cases() {
         let empty = RTree::build(&[]);
-        assert!(empty.knn_mbr(&BoundingBox::new(0.0, 0.0, 1.0, 1.0), 5).is_empty());
+        assert!(empty
+            .knn_mbr(&BoundingBox::new(0.0, 0.0, 1.0, 1.0), 5)
+            .is_empty());
         let ts = corpus(5, 9);
         let tree = RTree::build(&ts);
         assert!(tree.knn_mbr(&ts[0].mbr(), 0).is_empty());

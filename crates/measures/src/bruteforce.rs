@@ -58,8 +58,7 @@ pub fn knn_scan_pruned(
         if dist > threshold || (dist == threshold && best.len() == k) {
             continue;
         }
-        let pos = best
-            .partition_point(|n| (n.dist, n.index) < (dist, index));
+        let pos = best.partition_point(|n| (n.dist, n.index) < (dist, index));
         best.insert(pos, Neighbor { index, dist });
         best.truncate(k);
     }
@@ -123,6 +122,98 @@ fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
     a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index))
 }
 
+/// A bounded max-heap holding the `k` smallest neighbours seen so far,
+/// ordered like [`partial_sort_neighbors`] (`total_cmp` on distance, ties
+/// by index). Streaming scans push every candidate; once full, a push
+/// costs `O(log k)` and most candidates are rejected with a single root
+/// comparison — no `O(N)` buffer per query.
+///
+/// The backing storage can be handed in (and recovered) so per-thread
+/// scratch is reusable across queries without reallocating.
+#[derive(Debug)]
+pub struct NeighborHeap {
+    k: usize,
+    /// Binary max-heap under [`neighbor_order`]: the worst kept neighbour
+    /// sits at the root.
+    heap: Vec<Neighbor>,
+}
+
+impl NeighborHeap {
+    /// An empty heap keeping at most `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        Self::with_storage(k, Vec::new())
+    }
+
+    /// Like [`Self::new`] but reusing `storage` (cleared) as backing
+    /// memory.
+    pub fn with_storage(k: usize, mut storage: Vec<Neighbor>) -> Self {
+        storage.clear();
+        storage.reserve(k);
+        Self { k, heap: storage }
+    }
+
+    /// Offers a candidate; keeps it only while it ranks among the `k`
+    /// smallest seen.
+    #[inline]
+    pub fn push(&mut self, index: usize, dist: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = Neighbor { index, dist };
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            self.sift_up(self.heap.len() - 1);
+        } else if neighbor_order(&cand, &self.heap[0]).is_lt() {
+            self.heap[0] = cand;
+            self.sift_down(0);
+        }
+    }
+
+    /// Worst currently-kept neighbour (the pruning threshold), if full.
+    #[inline]
+    pub fn threshold(&self) -> Option<Neighbor> {
+        (self.k > 0 && self.heap.len() == self.k).then(|| self.heap[0])
+    }
+
+    /// Extracts the kept neighbours sorted ascending by `(dist, index)`,
+    /// returning the backing storage for reuse.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap.sort_unstable_by(neighbor_order);
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if neighbor_order(&self.heap[i], &self.heap[parent]).is_gt() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && neighbor_order(&self.heap[l], &self.heap[largest]).is_gt() {
+                largest = l;
+            }
+            if r < n && neighbor_order(&self.heap[r], &self.heap[largest]).is_gt() {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,11 +275,7 @@ mod tests {
                 for j in 0..db.len() {
                     let lb = m.lower_bound(db[i].points(), db[j].points());
                     let d = m.dist(db[i].points(), db[j].points());
-                    assert!(
-                        lb <= d + 1e-9,
-                        "{}: lower bound {lb} > dist {d}",
-                        m.name()
-                    );
+                    assert!(lb <= d + 1e-9, "{}: lower bound {lb} > dist {d}", m.name());
                 }
             }
         }
@@ -202,6 +289,34 @@ mod tests {
         assert_eq!(res[3].index, 2, "NaN must sort last under total_cmp");
         let res = top_k(&[], 5);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn neighbor_heap_matches_top_k() {
+        let dists: Vec<f64> = (0..300u64)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 53) as f64 * 0.25)
+            .collect();
+        for k in [0usize, 1, 7, 64, 299, 300, 400] {
+            let mut heap = NeighborHeap::new(k);
+            for (i, &d) in dists.iter().enumerate() {
+                heap.push(i, d);
+            }
+            assert_eq!(heap.into_sorted(), top_k(&dists, k), "k = {k}");
+        }
+        // NaNs sort last under total_cmp, same as top_k.
+        let with_nan = [2.0, f64::NAN, 1.0];
+        let mut heap = NeighborHeap::new(2);
+        for (i, &d) in with_nan.iter().enumerate() {
+            heap.push(i, d);
+        }
+        assert_eq!(heap.into_sorted(), top_k(&with_nan, 2));
+        // Storage round-trips through with_storage.
+        let mut heap = NeighborHeap::with_storage(1, Vec::with_capacity(64));
+        heap.push(0, 5.0);
+        heap.push(1, 3.0);
+        let sorted = heap.into_sorted();
+        assert_eq!(sorted[0].index, 1);
+        assert!(sorted.capacity() >= 64);
     }
 
     #[test]

@@ -134,7 +134,7 @@ mod tests {
         let b = pts(&[10.0, 11.0]);
         let near = Erp::with_gap(Point::new(11.0, 0.0));
         let far = Erp::default(); // gap at origin
-        // With g near the unmatched point the insertion is cheap.
+                                  // With g near the unmatched point the insertion is cheap.
         assert!(near.dist(&a, &b) < far.dist(&a, &b));
     }
 

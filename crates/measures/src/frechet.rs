@@ -103,10 +103,7 @@ mod tests {
     fn symmetric() {
         let a = pts(&[(0.0, 0.0), (5.0, 1.0), (2.0, 2.0)]);
         let b = pts(&[(1.0, 1.0), (3.0, 0.0), (4.0, 4.0), (0.0, 2.0)]);
-        assert_eq!(
-            DiscreteFrechet.dist(&a, &b),
-            DiscreteFrechet.dist(&b, &a)
-        );
+        assert_eq!(DiscreteFrechet.dist(&a, &b), DiscreteFrechet.dist(&b, &a));
     }
 
     #[test]

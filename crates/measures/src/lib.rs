@@ -32,13 +32,15 @@ mod hausdorff;
 mod matrix;
 pub mod timed;
 
-pub use bruteforce::{knn_query, knn_scan, knn_scan_pruned, partial_sort_neighbors, top_k, Neighbor};
+pub use bruteforce::{
+    knn_query, knn_scan, knn_scan_pruned, partial_sort_neighbors, top_k, Neighbor, NeighborHeap,
+};
 pub use dtw::Dtw;
 pub use erp::Erp;
 pub use extra::{Edr, Lcss, Sspd};
 pub use frechet::DiscreteFrechet;
 pub use hausdorff::Hausdorff;
-pub use matrix::DistanceMatrix;
+pub use matrix::{DistanceMatrix, FiniteStats};
 
 use neutraj_trajectory::Point;
 use serde::{Deserialize, Serialize};

@@ -1,7 +1,21 @@
 //! Pairwise distance matrices.
 
+use crate::bruteforce::{partial_sort_neighbors, Neighbor};
 use crate::Measure;
 use neutraj_trajectory::Trajectory;
+
+/// Aggregates over the finite off-diagonal entries of a
+/// [`DistanceMatrix`], collected in one pass (see
+/// [`DistanceMatrix::finite_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiniteStats {
+    /// Largest finite off-diagonal entry; `None` when there is none.
+    pub max: Option<f64>,
+    /// Mean of the finite off-diagonal entries (0 when there are none).
+    pub mean: f64,
+    /// Number of finite off-diagonal entries (both triangles).
+    pub count: usize,
+}
 
 /// A dense, symmetric `N × N` pairwise distance matrix.
 ///
@@ -109,56 +123,60 @@ impl DistanceMatrix {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
-    /// Maximum finite off-diagonal entry; `None` when `n < 2` or all
-    /// entries are infinite.
-    pub fn max_finite(&self) -> Option<f64> {
-        let mut best: Option<f64> = None;
+    /// Max, mean and count of the finite off-diagonal entries, collected
+    /// in a **single upper-triangle pass** — the matrix is symmetric by
+    /// construction, so entry `(i, j)` stands in for `(j, i)` and only
+    /// `n(n−1)/2` cells are read (the old per-aggregate methods each
+    /// walked all `n²`).
+    pub fn finite_stats(&self) -> FiniteStats {
+        let mut max: Option<f64> = None;
+        let mut sum = 0.0;
+        let mut upper = 0usize;
         for i in 0..self.n {
-            for j in 0..self.n {
-                if i == j {
-                    continue;
-                }
-                let v = self.get(i, j);
+            for &v in &self.data[i * self.n + i + 1..(i + 1) * self.n] {
                 if v.is_finite() {
-                    best = Some(best.map_or(v, |b: f64| b.max(v)));
+                    max = Some(max.map_or(v, |b: f64| b.max(v)));
+                    sum += v;
+                    upper += 1;
                 }
             }
         }
-        best
+        FiniteStats {
+            max,
+            // Each off-diagonal value appears twice in the full matrix, so
+            // the upper-triangle mean equals the full off-diagonal mean.
+            mean: if upper == 0 { 0.0 } else { sum / upper as f64 },
+            count: 2 * upper,
+        }
+    }
+
+    /// Maximum finite off-diagonal entry; `None` when `n < 2` or all
+    /// entries are infinite.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.finite_stats().max
     }
 
     /// Mean of the finite off-diagonal entries (0 when there are none).
     pub fn mean_finite(&self) -> f64 {
-        let mut sum = 0.0;
-        let mut cnt = 0usize;
-        for i in 0..self.n {
-            for j in 0..self.n {
-                if i != j && self.get(i, j).is_finite() {
-                    sum += self.get(i, j);
-                    cnt += 1;
-                }
-            }
-        }
-        if cnt == 0 {
-            0.0
-        } else {
-            sum / cnt as f64
-        }
+        self.finite_stats().mean
     }
 
     /// Indices of the `k` nearest neighbours of row `i` (excluding `i`),
     /// ascending by distance. Ties broken by index for determinism.
+    ///
+    /// Uses the same `O(n + k log k)` partial selection as
+    /// [`crate::top_k`] rather than sorting all `n − 1` candidates.
     pub fn knn_of(&self, i: usize, k: usize) -> Vec<usize> {
         let row = self.row(i);
-        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
-        idx.sort_by(|&a, &b| {
-            row[a]
-                .partial_cmp(&row[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        idx.truncate(k);
-        idx
+        let mut nn: Vec<Neighbor> = (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| Neighbor {
+                index: j,
+                dist: row[j],
+            })
+            .collect();
+        partial_sort_neighbors(&mut nn, k);
+        nn.into_iter().map(|n| n.index).collect()
     }
 }
 
@@ -220,6 +238,28 @@ mod tests {
         let empty = DistanceMatrix::from_raw(1, vec![0.0]);
         assert!(empty.max_finite().is_none());
         assert_eq!(empty.mean_finite(), 0.0);
+    }
+
+    #[test]
+    fn finite_stats_single_pass_matches_aggregates() {
+        // 0 on the diagonal, one infinite pair, rest finite (symmetric).
+        let inf = f64::INFINITY;
+        #[rustfmt::skip]
+        let data = vec![
+            0.0, 2.0, inf,
+            2.0, 0.0, 4.0,
+            inf, 4.0, 0.0,
+        ];
+        let m = DistanceMatrix::from_raw(3, data);
+        let st = m.finite_stats();
+        assert_eq!(st.max, Some(4.0));
+        assert_eq!(st.mean, 3.0);
+        assert_eq!(st.count, 4);
+        assert_eq!(m.max_finite(), Some(4.0));
+        assert_eq!(m.mean_finite(), 3.0);
+        let empty = DistanceMatrix::from_raw(1, vec![0.0]);
+        let st = empty.finite_stats();
+        assert_eq!((st.max, st.mean, st.count), (None, 0.0, 0));
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub struct TimeWindowDtw {
 impl TimeWindowDtw {
     /// Creates the measure with a time window (> 0 seconds).
     pub fn new(window: f64) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         Self { window }
     }
 
@@ -154,10 +157,7 @@ mod tests {
         assert!((d - 3.0).abs() < 0.2, "SED {d}");
         // A pure-shape measure sees (nearly) nothing.
         use crate::Measure as _;
-        let shape = crate::Hausdorff.dist(
-            a.to_trajectory().points(),
-            b.to_trajectory().points(),
-        );
+        let shape = crate::Hausdorff.dist(a.to_trajectory().points(), b.to_trajectory().points());
         assert!(shape <= 3.0, "sanity: {shape}");
     }
 

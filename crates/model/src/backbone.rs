@@ -2,8 +2,8 @@
 
 use crate::config::{BackboneKind, TrainConfig};
 use neutraj_nn::{
-    Adam, GruCache, GruEncoder, GruGrads, LstmCache, LstmEncoder, LstmGrads, SamCache,
-    SamGrads, SamLstmEncoder, Workspace, WriteLog,
+    Adam, GruCache, GruEncoder, GruGrads, LstmCache, LstmEncoder, LstmGrads, SamCache, SamGrads,
+    SamLstmEncoder, SamSeqRef, Workspace, WriteLog,
 };
 use neutraj_trajectory::{Grid, Trajectory};
 
@@ -134,6 +134,31 @@ impl Backbone {
         }
     }
 
+    /// Lockstep batched inference-mode forward: all sequences advance one
+    /// timestep together so each step's gate computation is one GEMM (see
+    /// [`neutraj_nn::LstmCell::forward_coords_batch_ws`]). Read-only and
+    /// **bit-identical** to calling [`Self::forward_frozen`] per sequence;
+    /// results are returned in input order.
+    pub fn embed_batch_frozen(&self, inputs: &[&SeqInputs], ws: &mut Workspace) -> Vec<Vec<f64>> {
+        match self {
+            Self::Sam(e) => {
+                let refs: Vec<SamSeqRef<'_>> = inputs
+                    .iter()
+                    .map(|(c, g)| (c.as_slice(), g.as_slice()))
+                    .collect();
+                e.forward_frozen_batch_ws(&refs, ws)
+            }
+            Self::Lstm(e) => {
+                let refs: Vec<&[(f64, f64)]> = inputs.iter().map(|(c, _)| c.as_slice()).collect();
+                e.cell.forward_coords_batch_ws(&refs, ws)
+            }
+            Self::Gru(e) => {
+                let refs: Vec<&[(f64, f64)]> = inputs.iter().map(|(c, _)| c.as_slice()).collect();
+                e.cell.forward_coords_batch_ws(&refs, ws)
+            }
+        }
+    }
+
     /// BPTT from an embedding gradient, accumulating into `grads`.
     ///
     /// Panics when `cache`/`grads` do not match the backbone variant.
@@ -260,8 +285,8 @@ impl Backbone {
                                 part.iter()
                                     .zip(log_part.iter_mut())
                                     .map(|((coords, cells), log)| {
-                                        let (h, c) = frozen
-                                            .forward_buffered_ws(coords, cells, log, &mut ws);
+                                        let (h, c) =
+                                            frozen.forward_buffered_ws(coords, cells, log, &mut ws);
                                         (h, BackboneCache::Sam(c))
                                     })
                                     .collect::<Vec<_>>()
@@ -401,13 +426,23 @@ impl Backbone {
 
     /// Applies one Adam update from `grads` scaled by `scale` (e.g.
     /// `1/batch`). `slots` must come from [`Self::register_adam`].
-    pub fn adam_step(&mut self, adam: &mut Adam, slots: &[usize], grads: &BackboneGrads, scale: f64) {
+    pub fn adam_step(
+        &mut self,
+        adam: &mut Adam,
+        slots: &[usize],
+        grads: &BackboneGrads,
+        scale: f64,
+    ) {
         fn scaled(g: &[f64], s: f64) -> Vec<f64> {
             g.iter().map(|v| v * s).collect()
         }
         match (self, grads) {
             (Self::Sam(e), BackboneGrads::Sam(g)) => {
-                adam.step(slots[0], e.cell.p.as_mut_slice(), &scaled(g.p.as_slice(), scale));
+                adam.step(
+                    slots[0],
+                    e.cell.p.as_mut_slice(),
+                    &scaled(g.p.as_slice(), scale),
+                );
                 adam.step(
                     slots[1],
                     e.cell.w_his.as_mut_slice(),
@@ -416,7 +451,11 @@ impl Backbone {
                 adam.step(slots[2], &mut e.cell.b_his, &scaled(&g.b_his, scale));
             }
             (Self::Lstm(e), BackboneGrads::Lstm(g)) => {
-                adam.step(slots[0], e.cell.p.as_mut_slice(), &scaled(g.p.as_slice(), scale));
+                adam.step(
+                    slots[0],
+                    e.cell.p.as_mut_slice(),
+                    &scaled(g.p.as_slice(), scale),
+                );
             }
             (Self::Gru(e), BackboneGrads::Gru(g)) => {
                 adam.step(
@@ -424,7 +463,11 @@ impl Backbone {
                     e.cell.pzr.as_mut_slice(),
                     &scaled(g.pzr.as_slice(), scale),
                 );
-                adam.step(slots[1], e.cell.ph.as_mut_slice(), &scaled(g.ph.as_slice(), scale));
+                adam.step(
+                    slots[1],
+                    e.cell.ph.as_mut_slice(),
+                    &scaled(g.ph.as_slice(), scale),
+                );
             }
             _ => panic!("backbone/grads variant mismatch"),
         }
@@ -447,6 +490,14 @@ impl NeuTrajModel {
             grid,
             config,
         }
+    }
+
+    /// A model with freshly initialized (untrained) parameters — for
+    /// benchmarks, serving-path tests and warm-start scenarios where the
+    /// network topology matters but fitted weights do not.
+    pub fn untrained(config: TrainConfig, grid: Grid) -> Self {
+        let backbone = Backbone::build(&config, &grid);
+        Self::new(backbone, grid, config)
     }
 
     /// The training configuration the model was fitted with.
@@ -489,18 +540,39 @@ impl NeuTrajModel {
         self.backbone.forward_frozen(&coords, &cells)
     }
 
-    /// Embeds a corpus using `threads` worker threads (memory frozen).
+    /// Sequences per lockstep GEMM round in [`Self::embed_batch`]. Large
+    /// enough to keep the per-step GEMMs compute-bound, small enough that
+    /// the stacked state buffers (`B × 5d` worst case) stay in cache.
+    pub const MAX_EMBED_BATCH: usize = 256;
+
+    /// Embeds many trajectories through the lockstep batched forward
+    /// (chunks of [`Self::MAX_EMBED_BATCH`]), bit-identical to calling
+    /// [`Self::embed`] per trajectory but one GEMM per timestep instead of
+    /// one matvec per trajectory per timestep. Read-only.
+    pub fn embed_batch(&self, ts: &[Trajectory]) -> Vec<Vec<f64>> {
+        let mut ws = Workspace::new();
+        let mut out = Vec::with_capacity(ts.len());
+        for chunk in ts.chunks(Self::MAX_EMBED_BATCH) {
+            let inputs: Vec<SeqInputs> = chunk.iter().map(|t| self.seq_inputs(t)).collect();
+            let refs: Vec<&SeqInputs> = inputs.iter().collect();
+            out.extend(self.backbone.embed_batch_frozen(&refs, &mut ws));
+        }
+        out
+    }
+
+    /// Embeds a corpus using `threads` worker threads (memory frozen),
+    /// each worker running the lockstep batched forward on its chunk.
     pub fn embed_all(&self, ts: &[Trajectory], threads: usize) -> Vec<Vec<f64>> {
         let threads = threads.max(1);
         if threads == 1 || ts.len() < 16 {
-            return ts.iter().map(|t| self.embed(t)).collect();
+            return self.embed_batch(ts);
         }
         let chunk = ts.len().div_ceil(threads);
         let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = ts
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(|t| self.embed(t)).collect()))
+                .map(|part| scope.spawn(move || self.embed_batch(part)))
                 .collect();
             for h in handles {
                 out.push(h.join().expect("embed worker panicked"));

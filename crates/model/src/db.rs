@@ -9,6 +9,7 @@
 
 use crate::backbone::NeuTrajModel;
 use crate::loss::pair_similarity;
+use crate::search::EmbeddingStore;
 use neutraj_measures::{Measure, Neighbor};
 use neutraj_nn::linalg::euclidean;
 use neutraj_trajectory::Trajectory;
@@ -16,23 +17,26 @@ use neutraj_trajectory::Trajectory;
 /// A corpus of trajectories indexed by a trained NeuTraj model.
 ///
 /// Inserts cost one `O(L)` embedding; queries cost one embedding plus an
-/// `O(N·d)` scan. The database owns its trajectories so results can be
-/// re-ranked with an exact measure on demand.
+/// `O(N·d)` norm-trick scan through the backing [`EmbeddingStore`]
+/// (batched queries share one GEMM per corpus block). The database owns
+/// its trajectories so results can be re-ranked with an exact measure on
+/// demand.
 #[derive(Debug, Clone)]
 pub struct SimilarityDb {
     model: NeuTrajModel,
     trajectories: Vec<Trajectory>,
-    /// Flat row-major embedding storage (`len × dim`).
-    embeddings: Vec<f64>,
+    /// Embeddings + precomputed row norms for norm-trick scans.
+    embeddings: EmbeddingStore,
 }
 
 impl SimilarityDb {
     /// Creates an empty database over a trained model.
     pub fn new(model: NeuTrajModel) -> Self {
+        let store = EmbeddingStore::new(model.dim());
         Self {
             model,
             trajectories: Vec::new(),
-            embeddings: Vec::new(),
+            embeddings: store,
         }
     }
 
@@ -65,23 +69,28 @@ impl SimilarityDb {
 
     /// Embedding of stored item `idx`.
     pub fn embedding(&self, idx: usize) -> &[f64] {
-        let d = self.model.dim();
-        &self.embeddings[idx * d..(idx + 1) * d]
+        self.embeddings.get(idx)
+    }
+
+    /// The backing embedding store (for direct scan access).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.embeddings
     }
 
     /// Inserts one trajectory; returns its index.
     pub fn insert(&mut self, t: Trajectory) -> usize {
         let e = self.model.embed(&t);
-        self.embeddings.extend_from_slice(&e);
+        self.embeddings.push(&e);
         self.trajectories.push(t);
         self.trajectories.len() - 1
     }
 
-    /// Inserts many trajectories, embedding them on `threads` workers.
+    /// Inserts many trajectories, embedding them with the lockstep
+    /// batched forward on `threads` workers.
     pub fn insert_batch(&mut self, ts: Vec<Trajectory>, threads: usize) {
         let embs = self.model.embed_all(&ts, threads);
         for e in &embs {
-            self.embeddings.extend_from_slice(e);
+            self.embeddings.push(e);
         }
         self.trajectories.extend(ts);
     }
@@ -93,14 +102,19 @@ impl SimilarityDb {
         self.knn_embedding(&qe, k)
     }
 
+    /// Top-k for a whole batch of ad-hoc queries: one lockstep batched
+    /// embed, then one norm-trick GEMM scan per corpus block shared by
+    /// every query. Each result is bit-identical to [`Self::knn`] on that
+    /// query.
+    pub fn knn_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<Neighbor>> {
+        let qembs = self.model.embed_batch(queries);
+        let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
+        self.embeddings.knn_batch(&qrefs, k)
+    }
+
     /// Top-k by a precomputed query embedding.
     pub fn knn_embedding(&self, query_emb: &[f64], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query_emb.len(), self.model.dim(), "query dim mismatch");
-        let d = self.model.dim();
-        let dists: Vec<f64> = (0..self.len())
-            .map(|i| euclidean(query_emb, &self.embeddings[i * d..(i + 1) * d]))
-            .collect();
-        neutraj_measures::top_k(&dists, k)
+        self.embeddings.knn(query_emb, k)
     }
 
     /// Top-k of a *stored* item (excluding itself).
@@ -122,27 +136,49 @@ impl SimilarityDb {
         shortlist: usize,
         k: usize,
     ) -> Vec<Neighbor> {
+        self.knn_reranked_batch(std::slice::from_ref(query), measure, shortlist, k)
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    /// Batched [`Self::knn_reranked`]: all shortlists come from one
+    /// batched embed + norm-trick scan, then each is re-ranked with the
+    /// exact `measure`.
+    pub fn knn_reranked_batch(
+        &self,
+        queries: &[Trajectory],
+        measure: &dyn Measure,
+        shortlist: usize,
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
         let grid = self.model.grid();
-        let q = grid.rescale_trajectory(query);
-        let short = self.knn(query, shortlist);
-        let mut out: Vec<Neighbor> = short
+        let shorts = self.knn_batch(queries, shortlist);
+        shorts
             .into_iter()
-            .map(|n| Neighbor {
-                index: n.index,
-                dist: measure.dist(
-                    q.points(),
-                    grid.rescale_trajectory(&self.trajectories[n.index]).points(),
-                ),
+            .zip(queries)
+            .map(|(short, query)| {
+                let q = grid.rescale_trajectory(query);
+                let mut out: Vec<Neighbor> = short
+                    .into_iter()
+                    .map(|n| Neighbor {
+                        index: n.index,
+                        dist: measure.dist(
+                            q.points(),
+                            grid.rescale_trajectory(&self.trajectories[n.index])
+                                .points(),
+                        ),
+                    })
+                    .collect();
+                out.sort_by(|a, b| {
+                    a.dist
+                        .partial_cmp(&b.dist)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.index.cmp(&b.index))
+                });
+                out.truncate(k);
+                out
             })
-            .collect();
-        out.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        out.truncate(k);
-        out
+            .collect()
     }
 
     /// Learned similarity `g` between two *stored* items.
@@ -214,8 +250,7 @@ mod tests {
         .generate(5);
         let trajs = ds.trajectories().to_vec();
         let grid = Grid::covering(&trajs, 100.0).unwrap();
-        let rescaled: Vec<Trajectory> =
-            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
         let dist = DistanceMatrix::compute(&Hausdorff, &rescaled[..20]);
         let cfg = TrainConfig {
             dim: 8,
@@ -278,8 +313,7 @@ mod tests {
         let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
         // Exact reference join.
         let grid = db.model().grid().clone();
-        let rescaled: Vec<Trajectory> =
-            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
         let tau = 3.0; // grid units
         let mut truth = Vec::new();
         for i in 0..trajs.len() {

@@ -343,7 +343,9 @@ fn decode_memory(data: &mut &[u8]) -> Result<SpatialMemory, PersistError> {
         .and_then(|x| x.checked_mul(dim))
         .ok_or_else(|| fail("memory shape overflow"))?;
     if cols == 0 || rows == 0 || dim == 0 || n > 1 << 30 {
-        return Err(fail(format!("implausible memory shape {cols}x{rows}x{dim}")));
+        return Err(fail(format!(
+            "implausible memory shape {cols}x{rows}x{dim}"
+        )));
     }
     if data.remaining() < n * 8 {
         return Err(fail("truncated memory data"));
@@ -379,8 +381,7 @@ mod tests {
         .generate(77);
         let trajs = ds.trajectories().to_vec();
         let grid = Grid::covering(&trajs, 100.0).unwrap();
-        let rescaled: Vec<Trajectory> =
-            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
         let dist = DistanceMatrix::compute(&Hausdorff, &rescaled);
         let cfg = TrainConfig {
             dim: 8,

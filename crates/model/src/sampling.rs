@@ -197,7 +197,10 @@ mod tests {
         }
         let frac = near_hits as f64 / total as f64;
         // 10 of 49 non-anchor seeds are "near" ⇒ expect ~0.2.
-        assert!((0.1..0.35).contains(&frac), "frac {frac:.2} not uniform-ish");
+        assert!(
+            (0.1..0.35).contains(&frac),
+            "frac {frac:.2} not uniform-ish"
+        );
     }
 
     #[test]

@@ -4,22 +4,62 @@
 //! embedding plus an `O(N·d)` scan — the linear-time claim of the paper.
 //! The paper's protocol re-ranks the learned top-50 with the exact
 //! measure (§VII-C.1); [`EmbeddingStore::knn_reranked`] implements that.
+//!
+//! # Norm-trick scans
+//!
+//! Scans expand the squared distance as
+//! `‖q − x‖² = ‖q‖² − 2·q·x + ‖x‖²`: the per-row norms `‖x‖²` are
+//! precomputed once at insert time, so a whole batch of queries against a
+//! block of corpus rows reduces to one `B × block` GEMM of dot products
+//! (`q·x`) plus a cheap rank-1 correction — cache-blocked arithmetic
+//! instead of `N` memory-bound `euclidean_sq` loops. Candidates stream
+//! into a bounded [`NeighborHeap`] per query, so no `O(N)` distance
+//! buffer is ever allocated. The scalar [`EmbeddingStore::knn`] is the
+//! `B = 1` case of the same code path, making batched and scalar results
+//! trivially bit-identical.
 
 use crate::backbone::NeuTrajModel;
-use neutraj_measures::{partial_sort_neighbors, top_k, Measure, Neighbor};
-use neutraj_nn::linalg::euclidean_sq;
+use neutraj_measures::{partial_sort_neighbors, top_k, Measure, Neighbor, NeighborHeap};
+use neutraj_nn::linalg::{dot, euclidean_sq, matmul_nt};
 use neutraj_trajectory::Trajectory;
+use std::cell::RefCell;
 
-/// A flat store of `N` trajectory embeddings of dimension `d`.
+/// Corpus rows per norm-trick GEMM block: at `d = 32` a `B×512` score
+/// block plus the `512×d` corpus slice stay comfortably in L2 while the
+/// GEMM is large enough to amortize the tile loop overhead.
+const SCAN_BLOCK: usize = 512;
+
+thread_local! {
+    /// Reusable per-thread scan scratch — (flattened query batch,
+    /// `B × SCAN_BLOCK` score block). Thread-local rather than a `&mut`
+    /// parameter so the public query API stays `&self` and shareable
+    /// across serving threads.
+    static SCAN_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// A flat store of `N` trajectory embeddings of dimension `d`, with
+/// per-row squared norms maintained for norm-trick scans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingStore {
     dim: usize,
     data: Vec<f64>,
+    /// `‖x_i‖²` for every stored row, kept in lockstep with `data`.
+    norms: Vec<f64>,
 }
 
 impl EmbeddingStore {
+    /// An empty store of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            data: Vec::new(),
+            norms: Vec::new(),
+        }
+    }
+
     /// Builds a store by embedding `corpus` with `model` on `threads`
-    /// threads.
+    /// threads (each running the lockstep batched forward).
     pub fn build(model: &NeuTrajModel, corpus: &[Trajectory], threads: usize) -> Self {
         let embs = model.embed_all(corpus, threads);
         Self::from_embeddings(model.dim(), &embs)
@@ -28,12 +68,21 @@ impl EmbeddingStore {
     /// Builds a store from precomputed embeddings. Panics when any
     /// embedding has the wrong dimension.
     pub fn from_embeddings(dim: usize, embs: &[Vec<f64>]) -> Self {
-        let mut data = Vec::with_capacity(embs.len() * dim);
+        let mut store = Self::new(dim);
+        store.data.reserve(embs.len() * dim);
+        store.norms.reserve(embs.len());
         for e in embs {
-            assert_eq!(e.len(), dim, "embedding dim mismatch");
-            data.extend_from_slice(e);
+            store.push(e);
         }
-        Self { dim, data }
+        store
+    }
+
+    /// Appends one embedding, precomputing its squared norm. Panics on
+    /// dimension mismatch.
+    pub fn push(&mut self, emb: &[f64]) {
+        assert_eq!(emb.len(), self.dim, "embedding dim mismatch");
+        self.data.extend_from_slice(emb);
+        self.norms.push(dot(emb, emb));
     }
 
     /// Number of stored embeddings.
@@ -59,10 +108,78 @@ impl EmbeddingStore {
     /// Top-k nearest stored items to `query` by embedding distance
     /// (equivalently, highest learned similarity `exp(-dist)`).
     ///
-    /// The `O(N·d)` scan compares *squared* distances (monotonic in the
-    /// true distance, so ranks are identical) and takes a square root only
-    /// for the `k` survivors.
+    /// The `B = 1` case of [`Self::knn_batch`] — same norm-trick GEMM
+    /// scan, so scalar and batched queries return bit-identical results.
     pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        self.knn_batch(&[query], k)
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    /// Top-k for a whole batch of queries with one norm-trick GEMM per
+    /// corpus block (see the module docs). Results are per query, in
+    /// query order; each is identical to [`Self::knn`] on that query,
+    /// including tie ordering.
+    ///
+    /// Squared distances are compared during the scan (monotonic in the
+    /// true distance, so ranks are unaffected) and the square root is
+    /// taken only for the `k` survivors. `‖q‖² − 2·q·x + ‖x‖²` can go
+    /// epsilon-negative for near-identical rows, so it is clamped at 0;
+    /// for `x == q` bitwise it cancels to exactly 0.
+    pub fn knn_batch(&self, queries: &[&[f64]], k: usize) -> Vec<Vec<Neighbor>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let b = queries.len();
+        let d = self.dim;
+        let n = self.len();
+        let qnorms: Vec<f64> = queries.iter().map(|q| dot(q, q)).collect();
+        let mut heaps: Vec<NeighborHeap> = (0..b).map(|_| NeighborHeap::new(k)).collect();
+        SCAN_SCRATCH.with(|cell| {
+            let (qbuf, scores) = &mut *cell.borrow_mut();
+            qbuf.clear();
+            for q in queries {
+                qbuf.extend_from_slice(q);
+            }
+            let mut start = 0;
+            while start < n {
+                let end = (start + SCAN_BLOCK).min(n);
+                let block = end - start;
+                scores.clear();
+                scores.resize(b * block, 0.0);
+                matmul_nt(qbuf, &self.data[start * d..end * d], scores, b, block, d);
+                for (qi, heap) in heaps.iter_mut().enumerate() {
+                    let qn = qnorms[qi];
+                    let row = &scores[qi * block..(qi + 1) * block];
+                    for (off, &s) in row.iter().enumerate() {
+                        let d2 = (qn - 2.0 * s + self.norms[start + off]).max(0.0);
+                        heap.push(start + off, d2);
+                    }
+                }
+                start = end;
+            }
+        });
+        heaps
+            .into_iter()
+            .map(|h| {
+                let mut out = h.into_sorted();
+                for nb in &mut out {
+                    nb.dist = nb.dist.sqrt();
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Reference scalar scan — per-row [`euclidean_sq`] into a full
+    /// `N`-length distance buffer, then [`top_k`]. This is the pre-GEMM
+    /// baseline, kept for benchmarking the norm-trick path against (its
+    /// distances can differ from [`Self::knn`] in the last ulp because
+    /// the arithmetic is associated differently).
+    pub fn knn_naive(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
         let dists: Vec<f64> = (0..self.len())
             .map(|i| euclidean_sq(query, self.get(i)))
@@ -104,16 +221,44 @@ impl EmbeddingStore {
         shortlist: usize,
         k: usize,
     ) -> Vec<Neighbor> {
-        let short = self.knn(query_emb, shortlist);
-        let mut out: Vec<Neighbor> = short
+        self.knn_reranked_batch(&[query_emb], &[query], corpus, measure, shortlist, k)
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    /// Batched [`Self::knn_reranked`]: one norm-trick GEMM scan retrieves
+    /// every query's shortlist, then each shortlist is re-ranked with the
+    /// exact `measure`. `query_embs[i]` must embed `queries[i]`.
+    pub fn knn_reranked_batch(
+        &self,
+        query_embs: &[&[f64]],
+        queries: &[&Trajectory],
+        corpus: &[Trajectory],
+        measure: &dyn Measure,
+        shortlist: usize,
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(
+            query_embs.len(),
+            queries.len(),
+            "embs/queries length mismatch"
+        );
+        let shorts = self.knn_batch(query_embs, shortlist);
+        shorts
             .into_iter()
-            .map(|n| Neighbor {
-                index: n.index,
-                dist: measure.dist(query.points(), corpus[n.index].points()),
+            .zip(queries)
+            .map(|(short, query)| {
+                let mut out: Vec<Neighbor> = short
+                    .into_iter()
+                    .map(|n| Neighbor {
+                        index: n.index,
+                        dist: measure.dist(query.points(), corpus[n.index].points()),
+                    })
+                    .collect();
+                partial_sort_neighbors(&mut out, k);
+                out
             })
-            .collect();
-        partial_sort_neighbors(&mut out, k);
-        out
+            .collect()
     }
 }
 
@@ -188,6 +333,46 @@ mod tests {
         // approximation trade-off.
         let res = s.knn_reranked(&[0.0, 0.0], &query, &corpus, &Hausdorff, 2, 1);
         assert_ne!(res[0].index, 0);
+    }
+
+    #[test]
+    fn knn_batch_matches_scalar_and_naive() {
+        // Enough rows to span multiple scan blocks, with duplicates so tie
+        // ordering is exercised.
+        let embs: Vec<Vec<f64>> = (0..1200)
+            .map(|i| vec![(i % 97) as f64 * 0.5, ((i * 7) % 13) as f64])
+            .collect();
+        let s = EmbeddingStore::from_embeddings(2, &embs);
+        let queries: Vec<Vec<f64>> = vec![vec![3.0, 4.0], vec![0.0, 0.0], vec![48.0, 12.0]];
+        let qrefs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = s.knn_batch(&qrefs, 10);
+        assert_eq!(batch.len(), 3);
+        for (q, got) in qrefs.iter().zip(&batch) {
+            assert_eq!(&s.knn(q, 10), got, "batched != scalar");
+            // The naive baseline associates the arithmetic differently, so
+            // compare ranks (and distances up to fp noise), not bits.
+            let naive = s.knn_naive(q, 10);
+            let idx: Vec<usize> = got.iter().map(|n| n.index).collect();
+            let idx_naive: Vec<usize> = naive.iter().map(|n| n.index).collect();
+            assert_eq!(idx, idx_naive, "norm trick changed the ranking");
+            for (a, b) in got.iter().zip(&naive) {
+                assert!((a.dist - b.dist).abs() < 1e-9);
+            }
+        }
+        assert!(s.knn_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn push_extends_store_and_norms() {
+        let mut s = EmbeddingStore::new(2);
+        assert!(s.is_empty());
+        s.push(&[3.0, 4.0]);
+        s.push(&[0.0, 0.0]);
+        assert_eq!(s.len(), 2);
+        let res = s.knn(&[3.0, 4.0], 2);
+        assert_eq!(res[0].index, 0);
+        assert_eq!(res[0].dist, 0.0, "self-distance must cancel exactly");
+        assert!((res[1].dist - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl SimilarityMatrix {
             let out = &mut data[i * n..(i + 1) * n];
             let mut sum = 0.0;
             for (j, &d) in row.iter().enumerate() {
-                let s = if d.is_finite() { (-alpha * d).exp() } else { 0.0 };
+                let s = if d.is_finite() {
+                    (-alpha * d).exp()
+                } else {
+                    0.0
+                };
                 out[j] = s;
                 sum += s;
             }
@@ -216,10 +220,7 @@ mod tests {
     #[test]
     fn exp_decay_is_symmetric_row_softmax_is_not() {
         // Rows with different densities break row-softmax symmetry.
-        let d = DistanceMatrix::from_raw(
-            3,
-            vec![0.0, 1.0, 9.0, 1.0, 0.0, 0.5, 9.0, 0.5, 0.0],
-        );
+        let d = DistanceMatrix::from_raw(3, vec![0.0, 1.0, 9.0, 1.0, 0.0, 0.5, 9.0, 0.5, 0.0]);
         let e = SimilarityMatrix::exp_decay(&d, 1.0);
         let r = SimilarityMatrix::from_distances(&d, 1.0);
         assert_eq!(e.get(0, 1), e.get(1, 0));

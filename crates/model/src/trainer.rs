@@ -105,7 +105,10 @@ impl Trainer {
         assert!(!seeds.is_empty(), "need at least one seed trajectory");
         assert_eq!(dist.n(), seeds.len(), "distance matrix/seed count mismatch");
         if let Some(pos) = seeds.iter().position(|t| t.is_empty()) {
-            panic!("seed trajectory at index {pos} is empty (id {})", seeds[pos].id);
+            panic!(
+                "seed trajectory at index {pos} is empty (id {})",
+                seeds[pos].id
+            );
         }
         let cfg = &self.cfg;
         let sim = {
@@ -115,10 +118,7 @@ impl Trainer {
             SimilarityMatrix::with_normalization(dist, alpha, cfg.normalization)
         };
         // Precompute network inputs for every seed once.
-        let inputs: Vec<SeqInputs> = seeds
-            .iter()
-            .map(|t| seq_inputs(&self.grid, t))
-            .collect();
+        let inputs: Vec<SeqInputs> = seeds.iter().map(|t| seq_inputs(&self.grid, t)).collect();
 
         let mut backbone = Backbone::build(cfg, &self.grid);
         let mut adam = Adam::new(cfg.lr);
@@ -142,7 +142,9 @@ impl Trainer {
             // reflect the current parameters (stale entries from many
             // updates ago act as noise in the attention read).
             backbone.reset_memory();
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
 
@@ -184,10 +186,8 @@ impl Trainer {
                 }
 
                 // 3. Pair losses → embedding gradients.
-                let mut d_emb: BTreeMap<usize, Vec<f64>> = involved
-                    .iter()
-                    .map(|&i| (i, vec![0.0; cfg.dim]))
-                    .collect();
+                let mut d_emb: BTreeMap<usize, Vec<f64>> =
+                    involved.iter().map(|&i| (i, vec![0.0; cfg.dim])).collect();
                 let mut batch_loss = 0.0;
                 for s in &samples {
                     let anchor_emb = embeddings[&s.anchor].clone();
@@ -197,7 +197,8 @@ impl Trainer {
                         let targets: Vec<f64> =
                             list.iter().map(|&i| sim.get(s.anchor, i)).collect();
                         let pair_losses = if dissimilar {
-                            cfg.loss.dissimilar_list(&anchor_emb, &sample_embs, &targets)
+                            cfg.loss
+                                .dissimilar_list(&anchor_emb, &sample_embs, &targets)
                         } else {
                             cfg.loss.similar_list(&anchor_emb, &sample_embs, &targets)
                         };
@@ -311,8 +312,7 @@ mod tests {
         .generate(11);
         let grid = Grid::covering(ds.trajectories(), 100.0).unwrap();
         let seeds: Vec<Trajectory> = ds.trajectories().to_vec();
-        let rescaled: Vec<Trajectory> =
-            seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let rescaled: Vec<Trajectory> = seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
         let dist = DistanceMatrix::compute(&Hausdorff, &rescaled);
         (grid, seeds, dist)
     }
@@ -372,7 +372,10 @@ mod tests {
             let (model, report) = Trainer::new(cfg, grid.clone()).fit(&seeds, &dist, |_| {});
             assert_eq!(report.epoch_losses.len(), 1, "{name}");
             assert!(report.epoch_losses[0].is_finite(), "{name}");
-            assert!(model.embed(&seeds[1]).iter().all(|v| v.is_finite()), "{name}");
+            assert!(
+                model.embed(&seeds[1]).iter().all(|v| v.is_finite()),
+                "{name}"
+            );
         }
     }
 
@@ -424,9 +427,10 @@ mod tests {
             };
             let name = cfg.method_name();
             let (m1, r1) = Trainer::new(cfg.clone(), grid.clone()).fit(&seeds, &dist, |_| {});
-            let (m4, r4) = Trainer::new(cfg, grid.clone())
-                .with_threads(4)
-                .fit(&seeds, &dist, |_| {});
+            let (m4, r4) =
+                Trainer::new(cfg, grid.clone())
+                    .with_threads(4)
+                    .fit(&seeds, &dist, |_| {});
             // Two-phase forwards + fixed-group gradient reduction make the
             // whole run a function of the batch alone: bit-identical.
             assert_eq!(r1.epoch_losses, r4.epoch_losses, "{name}: losses diverged");

@@ -1,0 +1,114 @@
+//! Property tests for the batched serving path: the lockstep GEMM
+//! forward must be bit-identical to the scalar embed for every backbone,
+//! batch size and length mix, and batched norm-trick scans must return
+//! exactly the scalar scan's neighbours — tie ordering included.
+
+use neutraj_model::{BackboneKind, EmbeddingStore, NeuTrajModel, TrainConfig};
+use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
+use proptest::prelude::*;
+
+fn grid() -> Grid {
+    Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap()
+}
+
+fn model(kind: BackboneKind) -> NeuTrajModel {
+    let cfg = TrainConfig {
+        backbone: kind,
+        dim: 8,
+        seed: 9,
+        ..TrainConfig::neutraj()
+    };
+    NeuTrajModel::untrained(cfg, grid())
+}
+
+/// A deterministic trajectory of `len` points, shaped by `id` so every
+/// batch slot differs.
+fn traj(id: u64, len: usize) -> Trajectory {
+    Trajectory::new_unchecked(
+        id,
+        (0..len)
+            .map(|k| {
+                let t = k as f64;
+                let i = id as f64;
+                Point::new(
+                    500.0 + 450.0 * (0.37 * t + 0.13 * i).sin(),
+                    250.0 + 220.0 * (0.23 * t - 0.29 * i).cos(),
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole invariant: `embed_batch` is bit-identical to per-item
+    /// `embed` for every backbone at batch sizes 1..=17 with mixed
+    /// sequence lengths.
+    #[test]
+    fn embed_batch_bit_identical_to_scalar_embed(
+        lens in prop::collection::vec(2usize..40, 1..=17),
+    ) {
+        for kind in [BackboneKind::SamLstm, BackboneKind::Lstm, BackboneKind::Gru] {
+            let m = model(kind);
+            let ts: Vec<Trajectory> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| traj(i as u64, len))
+                .collect();
+            let batched = m.embed_batch(&ts);
+            prop_assert_eq!(batched.len(), ts.len());
+            for (t, got) in ts.iter().zip(&batched) {
+                let want = m.embed(t);
+                prop_assert_eq!(&want, got, "backbone {:?} diverged", kind);
+            }
+        }
+    }
+
+    /// `knn_batch` returns exactly `knn` per query — same indices, same
+    /// distances, same tie ordering. Embeddings are drawn from a small
+    /// discrete set so duplicate rows (distance ties) are common, and the
+    /// corpus spans more than one scan block.
+    #[test]
+    fn knn_batch_exactly_matches_scalar_knn(
+        vals in prop::collection::vec(0u8..6, 600),
+        qvals in prop::collection::vec(0u8..6, 8),
+        k in 1usize..20,
+    ) {
+        let dim = 4;
+        let embs: Vec<Vec<f64>> = vals
+            .chunks(dim)
+            .map(|c| c.iter().map(|&v| v as f64).collect())
+            .collect();
+        let store = EmbeddingStore::from_embeddings(dim, &embs);
+        let queries: Vec<Vec<f64>> = qvals
+            .chunks(dim)
+            .map(|c| c.iter().map(|&v| v as f64).collect())
+            .collect();
+        let qrefs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = store.knn_batch(&qrefs, k);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, got) in qrefs.iter().zip(&batch) {
+            let want = store.knn(q, k);
+            prop_assert_eq!(&want, got, "batched scan diverged from scalar");
+        }
+    }
+}
+
+/// Non-property pin: batching across the scalar/batched embed boundary
+/// composes — a `SimilarityDb` filled via scalar inserts answers batched
+/// queries bit-identically to scalar ones.
+#[test]
+fn db_knn_batch_matches_scalar_knn() {
+    use neutraj_model::SimilarityDb;
+    let m = model(BackboneKind::SamLstm);
+    let mut db = SimilarityDb::new(m);
+    for i in 0..40 {
+        db.insert(traj(i, 3 + (i as usize * 7) % 25));
+    }
+    let queries: Vec<Trajectory> = (100..109).map(|i| traj(i, 5 + (i as usize) % 20)).collect();
+    let batch = db.knn_batch(&queries, 5);
+    for (q, got) in queries.iter().zip(&batch) {
+        assert_eq!(&db.knn(q, 5), got);
+    }
+}

@@ -76,10 +76,7 @@ fn pseudo_d_embs(out: &[(Vec<f64>, BackboneCache)]) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn assert_thread_invariance(
-    kind: BackboneKind,
-    batch: &[SeqInputs],
-) -> Result<(), TestCaseError> {
+fn assert_thread_invariance(kind: BackboneKind, batch: &[SeqInputs]) -> Result<(), TestCaseError> {
     let inputs: Vec<&SeqInputs> = batch.iter().collect();
 
     // Reference run on one thread.
@@ -163,7 +160,9 @@ fn tiny_batches_and_empty_jobs_are_consistent() {
             let coords: Vec<(f64, f64)> = (0..5)
                 .map(|t| (0.1 * t as f64 - 0.2 * i as f64, 0.05 * t as f64))
                 .collect();
-            let cells: Vec<(u32, u32)> = (0..5).map(|t| (t as u32 % COLS, (t + i) as u32 % ROWS)).collect();
+            let cells: Vec<(u32, u32)> = (0..5)
+                .map(|t| (t as u32 % COLS, (t + i) as u32 % ROWS))
+                .collect();
             (coords, cells)
         })
         .collect();

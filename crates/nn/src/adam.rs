@@ -111,7 +111,7 @@ mod tests {
     }
 
     #[test]
-    fn slots_are_independent(){
+    fn slots_are_independent() {
         let mut adam = Adam::new(0.1);
         let a = adam.register(1);
         let b = adam.register(1);

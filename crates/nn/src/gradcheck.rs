@@ -94,9 +94,7 @@ mod tests {
         // f(p) = p0² + 3 p1, grad = [2 p0, 3].
         let mut p = vec![1.5, -2.0];
         let ana = vec![3.0, 3.0];
-        let worst = check_gradient(&mut p, &ana, 1e-6, 1e-6, |p| {
-            p[0] * p[0] + 3.0 * p[1]
-        });
+        let worst = check_gradient(&mut p, &ana, 1e-6, 1e-6, |p| p[0] * p[0] + 3.0 * p[1]);
         assert!(worst < 1e-6);
         // Parameters restored after probing.
         assert_eq!(p, vec![1.5, -2.0]);

@@ -53,7 +53,7 @@ pub use adam::Adam;
 pub use gru::{GruCache, GruCell, GruEncoder, GruGrads};
 pub use lstm::{LstmCache, LstmCell, LstmEncoder, LstmGrads};
 pub use memory::{SpatialMemory, WriteLog};
-pub use sam::{MemoryMode, SamCache, SamGrads, SamLstmCell, SamLstmEncoder};
+pub use sam::{MemoryMode, SamCache, SamGrads, SamLstmCell, SamLstmEncoder, SamSeqRef};
 pub use workspace::Workspace;
 
 /// A recurrent trajectory encoder: maps a coordinate/grid-cell sequence to

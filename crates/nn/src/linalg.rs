@@ -141,6 +141,186 @@ impl Mat {
     }
 }
 
+/// Rows per micro-tile of the blocked GEMM kernels.
+const MR: usize = 4;
+/// Columns per micro-tile of the blocked GEMM kernels.
+const NR: usize = 8;
+/// Below this many `A` rows, packing the `B` panel costs about as much as
+/// the multiply it would accelerate; use the direct kernel instead.
+const PACK_MIN_M: usize = 8;
+
+thread_local! {
+    /// Reused packing scratch (`A` micro-panel, `B` panels) so repeated
+    /// GEMM calls — one per RNN timestep, one per scan block — allocate
+    /// nothing in steady state.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// `C = A·Bᵀ` for row-major slices: `A` is `m×k`, `B` is `n×k`, `C` is
+/// `m×n` (overwritten).
+///
+/// The kernel packs `B` into `k`-major panels of `NR` columns and each
+/// `MR`-row `A` stripe into a `k`-major micro-panel, then runs an
+/// `MR×NR` register tile over them: every `k` iteration issues
+/// `MR·NR` independent multiply-adds fed by two contiguous loads, which
+/// both hides FMA latency and lets the compiler vectorize across the
+/// accumulators. Partial edge tiles are padded inside the packed panels
+/// (their lanes are computed and discarded, never stored).
+///
+/// Every output element still owns a *single* accumulator that sums
+/// `a[i,p]·b[j,p]` in ascending `p` order — exactly the order
+/// [`Mat::matvec_into`] and [`dot`] use — so a batched GEMM row is
+/// bit-identical to the corresponding mat-vec / dot-product result. That
+/// identity is what lets the lockstep batched RNN forward and the
+/// norm-trick scans promise bit-equality with their scalar counterparts.
+pub fn matmul_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "matmul_nt: A shape");
+    assert_eq!(b.len(), n * k, "matmul_nt: B shape");
+    assert_eq!(c.len(), m * n, "matmul_nt: C shape");
+    if m < PACK_MIN_M {
+        matmul_nt_direct(a, b, c, m, n, k);
+        return;
+    }
+    PACK_SCRATCH.with(|scratch| {
+        let (ap, bp) = &mut *scratch.borrow_mut();
+        let ntiles = n.div_ceil(NR);
+        // Pack B once: panel `jt` holds columns `jt*NR..` k-major, so the
+        // kernel's per-p loads are contiguous. Padding lanes of a partial
+        // final panel are left as stale scratch — the kernel computes
+        // them into accumulators that are never stored.
+        bp.resize(ntiles * k * NR, 0.0);
+        for jt in 0..ntiles {
+            let j0 = jt * NR;
+            let nh = (n - j0).min(NR);
+            let panel = &mut bp[jt * k * NR..(jt + 1) * k * NR];
+            for jj in 0..nh {
+                let brow = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                for (p, &v) in brow.iter().enumerate() {
+                    panel[p * NR + jj] = v;
+                }
+            }
+        }
+        ap.resize(k * MR, 0.0);
+        let mut i = 0;
+        while i < m {
+            let mh = (m - i).min(MR);
+            for r in 0..mh {
+                let arow = &a[(i + r) * k..(i + r + 1) * k];
+                for (p, &v) in arow.iter().enumerate() {
+                    ap[p * MR + r] = v;
+                }
+            }
+            for jt in 0..ntiles {
+                let j0 = jt * NR;
+                let nh = (n - j0).min(NR);
+                let panel = &bp[jt * k * NR..(jt + 1) * k * NR];
+                let mut acc = [[0.0f64; NR]; MR];
+                for (av, bv) in ap.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+                    // Fixed-size views give the optimizer exact trip
+                    // counts for the MR×NR unrolled multiply-add block.
+                    let av: &[f64; MR] = av.try_into().expect("A panel chunk");
+                    let bv: &[f64; NR] = bv.try_into().expect("B panel chunk");
+                    for r in 0..MR {
+                        let ar = av[r];
+                        let accr = &mut acc[r];
+                        for cc in 0..NR {
+                            accr[cc] += ar * bv[cc];
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate().take(mh) {
+                    c[(i + r) * n + j0..(i + r) * n + j0 + nh].copy_from_slice(&accr[..nh]);
+                }
+            }
+            i += MR;
+        }
+    });
+}
+
+/// [`matmul_nt`] without panel packing, for small `m` (same ascending-`p`
+/// accumulation order, so results stay bit-identical).
+fn matmul_nt_direct(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// `C = A·B` for row-major slices: `A` is `m×k`, `B` is `k×n`, `C` is
+/// `m×n` (overwritten).
+///
+/// Register-tiled like [`matmul_nt`]; each output element is one
+/// accumulator summed in ascending `p` order.
+pub fn matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "matmul: A shape");
+    assert_eq!(b.len(), k * n, "matmul: B shape");
+    assert_eq!(c.len(), m * n, "matmul: C shape");
+    let mut i = 0;
+    while i < m {
+        let mh = (m - i).min(MR);
+        let mut j = 0;
+        while j < n {
+            let nh = (n - j).min(NR);
+            if mh == MR && nh == NR {
+                let mut acc = [[0.0f64; NR]; MR];
+                for p in 0..k {
+                    let av = [
+                        a[i * k + p],
+                        a[(i + 1) * k + p],
+                        a[(i + 2) * k + p],
+                        a[(i + 3) * k + p],
+                    ];
+                    let brow = &b[p * n + j..p * n + j + NR];
+                    for (accr, &avr) in acc.iter_mut().zip(&av) {
+                        for (accc, &bvc) in accr.iter_mut().zip(brow) {
+                            *accc += avr * bvc;
+                        }
+                    }
+                }
+                for (ii, accr) in acc.iter().enumerate() {
+                    c[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(accr);
+                }
+            } else {
+                for ii in 0..mh {
+                    for jj in 0..nh {
+                        let mut acc = 0.0;
+                        for p in 0..k {
+                            acc += a[(i + ii) * k + p] * b[p * n + j + jj];
+                        }
+                        c[(i + ii) * n + j + jj] = acc;
+                    }
+                }
+            }
+            j += nh;
+        }
+        i += mh;
+    }
+}
+
+impl Mat {
+    /// `C = self·other` into a caller-provided row-major buffer of shape
+    /// `self.rows × other.cols`. Panics on shape mismatch.
+    pub fn matmul_into(&self, other: &Mat, c: &mut [f64]) {
+        assert_eq!(self.cols, other.rows, "matmul: inner dims");
+        matmul(&self.data, &other.data, c, self.rows, other.cols, self.cols);
+    }
+
+    /// `C = self·otherᵀ` into a caller-provided row-major buffer of shape
+    /// `self.rows × other.rows`. Panics on shape mismatch.
+    pub fn matmul_t_into(&self, other: &Mat, c: &mut [f64]) {
+        assert_eq!(self.cols, other.cols, "matmul_t: inner dims");
+        matmul_nt(&self.data, &other.data, c, self.rows, other.rows, self.cols);
+    }
+}
+
 /// `a += b` elementwise.
 pub fn add_assign(a: &mut [f64], b: &[f64]) {
     debug_assert_eq!(a.len(), b.len());
@@ -385,5 +565,77 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn from_vec_validates() {
         let _ = Mat::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    /// Reference triple loop for the GEMM tests.
+    fn naive_matmul(a: &Mat, b: &Mat) -> Vec<f64> {
+        let mut c = vec![0.0; a.rows() * b.cols()];
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for p in 0..a.cols() {
+                    c[i * b.cols() + j] += a.get(i, p) * b.get(p, j);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_all_edge_shapes() {
+        // Shapes straddling the 4×4 micro-tile in every dimension.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 4, 7),
+            (5, 9, 6),
+            (8, 8, 8),
+            (13, 6, 35),
+        ] {
+            let a = Mat::xavier(m, k, 7);
+            let b = Mat::xavier(k, n, 9);
+            let mut c = vec![f64::NAN; m * n];
+            a.matmul_into(&b, &mut c);
+            let want = naive_matmul(&a, &b);
+            for (got, want) in c.iter().zip(&want) {
+                assert!((got - want).abs() < 1e-12, "m={m} n={n} k={k}");
+            }
+        }
+    }
+
+    /// The contract the batched forward relies on: every GEMM output row is
+    /// *bit-identical* to the matvec of the corresponding input row.
+    #[test]
+    fn matmul_nt_rows_bit_identical_to_matvec() {
+        for &(m, n, k) in &[(1, 8, 11), (4, 4, 4), (6, 13, 35), (17, 128, 35)] {
+            let a = Mat::xavier(m, k, 21);
+            let b = Mat::xavier(n, k, 22);
+            let mut c = vec![f64::NAN; m * n];
+            matmul_nt(a.as_slice(), b.as_slice(), &mut c, m, n, k);
+            for i in 0..m {
+                let mut y = vec![0.0; n];
+                b.matvec_into(a.row(i), &mut y);
+                assert_eq!(
+                    &c[i * n..(i + 1) * n],
+                    y.as_slice(),
+                    "row {i} of {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_into_is_b_transposed() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let mut c = vec![0.0; 4];
+        a.matmul_t_into(&b, &mut c);
+        assert_eq!(c, vec![-2.0, 3.0, -2.0, 7.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt: B shape")]
+    fn matmul_nt_validates_shapes() {
+        let mut c = vec![0.0; 4];
+        matmul_nt(&[0.0; 4], &[0.0; 3], &mut c, 2, 2, 2);
     }
 }

@@ -3,8 +3,8 @@
 //! Used as the backbone of the Siamese baseline and the NT-No-SAM ablation
 //! (§VII-A.3), and as the base the SAM unit extends.
 
-use crate::linalg::{activate_gates, lstm_cell_update, Mat};
-use crate::workspace::{prep, Workspace};
+use crate::linalg::{activate_gates, lstm_cell_update, matmul_nt, Mat};
+use crate::workspace::{lockstep_order, prep, Workspace};
 use crate::Encoder;
 
 /// A standard LSTM cell with fused parameters.
@@ -197,6 +197,83 @@ impl LstmCell {
             self.step(&[x, y], ws, &mut cache);
         }
         (ws.h.clone(), cache)
+    }
+
+    /// Lockstep batched inference over many coordinate sequences: all `B`
+    /// sequences advance one timestep together, so the per-step gate
+    /// computation is a single `(active × zlen)·Pᵀ` GEMM instead of
+    /// `active` independent matvecs. Sequences are bucketed by length
+    /// (slots sorted descending), and a sequence retires — its hidden
+    /// state becomes its embedding — as soon as its last step is done, so
+    /// every GEMM runs over a dense active prefix.
+    ///
+    /// Because [`crate::linalg::matmul_nt`] accumulates each output
+    /// element in the exact order [`Mat::matvec_into`] does, the returned
+    /// embeddings are **bit-identical** to running [`Self::forward_coords_ws`]
+    /// per sequence. Results are returned in input order.
+    ///
+    /// Inference only (no BPTT cache). Panics when any sequence is empty.
+    pub fn forward_coords_batch_ws(
+        &self,
+        seqs: &[&[(f64, f64)]],
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f64>> {
+        if seqs.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            seqs.iter().all(|s| !s.is_empty()),
+            "cannot encode an empty sequence"
+        );
+        assert_eq!(self.in_dim, 2, "coordinate forward needs in_dim == 2");
+        let d = self.dim;
+        let zlen = self.in_dim + d + 1;
+        let order = lockstep_order(seqs.iter().map(|s| s.len()));
+        let b = seqs.len();
+        let max_len = seqs[order[0]].len();
+        let h = prep(&mut ws.bh, b * d);
+        let c = prep(&mut ws.bc, b * d);
+        let z = prep(&mut ws.bz, b * zlen);
+        let gates = prep(&mut ws.bgates, b * 4 * d);
+        let tanh_c = prep(&mut ws.t1, d);
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); b];
+        let mut active = b;
+        for t in 0..max_len {
+            while seqs[order[active - 1]].len() <= t {
+                active -= 1;
+                out[order[active]] = h[active * d..(active + 1) * d].to_vec();
+            }
+            for s in 0..active {
+                let (x, y) = seqs[order[s]][t];
+                let zr = &mut z[s * zlen..(s + 1) * zlen];
+                zr[0] = x;
+                zr[1] = y;
+                zr[2..2 + d].copy_from_slice(&h[s * d..(s + 1) * d]);
+                zr[2 + d] = 1.0;
+            }
+            matmul_nt(
+                &z[..active * zlen],
+                self.p.as_slice(),
+                &mut gates[..active * 4 * d],
+                active,
+                4 * d,
+                zlen,
+            );
+            for s in 0..active {
+                let g = &mut gates[s * 4 * d..(s + 1) * 4 * d];
+                activate_gates(g, 3 * d);
+                lstm_cell_update(
+                    g,
+                    &mut c[s * d..(s + 1) * d],
+                    tanh_c,
+                    &mut h[s * d..(s + 1) * d],
+                );
+            }
+        }
+        for s in 0..active {
+            out[order[s]] = h[s * d..(s + 1) * d].to_vec();
+        }
+        out
     }
 
     /// Backpropagates `d_h` (gradient w.r.t. the final hidden state)
@@ -451,5 +528,31 @@ mod tests {
         let e = enc.embed(&coords, &[]);
         assert_eq!(e.len(), 6);
         assert_eq!(Encoder::dim(&enc), 6);
+    }
+
+    #[test]
+    fn batched_forward_bit_identical_to_scalar() {
+        let cell = LstmCell::new(2, 8, 42);
+        // Mixed lengths including duplicates (exercises stable retirement).
+        let seqs: Vec<Vec<(f64, f64)>> = (0..9)
+            .map(|i| {
+                (0..(3 + (i * 5) % 11))
+                    .map(|t| {
+                        (
+                            (t as f64 * 0.17 + i as f64).sin(),
+                            (t as f64 - i as f64 * 0.3).cos(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[(f64, f64)]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = Workspace::new();
+        let batched = cell.forward_coords_batch_ws(&refs, &mut ws);
+        for (seq, got) in seqs.iter().zip(&batched) {
+            let (want, _) = cell.forward_coords_ws(seq, &mut Workspace::new());
+            assert_eq!(got, &want);
+        }
+        assert!(cell.forward_coords_batch_ws(&[], &mut ws).is_empty());
     }
 }

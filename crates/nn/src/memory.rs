@@ -338,8 +338,12 @@ mod tests {
         let mut seq = SpatialMemory::new(3, 3, 1);
         let base = seq.clone();
         let mut log = WriteLog::new();
-        let writes: [(u32, u32, f64, f64); 4] =
-            [(0, 0, 0.7, 3.0), (1, 2, 1.0, -2.0), (0, 0, 0.3, 9.0), (2, 1, 0.5, 1.0)];
+        let writes: [(u32, u32, f64, f64); 4] = [
+            (0, 0, 0.7, 3.0),
+            (1, 2, 1.0, -2.0),
+            (0, 0, 0.3, 9.0),
+            (2, 1, 0.5, 1.0),
+        ];
         for &(c, r, w, v) in &writes {
             seq.write(c, r, &[w], &[v]);
             log.record(&base, c, r, &[w], &[v]);

@@ -25,10 +25,16 @@
 //! B ([`SamLstmEncoder::commit`]) replays the logs in input order on one
 //! thread.
 
-use crate::linalg::{activate_gates, dot, sigmoid, softmax_backward, softmax_inplace, Mat};
+use crate::linalg::{
+    activate_gates, dot, matmul_nt, sigmoid, softmax_backward, softmax_inplace, Mat,
+};
 use crate::memory::{SpatialMemory, WriteLog};
-use crate::workspace::{prep, Workspace};
+use crate::workspace::{lockstep_order, prep, Workspace};
 use crate::Encoder;
+
+/// One borrowed sequence for the batched frozen forward: normalized
+/// coordinates plus the `(col, row)` grid cell of every point.
+pub type SamSeqRef<'a> = (&'a [(f64, f64)], &'a [(u32, u32)]);
 
 /// How a forward pass accesses the spatial memory.
 #[derive(Debug)]
@@ -407,6 +413,137 @@ impl SamLstmCell {
         (h.to_vec(), cache)
     }
 
+    /// Lockstep batched read-only inference over many sequences (the SAM
+    /// analogue of [`crate::LstmCell::forward_coords_batch_ws`]). Each
+    /// timestep runs two GEMMs over the active prefix — the fused gates
+    /// (`(active × zlen)·Pᵀ`) and the attention projection
+    /// (`(active × 2d)·W_hisᵀ`) — while the per-slot attention read
+    /// (gather / scores / softmax / mix) stays the exact scalar loops of
+    /// [`Self::forward_with_ws`], so results are **bit-identical** to the
+    /// per-sequence [`MemoryMode::Frozen`] forward. Results are returned
+    /// in input order.
+    ///
+    /// Inference only: the memory is never written and no BPTT cache is
+    /// produced. Panics on empty sequences or coord/cell length mismatch.
+    pub fn forward_frozen_batch_ws(
+        &self,
+        seqs: &[SamSeqRef<'_>],
+        memory: &SpatialMemory,
+        scan_width: u32,
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f64>> {
+        if seqs.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            seqs.iter().all(|(c, _)| !c.is_empty()),
+            "cannot encode an empty sequence"
+        );
+        for (coords, cells) in seqs {
+            assert_eq!(coords.len(), cells.len(), "coords/cells length mismatch");
+        }
+        assert_eq!(memory.dim(), self.dim, "memory dim mismatch");
+        assert_eq!(self.in_dim, 2, "coordinate forward needs in_dim == 2");
+        let d = self.dim;
+        let zlen = self.in_dim + d + 1;
+        let order = lockstep_order(seqs.iter().map(|(c, _)| c.len()));
+        let b = seqs.len();
+        let max_len = seqs[order[0]].0.len();
+        let h = prep(&mut ws.bh, b * d);
+        let c = prep(&mut ws.bc, b * d);
+        let z = prep(&mut ws.bz, b * zlen);
+        let gates = prep(&mut ws.bgates, b * 5 * d);
+        let c_hat = prep(&mut ws.bchat, b * d);
+        let mix = prep(&mut ws.bmix, b * d);
+        let ccat = prep(&mut ws.bcat, b * 2 * d);
+        let c_his = prep(&mut ws.bhis, b * d);
+        // Gathered window rows (`K_t × d`); cleared per slot, allocation
+        // amortized across steps.
+        let mut g_buf: Vec<f64> = Vec::new();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); b];
+        let mut active = b;
+        for t in 0..max_len {
+            while seqs[order[active - 1]].0.len() <= t {
+                active -= 1;
+                out[order[active]] = h[active * d..(active + 1) * d].to_vec();
+            }
+            for s in 0..active {
+                let (x, y) = seqs[order[s]].0[t];
+                let zr = &mut z[s * zlen..(s + 1) * zlen];
+                zr[0] = x;
+                zr[1] = y;
+                zr[2..2 + d].copy_from_slice(&h[s * d..(s + 1) * d]);
+                zr[2 + d] = 1.0;
+            }
+            matmul_nt(
+                &z[..active * zlen],
+                self.p.as_slice(),
+                &mut gates[..active * 5 * d],
+                active,
+                5 * d,
+                zlen,
+            );
+            for s in 0..active {
+                let a = &mut gates[s * 5 * d..(s + 1) * 5 * d];
+                activate_gates(a, 4 * d);
+                let (gf, gi, gg) = (&a[..d], &a[d..2 * d], &a[4 * d..]);
+                // Eq. 3: intermediate cell state.
+                let ch = &mut c_hat[s * d..(s + 1) * d];
+                let cs = &c[s * d..(s + 1) * d];
+                for k in 0..d {
+                    ch[k] = gf[k] * cs[k] + gi[k] * gg[k];
+                }
+                // Read (§IV-C.1) — identical scalar loops to the frozen
+                // per-sequence path.
+                let (col, row) = seqs[order[s]].1[t];
+                g_buf.clear();
+                let kwin = memory.gather_append(col, row, scan_width, &mut g_buf);
+                let attn = prep(&mut ws.win, kwin);
+                for (ki, av) in attn.iter_mut().enumerate() {
+                    *av = dot(&g_buf[ki * d..(ki + 1) * d], ch);
+                }
+                softmax_inplace(attn);
+                let mx = &mut mix[s * d..(s + 1) * d];
+                mx.fill(0.0);
+                for (ki, &av) in attn.iter().enumerate() {
+                    let row_k = &g_buf[ki * d..(ki + 1) * d];
+                    for k in 0..d {
+                        mx[k] += av * row_k[k];
+                    }
+                }
+                let cc = &mut ccat[s * 2 * d..(s + 1) * 2 * d];
+                cc[..d].copy_from_slice(ch);
+                cc[d..].copy_from_slice(mx);
+            }
+            matmul_nt(
+                &ccat[..active * 2 * d],
+                self.w_his.as_slice(),
+                &mut c_his[..active * d],
+                active,
+                d,
+                2 * d,
+            );
+            for s in 0..active {
+                let a = &gates[s * 5 * d..(s + 1) * 5 * d];
+                let (gs_gate, go) = (&a[2 * d..3 * d], &a[3 * d..4 * d]);
+                let ch = &c_hat[s * d..(s + 1) * d];
+                let his = &mut c_his[s * d..(s + 1) * d];
+                let cs = &mut c[s * d..(s + 1) * d];
+                let hs = &mut h[s * d..(s + 1) * d];
+                // Eq. 4: blend; Eq. 6: hidden state.
+                for k in 0..d {
+                    his[k] = (his[k] + self.b_his[k]).tanh();
+                    cs[k] = ch[k] + gs_gate[k] * his[k];
+                    hs[k] = go[k] * cs[k].tanh();
+                }
+            }
+        }
+        for s in 0..active {
+            out[order[s]] = h[s * d..(s + 1) * d].to_vec();
+        }
+        out
+    }
+
     /// [`Self::backward_ws`] with a one-shot workspace.
     pub fn backward(&self, cache: &SamCache, d_h_final: &[f64], grads: &mut SamGrads) {
         self.backward_ws(cache, d_h_final, grads, &mut Workspace::new());
@@ -558,6 +695,17 @@ impl SamLstmEncoder {
             MemoryMode::Frozen(&self.memory),
             self.scan_width,
         )
+    }
+
+    /// Lockstep batched read-only encode against the encoder's memory; see
+    /// [`SamLstmCell::forward_frozen_batch_ws`].
+    pub fn forward_frozen_batch_ws(
+        &self,
+        seqs: &[SamSeqRef<'_>],
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f64>> {
+        self.cell
+            .forward_frozen_batch_ws(seqs, &self.memory, self.scan_width, ws)
     }
 
     /// Phase-A training encode: reads the encoder's memory as a frozen
@@ -737,7 +885,9 @@ mod tests {
 
         // Dirty the workspace with an unrelated sequence first.
         let mut ws = Workspace::new();
-        let dirty: Vec<(f64, f64)> = (0..9).map(|i| (i as f64 * 0.3, 1.0 - i as f64 * 0.1)).collect();
+        let dirty: Vec<(f64, f64)> = (0..9)
+            .map(|i| (i as f64 * 0.3, 1.0 - i as f64 * 0.1))
+            .collect();
         let dirty_cells: Vec<(u32, u32)> = (0..9).map(|i| (i % 6, (i * 2) % 6)).collect();
         let _ = cell.forward_with_ws(&dirty, &dirty_cells, MemoryMode::Frozen(&mem), 2, &mut ws);
         let (h_reuse, cache_reuse) =
@@ -829,6 +979,43 @@ mod tests {
         assert!(grads.p.as_slice().iter().any(|g| *g != 0.0));
         assert!(grads.p.as_slice().iter().all(|g| g.is_finite()));
         assert!(h_write.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batched_frozen_forward_bit_identical_to_scalar() {
+        let d = 5;
+        let cell = SamLstmCell::new(2, d, 37);
+        let mem = warmed_memory(d);
+        let seqs: Vec<ToySeq> = (0..9)
+            .map(|i| {
+                let len = 2 + (i * 5) % 11;
+                let coords: Vec<(f64, f64)> = (0..len)
+                    .map(|t| {
+                        let t = t as f64;
+                        let i = i as f64;
+                        ((0.1 * t + 0.01 * i).sin(), (0.2 * t - 0.03 * i).cos())
+                    })
+                    .collect();
+                let cells: Vec<(u32, u32)> = (0..len as u32)
+                    .map(|t| ((t + i) % 6, (2 * t + i) % 6))
+                    .collect();
+                (coords, cells)
+            })
+            .collect();
+        let refs: Vec<(&[(f64, f64)], &[(u32, u32)])> = seqs
+            .iter()
+            .map(|(c, g)| (c.as_slice(), g.as_slice()))
+            .collect();
+        let mut ws = Workspace::new();
+        let batched = cell.forward_frozen_batch_ws(&refs, &mem, 1, &mut ws);
+        for ((coords, cells), got) in seqs.iter().zip(&batched) {
+            let (want, _) =
+                cell.forward_with_ws(coords, cells, MemoryMode::Frozen(&mem), 1, &mut ws);
+            assert_eq!(&want, got);
+        }
+        assert!(cell
+            .forward_frozen_batch_ws(&[], &mem, 1, &mut ws)
+            .is_empty());
     }
 
     #[test]

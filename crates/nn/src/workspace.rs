@@ -40,6 +40,27 @@ pub struct Workspace {
     pub(crate) win: Vec<f64>,
     /// Attention-window scratch (`d_scores`).
     pub(crate) win2: Vec<f64>,
+    // --- Lockstep batched-inference buffers (`B` = batch size). All are
+    // plain scratch like the rest of the workspace: sized on entry,
+    // carrying nothing between calls.
+    /// Stacked `z_t = [x; h; 1]` rows, `B × zlen`.
+    pub(crate) bz: Vec<f64>,
+    /// Second stacked `z` buffer (GRU's `[x; r ⊙ h; 1]`), `B × zlen`.
+    pub(crate) bz2: Vec<f64>,
+    /// Stacked hidden states, `B × d`.
+    pub(crate) bh: Vec<f64>,
+    /// Stacked cell states, `B × d`.
+    pub(crate) bc: Vec<f64>,
+    /// Stacked gate pre-activations, up to `B × 5d`.
+    pub(crate) bgates: Vec<f64>,
+    /// Stacked SAM intermediate cell states `ĉ`, `B × d`.
+    pub(crate) bchat: Vec<f64>,
+    /// Stacked SAM attention mixes / GRU candidates, `B × d`.
+    pub(crate) bmix: Vec<f64>,
+    /// Stacked SAM `[ĉ; mix]` concatenations, `B × 2d`.
+    pub(crate) bcat: Vec<f64>,
+    /// Stacked SAM historical states `c_his`, `B × d`.
+    pub(crate) bhis: Vec<f64>,
 }
 
 impl Workspace {
@@ -57,6 +78,30 @@ pub(crate) fn prep(v: &mut Vec<f64>, n: usize) -> &mut [f64] {
     v.clear();
     v.resize(n, 0.0);
     v.as_mut_slice()
+}
+
+/// Slot order for the lockstep batched forward: input indices sorted by
+/// descending sequence length (stable, so equal lengths keep input
+/// order). With lengths descending, the sequences still running at any
+/// timestep are a contiguous slot prefix — finished ones retire off the
+/// end and every per-step GEMM runs over a dense `active × len` block.
+pub(crate) fn lockstep_order(lens: impl ExactSizeIterator<Item = usize>) -> Vec<usize> {
+    let lens: Vec<usize> = lens.collect();
+    let mut order: Vec<usize> = (0..lens.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(lens[i]));
+    order
+}
+
+#[cfg(test)]
+mod lockstep_tests {
+    use super::*;
+
+    #[test]
+    fn order_is_descending_and_stable() {
+        let lens = [3usize, 7, 3, 9, 7];
+        let order = lockstep_order(lens.iter().copied());
+        assert_eq!(order, vec![3, 1, 4, 0, 2]);
+    }
 }
 
 #[cfg(test)]

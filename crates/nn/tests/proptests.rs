@@ -1,9 +1,7 @@
 //! Property-based tests of the neural substrate: linear-algebra kernel
 //! laws, optimizer behaviour, and encoder invariants on random inputs.
 
-use neutraj_nn::linalg::{
-    add_assign, axpy, dot, euclidean, norm, sigmoid, softmax_inplace, Mat,
-};
+use neutraj_nn::linalg::{add_assign, axpy, dot, euclidean, norm, sigmoid, softmax_inplace, Mat};
 use neutraj_nn::{Adam, GruEncoder, LstmEncoder, SamLstmEncoder};
 use proptest::prelude::*;
 

@@ -50,9 +50,7 @@ impl BoundingBox {
     /// Smallest box covering every point in `points`; [`Self::EMPTY`] when
     /// `points` is empty.
     pub fn from_points(points: &[Point]) -> Self {
-        points
-            .iter()
-            .fold(Self::EMPTY, |bb, p| bb.expanded_to(*p))
+        points.iter().fold(Self::EMPTY, |bb, p| bb.expanded_to(*p))
     }
 
     /// Returns `true` if no point has been accumulated into the box.
@@ -152,8 +150,12 @@ impl BoundingBox {
 
     /// Minimum Euclidean distance between two boxes (zero if overlapping).
     pub fn min_dist_box(&self, other: &BoundingBox) -> f64 {
-        let dx = (self.min_x - other.max_x).max(0.0).max(other.min_x - self.max_x);
-        let dy = (self.min_y - other.max_y).max(0.0).max(other.min_y - self.max_y);
+        let dx = (self.min_x - other.max_x)
+            .max(0.0)
+            .max(other.min_x - self.max_x);
+        let dy = (self.min_y - other.max_y)
+            .max(0.0)
+            .max(other.min_y - self.max_y);
         (dx * dx + dy * dy).sqrt()
     }
 }

@@ -110,10 +110,7 @@ impl GeolifeLikeGenerator {
             delta = delta.clamp(-0.9, 0.9);
             heading += delta;
             cur = clamp_to(
-                Point::new(
-                    cur.x + heading.cos() * step,
-                    cur.y + heading.sin() * step,
-                ),
+                Point::new(cur.x + heading.cos() * step, cur.y + heading.sin() * step),
                 half,
             );
             pts.push(cur);

@@ -179,11 +179,7 @@ impl RoadWalkGenerator {
             if nbrs.is_empty() {
                 break;
             }
-            let choices: Vec<u32> = nbrs
-                .iter()
-                .copied()
-                .filter(|&n| Some(n) != prev)
-                .collect();
+            let choices: Vec<u32> = nbrs.iter().copied().filter(|&n| Some(n) != prev).collect();
             let next = if choices.is_empty() {
                 nbrs[0]
             } else {

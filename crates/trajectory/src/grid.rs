@@ -294,25 +294,23 @@ mod tests {
         let g = grid_10x5();
         let win = g.scan_window(GridCell::new(5, 2), 2);
         assert_eq!(win.len(), 25);
-        assert!(win
-            .iter()
-            .all(|c| c.chebyshev(&GridCell::new(5, 2)) <= 2));
+        assert!(win.iter().all(|c| c.chebyshev(&GridCell::new(5, 2)) <= 2));
         // corner clips
         let win = g.scan_window(GridCell::new(0, 0), 2);
         assert_eq!(win.len(), 9); // 3 x 3
         let win = g.scan_window(GridCell::new(9, 4), 1);
         assert_eq!(win.len(), 4); // 2 x 2
-        // w = 0 is just the cell itself
-        assert_eq!(g.scan_window(GridCell::new(3, 3), 0), vec![GridCell::new(3, 3)]);
+                                  // w = 0 is just the cell itself
+        assert_eq!(
+            g.scan_window(GridCell::new(3, 3), 0),
+            vec![GridCell::new(3, 3)]
+        );
     }
 
     #[test]
     fn map_trajectory_lengths_match() {
         let g = grid_10x5();
-        let t = Trajectory::new_unchecked(
-            1,
-            vec![Point::new(5.0, 5.0), Point::new(95.0, 45.0)],
-        );
+        let t = Trajectory::new_unchecked(1, vec![Point::new(5.0, 5.0), Point::new(95.0, 45.0)]);
         let gs = g.map_trajectory(&t);
         assert_eq!(gs.len(), 2);
         assert_eq!(gs.cells[0], GridCell::new(0, 0));

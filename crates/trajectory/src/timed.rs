@@ -80,10 +80,7 @@ impl TimedTrajectory {
             if let Some(q) = prev {
                 clock += (q.dist(p) / speed).max(1e-9);
             }
-            out.push(TimedPoint {
-                pos: *p,
-                t: clock,
-            });
+            out.push(TimedPoint { pos: *p, t: clock });
             prev = Some(*p);
         }
         Self::new(t.id, out)
@@ -219,9 +216,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_non_monotone_time() {
-        let bad = vec![TimedPoint::new(0.0, 0.0, 1.0), TimedPoint::new(1.0, 0.0, 1.0)];
+        let bad = vec![
+            TimedPoint::new(0.0, 0.0, 1.0),
+            TimedPoint::new(1.0, 0.0, 1.0),
+        ];
         assert!(TimedTrajectory::new(0, bad).is_err());
-        let bad = vec![TimedPoint::new(0.0, 0.0, 2.0), TimedPoint::new(1.0, 0.0, 1.0)];
+        let bad = vec![
+            TimedPoint::new(0.0, 0.0, 2.0),
+            TimedPoint::new(1.0, 0.0, 1.0),
+        ];
         assert!(TimedTrajectory::new(0, bad).is_err());
         let bad = vec![TimedPoint::new(0.0, f64::NAN, 0.0)];
         assert!(TimedTrajectory::new(0, bad).is_err());
@@ -260,7 +263,11 @@ mod tests {
     fn from_trajectory_assigns_consistent_clock() {
         let base = Trajectory::new_unchecked(
             7,
-            vec![Point::new(0.0, 0.0), Point::new(6.0, 8.0), Point::new(6.0, 8.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(6.0, 8.0),
+                Point::new(6.0, 8.0),
+            ],
         );
         let timed = TimedTrajectory::from_trajectory(&base, 2.0, 100.0).unwrap();
         assert_eq!(timed.points()[0].t, 100.0);

@@ -68,10 +68,7 @@ impl Trajectory {
 
     /// Total polyline length (sum of consecutive point distances).
     pub fn path_length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].dist(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].dist(&w[1])).sum()
     }
 
     /// Arithmetic mean of the points. `None` when empty.
@@ -79,10 +76,7 @@ impl Trajectory {
         if self.points.is_empty() {
             return None;
         }
-        let sum = self
-            .points
-            .iter()
-            .fold(Point::ORIGIN, |acc, p| acc + *p);
+        let sum = self.points.iter().fold(Point::ORIGIN, |acc, p| acc + *p);
         Some(sum * (1.0 / self.points.len() as f64))
     }
 

@@ -9,9 +9,7 @@ use proptest::prelude::*;
 
 fn arb_traj(min_len: usize) -> impl Strategy<Value = Trajectory> {
     prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), min_len..min_len + 30)
-        .prop_map(|pts| {
-            Trajectory::new_unchecked(0, pts.into_iter().map(Point::from).collect())
-        })
+        .prop_map(|pts| Trajectory::new_unchecked(0, pts.into_iter().map(Point::from).collect()))
 }
 
 proptest! {

@@ -26,7 +26,10 @@ fn main() {
     let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
 
     // Ground truth: exact all-pairs Fréchet (the expensive way).
-    println!("computing exact all-pairs Frechet distances ({} trajectories)...", trajs.len());
+    println!(
+        "computing exact all-pairs Frechet distances ({} trajectories)...",
+        trajs.len()
+    );
     let t0 = Instant::now();
     let exact = DistanceMatrix::compute_parallel(&DiscreteFrechet, &rescaled, 4);
     let t_exact = t0.elapsed().as_secs_f64();
@@ -34,11 +37,7 @@ fn main() {
     // Learned: train on 25% seeds, embed everything, all-pairs in O(N² d).
     let n_seeds = trajs.len() / 4;
     let seeds: Vec<Trajectory> = trajs[..n_seeds].to_vec();
-    let seed_dist = DistanceMatrix::compute_parallel(
-        &DiscreteFrechet,
-        &rescaled[..n_seeds],
-        4,
-    );
+    let seed_dist = DistanceMatrix::compute_parallel(&DiscreteFrechet, &rescaled[..n_seeds], 4);
     let cfg = TrainConfig {
         dim: 32,
         epochs: 8,
@@ -59,7 +58,10 @@ fn main() {
     let emb = DistanceMatrix::from_raw(n, emb);
     // Bring embedding distances onto the exact scale for a shared eps.
     let scale = exact.mean_finite() / emb.mean_finite().max(1e-12);
-    let emb = DistanceMatrix::from_raw(n, (0..n * n).map(|i| emb.row(i / n)[i % n] * scale).collect());
+    let emb = DistanceMatrix::from_raw(
+        n,
+        (0..n * n).map(|i| emb.row(i / n)[i % n] * scale).collect(),
+    );
 
     println!(
         "all-pairs time: exact {t_exact:.2}s vs embed+scan {t_emb:.2}s ({:.0}x)\n",
@@ -69,11 +71,7 @@ fn main() {
     println!("eps      #clusters(exact)  #clusters(learned)  V-measure  ARI");
     for frac in [0.05, 0.1, 0.2, 0.3] {
         let eps = exact.mean_finite() * frac;
-        let (a, b, agree) = compare_clusterings(
-            &exact,
-            &emb,
-            DbscanParams { eps, min_pts: 10 },
-        );
+        let (a, b, agree) = compare_clusterings(&exact, &emb, DbscanParams { eps, min_pts: 10 });
         println!(
             "{eps:>7.2}  {:>16}  {:>18}  {:>9.3}  {:.3}",
             num_clusters(&a),

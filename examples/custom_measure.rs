@@ -59,7 +59,10 @@ fn main() {
         epochs: 10,
         ..TrainConfig::neutraj()
     };
-    println!("training NeuTraj against the custom '{}' measure...", measure.name());
+    println!(
+        "training NeuTraj against the custom '{}' measure...",
+        measure.name()
+    );
     let (model, _) = Trainer::new(cfg, grid).fit(&trajs[..n_seeds], &seed_dist, |_| {});
 
     // Evaluate: learned top-10 vs exact top-10 on held-out queries.
@@ -87,7 +90,10 @@ fn main() {
     }
     let hr10 = hits as f64 / total as f64;
     println!("HR@10 of NeuTraj on the custom measure: {hr10:.3}");
-    println!("(random ranking expectation: {:.3})", 10.0 / (db.len() - 1) as f64);
+    println!(
+        "(random ranking expectation: {:.3})",
+        10.0 / (db.len() - 1) as f64
+    );
     assert!(
         hr10 > 3.0 * 10.0 / (db.len() - 1) as f64,
         "learned ranking should clearly beat chance"

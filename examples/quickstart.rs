@@ -33,7 +33,11 @@ fn main() {
     //    grid-unit coordinates so training scales are measure-independent.
     let seeds_rescaled: Vec<Trajectory> =
         seeds.iter().map(|t| grid.rescale_trajectory(t)).collect();
-    println!("computing {}x{} seed distance matrix...", seeds.len(), seeds.len());
+    println!(
+        "computing {}x{} seed distance matrix...",
+        seeds.len(),
+        seeds.len()
+    );
     let dist = DistanceMatrix::compute_parallel(&Hausdorff, &seeds_rescaled, 4);
 
     // 4. Train.
@@ -44,9 +48,18 @@ fn main() {
     };
     println!("training NeuTraj (d=32, 8 epochs)...");
     let (model, report) = Trainer::new(cfg, grid.clone()).fit(&seeds, &dist, |e| {
-        println!("  epoch {:>2}: loss {:.5} ({:.2}s)", e.epoch + 1, e.loss, e.seconds);
+        println!(
+            "  epoch {:>2}: loss {:.5} ({:.2}s)",
+            e.epoch + 1,
+            e.loss,
+            e.seconds
+        );
     });
-    println!("alpha = {:.4}, final loss = {:.5}", report.alpha, report.epoch_losses.last().unwrap());
+    println!(
+        "alpha = {:.4}, final loss = {:.5}",
+        report.alpha,
+        report.epoch_losses.last().unwrap()
+    );
 
     // 5. Embed the whole database once (O(L) each), then answer queries.
     let db: Vec<Trajectory> = split
@@ -56,7 +69,11 @@ fn main() {
         .collect();
     let store = EmbeddingStore::build(&model, &db, 4);
     let query = &db[0];
-    println!("\ntop-5 most similar to T{} ({} points):", query.id, query.len());
+    println!(
+        "\ntop-5 most similar to T{} ({} points):",
+        query.id,
+        query.len()
+    );
     let top = store.knn(store.get(0), 6); // includes self at rank 0
     for n in top.iter().skip(1) {
         let exact = Hausdorff.dist(

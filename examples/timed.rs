@@ -92,7 +92,10 @@ fn main() {
         epochs: 8,
         ..TrainConfig::neutraj()
     };
-    println!("training NeuTraj on {} under LockstepSED...", LockstepSed.name());
+    println!(
+        "training NeuTraj on {} under LockstepSED...",
+        LockstepSed.name()
+    );
     let (model, _) = Trainer::new(cfg, grid).fit(&sync[..n_seeds], &dist, |_| {});
 
     // Evaluate HR@10 against exact SED ground truth on held-out data.

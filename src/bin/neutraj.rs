@@ -155,8 +155,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let threads: usize = opt_parse(flags, "threads", default_threads())?;
     let out = req(flags, "out")?;
 
-    let grid =
-        Grid::covering(ds.trajectories(), cell_size).map_err(|e| format!("grid: {e}"))?;
+    let grid = Grid::covering(ds.trajectories(), cell_size).map_err(|e| format!("grid: {e}"))?;
     let seed_idx = ds.sample_indices(n_seeds, seed);
     let seeds: Vec<Trajectory> = seed_idx
         .iter()
@@ -178,14 +177,16 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         ..TrainConfig::neutraj()
     };
     eprintln!("training NeuTraj (d={dim}, {epochs} epochs)...");
-    let (model, report) = Trainer::new(cfg, grid).with_threads(threads).fit(&seeds, &dist, |e| {
-        eprintln!(
-            "  epoch {:>3}: loss {:.6} ({:.1}s)",
-            e.epoch + 1,
-            e.loss,
-            e.seconds
-        );
-    });
+    let (model, report) = Trainer::new(cfg, grid)
+        .with_threads(threads)
+        .fit(&seeds, &dist, |e| {
+            eprintln!(
+                "  epoch {:>3}: loss {:.6} ({:.1}s)",
+                e.epoch + 1,
+                e.loss,
+                e.seconds
+            );
+        });
     model.save(out).map_err(|e| format!("saving {out}: {e}"))?;
     println!(
         "saved model to {out} (alpha {:.5}, final loss {:.6})",
@@ -211,7 +212,11 @@ fn cmd_embed(flags: &Flags) -> Result<(), String> {
         text.push('\n');
     }
     std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("embedded {} trajectories (d={}) -> {out}", ds.len(), model.dim());
+    println!(
+        "embedded {} trajectories (d={}) -> {out}",
+        ds.len(),
+        model.dim()
+    );
     Ok(())
 }
 
@@ -236,8 +241,7 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
         let measure = kind.measure();
         // Compare in grid units (the model's training scale).
         let grid = model.grid();
-        let rescaled: Vec<Trajectory> =
-            trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
+        let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
         store.knn_reranked(
             store.get(q_pos),
             &rescaled[q_pos],

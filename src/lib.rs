@@ -61,15 +61,11 @@ pub mod prelude {
     pub use neutraj_measures::{
         DiscreteFrechet, DistanceMatrix, Dtw, Erp, Hausdorff, Measure, MeasureKind,
     };
-    pub use neutraj_model::{
-        EmbeddingStore, NeuTrajModel, TrainConfig, TrainReport, Trainer,
-    };
+    pub use neutraj_model::{EmbeddingStore, NeuTrajModel, TrainConfig, TrainReport, Trainer};
     pub use neutraj_trajectory::gen::{
         GeolifeLikeGenerator, PortoLikeGenerator, RoadNetwork, RoadWalkGenerator,
     };
-    pub use neutraj_trajectory::{
-        BoundingBox, Dataset, Grid, Point, SplitRatios, Trajectory,
-    };
+    pub use neutraj_trajectory::{BoundingBox, Dataset, Grid, Point, SplitRatios, Trajectory};
 }
 
 #[cfg(test)]

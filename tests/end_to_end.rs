@@ -2,8 +2,8 @@
 //! split → seed distances → train → embed → search) across crates.
 
 use neutraj::eval::harness::{
-    build_ap_for_world, default_threads, model_rankings, DatasetKind, ExperimentWorld,
-    GroundTruth, WorldConfig,
+    build_ap_for_world, default_threads, model_rankings, DatasetKind, ExperimentWorld, GroundTruth,
+    WorldConfig,
 };
 use neutraj::prelude::*;
 
@@ -15,12 +15,7 @@ fn world(size: usize, seed: u64) -> ExperimentWorld {
     })
 }
 
-fn hr10_of(
-    world: &ExperimentWorld,
-    kind: MeasureKind,
-    cfg: TrainConfig,
-    gt: &GroundTruth,
-) -> f64 {
+fn hr10_of(world: &ExperimentWorld, kind: MeasureKind, cfg: TrainConfig, gt: &GroundTruth) -> f64 {
     let measure = kind.measure();
     let (model, _) = world.train(&*measure, cfg);
     let db = world.test_db();

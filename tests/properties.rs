@@ -6,10 +6,9 @@ use proptest::prelude::*;
 
 /// Strategy: a finite trajectory with 1..=20 points in a ±100 box.
 fn arb_traj(id: u64) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..=20)
-        .prop_map(move |pts| {
-            Trajectory::new_unchecked(id, pts.into_iter().map(Point::from).collect())
-        })
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..=20).prop_map(move |pts| {
+        Trajectory::new_unchecked(id, pts.into_iter().map(Point::from).collect())
+    })
 }
 
 /// Strategy: a small corpus of 2..=12 trajectories with ≥ 2 points each.
