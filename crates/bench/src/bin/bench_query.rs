@@ -11,10 +11,17 @@
 //! * **embed** — `NeuTrajModel::embed_batch` (lockstep per-timestep
 //!   GEMM forward) against a per-trajectory `embed` loop, B = 32, for
 //!   all three backbones.
+//! * **serving** — the end-to-end `SimilarityDb::search_batch` pipeline
+//!   (embed → GEMM scan → exact re-rank) with metrics *disabled* vs
+//!   *enabled*, backing the "near-zero overhead when off" claim of
+//!   `DESIGN.md`'s Observability section. The enabled run's
+//!   [`neutraj_obs::MetricsReport`] is embedded in `BENCH_query.json`
+//!   under `"metrics"` and also written as Prometheus text to
+//!   `BENCH_query.prom`.
 //!
-//! Both pairs are bit-for-bit result-checked in this binary before any
-//! timing is reported — the speedups below are for *identical* answers
-//! (see `DESIGN.md`, "Serving path").
+//! All result pairs are bit-for-bit result-checked in this binary before
+//! any timing is reported — the speedups below are for *identical*
+//! answers (see `DESIGN.md`, "Serving path").
 //!
 //! ```text
 //! cargo run -p neutraj-bench --release --bin bench_query [-- --size 5000 --queries 8]
@@ -26,7 +33,9 @@
 
 use std::time::Instant;
 
-use neutraj_model::{BackboneKind, EmbeddingStore, NeuTrajModel, TrainConfig};
+use neutraj_measures::DiscreteFrechet;
+use neutraj_model::{BackboneKind, EmbeddingStore, NeuTrajModel, Query, SimilarityDb, TrainConfig};
+use neutraj_obs::{MetricsReport, Registry};
 use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
 
 /// Search depth; k = 10 matches the paper's top-k experiments.
@@ -63,7 +72,13 @@ fn main() {
     let embed_rows = [BackboneKind::SamLstm, BackboneKind::Lstm, BackboneKind::Gru]
         .map(|kind| bench_embed(kind, cli.dim, cli.queries, cli.seed));
 
-    let json = render_json(&cli, host_cpus, &scan_rows, &embed_rows);
+    let serving = bench_serving(*sizes.iter().min().unwrap(), cli.dim, cli.queries, cli.seed);
+    let prom = serving.report.to_prometheus();
+    print!("{prom}");
+    std::fs::write("BENCH_query.prom", prom).expect("write BENCH_query.prom");
+    println!("wrote BENCH_query.prom");
+
+    let json = render_json(&cli, host_cpus, &scan_rows, &embed_rows, &serving);
     let path = "BENCH_query.json";
     std::fs::write(path, json).expect("write BENCH_query.json");
     println!("wrote {path}");
@@ -81,6 +96,16 @@ struct EmbedRow {
     backbone: &'static str,
     scalar_qps: f64,
     batched_qps: f64,
+}
+
+/// End-to-end serving measurement: `search_batch` with re-ranking, with
+/// the metrics registry detached vs attached, plus the attached run's
+/// snapshot.
+struct ServingRow {
+    n: usize,
+    disabled_qps: f64,
+    enabled_qps: f64,
+    report: MetricsReport,
 }
 
 fn bench_scan(n: usize, dim: usize, batch: usize, seed: u64) -> ScanRow {
@@ -176,6 +201,64 @@ fn bench_embed(kind: BackboneKind, dim: usize, batch: usize, seed: u64) -> Embed
     }
 }
 
+fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+    let cfg = TrainConfig {
+        backbone: BackboneKind::SamLstm,
+        dim,
+        seed,
+        ..TrainConfig::neutraj()
+    };
+    let model = NeuTrajModel::untrained(cfg, grid);
+    let corpus: Vec<Trajectory> = (0..n as u64)
+        .map(|i| synth_traj(i, 20 + (i as usize * 7) % 41))
+        .collect();
+    let mut db = SimilarityDb::with_corpus(model, corpus, 1);
+    let queries: Vec<Trajectory> = (0..batch as u64)
+        .map(|i| synth_traj(1_000_000 + i, 25 + (i as usize * 5) % 31))
+        .collect();
+    let query = Query::new(K).shortlist(50).rerank(&DiscreteFrechet);
+
+    // Instrumentation is observation-only: attached vs detached runs
+    // must return the exact same neighbors.
+    let plain = db.search_batch(&queries, &query);
+    let registry = Registry::new();
+    db.instrument(&registry);
+    assert_eq!(
+        plain,
+        db.search_batch(&queries, &query),
+        "metrics changed search results"
+    );
+    db.clear_instrumentation();
+
+    // Interleaved best-of-N: the off/on comparison is a ~1% effect, far
+    // below the noise floor of a single 0.25 s window on a busy host, so
+    // alternate the two configurations and keep each one's best rate.
+    let registry = Registry::new();
+    let mut disabled_qps = 0.0f64;
+    let mut enabled_qps = 0.0f64;
+    for _ in 0..5 {
+        db.clear_instrumentation();
+        disabled_qps = disabled_qps.max(time_qps(batch, || {
+            std::hint::black_box(db.search_batch(&queries, &query));
+        }));
+        db.instrument(&registry);
+        enabled_qps = enabled_qps.max(time_qps(batch, || {
+            std::hint::black_box(db.search_batch(&queries, &query));
+        }));
+    }
+    println!(
+        "  serving n={n}: metrics off {disabled_qps:.1} q/s, on {enabled_qps:.1} q/s ({:+.2}% overhead)",
+        (disabled_qps / enabled_qps - 1.0) * 100.0
+    );
+    ServingRow {
+        n,
+        disabled_qps,
+        enabled_qps,
+        report: registry.snapshot(),
+    }
+}
+
 /// Times `f` (which processes `per_round` queries per call) until at
 /// least [`MIN_SECONDS`] elapse and returns queries per second.
 fn time_qps(per_round: usize, mut f: impl FnMut()) -> f64 {
@@ -225,6 +308,7 @@ fn render_json(
     host_cpus: usize,
     scan: &[ScanRow],
     embed: &[EmbedRow],
+    serving: &ServingRow,
 ) -> String {
     let scan_objs = scan
         .iter()
@@ -252,8 +336,21 @@ fn render_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let serving_obj = format!(
+        "  \"serving\": {{\n    \"n\": {},\n    \"metrics_disabled_qps\": {:.2},\n    \"metrics_enabled_qps\": {:.2},\n    \"metrics_overhead\": {:.4}\n  }}",
+        serving.n,
+        serving.disabled_qps,
+        serving.enabled_qps,
+        serving.disabled_qps / serving.enabled_qps - 1.0
+    );
     format!(
-        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ]\n}}\n",
-        cli.dim, cli.queries, host_cpus, scan_objs, embed_objs
+        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ],\n{},\n  \"metrics\": {}\n}}\n",
+        cli.dim,
+        cli.queries,
+        host_cpus,
+        scan_objs,
+        embed_objs,
+        serving_obj,
+        serving.report.to_json_indented(2)
     )
 }

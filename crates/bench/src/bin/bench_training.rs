@@ -17,6 +17,7 @@ use neutraj_bench::Cli;
 use neutraj_eval::harness::{default_threads, DatasetKind, ExperimentWorld, WorldConfig};
 use neutraj_measures::{DistanceMatrix, MeasureKind};
 use neutraj_model::{TrainConfig, Trainer};
+use neutraj_obs::{MetricsReport, Registry};
 
 const THREAD_COUNTS: [usize; 2] = [1, 4];
 
@@ -51,6 +52,7 @@ fn main() {
     );
 
     let mut runs: Vec<(usize, Vec<f64>, f64)> = Vec::new();
+    let mut metrics = MetricsReport::default();
     for threads in THREAD_COUNTS {
         let cfg = TrainConfig {
             dim: cli.dim,
@@ -58,7 +60,12 @@ fn main() {
             patience: None,
             ..TrainConfig::neutraj()
         };
-        let trainer = Trainer::new(cfg, world.grid.clone()).with_threads(threads);
+        // Fresh registry per run so counters cover exactly one fit();
+        // the last run's snapshot lands in BENCH_training.json.
+        let registry = Registry::new();
+        let trainer = Trainer::new(cfg, world.grid.clone())
+            .with_threads(threads)
+            .with_metrics(&registry);
         let (_, report) = trainer.fit(&seeds, &dist, |s| {
             println!(
                 "  threads={threads} epoch {} {:.3}s loss {:.5}",
@@ -68,12 +75,14 @@ fn main() {
         let mean = report.epoch_seconds.iter().sum::<f64>() / report.epoch_seconds.len() as f64;
         println!("  threads={threads}: mean epoch {mean:.3}s");
         runs.push((threads, report.epoch_seconds, mean));
+        metrics = registry.snapshot();
     }
 
     let speedup = runs[0].2 / runs[runs.len() - 1].2;
     println!("speedup ({}t vs 1t): {speedup:.2}x", THREAD_COUNTS[1]);
+    print!("{}", metrics.to_prometheus());
 
-    let json = render_json(&runs, speedup, &cli, host_cpus);
+    let json = render_json(&runs, speedup, &cli, host_cpus, &metrics);
     let path = "BENCH_training.json";
     std::fs::write(path, json).expect("write BENCH_training.json");
     println!("wrote {path}");
@@ -85,6 +94,7 @@ fn render_json(
     speedup: f64,
     cli: &Cli,
     host_cpus: usize,
+    metrics: &MetricsReport,
 ) -> String {
     let fmt_list = |v: &[f64]| {
         v.iter()
@@ -103,13 +113,14 @@ fn render_json(
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"bench\": \"training\",\n  \"backbone\": \"sam_lstm\",\n  \"dataset\": \"porto_like\",\n  \"corpus_size\": {},\n  \"seeds\": {},\n  \"dim\": {},\n  \"epochs\": {},\n  \"host_cpus\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup_vs_single_thread\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"training\",\n  \"backbone\": \"sam_lstm\",\n  \"dataset\": \"porto_like\",\n  \"corpus_size\": {},\n  \"seeds\": {},\n  \"dim\": {},\n  \"epochs\": {},\n  \"host_cpus\": {},\n  \"runs\": [\n{}\n  ],\n  \"speedup_vs_single_thread\": {:.4},\n  \"metrics\": {}\n}}\n",
         cli.size,
         (cli.size as f64 * 0.2) as usize,
         cli.dim,
         cli.epochs,
         host_cpus,
         run_objs,
-        speedup
+        speedup,
+        metrics.to_json_indented(2)
     )
 }

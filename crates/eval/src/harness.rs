@@ -10,7 +10,7 @@
 use crate::metrics::{evaluate_query, SearchQuality};
 use neutraj_approx::ApproxKnn;
 use neutraj_measures::{DistanceMatrix, Measure, MeasureKind};
-use neutraj_model::{EmbeddingStore, NeuTrajModel, TrainConfig, TrainReport, Trainer};
+use neutraj_model::{NeuTrajModel, Query, SimilarityDb, TrainConfig, TrainReport, Trainer};
 use neutraj_trajectory::gen::{GeolifeLikeGenerator, PortoLikeGenerator};
 use neutraj_trajectory::{Dataset, Grid, Split, SplitRatios, Trajectory};
 
@@ -257,13 +257,13 @@ pub fn model_rankings(
     queries: &[usize],
     threads: usize,
 ) -> Vec<Vec<usize>> {
-    let store = EmbeddingStore::build(model, db, threads);
+    let sdb = SimilarityDb::with_corpus(model.clone(), db.to_vec(), threads);
+    // A stored-index target already excludes the query itself, so
+    // k = N − 1 yields the full self-stripped ranking.
+    let full = Query::new(db.len().saturating_sub(1));
     queries
         .iter()
-        .map(|&q| {
-            let ranked = store.knn(store.get(q), db.len());
-            strip_query(ranked.into_iter().map(|n| n.index).collect(), q)
-        })
+        .map(|&q| sdb.search(q, &full).into_iter().map(|n| n.index).collect())
         .collect()
 }
 

@@ -5,10 +5,34 @@ use neutraj_nn::{
     Adam, GruCache, GruEncoder, GruGrads, LstmCache, LstmEncoder, LstmGrads, SamCache, SamGrads,
     SamLstmEncoder, SamSeqRef, Workspace, WriteLog,
 };
+use neutraj_obs::{Histogram, Registry};
 use neutraj_trajectory::{Grid, Trajectory};
 
 /// Normalized network inputs of one trajectory: coordinates + grid cells.
 pub type SeqInputs = (Vec<(f64, f64)>, Vec<(u32, u32)>);
+
+/// Pre-resolved per-phase timing instruments for the two-phase SAM memory
+/// protocol (see DESIGN.md, "Threading & determinism"): one observation
+/// per [`Backbone::SAM_ROUND`]-sized round and phase.
+#[derive(Debug, Clone)]
+pub struct SamPhaseMetrics {
+    /// Phase A — parallel buffered forwards against the round-start
+    /// memory snapshot.
+    phase_a_seconds: Histogram,
+    /// Phase B — single-threaded ordered commit of the round's write
+    /// logs.
+    phase_b_seconds: Histogram,
+}
+
+impl SamPhaseMetrics {
+    /// Resolves the SAM phase instruments in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            phase_a_seconds: registry.histogram("neutraj_train_sam_phase_a_seconds"),
+            phase_b_seconds: registry.histogram("neutraj_train_sam_phase_b_seconds"),
+        }
+    }
+}
 
 /// A recurrent encoder backbone (SAM-LSTM / LSTM / GRU) with uniform
 /// forward/backward/optimize entry points so the trainer is
@@ -207,8 +231,21 @@ impl Backbone {
         inputs: &[&SeqInputs],
         threads: usize,
     ) -> Vec<(Vec<f64>, BackboneCache)> {
+        self.forward_train_batch_metered(inputs, threads, None)
+    }
+
+    /// [`Self::forward_train_batch`] with optional per-phase timing of the
+    /// two-phase SAM protocol. Recording happens at round granularity
+    /// (outside the per-sequence hot loops) and does not perturb the
+    /// computation — results stay bit-identical with metrics on or off.
+    pub fn forward_train_batch_metered(
+        &mut self,
+        inputs: &[&SeqInputs],
+        threads: usize,
+        metrics: Option<&SamPhaseMetrics>,
+    ) -> Vec<(Vec<f64>, BackboneCache)> {
         if let Self::Sam(enc) = self {
-            return Self::sam_forward_train_batch(enc, inputs, threads);
+            return Self::sam_forward_train_batch(enc, inputs, threads, metrics);
         }
         let this: &Backbone = self;
         let run = |part: &[&SeqInputs]| {
@@ -251,6 +288,7 @@ impl Backbone {
         enc: &mut SamLstmEncoder,
         inputs: &[&SeqInputs],
         threads: usize,
+        metrics: Option<&SamPhaseMetrics>,
     ) -> Vec<(Vec<f64>, BackboneCache)> {
         let mut out: Vec<(Vec<f64>, BackboneCache)> = Vec::with_capacity(inputs.len());
         let mut logs: Vec<WriteLog> = (0..Self::SAM_ROUND.min(inputs.len()))
@@ -267,6 +305,7 @@ impl Backbone {
             // same per-sequence computation (buffered reads through the
             // log overlay), so the embeddings and logs do not depend on
             // `threads`.
+            let span = metrics.map(|m| m.phase_a_seconds.start_timer());
             if threads <= 1 || r < 4 {
                 for ((coords, cells), log) in round.iter().zip(logs.iter_mut()) {
                     let (h, c) = enc.forward_buffered_ws(coords, cells, log, &mut ws);
@@ -298,12 +337,15 @@ impl Backbone {
                     }
                 });
             }
+            drop(span);
             // Phase B: single-threaded ordered commit — the memory ends up
             // identical to replaying the round's writes in input order, and
             // the next round reads the updated memory.
+            let span = metrics.map(|m| m.phase_b_seconds.start_timer());
             for log in &logs[..r] {
                 enc.memory.commit(log);
             }
+            drop(span);
         }
         out
     }

@@ -6,13 +6,52 @@
 //! trajectory similarity query is conducted, we generate the embedding of
 //! the new trajectory and perform search based on the distance of
 //! embeddings").
+//!
+//! Queries go through one front door: [`SimilarityDb::search`] /
+//! [`SimilarityDb::search_batch`] take a [`QueryTarget`] (ad-hoc
+//! trajectory, raw embedding, or stored index) plus a [`Query`] describing
+//! `k`, the shortlist width, and optional exact re-ranking. The historical
+//! `knn*` methods survive as one-line forwards. When instrumented via
+//! [`SimilarityDb::instrument`], every query records per-stage latencies
+//! (embed / scan / re-rank) and counters into a
+//! [`Registry`](neutraj_obs::Registry).
 
 use crate::backbone::NeuTrajModel;
 use crate::loss::pair_similarity;
+use crate::query::{Query, QueryTarget};
 use crate::search::EmbeddingStore;
 use neutraj_measures::{Measure, Neighbor};
-use neutraj_nn::linalg::euclidean;
+use neutraj_obs::{Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::Trajectory;
+
+/// Pre-resolved instrument handles for the serving path, following the
+/// `neutraj_db_*` naming convention (see DESIGN.md, "Observability").
+/// Resolved once at [`SimilarityDb::instrument`] time so the per-query
+/// cost is a handful of atomic ops — no registry lock is ever taken on
+/// the query path.
+#[derive(Debug, Clone)]
+pub struct DbMetrics {
+    embed_seconds: Histogram,
+    scan_seconds: Histogram,
+    rerank_seconds: Histogram,
+    queries_total: Counter,
+    candidates_total: Counter,
+    corpus_size: Gauge,
+}
+
+impl DbMetrics {
+    /// Resolves the serving-path instruments in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            embed_seconds: registry.histogram("neutraj_db_embed_seconds"),
+            scan_seconds: registry.histogram("neutraj_db_scan_seconds"),
+            rerank_seconds: registry.histogram("neutraj_db_rerank_seconds"),
+            queries_total: registry.counter("neutraj_db_queries_total"),
+            candidates_total: registry.counter("neutraj_db_candidates_total"),
+            corpus_size: registry.gauge("neutraj_db_corpus_size"),
+        }
+    }
+}
 
 /// A corpus of trajectories indexed by a trained NeuTraj model.
 ///
@@ -27,6 +66,9 @@ pub struct SimilarityDb {
     trajectories: Vec<Trajectory>,
     /// Embeddings + precomputed row norms for norm-trick scans.
     embeddings: EmbeddingStore,
+    /// `None` (the default) records nothing; cloning an instrumented db
+    /// shares the underlying instruments.
+    metrics: Option<DbMetrics>,
 }
 
 impl SimilarityDb {
@@ -37,6 +79,7 @@ impl SimilarityDb {
             model,
             trajectories: Vec::new(),
             embeddings: store,
+            metrics: None,
         }
     }
 
@@ -45,6 +88,22 @@ impl SimilarityDb {
         let mut db = Self::new(model);
         db.insert_batch(corpus, threads);
         db
+    }
+
+    /// Starts recording per-query metrics into `registry` (see
+    /// [`DbMetrics`] for the instrument set). Queries on an
+    /// un-instrumented db skip all recording at the cost of one branch
+    /// per stage.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let m = DbMetrics::register(registry);
+        m.corpus_size.set(self.len() as f64);
+        self.metrics = Some(m);
+    }
+
+    /// Stops recording metrics (already-recorded values stay in the
+    /// registry they were written to).
+    pub fn clear_instrumentation(&mut self) {
+        self.metrics = None;
     }
 
     /// The underlying model.
@@ -82,6 +141,9 @@ impl SimilarityDb {
         let e = self.model.embed(&t);
         self.embeddings.push(&e);
         self.trajectories.push(t);
+        if let Some(m) = &self.metrics {
+            m.corpus_size.set(self.trajectories.len() as f64);
+        }
         self.trajectories.len() - 1
     }
 
@@ -93,42 +155,179 @@ impl SimilarityDb {
             self.embeddings.push(e);
         }
         self.trajectories.extend(ts);
+        if let Some(m) = &self.metrics {
+            m.corpus_size.set(self.trajectories.len() as f64);
+        }
+    }
+
+    /// Answers one query: embeds the target if needed (a no-op for
+    /// [`QueryTarget::Embedding`] / [`QueryTarget::Stored`]), runs the
+    /// norm-trick scan, and — when [`Query::rerank`] is set — re-ranks
+    /// the shortlist with the exact measure. A [`QueryTarget::Stored`]
+    /// target never returns itself.
+    ///
+    /// Targets convert implicitly: `db.search(&trajectory, &q)`,
+    /// `db.search(&embedding[..], &q)`, `db.search(stored_idx, &q)`.
+    ///
+    /// Panics when re-ranking is requested for a raw-embedding target
+    /// (there is no trajectory to hand to the exact measure).
+    pub fn search<'a>(&self, target: impl Into<QueryTarget<'a>>, query: &Query) -> Vec<Neighbor> {
+        match target.into() {
+            QueryTarget::Trajectory(t) => {
+                let span = self.metrics.as_ref().map(|m| m.embed_seconds.start_timer());
+                let qe = self.model.embed(t);
+                drop(span);
+                self.search_resolved(&qe, Some(t), None, query)
+            }
+            QueryTarget::Embedding(e) => self.search_resolved(e, None, None, query),
+            QueryTarget::Stored(idx) => self.search_resolved(
+                self.embeddings.get(idx),
+                Some(&self.trajectories[idx]),
+                Some(idx),
+                query,
+            ),
+        }
+    }
+
+    /// Answers a whole batch of ad-hoc queries: one lockstep batched
+    /// embed, then one norm-trick GEMM scan per corpus block shared by
+    /// every query, then (optionally) per-query exact re-ranking. Each
+    /// result is bit-identical to [`Self::search`] on that query.
+    pub fn search_batch(&self, queries: &[Trajectory], query: &Query) -> Vec<Vec<Neighbor>> {
+        let m = self.metrics.as_ref();
+        if let Some(m) = m {
+            m.queries_total.add(queries.len() as u64);
+        }
+        let span = m.map(|m| m.embed_seconds.start_timer());
+        let qembs = self.model.embed_batch(queries);
+        drop(span);
+        let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
+        let fetch = match query.rerank_measure() {
+            Some(_) => query.effective_shortlist(),
+            None => query.k(),
+        };
+        let span = m.map(|m| m.scan_seconds.start_timer());
+        let shorts = self.embeddings.knn_batch(&qrefs, fetch);
+        drop(span);
+        if let Some(m) = m {
+            m.candidates_total
+                .add(shorts.iter().map(|s| s.len() as u64).sum());
+        }
+        match query.rerank_measure() {
+            None => shorts,
+            Some(measure) => {
+                let span = m.map(|m| m.rerank_seconds.start_timer());
+                let out = shorts
+                    .into_iter()
+                    .zip(queries)
+                    .map(|(short, q)| self.rerank_shortlist(short, q, measure, query.k()))
+                    .collect();
+                drop(span);
+                out
+            }
+        }
+    }
+
+    /// The scan + (optional) re-rank stages, after the query embedding is
+    /// in hand. `exclude` implements stored-target self-exclusion.
+    fn search_resolved(
+        &self,
+        emb: &[f64],
+        qtraj: Option<&Trajectory>,
+        exclude: Option<usize>,
+        query: &Query,
+    ) -> Vec<Neighbor> {
+        let m = self.metrics.as_ref();
+        if let Some(m) = m {
+            m.queries_total.inc();
+        }
+        let want = match query.rerank_measure() {
+            Some(_) => query.effective_shortlist(),
+            None => query.k(),
+        };
+        let fetch = want + usize::from(exclude.is_some());
+        let span = m.map(|m| m.scan_seconds.start_timer());
+        let mut short = self.embeddings.knn(emb, fetch);
+        drop(span);
+        if let Some(idx) = exclude {
+            short.retain(|n| n.index != idx);
+            short.truncate(want);
+        }
+        if let Some(m) = m {
+            m.candidates_total.add(short.len() as u64);
+        }
+        match query.rerank_measure() {
+            None => short,
+            Some(measure) => {
+                let qtraj = qtraj.expect(
+                    "re-ranking needs a trajectory-backed target \
+                     (QueryTarget::Trajectory or QueryTarget::Stored)",
+                );
+                let span = m.map(|m| m.rerank_seconds.start_timer());
+                let out = self.rerank_shortlist(short, qtraj, measure, query.k());
+                drop(span);
+                out
+            }
+        }
+    }
+
+    /// Re-ranks an embedding-space shortlist by the exact `measure` on
+    /// grid-rescaled coordinates (so values match the training scale),
+    /// ties broken by index, truncated to `k`.
+    fn rerank_shortlist(
+        &self,
+        short: Vec<Neighbor>,
+        query: &Trajectory,
+        measure: &dyn Measure,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let grid = self.model.grid();
+        let q = grid.rescale_trajectory(query);
+        let mut out: Vec<Neighbor> = short
+            .into_iter()
+            .map(|n| Neighbor {
+                index: n.index,
+                dist: measure.dist(
+                    q.points(),
+                    grid.rescale_trajectory(&self.trajectories[n.index])
+                        .points(),
+                ),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out.truncate(k);
+        out
     }
 
     /// Top-k most similar stored trajectories to an ad-hoc `query`,
     /// ascending by embedding distance.
     pub fn knn(&self, query: &Trajectory, k: usize) -> Vec<Neighbor> {
-        let qe = self.model.embed(query);
-        self.knn_embedding(&qe, k)
+        self.search(query, &Query::new(k))
     }
 
-    /// Top-k for a whole batch of ad-hoc queries: one lockstep batched
-    /// embed, then one norm-trick GEMM scan per corpus block shared by
-    /// every query. Each result is bit-identical to [`Self::knn`] on that
-    /// query.
+    /// Top-k for a whole batch of ad-hoc queries; each result is
+    /// bit-identical to [`Self::knn`] on that query.
     pub fn knn_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<Neighbor>> {
-        let qembs = self.model.embed_batch(queries);
-        let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
-        self.embeddings.knn_batch(&qrefs, k)
+        self.search_batch(queries, &Query::new(k))
     }
 
     /// Top-k by a precomputed query embedding.
     pub fn knn_embedding(&self, query_emb: &[f64], k: usize) -> Vec<Neighbor> {
-        self.embeddings.knn(query_emb, k)
+        self.search(query_emb, &Query::new(k))
     }
 
     /// Top-k of a *stored* item (excluding itself).
     pub fn knn_of(&self, idx: usize, k: usize) -> Vec<Neighbor> {
-        self.knn_embedding(self.embedding(idx), k + 1)
-            .into_iter()
-            .filter(|n| n.index != idx)
-            .take(k)
-            .collect()
+        self.search(idx, &Query::new(k))
     }
 
     /// The paper's protocol: shortlist by embeddings, re-rank the
-    /// shortlist by the exact `measure` (computed on grid-rescaled
-    /// coordinates so values match the training scale), return top-k.
+    /// shortlist by the exact `measure`, return top-k.
     pub fn knn_reranked(
         &self,
         query: &Trajectory,
@@ -136,14 +335,10 @@ impl SimilarityDb {
         shortlist: usize,
         k: usize,
     ) -> Vec<Neighbor> {
-        self.knn_reranked_batch(std::slice::from_ref(query), measure, shortlist, k)
-            .pop()
-            .expect("one query in, one result out")
+        self.search(query, &Query::new(k).shortlist(shortlist).rerank(measure))
     }
 
-    /// Batched [`Self::knn_reranked`]: all shortlists come from one
-    /// batched embed + norm-trick scan, then each is re-ranked with the
-    /// exact `measure`.
+    /// Batched [`Self::knn_reranked`].
     pub fn knn_reranked_batch(
         &self,
         queries: &[Trajectory],
@@ -151,34 +346,7 @@ impl SimilarityDb {
         shortlist: usize,
         k: usize,
     ) -> Vec<Vec<Neighbor>> {
-        let grid = self.model.grid();
-        let shorts = self.knn_batch(queries, shortlist);
-        shorts
-            .into_iter()
-            .zip(queries)
-            .map(|(short, query)| {
-                let q = grid.rescale_trajectory(query);
-                let mut out: Vec<Neighbor> = short
-                    .into_iter()
-                    .map(|n| Neighbor {
-                        index: n.index,
-                        dist: measure.dist(
-                            q.points(),
-                            grid.rescale_trajectory(&self.trajectories[n.index])
-                                .points(),
-                        ),
-                    })
-                    .collect();
-                out.sort_by(|a, b| {
-                    a.dist
-                        .partial_cmp(&b.dist)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.index.cmp(&b.index))
-                });
-                out.truncate(k);
-                out
-            })
-            .collect()
+        self.search_batch(queries, &Query::new(k).shortlist(shortlist).rerank(measure))
     }
 
     /// Learned similarity `g` between two *stored* items.
@@ -189,8 +357,10 @@ impl SimilarityDb {
     /// Similarity join (the paper's motivating all-pairs workload, §I):
     /// all stored pairs `(i, j)` with exact distance ≤ `tau` under
     /// `measure`, found by **embedding-space candidate generation**
-    /// (pairs with embedding distance ≤ `emb_radius`, an `O(N²·d)` scan)
-    /// followed by **exact verification** of the survivors only.
+    /// (pairs with embedding distance ≤ `emb_radius`, via the norm-trick
+    /// block GEMM of [`EmbeddingStore::pairs_within`]) followed by
+    /// **exact verification** of the survivors only, parallelized across
+    /// the available cores.
     ///
     /// Exact distances are computed in grid units (the training scale),
     /// so `tau` is in grid units too. The result is exact on the
@@ -211,19 +381,37 @@ impl SimilarityDb {
             .iter()
             .map(|t| grid.rescale_trajectory(t))
             .collect();
-        let n = self.len();
-        let mut out = Vec::new();
-        for i in 0..n {
-            for j in i + 1..n {
-                if euclidean(self.embedding(i), self.embedding(j)) > emb_radius {
-                    continue;
+        let candidates = self.embeddings.pairs_within(emb_radius);
+        let verify = |chunk: &[(usize, usize)]| -> Vec<(usize, usize, f64)> {
+            chunk
+                .iter()
+                .filter_map(|&(i, j)| {
+                    let d = measure.dist(rescaled[i].points(), rescaled[j].points());
+                    (d <= tau).then_some((i, j, d))
+                })
+                .collect()
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut out = if threads <= 1 || candidates.len() < 1024 {
+            verify(&candidates)
+        } else {
+            // Verified in parallel chunks, re-concatenated in chunk order,
+            // so the pre-sort content is independent of the thread count.
+            let chunk = candidates.len().div_ceil(threads);
+            let mut parts: Vec<Vec<(usize, usize, f64)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || verify(c)))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("join verifier panicked"));
                 }
-                let d = measure.dist(rescaled[i].points(), rescaled[j].points());
-                if d <= tau {
-                    out.push((i, j, d));
-                }
-            }
-        }
+            });
+            parts.concat()
+        };
         out.sort_by(|a, b| {
             a.2.partial_cmp(&b.2)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -293,6 +481,86 @@ mod tests {
         for i in 0..a.len() {
             assert_eq!(a.embedding(i), b.embedding(i));
         }
+    }
+
+    #[test]
+    fn search_targets_cover_the_knn_variants() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        let q = Query::new(4);
+        // Trajectory target == knn; embedding target == knn_embedding.
+        let by_traj = db.search(&trajs[5], &q);
+        let emb = db.embedding(5).to_vec();
+        let by_emb = db.search(&emb[..], &q);
+        assert_eq!(by_traj, by_emb);
+        assert_eq!(by_traj[0].index, 5);
+        // Stored target excludes self.
+        let by_idx = db.search(5usize, &q);
+        assert!(by_idx.iter().all(|n| n.index != 5));
+        assert_eq!(by_idx.len(), 4);
+        // Reranked search orders by the exact measure.
+        let rr = db.search(&trajs[5], &Query::new(4).shortlist(10).rerank(&Hausdorff));
+        assert_eq!(rr[0].index, 5);
+        for w in rr.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // Stored + rerank: self stays excluded.
+        let rr = db.search(5usize, &Query::new(4).shortlist(10).rerank(&Hausdorff));
+        assert!(rr.iter().all(|n| n.index != 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "trajectory-backed target")]
+    fn rerank_of_raw_embedding_panics() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs, 2);
+        let emb = db.embedding(0).to_vec();
+        let _ = db.search(&emb[..], &Query::new(2).rerank(&Hausdorff));
+    }
+
+    #[test]
+    fn instrumented_search_records_stage_metrics() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        let registry = Registry::new();
+        db.instrument(&registry);
+        let _ = db.search(&trajs[0], &Query::new(3));
+        let _ = db.search_batch(&trajs[..4], &Query::new(3).shortlist(8).rerank(&Hausdorff));
+        let report = registry.snapshot();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert_eq!(counter("neutraj_db_queries_total"), 5);
+        assert_eq!(counter("neutraj_db_candidates_total"), 3 + 4 * 8);
+        let gauge = report
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "neutraj_db_corpus_size")
+            .expect("corpus size gauge")
+            .1;
+        assert_eq!(gauge, trajs.len() as f64);
+        let hist = |name: &str| {
+            report
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(hist("neutraj_db_embed_seconds").count, 2);
+        assert_eq!(hist("neutraj_db_scan_seconds").count, 2);
+        assert_eq!(hist("neutraj_db_rerank_seconds").count, 1);
+        // Instrumentation must not change results.
+        let mut plain = db.clone();
+        plain.clear_instrumentation();
+        assert_eq!(
+            db.search(&trajs[1], &Query::new(5)),
+            plain.search(&trajs[1], &Query::new(5))
+        );
     }
 
     #[test]

@@ -48,17 +48,21 @@ mod config;
 mod db;
 mod loss;
 mod persist;
+mod query;
 mod sampling;
 mod search;
 mod similarity;
 mod trainer;
 
-pub use backbone::{Backbone, BackboneCache, BackboneGrads, NeuTrajModel, SeqInputs};
+pub use backbone::{
+    Backbone, BackboneCache, BackboneGrads, NeuTrajModel, SamPhaseMetrics, SeqInputs,
+};
 pub use config::{BackboneKind, TrainConfig};
-pub use db::SimilarityDb;
+pub use db::{DbMetrics, SimilarityDb};
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};
 pub use persist::PersistError;
+pub use query::{Query, QueryOptions, QueryTarget};
 pub use sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
 pub use search::EmbeddingStore;
 pub use similarity::{Normalization, SimilarityMatrix};
-pub use trainer::{seed_mse, EpochStats, TrainReport, Trainer};
+pub use trainer::{seed_mse, EpochStats, TrainMetrics, TrainReport, Trainer};

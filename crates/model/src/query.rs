@@ -1,0 +1,130 @@
+//! The unified query surface for [`SimilarityDb`](crate::SimilarityDb).
+//!
+//! One [`Query`] value describes *how* to search (result size, shortlist
+//! width, optional exact re-ranking); a [`QueryTarget`] describes *what*
+//! to search for (an ad-hoc trajectory, a precomputed embedding, or a
+//! stored item). `db.search(target, &query)` and
+//! `db.search_batch(&trajectories, &query)` replace the six historical
+//! `knn*` variants, whose bodies are now one-line forwards.
+//!
+//! ```
+//! # use neutraj_model::Query;
+//! # use neutraj_measures::Hausdorff;
+//! let plain = Query::new(10);
+//! let reranked = Query::new(10).shortlist(50).rerank(&Hausdorff);
+//! assert_eq!(reranked.k(), 10);
+//! ```
+
+use neutraj_measures::Measure;
+use neutraj_trajectory::Trajectory;
+
+/// How to search: result size plus optional shortlist/re-rank settings.
+///
+/// Built with a fluent builder: `Query::new(k).shortlist(s).rerank(&m)`.
+/// Without [`Query::rerank`] the search returns the top-k by embedding
+/// distance (the paper's linear-time approximate protocol). With it, an
+/// embedding-space shortlist is re-ranked by the exact measure on
+/// grid-rescaled coordinates and the top-k of that ordering is returned.
+#[derive(Clone, Copy)]
+pub struct Query<'m> {
+    k: usize,
+    shortlist: Option<usize>,
+    rerank: Option<&'m dyn Measure>,
+}
+
+/// Alias for callers that read better with an "options" noun
+/// (`db.search(&traj, &opts)`).
+pub type QueryOptions<'m> = Query<'m>;
+
+impl<'m> Query<'m> {
+    /// A plain embedding-distance top-`k` query.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            shortlist: None,
+            rerank: None,
+        }
+    }
+
+    /// Sets the embedding-space shortlist width used when re-ranking.
+    /// Ignored unless [`Self::rerank`] is also set. Defaults to
+    /// `max(2k, 50)`.
+    pub fn shortlist(mut self, shortlist: usize) -> Self {
+        self.shortlist = Some(shortlist);
+        self
+    }
+
+    /// Re-rank the embedding shortlist by `measure`, computed on
+    /// grid-rescaled coordinates (the training scale), and return the
+    /// top-k of the exact ordering.
+    pub fn rerank(mut self, measure: &'m dyn Measure) -> Self {
+        self.rerank = Some(measure);
+        self
+    }
+
+    /// Number of results requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The effective shortlist width: the configured value, or
+    /// `max(2k, 50)` when unset.
+    pub fn effective_shortlist(&self) -> usize {
+        self.shortlist.unwrap_or_else(|| (2 * self.k).max(50))
+    }
+
+    /// The re-rank measure, when configured.
+    pub fn rerank_measure(&self) -> Option<&'m dyn Measure> {
+        self.rerank
+    }
+}
+
+impl std::fmt::Debug for Query<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("k", &self.k)
+            .field("shortlist", &self.shortlist)
+            .field("rerank", &self.rerank.map(|_| "dyn Measure"))
+            .finish()
+    }
+}
+
+/// What to search for. Usually built implicitly through `Into`:
+/// `db.search(&trajectory, &q)`, `db.search(&embedding[..], &q)`, or
+/// `db.search(stored_index, &q)`.
+#[derive(Debug, Clone, Copy)]
+pub enum QueryTarget<'a> {
+    /// An ad-hoc trajectory: embedded (one `O(L)` forward pass), then
+    /// scanned.
+    Trajectory(&'a Trajectory),
+    /// A precomputed query embedding: scanned directly. Cannot be
+    /// re-ranked (there is no trajectory to hand to the exact measure).
+    Embedding(&'a [f64]),
+    /// A stored item by index: its own embedding is scanned and the item
+    /// itself is excluded from the results.
+    Stored(usize),
+}
+
+impl<'a> From<&'a Trajectory> for QueryTarget<'a> {
+    fn from(t: &'a Trajectory) -> Self {
+        QueryTarget::Trajectory(t)
+    }
+}
+
+impl<'a> From<&'a [f64]> for QueryTarget<'a> {
+    fn from(e: &'a [f64]) -> Self {
+        QueryTarget::Embedding(e)
+    }
+}
+
+impl<'a> From<&'a Vec<f64>> for QueryTarget<'a> {
+    fn from(e: &'a Vec<f64>) -> Self {
+        QueryTarget::Embedding(e.as_slice())
+    }
+}
+
+impl From<usize> for QueryTarget<'_> {
+    fn from(idx: usize) -> Self {
+        QueryTarget::Stored(idx)
+    }
+}

@@ -209,6 +209,71 @@ impl EmbeddingStore {
         out
     }
 
+    /// All stored pairs `(i, j)` with `i < j` whose embedding distance is
+    /// within `radius` — the candidate-generation kernel of
+    /// [`SimilarityDb::similarity_join`](crate::SimilarityDb::similarity_join).
+    ///
+    /// Runs the same norm-trick block GEMM as [`Self::knn_batch`], one
+    /// `SCAN_BLOCK × SCAN_BLOCK` tile of dot products at a time over the
+    /// upper triangle of the pair matrix, instead of `N²/2` memory-bound
+    /// `euclidean` calls. Pairs are emitted in lexicographic `(i, j)`
+    /// order. Matching the historical scalar loop's `!(dist > radius)`
+    /// test, a NaN radius keeps every pair; a negative radius keeps none.
+    pub fn pairs_within(&self, radius: f64) -> Vec<(usize, usize)> {
+        if radius < 0.0 {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let d = self.dim;
+        let n = self.len();
+        let mut out = Vec::new();
+        SCAN_SCRATCH.with(|cell| {
+            let (_, scores) = &mut *cell.borrow_mut();
+            let mut istart = 0;
+            while istart < n {
+                let iend = (istart + SCAN_BLOCK).min(n);
+                let ib = iend - istart;
+                let mut jstart = istart;
+                while jstart < n {
+                    let jend = (jstart + SCAN_BLOCK).min(n);
+                    let jb = jend - jstart;
+                    scores.clear();
+                    scores.resize(ib * jb, 0.0);
+                    matmul_nt(
+                        &self.data[istart * d..iend * d],
+                        &self.data[jstart * d..jend * d],
+                        scores,
+                        ib,
+                        jb,
+                        d,
+                    );
+                    for io in 0..ib {
+                        let i = istart + io;
+                        let row = &scores[io * jb..(io + 1) * jb];
+                        // Stay strictly above the diagonal (i < j).
+                        let jo0 = (i + 1).saturating_sub(jstart);
+                        for (jo, &s) in row.iter().enumerate().skip(jo0) {
+                            let j = jstart + jo;
+                            let d2 = (self.norms[i] - 2.0 * s + self.norms[j]).max(0.0);
+                            // `d2 <= r2 || r2.is_nan()`: same keep-set as the
+                            // historical `!(euclidean > radius)` check, where a
+                            // NaN radius keeps every pair.
+                            if d2 <= r2 || r2.is_nan() {
+                                out.push((i, j));
+                            }
+                        }
+                    }
+                    jstart = jend;
+                }
+                istart = iend;
+            }
+        });
+        // The tile loop emits block-major; restore the documented
+        // lexicographic order (cheap next to the O(N²·d) GEMM above).
+        out.sort_unstable();
+        out
+    }
+
     /// The paper's search protocol (§VII-C.1): retrieve `shortlist` items
     /// by embedding distance, then re-rank that shortlist with the exact
     /// `measure` and return the top `k`.
@@ -360,6 +425,33 @@ mod tests {
             }
         }
         assert!(s.knn_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn pairs_within_matches_scalar_loop() {
+        use neutraj_nn::linalg::euclidean;
+        // Enough rows to cross block boundaries (> SCAN_BLOCK).
+        let embs: Vec<Vec<f64>> = (0..700)
+            .map(|i| vec![(i % 53) as f64 * 0.25, ((i * 11) % 17) as f64 * 0.5])
+            .collect();
+        let s = EmbeddingStore::from_embeddings(2, &embs);
+        for radius in [0.0, 0.6, 2.5] {
+            let mut naive = Vec::new();
+            for i in 0..embs.len() {
+                for j in i + 1..embs.len() {
+                    let d = euclidean(&embs[i], &embs[j]);
+                    if d <= radius || radius.is_nan() {
+                        naive.push((i, j));
+                    }
+                }
+            }
+            assert_eq!(s.pairs_within(radius), naive, "radius {radius}");
+        }
+        // Edge semantics of the historical `!(dist > radius)` test.
+        assert!(s.pairs_within(-1.0).is_empty(), "negative radius");
+        let all = 700 * 699 / 2;
+        assert_eq!(s.pairs_within(f64::INFINITY).len(), all);
+        assert_eq!(s.pairs_within(f64::NAN).len(), all, "NaN keeps all");
     }
 
     #[test]

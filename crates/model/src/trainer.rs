@@ -1,6 +1,8 @@
 //! The seed-guided metric-learning training loop (§V).
 
-use crate::backbone::{seq_inputs, Backbone, BackboneCache, NeuTrajModel, SeqInputs};
+use crate::backbone::{
+    seq_inputs, Backbone, BackboneCache, NeuTrajModel, SamPhaseMetrics, SeqInputs,
+};
 use crate::config::TrainConfig;
 use crate::loss::pair_similarity;
 use crate::sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
@@ -8,6 +10,7 @@ use crate::similarity::SimilarityMatrix;
 use neutraj_measures::DistanceMatrix;
 use neutraj_nn::linalg::add_assign;
 use neutraj_nn::Adam;
+use neutraj_obs::{Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::{Grid, Trajectory};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -40,12 +43,42 @@ pub struct TrainReport {
     pub early_stopped: bool,
 }
 
+/// Pre-resolved training-loop instruments, following the
+/// `neutraj_train_*` naming convention (plus the optimizer's
+/// `neutraj_nn_adam_steps_total`). Resolved once per
+/// [`Trainer::with_metrics`]; the loop records at epoch/round
+/// granularity, so instrumentation never touches the per-pair hot path.
+#[derive(Debug, Clone)]
+pub struct TrainMetrics {
+    epochs_total: Counter,
+    pairs_total: Counter,
+    loss: Gauge,
+    epoch_seconds: Histogram,
+    adam_steps: Counter,
+    sam: SamPhaseMetrics,
+}
+
+impl TrainMetrics {
+    /// Resolves the training instruments in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            epochs_total: registry.counter("neutraj_train_epochs_total"),
+            pairs_total: registry.counter("neutraj_train_pairs_total"),
+            loss: registry.gauge("neutraj_train_loss"),
+            epoch_seconds: registry.histogram("neutraj_train_epoch_seconds"),
+            adam_steps: registry.counter("neutraj_nn_adam_steps_total"),
+            sam: SamPhaseMetrics::register(registry),
+        }
+    }
+}
+
 /// Trains NeuTraj (or a baseline/ablation preset) from seed guidance.
 #[derive(Debug, Clone)]
 pub struct Trainer {
     cfg: TrainConfig,
     grid: Grid,
     threads: usize,
+    metrics: Option<TrainMetrics>,
 }
 
 impl Trainer {
@@ -59,7 +92,18 @@ impl Trainer {
             cfg,
             grid,
             threads: 1,
+            metrics: None,
         }
+    }
+
+    /// Records training metrics into `registry`: per-epoch loss and
+    /// wall-clock, cumulative training-pair and optimizer-step counters,
+    /// and per-phase timings of the two-phase SAM protocol. Metrics are
+    /// observational only — [`Trainer::fit`] results are bit-identical
+    /// with metrics on or off.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(TrainMetrics::register(registry));
+        self
     }
 
     /// Enables multi-threaded forward/BPTT within each batch.
@@ -122,6 +166,9 @@ impl Trainer {
 
         let mut backbone = Backbone::build(cfg, &self.grid);
         let mut adam = Adam::new(cfg.lr);
+        if let Some(m) = &self.metrics {
+            adam.instrument(m.adam_steps.clone());
+        }
         let slots = backbone.register_adam(&mut adam);
         let mut grads = backbone.zero_grads();
 
@@ -175,9 +222,21 @@ impl Trainer {
                 involved.sort_unstable();
                 involved.dedup();
 
+                if let Some(m) = &self.metrics {
+                    let pairs: usize = samples
+                        .iter()
+                        .map(|s| s.similar.len() + s.dissimilar.len())
+                        .sum();
+                    m.pairs_total.add(pairs as u64);
+                }
+
                 let batch_inputs: Vec<&SeqInputs> =
                     involved.iter().map(|&idx| &inputs[idx]).collect();
-                let results = backbone.forward_train_batch(&batch_inputs, self.threads);
+                let results = backbone.forward_train_batch_metered(
+                    &batch_inputs,
+                    self.threads,
+                    self.metrics.as_ref().map(|m| &m.sam),
+                );
                 let mut embeddings: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
                 let mut caches: BTreeMap<usize, BackboneCache> = BTreeMap::new();
                 for (&idx, (emb, cache)) in involved.iter().zip(results) {
@@ -228,6 +287,11 @@ impl Trainer {
 
             let loss = epoch_loss / n_seeds as f64;
             let seconds = t0.elapsed().as_secs_f64();
+            if let Some(m) = &self.metrics {
+                m.epochs_total.inc();
+                m.loss.set(loss);
+                m.epoch_seconds.observe(seconds);
+            }
             report.epoch_losses.push(loss);
             report.epoch_seconds.push(seconds);
             on_epoch(&EpochStats {
@@ -455,6 +519,46 @@ mod tests {
         let (_, report) = Trainer::new(cfg, grid).fit(&seeds, &dist, |_| {});
         assert!(report.early_stopped);
         assert!(report.epoch_losses.len() < 50);
+    }
+
+    #[test]
+    fn instrumented_training_records_metrics_without_changing_results() {
+        let (grid, seeds, dist) = tiny_world();
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 3,
+            n_samples: 4,
+            ..TrainConfig::neutraj()
+        };
+        let registry = Registry::new();
+        let (m_on, r_on) = Trainer::new(cfg.clone(), grid.clone())
+            .with_metrics(&registry)
+            .fit(&seeds, &dist, |_| {});
+        let (m_off, r_off) = Trainer::new(cfg, grid).fit(&seeds, &dist, |_| {});
+
+        // Instrumentation is observation-only: bit-identical training.
+        assert_eq!(r_on.epoch_losses, r_off.epoch_losses);
+        assert_eq!(m_on.embed(&seeds[0]), m_off.embed(&seeds[0]));
+
+        assert_eq!(registry.counter("neutraj_train_epochs_total").get(), 3);
+        assert!(registry.counter("neutraj_train_pairs_total").get() > 0);
+        assert!(registry.counter("neutraj_nn_adam_steps_total").get() > 0);
+        let loss = registry.gauge("neutraj_train_loss").get();
+        assert_eq!(loss, *r_on.epoch_losses.last().unwrap());
+        assert_eq!(registry.histogram("neutraj_train_epoch_seconds").count(), 3);
+        // The neutraj preset uses the SAM backbone, so both phases ran.
+        assert!(
+            registry
+                .histogram("neutraj_train_sam_phase_a_seconds")
+                .count()
+                > 0
+        );
+        assert!(
+            registry
+                .histogram("neutraj_train_sam_phase_b_seconds")
+                .count()
+                > 0
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the unified `Query` API: `search` / `search_batch`
+//! must be **bit-identical** to the pre-redesign `knn*` code paths on
+//! random corpora. The historical pipelines are re-implemented here,
+//! verbatim, on top of `EmbeddingStore` (whose scan kernels the redesign
+//! did not touch) so the comparison is against the genuine old behaviour,
+//! not against the forwards.
+
+use neutraj_measures::{Hausdorff, Measure, Neighbor};
+use neutraj_model::{BackboneKind, NeuTrajModel, Query, SimilarityDb, TrainConfig};
+use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
+use proptest::prelude::*;
+
+fn model() -> NeuTrajModel {
+    let cfg = TrainConfig {
+        backbone: BackboneKind::SamLstm,
+        dim: 8,
+        seed: 23,
+        ..TrainConfig::neutraj()
+    };
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+    NeuTrajModel::untrained(cfg, grid)
+}
+
+/// A deterministic trajectory of `len` points, shaped by `id`.
+fn traj(id: u64, len: usize) -> Trajectory {
+    Trajectory::new_unchecked(
+        id,
+        (0..len)
+            .map(|k| {
+                let t = k as f64;
+                let i = id as f64;
+                Point::new(
+                    500.0 + 450.0 * (0.41 * t + 0.17 * i).sin(),
+                    250.0 + 220.0 * (0.19 * t - 0.31 * i).cos(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn db_from(lens: &[usize]) -> (SimilarityDb, Vec<Trajectory>) {
+    let corpus: Vec<Trajectory> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| traj(i as u64, len))
+        .collect();
+    (
+        SimilarityDb::with_corpus(model(), corpus.clone(), 2),
+        corpus,
+    )
+}
+
+// --- Pre-redesign reference pipelines (verbatim reimplementations) -----
+
+fn old_knn(db: &SimilarityDb, query: &Trajectory, k: usize) -> Vec<Neighbor> {
+    let qe = db.model().embed(query);
+    db.store().knn(&qe, k)
+}
+
+fn old_knn_batch(db: &SimilarityDb, queries: &[Trajectory], k: usize) -> Vec<Vec<Neighbor>> {
+    let qembs = db.model().embed_batch(queries);
+    let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
+    db.store().knn_batch(&qrefs, k)
+}
+
+fn old_knn_of(db: &SimilarityDb, idx: usize, k: usize) -> Vec<Neighbor> {
+    db.store()
+        .knn(db.embedding(idx), k + 1)
+        .into_iter()
+        .filter(|n| n.index != idx)
+        .take(k)
+        .collect()
+}
+
+fn old_knn_reranked_batch(
+    db: &SimilarityDb,
+    queries: &[Trajectory],
+    measure: &dyn Measure,
+    shortlist: usize,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    let grid = db.model().grid();
+    let shorts = old_knn_batch(db, queries, shortlist);
+    shorts
+        .into_iter()
+        .zip(queries)
+        .map(|(short, query)| {
+            let q = grid.rescale_trajectory(query);
+            let mut out: Vec<Neighbor> = short
+                .into_iter()
+                .map(|n| Neighbor {
+                    index: n.index,
+                    dist: measure.dist(
+                        q.points(),
+                        grid.rescale_trajectory(db.get(n.index).unwrap()).points(),
+                    ),
+                })
+                .collect();
+            out.sort_by(|a, b| {
+                a.dist
+                    .partial_cmp(&b.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index.cmp(&b.index))
+            });
+            out.truncate(k);
+            out
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `search` with each target kind is bit-identical to the historical
+    /// `knn` / `knn_embedding` / `knn_of` pipelines.
+    #[test]
+    fn search_bit_identical_to_old_scalar_paths(
+        lens in prop::collection::vec(2usize..30, 8..=40),
+        k in 1usize..12,
+        probe in 0usize..8,
+    ) {
+        let (db, _corpus) = db_from(&lens);
+        let q = Query::new(k);
+        // Ad-hoc trajectory target == old knn.
+        let ad_hoc = traj(999, 3 + probe * 2);
+        prop_assert_eq!(db.search(&ad_hoc, &q), old_knn(&db, &ad_hoc, k));
+        // Raw embedding target == old knn_embedding.
+        let emb = db.embedding(probe).to_vec();
+        prop_assert_eq!(db.search(&emb[..], &q), db.store().knn(&emb, k));
+        // Stored target == old knn_of (self-excluded).
+        prop_assert_eq!(db.search(probe, &q), old_knn_of(&db, probe, k));
+    }
+
+    /// `search_batch` (plain and re-ranked) is bit-identical to the
+    /// historical `knn_batch` / `knn_reranked_batch` pipelines, and the
+    /// re-ranked single-query `search` matches the batch's first row.
+    #[test]
+    fn search_batch_bit_identical_to_old_batch_paths(
+        lens in prop::collection::vec(2usize..30, 8..=40),
+        qlens in prop::collection::vec(2usize..30, 1..=9),
+        k in 1usize..8,
+        extra in 0usize..20,
+    ) {
+        let (db, _corpus) = db_from(&lens);
+        let queries: Vec<Trajectory> = qlens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| traj(500 + i as u64, len))
+            .collect();
+        let shortlist = k + extra;
+        prop_assert_eq!(
+            db.search_batch(&queries, &Query::new(k)),
+            old_knn_batch(&db, &queries, k)
+        );
+        let reranked = Query::new(k).shortlist(shortlist).rerank(&Hausdorff);
+        let got = db.search_batch(&queries, &reranked);
+        prop_assert_eq!(
+            &got,
+            &old_knn_reranked_batch(&db, &queries, &Hausdorff, shortlist, k)
+        );
+        prop_assert_eq!(&db.search(&queries[0], &reranked), &got[0]);
+    }
+}

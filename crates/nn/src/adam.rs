@@ -1,5 +1,7 @@
 //! The Adam optimizer.
 
+use neutraj_obs::Counter;
+
 /// Adam (Kingma & Ba) with bias correction — the optimizer the paper
 /// trains NeuTraj with (§V-B).
 ///
@@ -19,6 +21,9 @@ pub struct Adam {
     pub eps: f64,
     t: i32,
     slots: Vec<Moments>,
+    /// Optional optimizer-step counter
+    /// (`neutraj_nn_adam_steps_total`); `None` records nothing.
+    steps: Option<Counter>,
 }
 
 #[derive(Debug, Clone)]
@@ -37,7 +42,15 @@ impl Adam {
             eps: 1e-8,
             t: 0,
             slots: Vec::new(),
+            steps: None,
         }
+    }
+
+    /// Counts every optimizer step (each [`Adam::next_step`] call) into
+    /// `counter`, which callers typically resolve as
+    /// `registry.counter("neutraj_nn_adam_steps_total")`.
+    pub fn instrument(&mut self, counter: Counter) {
+        self.steps = Some(counter);
     }
 
     /// Registers a parameter tensor of `len` values; returns its slot id.
@@ -53,6 +66,9 @@ impl Adam {
     /// before the per-tensor [`Adam::step`] calls.
     pub fn next_step(&mut self) {
         self.t += 1;
+        if let Some(c) = &self.steps {
+            c.inc();
+        }
     }
 
     /// Current timestep (number of completed `next_step` calls).
@@ -122,6 +138,21 @@ mod tests {
         // Slot b is untouched by slot a's moments.
         adam.step(b, &mut xb, &[1.0]);
         assert!((xa[0] - xb[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instrumented_adam_counts_steps() {
+        let counter = Counter::new();
+        let mut adam = Adam::new(0.1);
+        adam.instrument(counter.clone());
+        let slot = adam.register(1);
+        let mut x = [0.0f64];
+        for _ in 0..7 {
+            adam.next_step();
+            adam.step(slot, &mut x, &[1.0]);
+        }
+        assert_eq!(counter.get(), 7);
+        assert_eq!(adam.timestep(), 7);
     }
 
     #[test]

@@ -996,12 +996,12 @@ mod tests {
                         ((0.1 * t + 0.01 * i).sin(), (0.2 * t - 0.03 * i).cos())
                     })
                     .collect();
-                let cells: Vec<(u32, u32)> = (0..len as u32)
-                    .map(|t| ((t + i) % 6, (2 * t + i) % 6))
-                    .collect();
+                let cells: Vec<(u32, u32)> =
+                    (0..len).map(|t| ((t + i) % 6, (2 * t + i) % 6)).collect();
                 (coords, cells)
             })
             .collect();
+        #[allow(clippy::type_complexity)]
         let refs: Vec<(&[(f64, f64)], &[(u32, u32)])> = seqs
             .iter()
             .map(|(c, g)| (c.as_slice(), g.as_slice()))

@@ -1,0 +1,87 @@
+//! Concurrency test: many threads hammering counters and histograms
+//! through cloned registry handles must produce exact snapshot totals.
+
+use neutraj_obs::{Histogram, Registry};
+
+const THREADS: usize = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn snapshot_totals_are_exact_under_contention() {
+    let registry = Registry::new();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                // Resolve through the registry from every thread: half the
+                // point is that get-or-create races still converge on one
+                // shared instrument per name.
+                let queries = registry.counter("neutraj_test_queries_total");
+                let candidates = registry.counter("neutraj_test_candidates_total");
+                let latency = registry.histogram("neutraj_test_latency_seconds");
+                let gauge = registry.gauge("neutraj_test_corpus_size");
+                for i in 0..ITERS {
+                    queries.inc();
+                    candidates.add(3);
+                    // 0.5 sums exactly in binary floating point, so the
+                    // CAS-accumulated sum must come out exact too.
+                    latency.observe(0.5);
+                    gauge.set((t as u64 * ITERS + i) as f64);
+                }
+            });
+        }
+    });
+
+    let report = registry.snapshot();
+    let total = (THREADS as u64) * ITERS;
+
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    assert_eq!(counter("neutraj_test_queries_total"), total);
+    assert_eq!(counter("neutraj_test_candidates_total"), 3 * total);
+
+    let hist = &report.histograms[0];
+    assert_eq!(hist.name, "neutraj_test_latency_seconds");
+    assert_eq!(hist.count, total);
+    assert_eq!(hist.sum, 0.5 * total as f64, "CAS sum must be lossless");
+    assert_eq!(hist.min, 0.5);
+    assert_eq!(hist.max, 0.5);
+    assert_eq!(hist.p50, 0.5);
+    assert_eq!(hist.p99, 0.5);
+
+    // The gauge is last-write-wins: any of the written values is legal.
+    let (_, g) = &report.gauges[0];
+    assert!(*g >= 0.0 && *g < total as f64);
+}
+
+#[test]
+fn histogram_bucket_tallies_are_exact_across_threads() {
+    let h = Histogram::new();
+    // Two distinct buckets; per-bucket tallies must be exact.
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    h.observe(if i % 4 == 0 { 1.0 } else { 0.001 });
+                }
+            });
+        }
+    });
+    let total = (THREADS as u64) * ITERS;
+    assert_eq!(h.count(), total);
+    let slow = total / 4;
+    let fast = total - slow;
+    let expected_sum = slow as f64 * 1.0 + fast as f64 * 0.001;
+    assert!((h.sum() - expected_sum).abs() < 1e-6, "sum = {}", h.sum());
+    // 75% of mass is at 0.001, so p50 sits in its bucket and p99 in 1.0's.
+    assert!(h.quantile(0.5) < 0.0012, "p50 = {}", h.quantile(0.5));
+    assert_eq!(h.quantile(0.99), 1.0);
+}

@@ -1,6 +1,6 @@
 //! Trajectory corpora with the paper's preprocessing and split protocol.
 
-use crate::{BoundingBox, Result, Trajectory, TrajectoryError};
+use crate::{BoundingBox, Result, TrajError, Trajectory};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -31,7 +31,7 @@ impl SplitRatios {
         if ok {
             Ok(())
         } else {
-            Err(TrajectoryError::InvalidSplit(format!(
+            Err(TrajError::InvalidSplit(format!(
                 "train={} validation={}",
                 self.train, self.validation
             )))

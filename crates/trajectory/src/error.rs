@@ -5,7 +5,11 @@ use std::io;
 
 /// Errors produced by trajectory construction, preprocessing and I/O.
 #[derive(Debug)]
-pub enum TrajectoryError {
+pub enum TrajError {
+    /// A generator or preprocessing step was configured with
+    /// out-of-range parameters (non-positive extent, `max_len <
+    /// min_len`, …).
+    InvalidConfig(String),
     /// A trajectory had fewer points than the operation requires.
     TooShort {
         /// Number of points present.
@@ -33,7 +37,7 @@ pub enum TrajectoryError {
     Io(io::Error),
 }
 
-impl fmt::Display for TrajectoryError {
+impl fmt::Display for TrajError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::TooShort { got, need } => {
@@ -42,6 +46,7 @@ impl fmt::Display for TrajectoryError {
             Self::NonFiniteCoordinate { index } => {
                 write!(f, "non-finite coordinate at point index {index}")
             }
+            Self::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             Self::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
             Self::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
             Self::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
@@ -50,7 +55,7 @@ impl fmt::Display for TrajectoryError {
     }
 }
 
-impl std::error::Error for TrajectoryError {
+impl std::error::Error for TrajError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
@@ -59,7 +64,7 @@ impl std::error::Error for TrajectoryError {
     }
 }
 
-impl From<io::Error> for TrajectoryError {
+impl From<io::Error> for TrajError {
     fn from(e: io::Error) -> Self {
         Self::Io(e)
     }
@@ -71,9 +76,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = TrajectoryError::TooShort { got: 3, need: 10 };
+        let e = TrajError::TooShort { got: 3, need: 10 };
         assert!(e.to_string().contains('3') && e.to_string().contains("10"));
-        let e = TrajectoryError::Parse {
+        let e = TrajError::Parse {
             line: 7,
             msg: "bad float".into(),
         };
@@ -83,8 +88,8 @@ mod tests {
     #[test]
     fn io_error_converts() {
         let ioe = io::Error::new(io::ErrorKind::NotFound, "missing");
-        let e: TrajectoryError = ioe.into();
-        assert!(matches!(e, TrajectoryError::Io(_)));
+        let e: TrajError = ioe.into();
+        assert!(matches!(e, TrajError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -1,7 +1,7 @@
 //! Human-mobility generator standing in for the Geolife corpus.
 
 use super::{gaussian, jitter, sample_len};
-use crate::{Dataset, Point, Trajectory};
+use crate::{Dataset, Point, TrajError, Trajectory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,8 +54,29 @@ impl Default for GeolifeLikeGenerator {
 }
 
 impl GeolifeLikeGenerator {
-    /// Generates the corpus deterministically from `seed`.
+    /// Generates the corpus deterministically from `seed`, panicking on
+    /// an invalid configuration (see [`Self::try_generate`]).
     pub fn generate(&self, seed: u64) -> Dataset {
+        self.try_generate(seed)
+            .expect("invalid GeolifeLikeGenerator")
+    }
+
+    /// Fallible [`Self::generate`]: rejects out-of-range parameters with
+    /// [`TrajError::InvalidConfig`] instead of producing a degenerate or
+    /// panicking corpus deep inside the sampling loop.
+    pub fn try_generate(&self, seed: u64) -> crate::Result<Dataset> {
+        if !(self.extent_m.is_finite() && self.extent_m > 0.0) {
+            return Err(TrajError::InvalidConfig(format!(
+                "extent_m must be a positive finite number, got {}",
+                self.extent_m
+            )));
+        }
+        if self.min_len < 2 || self.max_len < self.min_len {
+            return Err(TrajError::InvalidConfig(format!(
+                "need 2 <= min_len <= max_len, got min_len {} max_len {}",
+                self.min_len, self.max_len
+            )));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let half = self.extent_m / 2.0;
 
@@ -90,7 +111,7 @@ impl GeolifeLikeGenerator {
                 self.instantiate(&mut rng, id, tpl)
             })
             .collect();
-        Dataset::new(trajectories)
+        Ok(Dataset::new(trajectories))
     }
 
     /// A meandering dense path from `a` to `b`: a correlated walk whose
@@ -218,6 +239,28 @@ mod tests {
         for (i, t) in ds.trajectories().iter().enumerate() {
             assert_eq!(t.id, i as u64);
         }
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_configs() {
+        let e = GeolifeLikeGenerator {
+            extent_m: f64::INFINITY,
+            ..small()
+        }
+        .try_generate(0)
+        .unwrap_err();
+        assert!(matches!(e, TrajError::InvalidConfig(_)), "{e}");
+
+        let e = GeolifeLikeGenerator {
+            min_len: 1,
+            ..small()
+        }
+        .try_generate(0)
+        .unwrap_err();
+        assert!(e.to_string().contains("min_len"));
+
+        let g = small();
+        assert_eq!(g.try_generate(7).unwrap(), g.generate(7));
     }
 
     #[test]

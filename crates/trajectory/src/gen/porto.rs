@@ -1,7 +1,7 @@
 //! Taxi-trip generator standing in for the Porto corpus.
 
 use super::{gaussian, jitter, sample_len};
-use crate::{Dataset, Point, Trajectory};
+use crate::{Dataset, Point, TrajError, Trajectory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,8 +49,34 @@ impl Default for PortoLikeGenerator {
 }
 
 impl PortoLikeGenerator {
-    /// Generates the corpus deterministically from `seed`.
+    /// Generates the corpus deterministically from `seed`, panicking on
+    /// an invalid configuration (see [`Self::try_generate`]).
     pub fn generate(&self, seed: u64) -> Dataset {
+        self.try_generate(seed).expect("invalid PortoLikeGenerator")
+    }
+
+    /// Fallible [`Self::generate`]: rejects out-of-range parameters with
+    /// [`TrajError::InvalidConfig`] instead of producing a degenerate or
+    /// panicking corpus deep inside the sampling loop.
+    pub fn try_generate(&self, seed: u64) -> crate::Result<Dataset> {
+        if !(self.extent_m.is_finite() && self.extent_m > 0.0) {
+            return Err(TrajError::InvalidConfig(format!(
+                "extent_m must be a positive finite number, got {}",
+                self.extent_m
+            )));
+        }
+        if self.min_len < 2 || self.max_len < self.min_len {
+            return Err(TrajError::InvalidConfig(format!(
+                "need 2 <= min_len <= max_len, got min_len {} max_len {}",
+                self.min_len, self.max_len
+            )));
+        }
+        if !(self.fix_spacing_m.is_finite() && self.fix_spacing_m > 0.0) {
+            return Err(TrajError::InvalidConfig(format!(
+                "fix_spacing_m must be a positive finite number, got {}",
+                self.fix_spacing_m
+            )));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let half = self.extent_m / 2.0;
 
@@ -80,7 +106,7 @@ impl PortoLikeGenerator {
                 self.instantiate(&mut rng, id, tpl)
             })
             .collect();
-        Dataset::new(trajectories)
+        Ok(Dataset::new(trajectories))
     }
 
     /// A route that alternates straight segments along grid-ish headings
@@ -196,6 +222,39 @@ mod tests {
         let mean = spacing / count as f64;
         // Much faster than walking pace; bounded by generator params.
         assert!(mean > 30.0 && mean < 400.0, "mean fix spacing {mean} m");
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_configs() {
+        let e = PortoLikeGenerator {
+            extent_m: 0.0,
+            ..small()
+        }
+        .try_generate(0)
+        .unwrap_err();
+        assert!(matches!(e, TrajError::InvalidConfig(_)), "{e}");
+        assert!(e.to_string().contains("extent_m"));
+
+        let e = PortoLikeGenerator {
+            min_len: 20,
+            max_len: 10,
+            ..small()
+        }
+        .try_generate(0)
+        .unwrap_err();
+        assert!(e.to_string().contains("min_len"));
+
+        let e = PortoLikeGenerator {
+            fix_spacing_m: f64::NAN,
+            ..small()
+        }
+        .try_generate(0)
+        .unwrap_err();
+        assert!(e.to_string().contains("fix_spacing_m"));
+
+        // And the happy path agrees with the panicking wrapper.
+        let g = small();
+        assert_eq!(g.try_generate(9).unwrap(), g.generate(9));
     }
 
     #[test]

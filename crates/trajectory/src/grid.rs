@@ -5,7 +5,7 @@
 //! `Tᵍ = [X₁ᵍ, ...]` (§IV-A). The grid also fixes the `P × Q` shape of the
 //! spatial attention memory tensor.
 
-use crate::{BoundingBox, Point, Result, Trajectory, TrajectoryError};
+use crate::{BoundingBox, Point, Result, TrajError, Trajectory};
 use serde::{Deserialize, Serialize};
 
 /// A cell coordinate `(col, row)` within a [`Grid`].
@@ -78,17 +78,17 @@ impl Grid {
     /// strictly positive.
     pub fn new(extent: BoundingBox, cell_size: f64) -> Result<Self> {
         if extent.is_empty() {
-            return Err(TrajectoryError::InvalidGrid("empty extent".into()));
+            return Err(TrajError::InvalidGrid("empty extent".into()));
         }
         if cell_size <= 0.0 || cell_size.is_nan() || !cell_size.is_finite() {
-            return Err(TrajectoryError::InvalidGrid(format!(
+            return Err(TrajError::InvalidGrid(format!(
                 "cell size must be positive and finite, got {cell_size}"
             )));
         }
         let cols = (extent.width() / cell_size).ceil().max(1.0) as u32;
         let rows = (extent.height() / cell_size).ceil().max(1.0) as u32;
         if cols as u64 * rows as u64 > 100_000_000 {
-            return Err(TrajectoryError::InvalidGrid(format!(
+            return Err(TrajError::InvalidGrid(format!(
                 "grid too large: {cols} x {rows} cells"
             )));
         }
@@ -108,7 +108,7 @@ impl Grid {
             bb = bb.union(&t.mbr());
         }
         if bb.is_empty() {
-            return Err(TrajectoryError::InvalidGrid(
+            return Err(TrajError::InvalidGrid(
                 "cannot build a grid over an empty corpus".into(),
             ));
         }

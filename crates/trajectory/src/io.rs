@@ -7,7 +7,7 @@
 //! * a compact little-endian binary codec built on [`bytes`] for fast
 //!   round-trips of large corpora (embeddings caches, benchmark fixtures).
 
-use crate::{Dataset, Point, Result, Trajectory, TrajectoryError};
+use crate::{Dataset, Point, Result, TrajError, Trajectory};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -107,7 +107,7 @@ pub fn encode_binary(ds: &Dataset) -> Bytes {
 
 /// Decodes a dataset from the binary format produced by [`encode_binary`].
 pub fn decode_binary(mut data: &[u8]) -> Result<Dataset> {
-    let fail = |msg: &str| TrajectoryError::Parse {
+    let fail = |msg: &str| TrajError::Parse {
         line: 0,
         msg: msg.to_string(),
     };
@@ -152,8 +152,8 @@ pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<Dataset> {
     decode_binary(&data)
 }
 
-fn parse_err(line: usize, msg: &str) -> TrajectoryError {
-    TrajectoryError::Parse {
+fn parse_err(line: usize, msg: &str) -> TrajError {
+    TrajError::Parse {
         line,
         msg: msg.to_string(),
     }

@@ -39,10 +39,13 @@ mod traj;
 
 pub use bbox::BoundingBox;
 pub use dataset::{Dataset, Split, SplitRatios};
-pub use error::TrajectoryError;
+pub use error::TrajError;
+
+/// Former name of [`TrajError`], kept as an alias for downstream code.
+pub type TrajectoryError = TrajError;
 pub use grid::{Grid, GridCell, GridSeq};
 pub use point::Point;
 pub use traj::Trajectory;
 
 /// Convenient result alias for fallible trajectory operations.
-pub type Result<T> = std::result::Result<T, TrajectoryError>;
+pub type Result<T> = std::result::Result<T, TrajError>;

@@ -7,7 +7,7 @@
 //! measures (see `neutraj_measures::timed`) plug into the unchanged
 //! seed-guided learning pipeline.
 
-use crate::{Point, Result, Trajectory, TrajectoryError};
+use crate::{Point, Result, TrajError, Trajectory};
 use serde::{Deserialize, Serialize};
 
 /// A timestamped 2-D sample.
@@ -44,10 +44,10 @@ impl TimedTrajectory {
     pub fn new(id: u64, points: Vec<TimedPoint>) -> Result<Self> {
         for (index, p) in points.iter().enumerate() {
             if !p.pos.is_finite() || !p.t.is_finite() {
-                return Err(TrajectoryError::NonFiniteCoordinate { index });
+                return Err(TrajError::NonFiniteCoordinate { index });
             }
             if index > 0 && p.t <= points[index - 1].t {
-                return Err(TrajectoryError::Parse {
+                return Err(TrajError::Parse {
                     line: index,
                     msg: format!(
                         "timestamps must be strictly increasing: t[{}]={} after t[{}]={}",
@@ -68,7 +68,7 @@ impl TimedTrajectory {
     /// epsilon to preserve strict monotonicity.
     pub fn from_trajectory(t: &Trajectory, speed: f64, t0: f64) -> Result<Self> {
         if speed <= 0.0 || speed.is_nan() || !speed.is_finite() {
-            return Err(TrajectoryError::Parse {
+            return Err(TrajError::Parse {
                 line: 0,
                 msg: format!("speed must be finite-positive, got {speed}"),
             });
@@ -140,13 +140,13 @@ impl TimedTrajectory {
     /// span (endpoints included). Requires ≥ 2 samples and `dt > 0`.
     pub fn resample_period(&self, dt: f64) -> Result<TimedTrajectory> {
         if self.points.len() < 2 {
-            return Err(TrajectoryError::TooShort {
+            return Err(TrajError::TooShort {
                 got: self.points.len(),
                 need: 2,
             });
         }
         if dt <= 0.0 || dt.is_nan() || !dt.is_finite() {
-            return Err(TrajectoryError::Parse {
+            return Err(TrajError::Parse {
                 line: 0,
                 msg: format!("dt must be finite-positive, got {dt}"),
             });

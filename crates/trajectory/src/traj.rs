@@ -1,6 +1,6 @@
 //! Trajectories: identified sequences of points.
 
-use crate::{BoundingBox, Point, Result, TrajectoryError};
+use crate::{BoundingBox, Point, Result, TrajError};
 use serde::{Deserialize, Serialize};
 
 /// A trajectory: an identifier plus an ordered sequence of 2-D points.
@@ -19,7 +19,7 @@ impl Trajectory {
     /// Creates a trajectory, validating that every coordinate is finite.
     pub fn new(id: u64, points: Vec<Point>) -> Result<Self> {
         if let Some(index) = points.iter().position(|p| !p.is_finite()) {
-            return Err(TrajectoryError::NonFiniteCoordinate { index });
+            return Err(TrajError::NonFiniteCoordinate { index });
         }
         Ok(Self { id, points })
     }
@@ -95,7 +95,7 @@ impl Trajectory {
     /// by the approximate baselines that need fixed-length signatures.
     pub fn resample(&self, n: usize) -> Result<Trajectory> {
         if self.points.len() < 2 || n < 2 {
-            return Err(TrajectoryError::TooShort {
+            return Err(TrajError::TooShort {
                 got: self.points.len().min(n),
                 need: 2,
             });
@@ -255,7 +255,7 @@ mod tests {
         let err = Trajectory::new(1, vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)]);
         assert!(matches!(
             err,
-            Err(TrajectoryError::NonFiniteCoordinate { index: 1 })
+            Err(TrajError::NonFiniteCoordinate { index: 1 })
         ));
     }
 

@@ -49,7 +49,7 @@ fn main() {
 
     // Ad-hoc query with exact re-ranking of the learned shortlist.
     let query = &trajs[0]; // not in the db
-    let top = db.knn_reranked(query, &DiscreteFrechet, 50, 5);
+    let top = db.search(query, &Query::new(5).shortlist(50).rerank(&DiscreteFrechet));
     println!("\ntop-5 for an unseen query (exact-reranked Frechet, grid units):");
     for n in &top {
         println!(

@@ -8,7 +8,7 @@
 //! neutraj train    --data corpus.csv --measure frechet --seeds 400 \
 //!                  --dim 64 --epochs 15 --out model.ntm
 //! neutraj embed    --model model.ntm --data corpus.csv --out embeddings.csv
-//! neutraj knn      --model model.ntm --data corpus.csv --query 17 --k 10 [--rerank]
+//! neutraj knn      --model model.ntm --data corpus.csv --query 17 --k 10 [--rerank] [--metrics]
 //! ```
 //!
 //! Trajectory CSV format: one line per trajectory, `id,x0,y0,x1,y1,...`
@@ -64,7 +64,7 @@ USAGE:
                    [--seed S] [--threads T] --out MODEL.ntm
   neutraj embed    --model MODEL.ntm --data FILE.csv --out EMB.csv
   neutraj knn      --model MODEL.ntm --data FILE.csv --query ID --k K
-                   [--measure M --rerank]";
+                   [--measure M --rerank] [--metrics]";
 
 type Flags = HashMap<String, String>;
 
@@ -76,7 +76,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got {a}"));
         };
         // Boolean flags take no value.
-        if name == "rerank" {
+        if name == "rerank" || name == "metrics" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -230,32 +230,35 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
     let threads: usize = opt_parse(flags, "threads", default_threads())?;
     let rerank = flags.contains_key("rerank");
 
-    let trajs = ds.trajectories();
+    let trajs = ds.trajectories().to_vec();
     let q_pos = trajs
         .iter()
         .position(|t| t.id == query_id)
         .ok_or_else(|| format!("query id {query_id} not in corpus"))?;
-    let store = EmbeddingStore::build(&model, trajs, threads);
-    let results = if rerank {
+    let mut db = SimilarityDb::with_corpus(model, trajs, threads);
+    let registry = Registry::new();
+    if flags.contains_key("metrics") {
+        db.instrument(&registry);
+    }
+    // A stored-index target excludes the query itself from the results.
+    let mut query = Query::new(k);
+    let measure;
+    if rerank {
         let kind: MeasureKind = req(flags, "measure")?.parse()?;
-        let measure = kind.measure();
-        // Compare in grid units (the model's training scale).
-        let grid = model.grid();
-        let rescaled: Vec<Trajectory> = trajs.iter().map(|t| grid.rescale_trajectory(t)).collect();
-        store.knn_reranked(
-            store.get(q_pos),
-            &rescaled[q_pos],
-            &rescaled,
-            &*measure,
-            (k + 1).max(50),
-            k + 1,
-        )
-    } else {
-        store.knn(store.get(q_pos), k + 1)
-    };
+        measure = kind.measure();
+        query = query.shortlist((k + 1).max(50)).rerank(&*measure);
+    }
+    let results = db.search(q_pos, &query);
     println!("top-{k} similar to T{query_id}:");
-    for n in results.iter().filter(|n| n.index != q_pos).take(k) {
-        println!("  T{:<8} dist {:.5}", trajs[n.index].id, n.dist);
+    for n in &results {
+        println!(
+            "  T{:<8} dist {:.5}",
+            db.get(n.index).expect("result index in corpus").id,
+            n.dist
+        );
+    }
+    if flags.contains_key("metrics") {
+        eprint!("{}", registry.snapshot().to_prometheus());
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`nn`] | from-scratch LSTM / GRU / SAM-augmented LSTM with manual BPTT and Adam |
 //! | [`model`] | **NeuTraj itself**: seed-guided training, embedding, linear-time search, Siamese baseline, ablations |
 //! | [`index`] | STR R-tree and grid inverted index for search-space pruning |
+//! | [`obs`] | metrics substrate: atomic counters/gauges, latency histograms, RAII span timers, JSON/Prometheus snapshots |
 //! | [`cluster`] | DBSCAN + clustering-agreement metrics |
 //! | [`eval`] | HR@k / R10@50 / distortion metrics and the experiment harness |
 //!
@@ -52,6 +53,7 @@ pub use neutraj_index as index;
 pub use neutraj_measures as measures;
 pub use neutraj_model as model;
 pub use neutraj_nn as nn;
+pub use neutraj_obs as obs;
 pub use neutraj_trajectory as trajectory;
 
 /// One-stop imports for typical use.
@@ -61,7 +63,11 @@ pub mod prelude {
     pub use neutraj_measures::{
         DiscreteFrechet, DistanceMatrix, Dtw, Erp, Hausdorff, Measure, MeasureKind,
     };
-    pub use neutraj_model::{EmbeddingStore, NeuTrajModel, TrainConfig, TrainReport, Trainer};
+    pub use neutraj_model::{
+        EmbeddingStore, NeuTrajModel, Query, QueryOptions, QueryTarget, SimilarityDb, TrainConfig,
+        TrainReport, Trainer,
+    };
+    pub use neutraj_obs::{MetricsReport, Registry};
     pub use neutraj_trajectory::gen::{
         GeolifeLikeGenerator, PortoLikeGenerator, RoadNetwork, RoadWalkGenerator,
     };
