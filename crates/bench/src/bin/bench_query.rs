@@ -221,12 +221,12 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
 
     // Instrumentation is observation-only: attached vs detached runs
     // must return the exact same neighbors.
-    let plain = db.search_batch(&queries, &query);
+    let plain = db.search_batch(&queries, &query).unwrap();
     let registry = Registry::new();
     db.instrument(&registry);
     assert_eq!(
         plain,
-        db.search_batch(&queries, &query),
+        db.search_batch(&queries, &query).unwrap(),
         "metrics changed search results"
     );
     db.clear_instrumentation();
@@ -240,11 +240,11 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
     for _ in 0..5 {
         db.clear_instrumentation();
         disabled_qps = disabled_qps.max(time_qps(batch, || {
-            std::hint::black_box(db.search_batch(&queries, &query));
+            let _ = std::hint::black_box(db.search_batch(&queries, &query));
         }));
         db.instrument(&registry);
         enabled_qps = enabled_qps.max(time_qps(batch, || {
-            std::hint::black_box(db.search_batch(&queries, &query));
+            let _ = std::hint::black_box(db.search_batch(&queries, &query));
         }));
     }
     println!(

@@ -263,7 +263,13 @@ pub fn model_rankings(
     let full = Query::new(db.len().saturating_sub(1));
     queries
         .iter()
-        .map(|&q| sdb.search(q, &full).into_iter().map(|n| n.index).collect())
+        .map(|&q| {
+            sdb.search(q, &full)
+                .expect("stored index in range")
+                .into_iter()
+                .map(|n| n.index)
+                .collect()
+        })
         .collect()
 }
 

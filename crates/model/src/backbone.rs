@@ -534,6 +534,12 @@ impl NeuTrajModel {
         }
     }
 
+    /// Decomposes the model into its parts — the trainer uses this to
+    /// continue training from a checkpointed model.
+    pub(crate) fn into_parts(self) -> (Backbone, Grid, TrainConfig) {
+        (self.backbone, self.grid, self.config)
+    }
+
     /// A model with freshly initialized (untrained) parameters — for
     /// benchmarks, serving-path tests and warm-start scenarios where the
     /// network topology matters but fitted weights do not.

@@ -21,8 +21,59 @@ use crate::loss::pair_similarity;
 use crate::query::{Query, QueryTarget};
 use crate::search::EmbeddingStore;
 use neutraj_measures::{Measure, Neighbor};
-use neutraj_obs::{Counter, Gauge, Histogram, Registry};
-use neutraj_trajectory::Trajectory;
+use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
+use neutraj_trajectory::{TrajError, Trajectory};
+
+/// Typed rejection of invalid serving-path input — the graceful-
+/// degradation contract: bad input never panics the process and never
+/// poisons the store (a NaN coordinate would otherwise flow into an
+/// embedding and corrupt every later distance comparison).
+#[derive(Debug)]
+pub enum DbError {
+    /// A trajectory failed validation (empty, or non-finite coordinate).
+    InvalidTrajectory {
+        /// The trajectory's id.
+        id: u64,
+        /// What the validation found.
+        reason: TrajError,
+    },
+    /// A stored-item index beyond the corpus.
+    UnknownIndex {
+        /// The requested index.
+        index: usize,
+        /// Current corpus size.
+        len: usize,
+    },
+    /// A raw query embedding with the wrong dimensionality or non-finite
+    /// values.
+    InvalidEmbedding(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidTrajectory { id, reason } => {
+                write!(f, "invalid trajectory (id {id}): {reason}")
+            }
+            Self::UnknownIndex { index, len } => {
+                write!(
+                    f,
+                    "no stored trajectory at index {index} (corpus size {len})"
+                )
+            }
+            Self::InvalidEmbedding(msg) => write!(f, "invalid query embedding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidTrajectory { reason, .. } => Some(reason),
+            _ => None,
+        }
+    }
+}
 
 /// Pre-resolved instrument handles for the serving path, following the
 /// `neutraj_db_*` naming convention (see DESIGN.md, "Observability").
@@ -37,18 +88,20 @@ pub struct DbMetrics {
     queries_total: Counter,
     candidates_total: Counter,
     corpus_size: Gauge,
+    rejects_total: Counter,
 }
 
 impl DbMetrics {
     /// Resolves the serving-path instruments in `registry`.
     pub fn register(registry: &Registry) -> Self {
         Self {
-            embed_seconds: registry.histogram("neutraj_db_embed_seconds"),
-            scan_seconds: registry.histogram("neutraj_db_scan_seconds"),
-            rerank_seconds: registry.histogram("neutraj_db_rerank_seconds"),
-            queries_total: registry.counter("neutraj_db_queries_total"),
-            candidates_total: registry.counter("neutraj_db_candidates_total"),
-            corpus_size: registry.gauge("neutraj_db_corpus_size"),
+            embed_seconds: registry.histogram(names::DB_EMBED_SECONDS),
+            scan_seconds: registry.histogram(names::DB_SCAN_SECONDS),
+            rerank_seconds: registry.histogram(names::DB_RERANK_SECONDS),
+            queries_total: registry.counter(names::DB_QUERIES_TOTAL),
+            candidates_total: registry.counter(names::DB_CANDIDATES_TOTAL),
+            corpus_size: registry.gauge(names::DB_CORPUS_SIZE),
+            rejects_total: registry.counter(names::DB_REJECTS_TOTAL),
         }
     }
 }
@@ -84,9 +137,15 @@ impl SimilarityDb {
     }
 
     /// Creates a database and bulk-loads `corpus` with `threads` workers.
+    ///
+    /// Panics when the corpus contains an invalid trajectory — a bulk
+    /// load is a programming input, unlike online [`SimilarityDb::insert`]
+    /// traffic; use `insert_batch` on an empty db to handle invalid
+    /// corpora gracefully.
     pub fn with_corpus(model: NeuTrajModel, corpus: Vec<Trajectory>, threads: usize) -> Self {
         let mut db = Self::new(model);
-        db.insert_batch(corpus, threads);
+        db.insert_batch(corpus, threads)
+            .unwrap_or_else(|e| panic!("invalid corpus: {e}"));
         db
     }
 
@@ -136,20 +195,44 @@ impl SimilarityDb {
         &self.embeddings
     }
 
-    /// Inserts one trajectory; returns its index.
-    pub fn insert(&mut self, t: Trajectory) -> usize {
+    /// Counts a rejected input (graceful-degradation events are observable
+    /// through `neutraj_db_rejects_total`).
+    fn reject(&self, e: DbError) -> DbError {
+        if let Some(m) = &self.metrics {
+            m.rejects_total.inc();
+        }
+        e
+    }
+
+    /// Validates one trajectory at the serving trust boundary.
+    fn check(&self, t: &Trajectory) -> Result<(), DbError> {
+        t.validate()
+            .map_err(|reason| self.reject(DbError::InvalidTrajectory { id: t.id, reason }))
+    }
+
+    /// Inserts one trajectory; returns its index. Empty or non-finite
+    /// trajectories are rejected *before* embedding, leaving the store
+    /// untouched.
+    pub fn insert(&mut self, t: Trajectory) -> Result<usize, DbError> {
+        self.check(&t)?;
         let e = self.model.embed(&t);
         self.embeddings.push(&e);
         self.trajectories.push(t);
         if let Some(m) = &self.metrics {
             m.corpus_size.set(self.trajectories.len() as f64);
         }
-        self.trajectories.len() - 1
+        Ok(self.trajectories.len() - 1)
     }
 
     /// Inserts many trajectories, embedding them with the lockstep
-    /// batched forward on `threads` workers.
-    pub fn insert_batch(&mut self, ts: Vec<Trajectory>, threads: usize) {
+    /// batched forward on `threads` workers. All-or-nothing: every
+    /// trajectory is validated *first*, and a single invalid one rejects
+    /// the whole batch with the store unchanged — a partially applied
+    /// batch would leave callers guessing which indices exist.
+    pub fn insert_batch(&mut self, ts: Vec<Trajectory>, threads: usize) -> Result<(), DbError> {
+        for t in &ts {
+            self.check(t)?;
+        }
         let embs = self.model.embed_all(&ts, threads);
         for e in &embs {
             self.embeddings.push(e);
@@ -158,6 +241,7 @@ impl SimilarityDb {
         if let Some(m) = &self.metrics {
             m.corpus_size.set(self.trajectories.len() as f64);
         }
+        Ok(())
     }
 
     /// Answers one query: embeds the target if needed (a no-op for
@@ -169,23 +253,55 @@ impl SimilarityDb {
     /// Targets convert implicitly: `db.search(&trajectory, &q)`,
     /// `db.search(&embedding[..], &q)`, `db.search(stored_idx, &q)`.
     ///
+    /// Invalid input — an empty/non-finite trajectory, an out-of-range
+    /// stored index, a wrong-dimension or non-finite raw embedding —
+    /// returns a typed [`DbError`] before any scan work (and counts into
+    /// `neutraj_db_rejects_total` when instrumented).
+    ///
     /// Panics when re-ranking is requested for a raw-embedding target
     /// (there is no trajectory to hand to the exact measure).
-    pub fn search<'a>(&self, target: impl Into<QueryTarget<'a>>, query: &Query) -> Vec<Neighbor> {
+    pub fn search<'a>(
+        &self,
+        target: impl Into<QueryTarget<'a>>,
+        query: &Query,
+    ) -> Result<Vec<Neighbor>, DbError> {
         match target.into() {
             QueryTarget::Trajectory(t) => {
+                self.check(t)?;
                 let span = self.metrics.as_ref().map(|m| m.embed_seconds.start_timer());
                 let qe = self.model.embed(t);
                 drop(span);
-                self.search_resolved(&qe, Some(t), None, query)
+                Ok(self.search_resolved(&qe, Some(t), None, query))
             }
-            QueryTarget::Embedding(e) => self.search_resolved(e, None, None, query),
-            QueryTarget::Stored(idx) => self.search_resolved(
-                self.embeddings.get(idx),
-                Some(&self.trajectories[idx]),
-                Some(idx),
-                query,
-            ),
+            QueryTarget::Embedding(e) => {
+                if e.len() != self.model.dim() {
+                    return Err(self.reject(DbError::InvalidEmbedding(format!(
+                        "dimension {} does not match model dimension {}",
+                        e.len(),
+                        self.model.dim()
+                    ))));
+                }
+                if let Some(k) = e.iter().position(|v| !v.is_finite()) {
+                    return Err(self.reject(DbError::InvalidEmbedding(format!(
+                        "non-finite value at component {k}"
+                    ))));
+                }
+                Ok(self.search_resolved(e, None, None, query))
+            }
+            QueryTarget::Stored(idx) => {
+                if idx >= self.trajectories.len() {
+                    return Err(self.reject(DbError::UnknownIndex {
+                        index: idx,
+                        len: self.trajectories.len(),
+                    }));
+                }
+                Ok(self.search_resolved(
+                    self.embeddings.get(idx),
+                    Some(&self.trajectories[idx]),
+                    Some(idx),
+                    query,
+                ))
+            }
         }
     }
 
@@ -193,7 +309,17 @@ impl SimilarityDb {
     /// embed, then one norm-trick GEMM scan per corpus block shared by
     /// every query, then (optionally) per-query exact re-ranking. Each
     /// result is bit-identical to [`Self::search`] on that query.
-    pub fn search_batch(&self, queries: &[Trajectory], query: &Query) -> Vec<Vec<Neighbor>> {
+    ///
+    /// All-or-nothing on invalid input: every query trajectory is
+    /// validated first, and one bad query rejects the batch.
+    pub fn search_batch(
+        &self,
+        queries: &[Trajectory],
+        query: &Query,
+    ) -> Result<Vec<Vec<Neighbor>>, DbError> {
+        for q in queries {
+            self.check(q)?;
+        }
         let m = self.metrics.as_ref();
         if let Some(m) = m {
             m.queries_total.add(queries.len() as u64);
@@ -214,7 +340,7 @@ impl SimilarityDb {
                 .add(shorts.iter().map(|s| s.len() as u64).sum());
         }
         match query.rerank_measure() {
-            None => shorts,
+            None => Ok(shorts),
             Some(measure) => {
                 let span = m.map(|m| m.rerank_seconds.start_timer());
                 let out = shorts
@@ -223,7 +349,7 @@ impl SimilarityDb {
                     .map(|(short, q)| self.rerank_shortlist(short, q, measure, query.k()))
                     .collect();
                 drop(span);
-                out
+                Ok(out)
             }
         }
     }
@@ -306,28 +432,40 @@ impl SimilarityDb {
 
     /// Top-k most similar stored trajectories to an ad-hoc `query`,
     /// ascending by embedding distance.
+    ///
+    /// Legacy forward to [`SimilarityDb::search`]; panics on invalid
+    /// input — use `search` directly for typed rejection.
     pub fn knn(&self, query: &Trajectory, k: usize) -> Vec<Neighbor> {
         self.search(query, &Query::new(k))
+            .unwrap_or_else(|e| panic!("knn: {e}"))
     }
 
     /// Top-k for a whole batch of ad-hoc queries; each result is
-    /// bit-identical to [`Self::knn`] on that query.
+    /// bit-identical to [`Self::knn`] on that query. Panics on invalid
+    /// input — use [`SimilarityDb::search_batch`] for typed rejection.
     pub fn knn_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<Neighbor>> {
         self.search_batch(queries, &Query::new(k))
+            .unwrap_or_else(|e| panic!("knn_batch: {e}"))
     }
 
-    /// Top-k by a precomputed query embedding.
+    /// Top-k by a precomputed query embedding. Panics on invalid input —
+    /// use [`SimilarityDb::search`] for typed rejection.
     pub fn knn_embedding(&self, query_emb: &[f64], k: usize) -> Vec<Neighbor> {
         self.search(query_emb, &Query::new(k))
+            .unwrap_or_else(|e| panic!("knn_embedding: {e}"))
     }
 
-    /// Top-k of a *stored* item (excluding itself).
+    /// Top-k of a *stored* item (excluding itself). Panics on an
+    /// out-of-range index — use [`SimilarityDb::search`] for typed
+    /// rejection.
     pub fn knn_of(&self, idx: usize, k: usize) -> Vec<Neighbor> {
         self.search(idx, &Query::new(k))
+            .unwrap_or_else(|e| panic!("knn_of: {e}"))
     }
 
     /// The paper's protocol: shortlist by embeddings, re-rank the
-    /// shortlist by the exact `measure`, return top-k.
+    /// shortlist by the exact `measure`, return top-k. Panics on invalid
+    /// input — use [`SimilarityDb::search`] for typed rejection.
     pub fn knn_reranked(
         &self,
         query: &Trajectory,
@@ -336,9 +474,11 @@ impl SimilarityDb {
         k: usize,
     ) -> Vec<Neighbor> {
         self.search(query, &Query::new(k).shortlist(shortlist).rerank(measure))
+            .unwrap_or_else(|e| panic!("knn_reranked: {e}"))
     }
 
-    /// Batched [`Self::knn_reranked`].
+    /// Batched [`Self::knn_reranked`]. Panics on invalid input — use
+    /// [`SimilarityDb::search_batch`] for typed rejection.
     pub fn knn_reranked_batch(
         &self,
         queries: &[Trajectory],
@@ -347,6 +487,7 @@ impl SimilarityDb {
         k: usize,
     ) -> Vec<Vec<Neighbor>> {
         self.search_batch(queries, &Query::new(k).shortlist(shortlist).rerank(measure))
+            .unwrap_or_else(|e| panic!("knn_reranked_batch: {e}"))
     }
 
     /// Learned similarity `g` between two *stored* items.
@@ -456,7 +597,7 @@ mod tests {
         let mut db = SimilarityDb::new(model);
         assert!(db.is_empty());
         for t in &trajs[..30] {
-            db.insert(t.clone());
+            db.insert(t.clone()).unwrap();
         }
         assert_eq!(db.len(), 30);
         // Query with a stored trajectory: it must rank itself first.
@@ -474,7 +615,7 @@ mod tests {
         let (model, trajs) = trained_model_and_corpus();
         let mut a = SimilarityDb::new(model.clone());
         for t in &trajs {
-            a.insert(t.clone());
+            a.insert(t.clone()).unwrap();
         }
         let b = SimilarityDb::with_corpus(model, trajs.clone(), 4);
         assert_eq!(a.len(), b.len());
@@ -489,24 +630,78 @@ mod tests {
         let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
         let q = Query::new(4);
         // Trajectory target == knn; embedding target == knn_embedding.
-        let by_traj = db.search(&trajs[5], &q);
+        let by_traj = db.search(&trajs[5], &q).unwrap();
         let emb = db.embedding(5).to_vec();
-        let by_emb = db.search(&emb[..], &q);
+        let by_emb = db.search(&emb[..], &q).unwrap();
         assert_eq!(by_traj, by_emb);
         assert_eq!(by_traj[0].index, 5);
         // Stored target excludes self.
-        let by_idx = db.search(5usize, &q);
+        let by_idx = db.search(5usize, &q).unwrap();
         assert!(by_idx.iter().all(|n| n.index != 5));
         assert_eq!(by_idx.len(), 4);
         // Reranked search orders by the exact measure.
-        let rr = db.search(&trajs[5], &Query::new(4).shortlist(10).rerank(&Hausdorff));
+        let rr = db
+            .search(&trajs[5], &Query::new(4).shortlist(10).rerank(&Hausdorff))
+            .unwrap();
         assert_eq!(rr[0].index, 5);
         for w in rr.windows(2) {
             assert!(w[0].dist <= w[1].dist);
         }
         // Stored + rerank: self stays excluded.
-        let rr = db.search(5usize, &Query::new(4).shortlist(10).rerank(&Hausdorff));
+        let rr = db
+            .search(5usize, &Query::new(4).shortlist(10).rerank(&Hausdorff))
+            .unwrap();
         assert!(rr.iter().all(|n| n.index != 5));
+    }
+
+    #[test]
+    fn invalid_input_is_rejected_with_typed_errors() {
+        use neutraj_trajectory::Point;
+        let (model, trajs) = trained_model_and_corpus();
+        let registry = Registry::new();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        db.instrument(&registry);
+        let before = db.len();
+
+        // Empty trajectory: rejected before touching the store.
+        let empty = Trajectory::new_unchecked(900, vec![]);
+        let err = db.insert(empty.clone()).unwrap_err();
+        assert!(
+            matches!(err, DbError::InvalidTrajectory { id: 900, .. }),
+            "{err}"
+        );
+        // Non-finite coordinate: caught at the serving boundary before
+        // any embedding work could smuggle a NaN into the store.
+        let bad = trajs[0].map_points(|p| Point::new(p.x, f64::NAN));
+        let err = db.insert(bad).unwrap_err();
+        assert!(matches!(err, DbError::InvalidTrajectory { .. }), "{err}");
+
+        // A batch with one bad entry is rejected atomically.
+        let err = db
+            .insert_batch(vec![trajs[1].clone(), empty.clone()], 2)
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidTrajectory { id: 900, .. }));
+        assert_eq!(db.len(), before, "failed insert mutated the store");
+
+        // Query-side: empty trajectory, out-of-range index, bad embedding.
+        assert!(db.search(&empty, &Query::new(3)).is_err());
+        let err = db.search(db.len() + 5, &Query::new(3)).unwrap_err();
+        assert!(matches!(err, DbError::UnknownIndex { .. }), "{err}");
+        let short = vec![0.0; db.model().dim() - 1];
+        let err = db.search(&short[..], &Query::new(3)).unwrap_err();
+        assert!(matches!(err, DbError::InvalidEmbedding(_)), "{err}");
+        let nan = vec![f64::NAN; db.model().dim()];
+        assert!(db.search(&nan[..], &Query::new(3)).is_err());
+        let err = db
+            .search_batch(&[trajs[0].clone(), empty], &Query::new(3))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidTrajectory { .. }));
+
+        // Every rejection above was counted.
+        assert_eq!(registry.counter(names::DB_REJECTS_TOTAL).get(), 8);
+        // Valid traffic still flows.
+        assert!(db.insert(trajs[2].clone()).is_ok());
+        assert_eq!(db.search(&trajs[0], &Query::new(3)).unwrap().len(), 3);
     }
 
     #[test]
@@ -558,8 +753,8 @@ mod tests {
         let mut plain = db.clone();
         plain.clear_instrumentation();
         assert_eq!(
-            db.search(&trajs[1], &Query::new(5)),
-            plain.search(&trajs[1], &Query::new(5))
+            db.search(&trajs[1], &Query::new(5)).unwrap(),
+            plain.search(&trajs[1], &Query::new(5)).unwrap()
         );
     }
 

@@ -1,0 +1,142 @@
+//! Fault-injection adapters for the persistence layer.
+//!
+//! [`NeuTrajModel::write_to`](crate::NeuTrajModel::write_to) /
+//! [`read_from`](crate::NeuTrajModel::read_from) (and the checkpoint
+//! equivalents) are generic over `Write`/`Read` precisely so these
+//! adapters can sit in the middle: a writer that dies after *N* bytes
+//! simulates a crash or full disk mid-save; a reader that flips a bit or
+//! truncates the stream simulates media corruption and torn writes. The
+//! chaos/corruption test suites drive every one of these against the
+//! loaders and assert that the result is always a typed
+//! [`PersistError`](crate::PersistError) — never a panic, never silently
+//! loaded garbage.
+
+use std::io::{self, Read, Write};
+
+/// A `Write` sink that accepts exactly `budget` bytes, then fails every
+/// further write with [`io::ErrorKind::WriteZero`] — a crash / disk-full
+/// at a byte-exact position. Bytes accepted before the failure are kept
+/// in [`FaultyWriter::written`], so tests can also feed the resulting
+/// torn prefix back through a loader.
+#[derive(Debug)]
+pub struct FaultyWriter {
+    /// Bytes accepted so far (the torn file image).
+    pub written: Vec<u8>,
+    budget: usize,
+}
+
+impl FaultyWriter {
+    /// A writer that fails once `budget` total bytes have been accepted.
+    pub fn fails_after(budget: usize) -> Self {
+        Self {
+            written: Vec::new(),
+            budget,
+        }
+    }
+}
+
+impl Write for FaultyWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.budget.saturating_sub(self.written.len());
+        if room == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected fault: write budget exhausted",
+            ));
+        }
+        let n = room.min(buf.len());
+        self.written.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A `Read` source over a byte image with injectable damage: flip one bit
+/// at a chosen offset, truncate at a chosen length, or both.
+#[derive(Debug)]
+pub struct FaultyReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl FaultyReader {
+    /// A pristine reader over `data` (damage is added via the builder
+    /// methods).
+    pub fn new(data: impl Into<Vec<u8>>) -> Self {
+        Self {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+
+    /// Flips bit `bit` (0..8) of the byte at `offset`. Out-of-range
+    /// offsets are ignored, so property tests can probe freely.
+    pub fn flip_bit(mut self, offset: usize, bit: u8) -> Self {
+        if let Some(b) = self.data.get_mut(offset) {
+            *b ^= 1 << (bit % 8);
+        }
+        self
+    }
+
+    /// Truncates the stream to at most `len` bytes — a torn write seen at
+    /// read time.
+    pub fn truncate_at(mut self, len: usize) -> Self {
+        self.data.truncate(len);
+        self
+    }
+
+    /// The (damaged) byte image this reader serves.
+    pub fn image(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Read for FaultyReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let rest = &self.data[self.pos..];
+        let n = rest.len().min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_fails_at_exact_budget() {
+        let mut w = FaultyWriter::fails_after(5);
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 2); // partial: budget hit
+        assert!(w.write(b"h").is_err());
+        assert_eq!(w.written, b"abcde");
+    }
+
+    #[test]
+    fn write_all_surfaces_the_fault() {
+        let mut w = FaultyWriter::fails_after(4);
+        assert!(w.write_all(b"too many bytes").is_err());
+    }
+
+    #[test]
+    fn reader_damage_is_byte_exact() {
+        let mut r = FaultyReader::new(vec![0u8; 4]).flip_bit(2, 3);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, vec![0, 0, 0b1000, 0]);
+
+        let mut r = FaultyReader::new(b"123456".to_vec()).truncate_at(2);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"12");
+
+        // Out-of-range flip is a no-op, not a panic.
+        let r = FaultyReader::new(b"x".to_vec()).flip_bit(99, 0);
+        assert_eq!(r.image(), b"x");
+    }
+}

@@ -44,8 +44,10 @@
 #![warn(missing_docs)]
 
 mod backbone;
+mod checkpoint;
 mod config;
 mod db;
+pub mod fault;
 mod loss;
 mod persist;
 mod query;
@@ -57,8 +59,10 @@ mod trainer;
 pub use backbone::{
     Backbone, BackboneCache, BackboneGrads, NeuTrajModel, SamPhaseMetrics, SeqInputs,
 };
+pub use checkpoint::{Checkpoint, CheckpointPolicy, TrainState, CKPT_EXTENSION};
 pub use config::{BackboneKind, TrainConfig};
-pub use db::{DbMetrics, SimilarityDb};
+pub use db::{DbError, DbMetrics, SimilarityDb};
+pub use fault::{FaultyReader, FaultyWriter};
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};
 pub use persist::PersistError;
 pub use query::{Query, QueryOptions, QueryTarget};

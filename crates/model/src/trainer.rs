@@ -3,19 +3,22 @@
 use crate::backbone::{
     seq_inputs, Backbone, BackboneCache, NeuTrajModel, SamPhaseMetrics, SeqInputs,
 };
+use crate::checkpoint::{Checkpoint, CheckpointPolicy, TrainState};
 use crate::config::TrainConfig;
 use crate::loss::pair_similarity;
+use crate::persist::PersistError;
 use crate::sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
 use crate::similarity::SimilarityMatrix;
 use neutraj_measures::DistanceMatrix;
 use neutraj_nn::linalg::add_assign;
 use neutraj_nn::Adam;
-use neutraj_obs::{Counter, Gauge, Histogram, Registry};
+use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::{Grid, Trajectory};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Instant;
 
 /// Per-epoch statistics delivered to the training callback (drives the
@@ -41,6 +44,10 @@ pub struct TrainReport {
     pub alpha: f64,
     /// Whether early stopping fired before `epochs` completed.
     pub early_stopped: bool,
+    /// Whether the run ended early because the
+    /// [`CheckpointPolicy::stop`] flag was raised. An interrupted run has
+    /// written a final checkpoint; continue it with [`Trainer::resume`].
+    pub interrupted: bool,
 }
 
 /// Pre-resolved training-loop instruments, following the
@@ -56,18 +63,28 @@ pub struct TrainMetrics {
     epoch_seconds: Histogram,
     adam_steps: Counter,
     sam: SamPhaseMetrics,
+    ckpt_writes: Counter,
+    ckpt_restores: Counter,
+    ckpt_corruption: Counter,
+    ckpt_fallback: Counter,
+    ckpt_write_seconds: Histogram,
 }
 
 impl TrainMetrics {
     /// Resolves the training instruments in `registry`.
     pub fn register(registry: &Registry) -> Self {
         Self {
-            epochs_total: registry.counter("neutraj_train_epochs_total"),
-            pairs_total: registry.counter("neutraj_train_pairs_total"),
-            loss: registry.gauge("neutraj_train_loss"),
-            epoch_seconds: registry.histogram("neutraj_train_epoch_seconds"),
-            adam_steps: registry.counter("neutraj_nn_adam_steps_total"),
+            epochs_total: registry.counter(names::TRAIN_EPOCHS_TOTAL),
+            pairs_total: registry.counter(names::TRAIN_PAIRS_TOTAL),
+            loss: registry.gauge(names::TRAIN_LOSS),
+            epoch_seconds: registry.histogram(names::TRAIN_EPOCH_SECONDS),
+            adam_steps: registry.counter(names::ADAM_STEPS_TOTAL),
             sam: SamPhaseMetrics::register(registry),
+            ckpt_writes: registry.counter(names::CKPT_WRITES_TOTAL),
+            ckpt_restores: registry.counter(names::CKPT_RESTORES_TOTAL),
+            ckpt_corruption: registry.counter(names::CKPT_CORRUPTION_TOTAL),
+            ckpt_fallback: registry.counter(names::CKPT_FALLBACK_TOTAL),
+            ckpt_write_seconds: registry.histogram(names::CKPT_WRITE_SECONDS),
         }
     }
 }
@@ -79,6 +96,7 @@ pub struct Trainer {
     grid: Grid,
     threads: usize,
     metrics: Option<TrainMetrics>,
+    ckpt: Option<CheckpointPolicy>,
 }
 
 impl Trainer {
@@ -93,7 +111,18 @@ impl Trainer {
             grid,
             threads: 1,
             metrics: None,
+            ckpt: None,
         }
+    }
+
+    /// Writes crash-safe checkpoints at epoch boundaries according to
+    /// `policy` (see [`CheckpointPolicy`]). Checkpointing is observational
+    /// — training results are bit-identical with or without it — and an
+    /// interrupted run continued with [`Trainer::resume`] produces the
+    /// exact same final parameters as an uninterrupted one.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.ckpt = Some(policy);
+        self
     }
 
     /// Records training metrics into `registry`: per-epoch loss and
@@ -139,13 +168,102 @@ impl Trainer {
     ///
     /// `on_epoch` is invoked after every epoch with loss/time stats.
     ///
-    /// Panics when `seeds` is empty or `dist` does not match its length.
+    /// Panics when `seeds` is empty, `dist` does not match its length, or
+    /// a checkpoint write requested via [`Trainer::with_checkpoints`]
+    /// fails (an unwritable checkpoint directory is an environment error
+    /// on par with an invalid config, and silently continuing would give
+    /// false confidence of crash-safety).
     pub fn fit(
         &self,
         seeds: &[Trajectory],
         dist: &DistanceMatrix,
-        mut on_epoch: impl FnMut(&EpochStats),
+        on_epoch: impl FnMut(&EpochStats),
     ) -> (NeuTrajModel, TrainReport) {
+        self.fit_inner(None, seeds, dist, on_epoch)
+            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"))
+    }
+
+    /// Continues an interrupted (or merely checkpointed) training run.
+    ///
+    /// `path` is either a single checkpoint file or a checkpoint
+    /// directory; given a directory, the newest checkpoint that passes
+    /// verification wins — damaged ones are skipped (counted through
+    /// `neutraj_ckpt_corruption_total` / `neutraj_ckpt_fallback_total`
+    /// when metrics are attached). `seeds` and `dist` must be the same
+    /// data the original run was fitted on; the checkpoint's config and
+    /// grid are checked against this trainer's and a mismatch is rejected.
+    ///
+    /// Resuming is **bit-identical**: interrupt-at-any-boundary then
+    /// resume yields exactly the final parameters of an uninterrupted
+    /// run (the per-epoch RNG is reseeded from the epoch index alone and
+    /// the SAM memory is rebuilt at every epoch start, so the checkpoint
+    /// state is the *complete* remaining-run input).
+    pub fn resume<P: AsRef<Path>>(
+        &self,
+        path: P,
+        seeds: &[Trajectory],
+        dist: &DistanceMatrix,
+        on_epoch: impl FnMut(&EpochStats),
+    ) -> Result<(NeuTrajModel, TrainReport), PersistError> {
+        let path = path.as_ref();
+        let ckpt = if path.is_dir() {
+            let found = Checkpoint::load_newest_valid(path, |_, _| {
+                if let Some(m) = &self.metrics {
+                    m.ckpt_corruption.inc();
+                }
+            })?;
+            match found {
+                None => {
+                    return Err(PersistError::Format(format!(
+                        "no checkpoint files in {}",
+                        path.display()
+                    )))
+                }
+                Some((c, skipped)) => {
+                    if skipped > 0 {
+                        if let Some(m) = &self.metrics {
+                            m.ckpt_fallback.inc();
+                        }
+                    }
+                    c
+                }
+            }
+        } else {
+            Checkpoint::load(path).inspect_err(|e| {
+                if matches!(e, PersistError::Corrupted(_)) {
+                    if let Some(m) = &self.metrics {
+                        m.ckpt_corruption.inc();
+                    }
+                }
+            })?
+        };
+        if ckpt.model.config() != &self.cfg {
+            return Err(PersistError::Format(
+                "checkpoint was written under a different training configuration".into(),
+            ));
+        }
+        if ckpt.model.grid() != &self.grid {
+            return Err(PersistError::Format(
+                "checkpoint grid does not match this trainer's grid".into(),
+            ));
+        }
+        if let Some(m) = &self.metrics {
+            m.ckpt_restores.inc();
+        }
+        self.fit_inner(Some(ckpt), seeds, dist, on_epoch)
+    }
+
+    /// The shared training loop behind [`Trainer::fit`] (fresh start) and
+    /// [`Trainer::resume`] (`start` carries the checkpointed model +
+    /// state). Only checkpoint I/O and checkpoint-state validation can
+    /// produce an `Err`.
+    fn fit_inner(
+        &self,
+        start: Option<Checkpoint>,
+        seeds: &[Trajectory],
+        dist: &DistanceMatrix,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> Result<(NeuTrajModel, TrainReport), PersistError> {
         assert!(!seeds.is_empty(), "need at least one seed trajectory");
         assert_eq!(dist.n(), seeds.len(), "distance matrix/seed count mismatch");
         if let Some(pos) = seeds.iter().position(|t| t.is_empty()) {
@@ -156,34 +274,64 @@ impl Trainer {
         }
         let cfg = &self.cfg;
         let sim = {
-            let alpha = cfg
-                .alpha
-                .unwrap_or_else(|| SimilarityMatrix::auto_alpha(dist));
+            // On resume the stored α wins: the original run may have used
+            // auto-α, and the remaining epochs must see the same matrix.
+            let alpha = match &start {
+                Some(c) => c.state.alpha,
+                None => cfg
+                    .alpha
+                    .unwrap_or_else(|| SimilarityMatrix::auto_alpha(dist)),
+            };
             SimilarityMatrix::with_normalization(dist, alpha, cfg.normalization)
         };
         // Precompute network inputs for every seed once.
         let inputs: Vec<SeqInputs> = seeds.iter().map(|t| seq_inputs(&self.grid, t)).collect();
 
-        let mut backbone = Backbone::build(cfg, &self.grid);
+        let (mut backbone, state) = match start {
+            Some(c) => {
+                let (backbone, _grid, _cfg) = c.model.into_parts();
+                (backbone, Some(c.state))
+            }
+            None => (Backbone::build(cfg, &self.grid), None),
+        };
         let mut adam = Adam::new(cfg.lr);
         if let Some(m) = &self.metrics {
             adam.instrument(m.adam_steps.clone());
         }
         let slots = backbone.register_adam(&mut adam);
+        if let Some(st) = &state {
+            adam.import_state(&st.adam).map_err(|e| {
+                PersistError::Format(format!("checkpoint optimizer state rejected: {e}"))
+            })?;
+        }
         let mut grads = backbone.zero_grads();
 
         let n_seeds = seeds.len();
-        let mut order: Vec<usize> = (0..n_seeds).collect();
         let mut report = TrainReport {
-            epoch_losses: Vec::with_capacity(cfg.epochs),
-            epoch_seconds: Vec::with_capacity(cfg.epochs),
+            epoch_losses: state.as_ref().map_or_else(
+                || Vec::with_capacity(cfg.epochs),
+                |st| st.epoch_losses.clone(),
+            ),
+            epoch_seconds: state.as_ref().map_or_else(
+                || Vec::with_capacity(cfg.epochs),
+                |st| st.epoch_seconds.clone(),
+            ),
             alpha: sim.alpha(),
-            early_stopped: false,
+            early_stopped: state.as_ref().is_some_and(|st| st.early_stopped),
+            interrupted: false,
         };
-        let mut best_loss = f64::INFINITY;
-        let mut stale = 0usize;
+        let mut best_loss = state.as_ref().map_or(f64::INFINITY, |st| st.best_loss);
+        let mut stale = state.as_ref().map_or(0, |st| st.stale);
+        // A run whose checkpoint already recorded early stopping has
+        // nothing left to train — skip straight to the memory refresh.
+        let start_epoch = match &state {
+            Some(st) if st.early_stopped => cfg.epochs,
+            Some(st) => st.next_epoch,
+            None => 0,
+        };
+        let mut last_ckpt = Instant::now();
 
-        for epoch in 0..cfg.epochs {
+        for epoch in start_epoch..cfg.epochs {
             let t0 = Instant::now();
             // Fresh memory every epoch: stored cell embeddings then always
             // reflect the current parameters (stale entries from many
@@ -192,6 +340,12 @@ impl Trainer {
             let mut rng = StdRng::seed_from_u64(
                 cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
+            // The anchor order is a function of the epoch index alone
+            // (identity permutation reshuffled with the per-epoch RNG), so
+            // a resumed run sees exactly the schedule the uninterrupted
+            // run would have — carrying the shuffled order across epochs
+            // would make epoch k depend on every earlier epoch's shuffle.
+            let mut order: Vec<usize> = (0..n_seeds).collect();
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
 
@@ -308,11 +462,35 @@ impl Trainer {
                     stale += 1;
                     if stale >= patience {
                         report.early_stopped = true;
-                        break;
                     }
                 }
             } else {
                 best_loss = best_loss.min(loss);
+            }
+
+            // Epoch boundary: everything the rest of the run depends on is
+            // now in (backbone, adam, report, best_loss, stale).
+            if let Some(policy) = &self.ckpt {
+                let stop = policy.stop_requested();
+                if stop || policy.due(epoch + 1, last_ckpt.elapsed().as_secs_f64()) {
+                    self.write_checkpoint(
+                        policy,
+                        &backbone,
+                        &adam,
+                        &report,
+                        best_loss,
+                        stale,
+                        epoch + 1,
+                    )?;
+                    last_ckpt = Instant::now();
+                }
+                if stop && !report.early_stopped {
+                    report.interrupted = true;
+                    break;
+                }
+            }
+            if report.early_stopped {
+                break;
             }
         }
 
@@ -327,10 +505,50 @@ impl Trainer {
             }
         }
 
-        (
+        Ok((
             NeuTrajModel::new(backbone, self.grid.clone(), cfg.clone()),
             report,
-        )
+        ))
+    }
+
+    /// Writes one checkpoint for the boundary after `epochs_done`
+    /// completed epochs, then applies the retention policy.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &self,
+        policy: &CheckpointPolicy,
+        backbone: &Backbone,
+        adam: &Adam,
+        report: &TrainReport,
+        best_loss: f64,
+        stale: usize,
+        epochs_done: usize,
+    ) -> Result<(), PersistError> {
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.ckpt_write_seconds.start_timer());
+        std::fs::create_dir_all(&policy.dir)?;
+        let ckpt = Checkpoint {
+            model: NeuTrajModel::new(backbone.clone(), self.grid.clone(), self.cfg.clone()),
+            state: TrainState {
+                next_epoch: epochs_done,
+                early_stopped: report.early_stopped,
+                best_loss,
+                stale,
+                alpha: report.alpha,
+                epoch_losses: report.epoch_losses.clone(),
+                epoch_seconds: report.epoch_seconds.clone(),
+                adam: adam.export_state(),
+            },
+        };
+        ckpt.save(policy.dir.join(Checkpoint::file_name(epochs_done)))?;
+        policy.prune();
+        drop(span);
+        if let Some(m) = &self.metrics {
+            m.ckpt_writes.inc();
+        }
+        Ok(())
     }
 }
 

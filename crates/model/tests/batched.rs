@@ -104,7 +104,7 @@ fn db_knn_batch_matches_scalar_knn() {
     let m = model(BackboneKind::SamLstm);
     let mut db = SimilarityDb::new(m);
     for i in 0..40 {
-        db.insert(traj(i, 3 + (i as usize * 7) % 25));
+        db.insert(traj(i, 3 + (i as usize * 7) % 25)).unwrap();
     }
     let queries: Vec<Trajectory> = (100..109).map(|i| traj(i, 5 + (i as usize) % 20)).collect();
     let batch = db.knn_batch(&queries, 5);

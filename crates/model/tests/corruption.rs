@@ -1,0 +1,174 @@
+//! Property tests of the persistence layer under random damage: any
+//! bit flip or truncation of an enveloped model/checkpoint file must
+//! surface as a typed `PersistError` — never a panic, never a silently
+//! loaded file whose parameters differ from what was saved.
+
+use neutraj_model::{
+    Checkpoint, FaultyReader, FaultyWriter, NeuTrajModel, TrainConfig, TrainState,
+};
+use neutraj_nn::AdamState;
+use neutraj_trajectory::{BoundingBox, Grid};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small but real model file image (sealed envelope) shared across
+/// cases — building it once keeps the property loops fast.
+fn model_image() -> &'static (NeuTrajModel, Vec<u8>) {
+    static IMG: OnceLock<(NeuTrajModel, Vec<u8>)> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 500.0, 500.0), 50.0).unwrap();
+        let cfg = TrainConfig {
+            dim: 4,
+            ..TrainConfig::neutraj()
+        };
+        let model = NeuTrajModel::untrained(cfg, grid);
+        let mut sink = Vec::new();
+        model.write_to(&mut sink).unwrap();
+        (model, sink)
+    })
+}
+
+/// A sealed checkpoint file image (model + training-state section).
+fn ckpt_image() -> &'static (Checkpoint, Vec<u8>) {
+    static IMG: OnceLock<(Checkpoint, Vec<u8>)> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 500.0, 500.0), 50.0).unwrap();
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 8,
+            ..TrainConfig::nt_no_sam()
+        };
+        let model = NeuTrajModel::untrained(cfg, grid);
+        let ckpt = Checkpoint {
+            model,
+            state: TrainState {
+                next_epoch: 3,
+                early_stopped: false,
+                best_loss: 0.5,
+                stale: 0,
+                alpha: 2.0,
+                epoch_losses: vec![0.9, 0.7, 0.5],
+                epoch_seconds: vec![0.1, 0.1, 0.1],
+                adam: AdamState {
+                    t: 12,
+                    moments: vec![(vec![0.01; 8], vec![0.02; 8])],
+                },
+            },
+        };
+        let mut sink = Vec::new();
+        ckpt.write_to(&mut sink).unwrap();
+        (ckpt, sink)
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_bit_flip_in_a_model_file_is_rejected(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let (_, image) = model_image();
+        let offset = offset % image.len();
+        let mut r = FaultyReader::new(image.clone()).flip_bit(offset, bit);
+        let res = NeuTrajModel::read_from(&mut r);
+        prop_assert!(
+            res.is_err(),
+            "bit {bit} of byte {offset} flipped, file still loaded"
+        );
+    }
+
+    #[test]
+    fn any_truncation_of_a_model_file_is_rejected(len in 0usize..1 << 20) {
+        let (_, image) = model_image();
+        let len = len % image.len(); // strictly shorter than the file
+        let mut r = FaultyReader::new(image.clone()).truncate_at(len);
+        prop_assert!(NeuTrajModel::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn any_bit_flip_in_a_checkpoint_file_is_rejected(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let (_, image) = ckpt_image();
+        let offset = offset % image.len();
+        let mut r = FaultyReader::new(image.clone()).flip_bit(offset, bit);
+        prop_assert!(Checkpoint::read_from(&mut r).is_err());
+        // A damaged checkpoint is equally unusable as a model file.
+        let mut r = FaultyReader::new(image.clone()).flip_bit(offset, bit);
+        prop_assert!(NeuTrajModel::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn any_truncation_of_a_checkpoint_file_is_rejected(len in 0usize..1 << 20) {
+        let (_, image) = ckpt_image();
+        let len = len % image.len();
+        let mut r = FaultyReader::new(image.clone()).truncate_at(len);
+        prop_assert!(Checkpoint::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn combined_damage_never_panics_and_never_alters_parameters(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+        cut in 0usize..1 << 20,
+    ) {
+        // Flip + truncate in one pass; the only acceptable `Ok` is the
+        // undamaged identity case, and then the bytes must match exactly.
+        let (model, image) = model_image();
+        let cut = 1 + cut % image.len();
+        let r = FaultyReader::new(image.clone())
+            .flip_bit(offset % image.len(), bit)
+            .truncate_at(cut);
+        let intact = r.image() == &image[..];
+        let mut r = r;
+        match NeuTrajModel::read_from(&mut r) {
+            Ok(loaded) => {
+                prop_assert!(intact, "damaged file loaded");
+                prop_assert_eq!(loaded.to_bytes(), model.to_bytes());
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn raw_payload_damage_never_panics(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+        cut in 0usize..1 << 20,
+    ) {
+        // Below the envelope (no checksum), decoding damaged bytes must
+        // still never panic — structural checks catch what they can, and
+        // the envelope is the actual integrity layer above this.
+        let (model, _) = model_image();
+        let mut payload = model.to_bytes().to_vec();
+        let off = offset % payload.len();
+        payload[off] ^= 1 << (bit % 8);
+        payload.truncate(1 + cut % payload.len());
+        let _ = NeuTrajModel::from_bytes(&payload);
+    }
+
+    #[test]
+    fn a_crash_at_any_write_offset_leaves_an_unloadable_torn_file(
+        budget in 0usize..1 << 20,
+    ) {
+        let (model, image) = model_image();
+        let budget = budget % image.len(); // crash strictly before the end
+        let mut w = FaultyWriter::fails_after(budget);
+        prop_assert!(model.write_to(&mut w).is_err(), "short write not surfaced");
+        // The torn prefix must never pass verification.
+        let mut r = FaultyReader::new(w.written.clone());
+        prop_assert!(NeuTrajModel::read_from(&mut r).is_err());
+    }
+}
+
+#[test]
+fn an_uninterrupted_writer_roundtrips() {
+    let (model, image) = model_image();
+    let mut w = FaultyWriter::fails_after(usize::MAX);
+    model.write_to(&mut w).unwrap();
+    assert_eq!(&w.written, image);
+    let mut r = FaultyReader::new(w.written.clone());
+    let back = NeuTrajModel::read_from(&mut r).unwrap();
+    assert_eq!(back.to_bytes(), model.to_bytes());
+}

@@ -123,12 +123,12 @@ proptest! {
         let q = Query::new(k);
         // Ad-hoc trajectory target == old knn.
         let ad_hoc = traj(999, 3 + probe * 2);
-        prop_assert_eq!(db.search(&ad_hoc, &q), old_knn(&db, &ad_hoc, k));
+        prop_assert_eq!(db.search(&ad_hoc, &q).unwrap(), old_knn(&db, &ad_hoc, k));
         // Raw embedding target == old knn_embedding.
         let emb = db.embedding(probe).to_vec();
-        prop_assert_eq!(db.search(&emb[..], &q), db.store().knn(&emb, k));
+        prop_assert_eq!(db.search(&emb[..], &q).unwrap(), db.store().knn(&emb, k));
         // Stored target == old knn_of (self-excluded).
-        prop_assert_eq!(db.search(probe, &q), old_knn_of(&db, probe, k));
+        prop_assert_eq!(db.search(probe, &q).unwrap(), old_knn_of(&db, probe, k));
     }
 
     /// `search_batch` (plain and re-ranked) is bit-identical to the
@@ -149,15 +149,15 @@ proptest! {
             .collect();
         let shortlist = k + extra;
         prop_assert_eq!(
-            db.search_batch(&queries, &Query::new(k)),
+            db.search_batch(&queries, &Query::new(k)).unwrap(),
             old_knn_batch(&db, &queries, k)
         );
         let reranked = Query::new(k).shortlist(shortlist).rerank(&Hausdorff);
-        let got = db.search_batch(&queries, &reranked);
+        let got = db.search_batch(&queries, &reranked).unwrap();
         prop_assert_eq!(
             &got,
             &old_knn_reranked_batch(&db, &queries, &Hausdorff, shortlist, k)
         );
-        prop_assert_eq!(&db.search(&queries[0], &reranked), &got[0]);
+        prop_assert_eq!(&db.search(&queries[0], &reranked).unwrap(), &got[0]);
     }
 }

@@ -49,7 +49,7 @@ mod memory;
 mod sam;
 mod workspace;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use gru::{GruCache, GruCell, GruEncoder, GruGrads};
 pub use lstm::{LstmCache, LstmCell, LstmEncoder, LstmGrads};
 pub use memory::{SpatialMemory, WriteLog};

@@ -341,6 +341,58 @@ impl Drop for SpanTimer {
 }
 
 // ---------------------------------------------------------------------------
+// Well-known instrument names
+// ---------------------------------------------------------------------------
+
+/// The canonical instrument names recorded by the NeuTraj-RS stack, so
+/// producers (trainer, serving db, checkpoint machinery) and consumers
+/// (dashboards, tests) agree on spelling. Following the
+/// `neutraj_<layer>_<metric>` convention.
+pub mod names {
+    /// Counter: completed training epochs.
+    pub const TRAIN_EPOCHS_TOTAL: &str = "neutraj_train_epochs_total";
+    /// Counter: training pairs consumed.
+    pub const TRAIN_PAIRS_TOTAL: &str = "neutraj_train_pairs_total";
+    /// Gauge: most recent epoch loss.
+    pub const TRAIN_LOSS: &str = "neutraj_train_loss";
+    /// Histogram: wall-clock seconds per epoch.
+    pub const TRAIN_EPOCH_SECONDS: &str = "neutraj_train_epoch_seconds";
+    /// Counter: Adam optimizer steps.
+    pub const ADAM_STEPS_TOTAL: &str = "neutraj_nn_adam_steps_total";
+    /// Histogram: SAM two-phase protocol, phase A (parallel forwards).
+    pub const SAM_PHASE_A_SECONDS: &str = "neutraj_train_sam_phase_a_seconds";
+    /// Histogram: SAM two-phase protocol, phase B (ordered commit).
+    pub const SAM_PHASE_B_SECONDS: &str = "neutraj_train_sam_phase_b_seconds";
+
+    /// Counter: checkpoint files written.
+    pub const CKPT_WRITES_TOTAL: &str = "neutraj_ckpt_writes_total";
+    /// Counter: successful checkpoint restores (resume).
+    pub const CKPT_RESTORES_TOTAL: &str = "neutraj_ckpt_restores_total";
+    /// Counter: corrupted/unreadable checkpoints detected during resume.
+    pub const CKPT_CORRUPTION_TOTAL: &str = "neutraj_ckpt_corruption_total";
+    /// Counter: resumes that fell back past a damaged newest checkpoint.
+    pub const CKPT_FALLBACK_TOTAL: &str = "neutraj_ckpt_fallback_total";
+    /// Histogram: seconds spent writing one checkpoint.
+    pub const CKPT_WRITE_SECONDS: &str = "neutraj_ckpt_write_seconds";
+
+    /// Histogram: serving-path query embedding seconds.
+    pub const DB_EMBED_SECONDS: &str = "neutraj_db_embed_seconds";
+    /// Histogram: serving-path norm-trick scan seconds.
+    pub const DB_SCAN_SECONDS: &str = "neutraj_db_scan_seconds";
+    /// Histogram: serving-path exact re-rank seconds.
+    pub const DB_RERANK_SECONDS: &str = "neutraj_db_rerank_seconds";
+    /// Counter: queries answered.
+    pub const DB_QUERIES_TOTAL: &str = "neutraj_db_queries_total";
+    /// Counter: shortlist candidates produced.
+    pub const DB_CANDIDATES_TOTAL: &str = "neutraj_db_candidates_total";
+    /// Gauge: stored corpus size.
+    pub const DB_CORPUS_SIZE: &str = "neutraj_db_corpus_size";
+    /// Counter: inserts/queries rejected by input validation (empty or
+    /// non-finite trajectories) before they could poison the store.
+    pub const DB_REJECTS_TOTAL: &str = "neutraj_db_rejects_total";
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 

@@ -33,6 +33,21 @@ impl Trajectory {
         Self { id, points }
     }
 
+    /// Checks that the trajectory is usable as model input: non-empty and
+    /// every coordinate finite. Serving layers call this at their trust
+    /// boundary — a NaN embedded into a similarity index would silently
+    /// poison every subsequent distance comparison, so the check happens
+    /// *before* any embedding work.
+    pub fn validate(&self) -> Result<()> {
+        if self.points.is_empty() {
+            return Err(TrajError::TooShort { got: 0, need: 1 });
+        }
+        if let Some(index) = self.points.iter().position(|p| !p.is_finite()) {
+            return Err(TrajError::NonFiniteCoordinate { index });
+        }
+        Ok(())
+    }
+
     /// The point sequence.
     #[inline]
     pub fn points(&self) -> &[Point] {

@@ -43,13 +43,16 @@ fn main() {
 
     // New trajectories arrive one by one — O(L) insert each.
     for t in &trajs[250..] {
-        db.insert(t.clone());
+        db.insert(t.clone())
+            .expect("generated trajectories are valid");
     }
     println!("after streaming inserts: {} trajectories", db.len());
 
     // Ad-hoc query with exact re-ranking of the learned shortlist.
     let query = &trajs[0]; // not in the db
-    let top = db.search(query, &Query::new(5).shortlist(50).rerank(&DiscreteFrechet));
+    let top = db
+        .search(query, &Query::new(5).shortlist(50).rerank(&DiscreteFrechet))
+        .expect("valid query trajectory");
     println!("\ntop-5 for an unseen query (exact-reranked Frechet, grid units):");
     for n in &top {
         println!(

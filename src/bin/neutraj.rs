@@ -6,7 +6,8 @@
 //! neutraj generate --kind porto --n 2000 --seed 1 --out corpus.csv
 //! neutraj stats    --data corpus.csv
 //! neutraj train    --data corpus.csv --measure frechet --seeds 400 \
-//!                  --dim 64 --epochs 15 --out model.ntm
+//!                  --dim 64 --epochs 15 --out model.ntm \
+//!                  [--checkpoint-dir ckpts/ --checkpoint-every 1 --resume]
 //! neutraj embed    --model model.ntm --data corpus.csv --out embeddings.csv
 //! neutraj knn      --model model.ntm --data corpus.csv --query 17 --k 10 [--rerank] [--metrics]
 //! ```
@@ -62,6 +63,8 @@ USAGE:
   neutraj train    --data FILE.csv --measure frechet|hausdorff|erp|dtw
                    [--seeds N] [--dim D] [--epochs E] [--cell-size M]
                    [--seed S] [--threads T] --out MODEL.ntm
+                   [--checkpoint-dir DIR [--checkpoint-every N]
+                    [--halt-after N] [--resume]]
   neutraj embed    --model MODEL.ntm --data FILE.csv --out EMB.csv
   neutraj knn      --model MODEL.ntm --data FILE.csv --query ID --k K
                    [--measure M --rerank] [--metrics]";
@@ -76,7 +79,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got {a}"));
         };
         // Boolean flags take no value.
-        if name == "rerank" || name == "metrics" {
+        if name == "rerank" || name == "metrics" || name == "resume" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -142,6 +145,9 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_train(flags: &Flags) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
     let ds = load_corpus(flags)?;
     if ds.is_empty() {
         return Err("corpus is empty".into());
@@ -154,6 +160,13 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let seed: u64 = opt_parse(flags, "seed", 2019)?;
     let threads: usize = opt_parse(flags, "threads", default_threads())?;
     let out = req(flags, "out")?;
+    let ckpt_dir = flags.get("checkpoint-dir").cloned();
+    let ckpt_every: usize = opt_parse(flags, "checkpoint-every", 1)?;
+    let halt_after: usize = opt_parse(flags, "halt-after", 0)?;
+    let resume = flags.contains_key("resume");
+    if (resume || halt_after > 0) && ckpt_dir.is_none() {
+        return Err("--resume / --halt-after need --checkpoint-dir".into());
+    }
 
     let grid = Grid::covering(ds.trajectories(), cell_size).map_err(|e| format!("grid: {e}"))?;
     let seed_idx = ds.sample_indices(n_seeds, seed);
@@ -176,17 +189,49 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         seed,
         ..TrainConfig::neutraj()
     };
-    eprintln!("training NeuTraj (d={dim}, {epochs} epochs)...");
-    let (model, report) = Trainer::new(cfg, grid)
-        .with_threads(threads)
-        .fit(&seeds, &dist, |e| {
-            eprintln!(
-                "  epoch {:>3}: loss {:.6} ({:.1}s)",
-                e.epoch + 1,
-                e.loss,
-                e.seconds
-            );
-        });
+
+    // `--halt-after N` raises the trainer's graceful-stop flag from the
+    // N-th epoch callback: a final checkpoint is written at that boundary
+    // and the run exits without saving `--out` (resume later instead).
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut trainer = Trainer::new(cfg, grid).with_threads(threads);
+    if let Some(dir) = &ckpt_dir {
+        let mut policy = CheckpointPolicy::every_epochs(dir, ckpt_every.max(1));
+        if halt_after > 0 {
+            policy = policy.with_stop_flag(stop.clone());
+        }
+        trainer = trainer.with_checkpoints(policy);
+    }
+    let on_epoch = |e: &neutraj::model::EpochStats| {
+        eprintln!(
+            "  epoch {:>3}: loss {:.6} ({:.1}s)",
+            e.epoch + 1,
+            e.loss,
+            e.seconds
+        );
+        if halt_after > 0 && e.epoch + 1 == halt_after {
+            stop.store(true, Ordering::Relaxed);
+        }
+    };
+    let (model, report) = if resume {
+        let dir = ckpt_dir.as_deref().expect("checked above");
+        eprintln!("resuming NeuTraj from newest checkpoint in {dir}...");
+        trainer
+            .resume(dir, &seeds, &dist, on_epoch)
+            .map_err(|e| format!("resuming from {dir}: {e}"))?
+    } else {
+        eprintln!("training NeuTraj (d={dim}, {epochs} epochs)...");
+        trainer.fit(&seeds, &dist, on_epoch)
+    };
+    if report.interrupted {
+        let dir = ckpt_dir.as_deref().expect("interrupt implies checkpoints");
+        println!(
+            "halted after {} epochs; checkpoint saved in {dir} (resume with --resume); \
+             model NOT written to {out}",
+            report.epoch_losses.len()
+        );
+        return Ok(());
+    }
     model.save(out).map_err(|e| format!("saving {out}: {e}"))?;
     println!(
         "saved model to {out} (alpha {:.5}, final loss {:.6})",
@@ -248,7 +293,7 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
         measure = kind.measure();
         query = query.shortlist((k + 1).max(50)).rerank(&*measure);
     }
-    let results = db.search(q_pos, &query);
+    let results = db.search(q_pos, &query).map_err(|e| e.to_string())?;
     println!("top-{k} similar to T{query_id}:");
     for n in &results {
         println!(
