@@ -1,0 +1,280 @@
+//! Ground-truth engine benchmark: the pruned exact engine
+//! ([`GroundTruthEngine`]) versus the historical naive baselines, on the
+//! seed-matrix workload every training run starts with.
+//!
+//! Two measurements per measure, both at the same thread count:
+//!
+//! * **matrix** — `GroundTruthEngine::matrix` (lower-bound cascade,
+//!   early-abandoning DP kernels, work-stealing 64×64 tiles) against an
+//!   inline replica of the pre-engine round-robin `compute_parallel`
+//!   (per-pair `measure.dist`, rows dealt round-robin).
+//! * **knn** — `GroundTruthEngine::knn_lists` at depth 50 (the
+//!   [`KnnGroundTruth`] workload) against a full-scan `top_k` over naive
+//!   per-pair rows, parallelised with the same `parallel_map` the old
+//!   harness used.
+//!
+//! Every result pair is asserted **bit-identical** before its timing is
+//! reported — the speedups below are for exact answers, not
+//! approximations. The engine runs instrumented; the final
+//! [`neutraj_obs::MetricsReport`] (pair / prune / abandon / DP-cell
+//! counters and the derived `neutraj_measures_prune_rate` gauge) is
+//! embedded in `BENCH_measures.json` under `"metrics"` — CI greps it for
+//! a nonzero `neutraj_measures_lb_pruned_total`.
+//!
+//! ```text
+//! cargo run -p neutraj-bench --release --bin bench_measures [-- --size 1000 --queries 100]
+//! ```
+//!
+//! `--size N` sets the Porto-like corpus size (default 1000, the paper's
+//! seed-pool scale); `--queries` the number of knn query rows.
+//!
+//! [`KnnGroundTruth`]: neutraj_eval::KnnGroundTruth
+
+use std::time::Instant;
+
+use neutraj_bench::Cli;
+use neutraj_eval::harness::{
+    default_threads, parallel_map, DatasetKind, ExperimentWorld, WorldConfig,
+};
+use neutraj_measures::{top_k, DistanceMatrix, GroundTruthEngine, Measure, MeasureKind, Neighbor};
+use neutraj_obs::Registry;
+use neutraj_trajectory::Trajectory;
+
+/// knn depth; matches `KnnGroundTruth::MIN_DEPTH` (R10@50 needs 50).
+const K: usize = 50;
+
+/// Timed passes per measurement; the fastest is reported.
+const REPEATS: usize = 3;
+
+fn main() {
+    let cli = Cli::parse(Cli {
+        size: 1000,
+        queries: 100,
+        epochs: 0,
+        dim: 0,
+        seed: 2019,
+        full: false,
+    });
+    let threads = default_threads();
+    let world = ExperimentWorld::build(WorldConfig {
+        size: cli.size,
+        seed: cli.seed,
+        ..WorldConfig::small(DatasetKind::PortoLike)
+    });
+    // The full rescaled corpus — the same grid units the seed matrix and
+    // ground truth are computed in everywhere else.
+    let corpus = &world.rescaled;
+    let n = corpus.len();
+    let stride = (n / cli.queries.max(1)).max(1);
+    let queries: Vec<usize> = (0..n).step_by(stride).take(cli.queries).collect();
+    println!(
+        "bench_measures: Porto-like n={n}, k={K}, {} queries, {threads} threads",
+        queries.len()
+    );
+
+    let registry = Registry::new();
+    let rows: Vec<MeasureRow> = MeasureKind::ALL
+        .iter()
+        .map(|&kind| bench_measure(kind, corpus, &queries, threads, &registry))
+        .collect();
+    let report = registry.snapshot();
+
+    let json = render_json(
+        &cli,
+        n,
+        &queries,
+        threads,
+        &rows,
+        &report.to_json_indented(2),
+    );
+    let path = "BENCH_measures.json";
+    std::fs::write(path, json).expect("write BENCH_measures.json");
+    println!("wrote {path}");
+}
+
+/// One measure's timings: naive vs engine, matrix and knn.
+struct MeasureRow {
+    kind: MeasureKind,
+    naive_matrix_s: f64,
+    engine_matrix_s: f64,
+    naive_knn_s: f64,
+    engine_knn_s: f64,
+}
+
+fn bench_measure(
+    kind: MeasureKind,
+    corpus: &[Trajectory],
+    queries: &[usize],
+    threads: usize,
+    registry: &Registry,
+) -> MeasureRow {
+    let measure = kind.measure();
+    let engine = GroundTruthEngine::new(&*measure, corpus).with_metrics(registry);
+
+    // Interleaved best-of-N: a busy single-core host makes one-shot wall
+    // clocks swing by tens of percent, so alternate the two sides and
+    // keep each one's fastest pass. Results are compared on every pass.
+    let mut naive_matrix_s = f64::INFINITY;
+    let mut engine_matrix_s = f64::INFINITY;
+    let mut naive_knn_s = f64::INFINITY;
+    let mut engine_knn_s = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let naive = baseline_matrix(&*measure, corpus, threads);
+        naive_matrix_s = naive_matrix_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let pruned = engine.matrix(threads);
+        engine_matrix_s = engine_matrix_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(pruned, naive, "{kind}: engine matrix diverged from naive");
+
+        let start = Instant::now();
+        let naive_nn = baseline_knn(&*measure, corpus, queries, threads);
+        naive_knn_s = naive_knn_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let engine_nn = engine.knn_lists(queries, K, threads);
+        engine_knn_s = engine_knn_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            engine_nn, naive_nn,
+            "{kind}: engine knn diverged from naive"
+        );
+    }
+
+    println!(
+        "  {kind}: matrix {naive_matrix_s:.2}s -> {engine_matrix_s:.2}s ({:.2}x), \
+         knn {naive_knn_s:.2}s -> {engine_knn_s:.2}s ({:.2}x)",
+        naive_matrix_s / engine_matrix_s,
+        naive_knn_s / engine_knn_s
+    );
+    MeasureRow {
+        kind,
+        naive_matrix_s,
+        engine_matrix_s,
+        naive_knn_s,
+        engine_knn_s,
+    }
+}
+
+/// The pre-engine `DistanceMatrix::compute_parallel`, preserved verbatim
+/// as the baseline: per-pair `measure.dist` over upper-triangle rows
+/// dealt round-robin to scoped workers.
+fn baseline_matrix(
+    measure: &dyn Measure,
+    trajectories: &[Trajectory],
+    threads: usize,
+) -> DistanceMatrix {
+    let n = trajectories.len();
+    let threads = threads.max(1).min(n.max(1));
+    let mut data = vec![0.0; n * n];
+    if threads == 1 || n < 32 {
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = measure.dist(trajectories[i].points(), trajectories[j].points());
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        return DistanceMatrix::from_raw(n, data);
+    }
+    let mut rows: Vec<Vec<(usize, Vec<f64>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        let mut row = Vec::with_capacity(n - i - 1);
+                        for j in i + 1..n {
+                            row.push(
+                                measure.dist(trajectories[i].points(), trajectories[j].points()),
+                            );
+                        }
+                        out.push((i, row));
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.push(h.join().expect("distance worker panicked"));
+        }
+    });
+    for worker_rows in rows {
+        for (i, row) in worker_rows {
+            for (off, d) in row.into_iter().enumerate() {
+                let j = i + 1 + off;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+    }
+    DistanceMatrix::from_raw(n, data)
+}
+
+/// The pre-engine knn ground truth: a full naive row per query, then
+/// `top_k` — exactly what `GroundTruth::compute` + `knn_of` used to do.
+fn baseline_knn(
+    measure: &dyn Measure,
+    trajectories: &[Trajectory],
+    queries: &[usize],
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    parallel_map(queries, threads, |&q| {
+        let dists: Vec<f64> = trajectories
+            .iter()
+            .enumerate()
+            .map(|(j, t)| {
+                if j == q {
+                    f64::NAN // sorts last under total_cmp; never in top-k
+                } else {
+                    measure.dist(trajectories[q].points(), t.points())
+                }
+            })
+            .collect();
+        let mut nn = top_k(&dists, K);
+        nn.retain(|n| n.index != q);
+        nn
+    })
+}
+
+/// Hand-rolled JSON (the dependency set has no serde_json).
+fn render_json(
+    cli: &Cli,
+    n: usize,
+    queries: &[usize],
+    threads: usize,
+    rows: &[MeasureRow],
+    metrics_json: &str,
+) -> String {
+    let measure_objs = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"measure\": \"{}\",\n      \"naive_matrix_s\": {:.4},\n      \"engine_matrix_s\": {:.4},\n      \"matrix_speedup\": {:.4},\n      \"naive_knn_s\": {:.4},\n      \"engine_knn_s\": {:.4},\n      \"knn_speedup\": {:.4}\n    }}",
+                r.kind,
+                r.naive_matrix_s,
+                r.engine_matrix_s,
+                r.naive_matrix_s / r.engine_matrix_s,
+                r.naive_knn_s,
+                r.engine_knn_s,
+                r.naive_knn_s / r.engine_knn_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let (naive_total, engine_total) = rows.iter().fold((0.0, 0.0), |(a, b), r| {
+        (
+            a + r.naive_matrix_s + r.naive_knn_s,
+            b + r.engine_matrix_s + r.engine_knn_s,
+        )
+    });
+    format!(
+        "{{\n  \"bench\": \"measures\",\n  \"n\": {n},\n  \"k\": {K},\n  \"queries\": {},\n  \"threads\": {threads},\n  \"seed\": {},\n  \"measures\": [\n{measure_objs}\n  ],\n  \"naive_total_s\": {naive_total:.4},\n  \"engine_total_s\": {engine_total:.4},\n  \"total_speedup\": {:.4},\n  \"metrics\": {metrics_json}\n}}\n",
+        queries.len(),
+        cli.seed,
+        naive_total / engine_total
+    )
+}

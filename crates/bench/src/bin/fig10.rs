@@ -9,7 +9,7 @@
 
 use neutraj_bench::Cli;
 use neutraj_eval::harness::{
-    default_threads, model_rankings, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, model_rankings, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_measures::{DistanceMatrix, MeasureKind};
@@ -78,7 +78,13 @@ fn main() {
     ]);
     for kind in MeasureKind::ALL {
         let measure = kind.measure();
-        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let gt = KnnGroundTruth::compute(
+            kind.measure(),
+            &db_rescaled,
+            &queries,
+            KnnGroundTruth::MIN_DEPTH,
+            default_threads(),
+        );
 
         // Best: trained on real seeds.
         let (best_model, _) = world.train(&*measure, cli.train_config(TrainConfig::neutraj()));

@@ -8,7 +8,7 @@
 
 use neutraj_bench::Cli;
 use neutraj_eval::harness::{
-    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_eval::sweeps::sweep_training_size;
@@ -54,7 +54,13 @@ fn main() {
         MeasureKind::Dtw,
     ] {
         let measure = kind.measure();
-        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let gt = KnnGroundTruth::compute(
+            kind.measure(),
+            &db_rescaled,
+            &queries,
+            KnnGroundTruth::MIN_DEPTH,
+            default_threads(),
+        );
         let mut table = Table::new(vec!["#seeds", "NeuTraj", "NT-No-SAM"]);
         let full = sweep_training_size(
             &world,

@@ -7,7 +7,7 @@
 
 use neutraj_bench::Cli;
 use neutraj_eval::harness::{
-    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_eval::sweeps::sweep_dim;
@@ -47,7 +47,13 @@ fn main() {
         MeasureKind::Dtw,
     ] {
         let measure = kind.measure();
-        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let gt = KnnGroundTruth::compute(
+            kind.measure(),
+            &db_rescaled,
+            &queries,
+            KnnGroundTruth::MIN_DEPTH,
+            default_threads(),
+        );
         let mut table = Table::new(vec!["d", "NeuTraj", "NT-No-SAM"]);
         let base_full = cli.train_config(TrainConfig::neutraj());
         let base_nosam = cli.train_config(TrainConfig::nt_no_sam());

@@ -7,7 +7,7 @@
 
 use neutraj_bench::Cli;
 use neutraj_eval::harness::{
-    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_eval::sweeps::sweep_scan_width;
@@ -42,7 +42,13 @@ fn main() {
         MeasureKind::Dtw,
     ] {
         let measure = kind.measure();
-        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let gt = KnnGroundTruth::compute(
+            kind.measure(),
+            &db_rescaled,
+            &queries,
+            KnnGroundTruth::MIN_DEPTH,
+            default_threads(),
+        );
         let mut table = Table::new(vec!["w", "NeuTraj HR@10"]);
         let base = cli.train_config(TrainConfig::neutraj());
         for (w, q) in sweep_scan_width(&world, &*measure, &gt, &base, &[0, 1, 2, 3, 4]) {

@@ -7,7 +7,7 @@
 
 use neutraj_bench::{run_method_on_measure, Cli, MethodSpec};
 use neutraj_eval::harness::{
-    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_metres, fmt_ratio, Table};
 use neutraj_measures::MeasureKind;
@@ -36,10 +36,11 @@ fn main() {
         for measure in MeasureKind::ALL {
             let db_rescaled = world.test_db_rescaled();
             let queries = world.query_positions(cli.queries);
-            let gt = GroundTruth::compute(
-                &*measure.measure(),
+            let gt = KnnGroundTruth::compute(
+                measure.measure(),
                 &db_rescaled,
                 &queries,
+                KnnGroundTruth::MIN_DEPTH,
                 default_threads(),
             );
             let mut table = Table::new(vec![

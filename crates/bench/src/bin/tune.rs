@@ -9,7 +9,7 @@
 
 use neutraj_bench::{learned_rankings, Cli};
 use neutraj_eval::harness::{
-    default_threads, DatasetKind, ExperimentWorld, GroundTruth, WorldConfig,
+    default_threads, DatasetKind, ExperimentWorld, KnnGroundTruth, WorldConfig,
 };
 use neutraj_eval::report::{fmt_ratio, Table};
 use neutraj_measures::{DistanceMatrix, MeasureKind};
@@ -34,7 +34,13 @@ fn main() {
         let measure = kind.measure();
         let db_rescaled = world.test_db_rescaled();
         let queries = world.query_positions(cli.queries);
-        let gt = GroundTruth::compute(&*measure, &db_rescaled, &queries, default_threads());
+        let gt = KnnGroundTruth::compute(
+            kind.measure(),
+            &db_rescaled,
+            &queries,
+            KnnGroundTruth::MIN_DEPTH,
+            default_threads(),
+        );
         let seed_rescaled = world.seed_rescaled();
         let dist = DistanceMatrix::compute_parallel(&*measure, &seed_rescaled, default_threads());
         let auto = SimilarityMatrix::auto_alpha(&dist);

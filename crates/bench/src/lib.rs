@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use neutraj_eval::harness::{
-    ap_rankings, build_ap_for_world, default_threads, model_rankings, ExperimentWorld, GroundTruth,
+    ap_rankings, build_ap_for_world, default_threads, model_rankings, Evaluator, ExperimentWorld,
 };
 use neutraj_eval::SearchQuality;
 use neutraj_measures::MeasureKind;
@@ -132,14 +132,14 @@ pub fn run_method_on_measure(
     world: &ExperimentWorld,
     kind: MeasureKind,
     spec: &MethodSpec,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
 ) -> Option<AccuracyRow> {
     let db_rescaled = world.test_db_rescaled();
     let cell = world.grid.cell_size();
     match spec {
         MethodSpec::Ap => {
             let ap = build_ap_for_world(kind, &db_rescaled, world.config.seed)?;
-            let rankings = ap_rankings(ap.as_ref(), &db_rescaled, &gt.queries);
+            let rankings = ap_rankings(ap.as_ref(), &db_rescaled, gt.queries());
             Some(AccuracyRow {
                 method: "AP".to_string(),
                 quality: gt.evaluate(&rankings).scale_distortions(cell),
@@ -161,10 +161,10 @@ pub fn run_method_on_measure(
 pub fn learned_rankings(
     world: &ExperimentWorld,
     model: &NeuTrajModel,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
 ) -> Vec<Vec<usize>> {
     let db = world.test_db();
-    model_rankings(model, &db, &gt.queries, default_threads())
+    model_rankings(model, &db, gt.queries(), default_threads())
 }
 
 #[cfg(test)]

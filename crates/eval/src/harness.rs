@@ -9,7 +9,7 @@
 
 use crate::metrics::{evaluate_query, SearchQuality};
 use neutraj_approx::ApproxKnn;
-use neutraj_measures::{DistanceMatrix, Measure, MeasureKind};
+use neutraj_measures::{DistanceMatrix, GroundTruthEngine, Measure, MeasureKind, Neighbor};
 use neutraj_model::{NeuTrajModel, Query, SimilarityDb, TrainConfig, TrainReport, Trainer};
 use neutraj_trajectory::gen::{GeolifeLikeGenerator, PortoLikeGenerator};
 use neutraj_trajectory::{Dataset, Grid, Split, SplitRatios, Trajectory};
@@ -193,18 +193,16 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     /// Computes the ground truth by brute force under `measure`,
-    /// parallelized over queries.
+    /// parallelized over queries (dense rows through the
+    /// [`GroundTruthEngine`] — bit-identical to direct `measure.dist`
+    /// calls, with scratch reuse and the accelerated kernels).
     pub fn compute(
         measure: &dyn Measure,
         db: &[Trajectory],
         queries: &[usize],
         threads: usize,
     ) -> Self {
-        let exact = parallel_map(queries, threads.max(1), |&q| {
-            db.iter()
-                .map(|t| measure.dist(db[q].points(), t.points()))
-                .collect::<Vec<f64>>()
-        });
+        let exact = GroundTruthEngine::new(measure, db).rows(queries, threads.max(1));
         let rankings = queries
             .iter()
             .zip(&exact)
@@ -228,6 +226,123 @@ impl GroundTruth {
             .map(|(result, (truth, exact))| evaluate_query(truth, result, exact))
             .collect();
         SearchQuality::mean(&per_query)
+    }
+}
+
+/// Anything that can score per-query method rankings: the dense
+/// [`GroundTruth`] (exact distances to *every* database item) and the
+/// pruned [`KnnGroundTruth`] (depth-limited exact lists, missing
+/// distances filled on demand). Both produce identical [`SearchQuality`]
+/// values; sweeps and bench drivers take `&dyn Evaluator` so callers pick
+/// the cheap one.
+pub trait Evaluator {
+    /// Query positions within the database, in evaluation order.
+    fn queries(&self) -> &[usize];
+
+    /// Scores a method's per-query rankings. `rankings[k]` must
+    /// correspond to `queries()[k]` and must not contain the query itself
+    /// (use [`strip_query`]).
+    fn evaluate(&self, rankings: &[Vec<usize>]) -> SearchQuality;
+}
+
+impl Evaluator for GroundTruth {
+    fn queries(&self) -> &[usize] {
+        &self.queries
+    }
+
+    fn evaluate(&self, rankings: &[Vec<usize>]) -> SearchQuality {
+        GroundTruth::evaluate(self, rankings)
+    }
+}
+
+/// Exact ground truth held as depth-limited top-k lists instead of dense
+/// `N × N` rows — the shape the pruned [`GroundTruthEngine`] produces in
+/// far less time than a dense scan.
+///
+/// The scored metrics ([`evaluate_query`]) only ever read the top 50 of
+/// the exact ranking plus the exact distances of the method's top 50, so
+/// a `depth >= 50` list reproduces the dense [`GroundTruth`] scores
+/// **exactly**; the few method-ranked items outside the lists are
+/// computed on demand through the engine (same bits as a dense row).
+pub struct KnnGroundTruth {
+    measure: Box<dyn Measure>,
+    db: Vec<Trajectory>,
+    queries: Vec<usize>,
+    /// Ascending exact `(index, dist)` lists per query, self excluded.
+    lists: Vec<Vec<Neighbor>>,
+}
+
+impl KnnGroundTruth {
+    /// Depth floor keeping every metric of [`evaluate_query`] faithful
+    /// (`HR@50`, `R10@50` and `δ_R10` read 50 ground-truth entries).
+    pub const MIN_DEPTH: usize = 50;
+
+    /// Computes top-`depth` exact neighbour lists for each query under
+    /// `measure` via the pruned engine. `depth` is clamped up to
+    /// [`Self::MIN_DEPTH`].
+    pub fn compute(
+        measure: Box<dyn Measure>,
+        db: &[Trajectory],
+        queries: &[usize],
+        depth: usize,
+        threads: usize,
+    ) -> Self {
+        let depth = depth.max(Self::MIN_DEPTH);
+        let lists = GroundTruthEngine::new(&*measure, db).knn_lists(queries, depth, threads);
+        Self {
+            measure,
+            db: db.to_vec(),
+            queries: queries.to_vec(),
+            lists,
+        }
+    }
+
+    /// The exact neighbour lists, parallel to `queries()`.
+    pub fn lists(&self) -> &[Vec<Neighbor>] {
+        &self.lists
+    }
+
+    /// Scores a method's per-query rankings; same contract — and same
+    /// result, bit for bit — as [`GroundTruth::evaluate`].
+    pub fn evaluate(&self, rankings: &[Vec<usize>]) -> SearchQuality {
+        assert_eq!(rankings.len(), self.queries.len(), "ranking count");
+        let engine = GroundTruthEngine::new(&*self.measure, &self.db);
+        let per_query: Vec<SearchQuality> = rankings
+            .iter()
+            .enumerate()
+            .map(|(qi, result)| {
+                let q = self.queries[qi];
+                let list = &self.lists[qi];
+                let truth: Vec<usize> = list.iter().map(|n| n.index).collect();
+                // Sparse exact row: list entries first, then whatever the
+                // method ranked in its top 50 that the list missed. The
+                // metrics read nothing else.
+                let mut exact = vec![f64::NAN; self.db.len()];
+                for n in list {
+                    exact[n.index] = n.dist;
+                }
+                let need: Vec<usize> = result[..50.min(result.len())]
+                    .iter()
+                    .copied()
+                    .filter(|&i| exact[i].is_nan())
+                    .collect();
+                for (&i, d) in need.iter().zip(engine.distances(q, &need)) {
+                    exact[i] = d;
+                }
+                evaluate_query(&truth, result, &exact)
+            })
+            .collect();
+        SearchQuality::mean(&per_query)
+    }
+}
+
+impl Evaluator for KnnGroundTruth {
+    fn queries(&self) -> &[usize] {
+        &self.queries
+    }
+
+    fn evaluate(&self, rankings: &[Vec<usize>]) -> SearchQuality {
+        KnnGroundTruth::evaluate(self, rankings)
     }
 }
 
@@ -385,6 +500,44 @@ mod tests {
         let par = GroundTruth::compute(&Hausdorff, &db, &queries, 4);
         assert_eq!(seq.exact, par.exact);
         assert_eq!(seq.rankings, par.rankings);
+    }
+
+    #[test]
+    fn knn_ground_truth_scores_exactly_like_dense() {
+        let w = small_world();
+        let db = w.test_db_rescaled();
+        let queries = w.query_positions(6);
+        for kind in MeasureKind::ALL {
+            let dense = GroundTruth::compute(&*kind.measure(), &db, &queries, 3);
+            let knn = KnnGroundTruth::compute(
+                kind.measure(),
+                &db,
+                &queries,
+                KnnGroundTruth::MIN_DEPTH,
+                3,
+            );
+            assert_eq!(Evaluator::queries(&dense), Evaluator::queries(&knn));
+            // Score an imperfect method: a deliberately perturbed ranking
+            // (rotate the true one), so every metric is exercised away
+            // from the trivial 1.0/0.0 fixed point.
+            let rankings: Vec<Vec<usize>> = dense
+                .rankings
+                .iter()
+                .map(|r| {
+                    let mut rot = r.clone();
+                    let by = 7.min(r.len().saturating_sub(1));
+                    rot.rotate_left(by);
+                    rot
+                })
+                .collect();
+            let a = dense.evaluate(&rankings);
+            let b = knn.evaluate(&rankings);
+            assert_eq!(a, b, "{kind}: knn ground truth diverged from dense");
+            // And on the perfect ranking both give the same (1.0, 0.0).
+            let p = knn.evaluate(&dense.rankings);
+            assert_eq!(p, dense.evaluate(&dense.rankings), "{kind}");
+            assert_eq!(p.hr10, 1.0, "{kind}");
+        }
     }
 
     #[test]

@@ -20,5 +20,7 @@ pub mod metrics;
 pub mod report;
 pub mod sweeps;
 
-pub use harness::{DatasetKind, ExperimentWorld, GroundTruth, WorldConfig};
+pub use harness::{
+    DatasetKind, Evaluator, ExperimentWorld, GroundTruth, KnnGroundTruth, WorldConfig,
+};
 pub use metrics::SearchQuality;

@@ -2,7 +2,7 @@
 //! parameter value and report its search quality under a fixed ground
 //! truth.
 
-use crate::harness::{default_threads, model_rankings, ExperimentWorld, GroundTruth};
+use crate::harness::{default_threads, model_rankings, Evaluator, ExperimentWorld};
 use crate::metrics::SearchQuality;
 use neutraj_measures::Measure;
 use neutraj_model::TrainConfig;
@@ -14,11 +14,11 @@ pub fn evaluate_config(
     world: &ExperimentWorld,
     measure: &dyn Measure,
     cfg: TrainConfig,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
 ) -> SearchQuality {
     let (model, _) = world.train(measure, cfg);
     let db = world.test_db();
-    let rankings = model_rankings(&model, &db, &gt.queries, default_threads());
+    let rankings = model_rankings(&model, &db, gt.queries(), default_threads());
     gt.evaluate(&rankings)
         .scale_distortions(world.grid.cell_size())
 }
@@ -29,7 +29,7 @@ pub fn evaluate_config(
 pub fn sweep<V: Copy>(
     world: &ExperimentWorld,
     measure: &dyn Measure,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
     base: &TrainConfig,
     values: &[V],
     mut apply: impl FnMut(&TrainConfig, V) -> TrainConfig,
@@ -44,7 +44,7 @@ pub fn sweep<V: Copy>(
 pub fn sweep_dim(
     world: &ExperimentWorld,
     measure: &dyn Measure,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
     base: &TrainConfig,
     dims: &[usize],
 ) -> Vec<(usize, SearchQuality)> {
@@ -58,7 +58,7 @@ pub fn sweep_dim(
 pub fn sweep_scan_width(
     world: &ExperimentWorld,
     measure: &dyn Measure,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
     base: &TrainConfig,
     widths: &[u32],
 ) -> Vec<(u32, SearchQuality)> {
@@ -75,7 +75,7 @@ pub fn sweep_scan_width(
 pub fn sweep_training_size(
     world: &ExperimentWorld,
     measure: &dyn Measure,
-    gt: &GroundTruth,
+    gt: &dyn Evaluator,
     base: &TrainConfig,
     counts: &[usize],
 ) -> Vec<(usize, SearchQuality)> {
@@ -93,7 +93,7 @@ pub fn sweep_training_size(
             let (model, _) = Trainer::new(base.clone(), world.grid.clone())
                 .with_threads(default_threads())
                 .fit(&pool[..n], &dist, |_| {});
-            let rankings = model_rankings(&model, &db, &gt.queries, default_threads());
+            let rankings = model_rankings(&model, &db, gt.queries(), default_threads());
             (
                 raw_n,
                 gt.evaluate(&rankings)
@@ -106,19 +106,20 @@ pub fn sweep_training_size(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{DatasetKind, WorldConfig};
+    use crate::harness::{DatasetKind, KnnGroundTruth, WorldConfig};
     use neutraj_measures::MeasureKind;
 
-    fn tiny() -> (ExperimentWorld, GroundTruth) {
+    fn tiny() -> (ExperimentWorld, KnnGroundTruth) {
         let world = ExperimentWorld::build(WorldConfig {
             size: 100,
             ..WorldConfig::small(DatasetKind::PortoLike)
         });
         let queries = world.query_positions(4);
-        let gt = GroundTruth::compute(
-            &*MeasureKind::Hausdorff.measure(),
+        let gt = KnnGroundTruth::compute(
+            MeasureKind::Hausdorff.measure(),
             &world.test_db_rescaled(),
             &queries,
+            KnnGroundTruth::MIN_DEPTH,
             default_threads(),
         );
         (world, gt)

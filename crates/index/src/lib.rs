@@ -9,6 +9,13 @@
 //!   with the Sort-Tile-Recursive (STR) algorithm;
 //! * [`GridInvertedIndex`] — a grid-cell → trajectory inverted index.
 //!
+//! A third, finer-grained structure serves the exact ground-truth engine
+//! in `neutraj-measures` rather than Table V:
+//!
+//! * [`PointGrid`] — a per-trajectory point-bucket grid answering exact
+//!   nearest-point queries by ring expansion (the inner `min` of the
+//!   directed Hausdorff distance).
+//!
 //! Both answer the same question: *which trajectories could possibly be
 //! within distance `r` of this query?* The guarantee they provide is for
 //! measures lower-bounded by MBR separation (Hausdorff and Fréchet are:
@@ -20,9 +27,11 @@
 #![warn(missing_docs)]
 
 mod inverted;
+mod pointgrid;
 mod rtree;
 
 pub use inverted::GridInvertedIndex;
+pub use pointgrid::PointGrid;
 pub use rtree::RTree;
 
 use neutraj_trajectory::Trajectory;

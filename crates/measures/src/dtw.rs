@@ -1,6 +1,6 @@
 //! Dynamic Time Warping.
 
-use crate::Measure;
+use crate::{Accel, Measure};
 use neutraj_trajectory::Point;
 
 /// Dynamic Time Warping distance (Yi, Jagadish & Faloutsos, ICDE'98).
@@ -99,6 +99,10 @@ impl Measure for Dtw {
             }
             _ => f64::INFINITY,
         }
+    }
+
+    fn accel(&self) -> Option<Accel> {
+        Some(Accel::Dtw)
     }
 }
 

@@ -1,0 +1,1601 @@
+//! The pruning-accelerated exact ground-truth engine (`DESIGN.md` §10).
+//!
+//! Every NeuTraj run pays an O(N²·L²) toll before the first gradient
+//! step: the seed matrix **D** (§III-B) and every accuracy table need
+//! exact pairwise distances. [`GroundTruthEngine`] returns **bit-identical
+//! values** to the naive DPs in `dtw.rs` / `frechet.rs` / `hausdorff.rs` /
+//! `erp.rs` while skipping most of the work, via three layers:
+//!
+//! 1. **per-measure fast paths** — the [`crate::bounds`] cascade (tier-0
+//!    LB_Kim endpoints + MBRs, tier-1 envelope bounds), early-abandoning
+//!    DPs that exit once every frontier-row cell exceeds the running
+//!    threshold, and grid-bucketed directed Hausdorff scans over
+//!    [`neutraj_index::PointGrid`] buckets;
+//! 2. **a work-stealing driver** — symmetric cache-blocked tiles handed
+//!    out by an atomic counter for [`GroundTruthEngine::matrix`], chunked
+//!    queries for [`GroundTruthEngine::knn_lists`] /
+//!    [`GroundTruthEngine::rows`], with per-thread reusable DP scratch
+//!    (no per-pair allocation anywhere);
+//! 3. **observability** — `neutraj_measures_*` counters and timers,
+//!    batched per worker and flushed once per thread.
+//!
+//! Determinism: bounds and abandonment only *compare* against thresholds
+//! (strictly: a pair is skipped only when its distance provably exceeds
+//! the threshold); every returned value is produced by an arithmetic
+//! sequence identical to the naive kernel's, so results match bit-for-bit
+//! at any thread count (`tests/pruning.rs`).
+
+use crate::bounds::{lb_cheap, lb_tight, TrajCache, WAVE_PAD};
+use crate::bruteforce::{Neighbor, NeighborHeap};
+use crate::{Accel, DistanceMatrix, Measure};
+use neutraj_obs::{names, Counter, Histogram, Registry};
+use neutraj_trajectory::{Point, Trajectory};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Edge length of the square tiles [`GroundTruthEngine::matrix`] deals to
+/// workers: 64² pairs is coarse enough to amortize the atomic fetch and
+/// fine enough to balance a triangular workload.
+const TILE: usize = 64;
+
+/// Per-thread reusable DP scratch: rolling rows (or rolling anti-diagonals
+/// in the wavefront kernels, which need a third buffer) and locally-batched
+/// metric tallies.
+#[derive(Debug, Default)]
+struct Scratch {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+    diag: Vec<f64>,
+    tally: Tally,
+}
+
+/// Locally accumulated counters, flushed to the registry once per worker
+/// (a relaxed `fetch_add` per pair would still be correct, but batching
+/// keeps the hot loop free of shared-cacheline traffic).
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    pairs: u64,
+    lb_pruned: u64,
+    ea_abandoned: u64,
+    dp_cells: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    // (all handles are cheap Arc clones resolved once at construction)
+    pairs: Counter,
+    lb_pruned: Counter,
+    ea_abandoned: Counter,
+    dp_cells: Counter,
+    matrix_seconds: Histogram,
+    knn_seconds: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            pairs: registry.counter(names::MEASURES_PAIRS_TOTAL),
+            lb_pruned: registry.counter(names::MEASURES_LB_PRUNED_TOTAL),
+            ea_abandoned: registry.counter(names::MEASURES_EA_ABANDONED_TOTAL),
+            dp_cells: registry.counter(names::MEASURES_DP_CELLS_TOTAL),
+            matrix_seconds: registry.histogram(names::MEASURES_MATRIX_SECONDS),
+            knn_seconds: registry.histogram(names::MEASURES_KNN_SECONDS),
+        }
+    }
+
+    fn flush(&self, t: Tally) {
+        self.pairs.add(t.pairs);
+        self.lb_pruned.add(t.lb_pruned);
+        self.ea_abandoned.add(t.ea_abandoned);
+        self.dp_cells.add(t.dp_cells);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UB-banded pruned kernels
+// ---------------------------------------------------------------------------
+//
+// Each DP kernel mirrors its naive counterpart's arithmetic *exactly*
+// (same operand order, same reductions) but only computes a band of cells
+// per row. Before the DP, a greedy walk produces `ub`: the f64 cost of
+// one concrete valid alignment, accumulated front-to-back — exactly the
+// value the DP would assign that path (f64 `+`/`max` commute operand-wise
+// per step), so `ub >= result` holds in f64, not just in real arithmetic.
+// With `p = min(ub, threshold)`:
+//
+// * cells left of the previous row's first kept (`<= p`) column, and
+//   cells right of the break column, are provably `> p` — every
+//   alignment reaching them crosses the previous row at a pruned column
+//   (cell values never decrease along an alignment) — so they are
+//   skipped and their slots read as `+inf`;
+// * a cell whose true value is `<= p` has its entire optimal prefix
+//   `<= p`, hence unpruned, hence computed with naive operands — the
+//   returned value is bit-identical to the naive DP's;
+// * `None` means the distance provably exceeds `threshold` (a band can
+//   only die, or the final cell exceed `p`, when `p == threshold`,
+//   because `result <= ub` always). Under an infinite threshold a result
+//   is always returned.
+
+/// `Point::dist` over structure-of-arrays caches, bit-identical to the
+/// naive kernels' per-cell distance.
+#[inline]
+fn pt_dist(a: &TrajCache, i: usize, b: &TrajCache, j: usize) -> f64 {
+    let (dx, dy) = (a.xs[i] - b.xs[j], a.ys[i] - b.ys[j]);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Cost of the linear-interpolation warping path `(k, k*cols/rows)`,
+/// accumulated in path order — a bitwise-valid DTW upper bound (the DP
+/// would assign this exact f64 value to this path) at one distance per
+/// outer point. `rows >= cols` per the kernels' swap.
+fn dtw_linear_ub(outer: &TrajCache, inner: &TrajCache) -> f64 {
+    let (rows, cols) = (outer.len(), inner.len());
+    let mut acc = 0.0f64;
+    for k in 0..rows {
+        acc += pt_dist(outer, k, inner, k * cols / rows);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Wavefront full-DP kernels (dense-matrix mode)
+// ---------------------------------------------------------------------------
+//
+// A dense matrix admits no threshold, and on short trajectories the
+// UB-band leaves the DP nearly full-width — so the matrix path wins on
+// *throughput* instead. The row-major recurrences are latency-bound: each
+// cell waits on its left neighbour through a `min`+`add` chain. Cells on
+// an anti-diagonal `i + j = t` only depend on the two previous diagonals,
+// so walking the DP by diagonals turns the inner loop into independent
+// element-wise lanes (distance, `min`, `add`) the auto-vectorizer can
+// pipeline. Each cell still evaluates the naive kernel's exact expression
+// over the same finished operands, so the result is bit-identical — only
+// the order cells are *scheduled* in changes.
+//
+// Buffers: `prev` holds diagonal `t - 2`, `cur` holds `t - 1`, `diag` is
+// written for `t`, indexed by `i` throughout. The reversed coordinate
+// copies in [`TrajCache`] make the inner sequence's anti-diagonal access
+// a forward contiguous scan.
+
+fn dtw_full(a: &TrajCache, b: &TrajCache, s: &mut Scratch) -> f64 {
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let (rows, cols) = (outer.len(), inner.len());
+    // Padded (rows+1)x(cols+1) grid: G[0][0] = 0, first row/column +inf.
+    // Stale buffer contents are fine: every slot a diagonal reads was
+    // written by one of the two previous diagonals (edge writes included),
+    // so only the length matters — no per-pair refill.
+    // The banded kernels shrink these buffers, so each is grown
+    // independently back to this pair's height (plus lane padding).
+    for buf in [&mut s.prev, &mut s.cur, &mut s.diag] {
+        if buf.len() < rows + 1 + WAVE_PAD {
+            buf.resize(rows + 1 + WAVE_PAD, 0.0);
+        }
+    }
+    s.tally.dp_cells += (rows * cols) as u64;
+    for t in 0..=(rows + cols) {
+        // Interior cells (i, t - i): grid row i pairs point i-1 of the
+        // outer with point t-i-1 of the inner sequence. The slice length
+        // rounds up to a full vector width — the extra lanes compute
+        // garbage from the zero padding that no valid cell ever reads,
+        // and cost nothing next to a scalar remainder loop.
+        let lo = t.saturating_sub(cols).max(1);
+        let hi = t.saturating_sub(1).min(rows);
+        if lo <= hi {
+            let len = (hi - lo + 1).next_multiple_of(WAVE_PAD);
+            let k0 = lo + cols - t; // reversed index of inner point t-lo-1
+            let ox = &outer.xs_pad[lo - 1..lo - 1 + len];
+            let oy = &outer.ys_pad[lo - 1..lo - 1 + len];
+            let rx = &inner.xs_rev[k0..k0 + len];
+            let ry = &inner.ys_rev[k0..k0 + len];
+            let d2 = &s.prev[lo - 1..lo - 1 + len];
+            let d1a = &s.cur[lo - 1..lo - 1 + len];
+            let d1b = &s.cur[lo..lo + len];
+            let out = &mut s.diag[lo..lo + len];
+            for q in 0..len {
+                let (dx, dy) = (ox[q] - rx[q], oy[q] - ry[q]);
+                let d = (dx * dx + dy * dy).sqrt();
+                let best = d2[q].min(d1a[q]).min(d1b[q]);
+                out[q] = d + best;
+            }
+        }
+        // Edges go in after the interior loop: the padded lanes above may
+        // have scribbled over the left-column slot.
+        if t == 0 {
+            s.diag[0] = 0.0;
+        } else if t <= cols {
+            s.diag[0] = f64::INFINITY;
+        }
+        if t >= 1 && t <= rows {
+            s.diag[t] = f64::INFINITY;
+        }
+        if t == rows + cols {
+            return s.diag[rows];
+        }
+        // Rotate: prev <- cur, cur <- diag, diag <- (stale, overwritten).
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        std::mem::swap(&mut s.cur, &mut s.diag);
+    }
+    unreachable!("loop returns at the final diagonal")
+}
+
+fn frechet_full(a: &TrajCache, b: &TrajCache, s: &mut Scratch) -> f64 {
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let (rows, cols) = (outer.len(), inner.len());
+    // Unpadded rows x cols grid; the first row/column chain along the
+    // edges. Stale buffer contents are fine (see `dtw_full`).
+    // The banded kernels shrink these buffers, so each is grown
+    // independently back to this pair's height.
+    for buf in [&mut s.prev, &mut s.cur, &mut s.diag] {
+        if buf.len() < rows + WAVE_PAD {
+            buf.resize(rows + WAVE_PAD, 0.0);
+        }
+    }
+    s.tally.dp_cells += (rows * cols) as u64;
+    for t in 0..=(rows + cols - 2) {
+        let lo = (t + 1).saturating_sub(cols).max(1);
+        let hi = t.saturating_sub(1).min(rows - 1);
+        if lo <= hi {
+            let len = (hi - lo + 1).next_multiple_of(WAVE_PAD);
+            let k0 = lo + cols - 1 - t; // reversed index of inner point t-lo
+            let ox = &outer.xs_pad[lo..lo + len];
+            let oy = &outer.ys_pad[lo..lo + len];
+            let rx = &inner.xs_rev[k0..k0 + len];
+            let ry = &inner.ys_rev[k0..k0 + len];
+            let d2 = &s.prev[lo - 1..lo - 1 + len];
+            let d1a = &s.cur[lo - 1..lo - 1 + len];
+            let d1b = &s.cur[lo..lo + len];
+            let out = &mut s.diag[lo..lo + len];
+            for q in 0..len {
+                let (dx, dy) = (ox[q] - rx[q], oy[q] - ry[q]);
+                let d = (dx * dx + dy * dy).sqrt();
+                out[q] = d2[q].min(d1a[q]).min(d1b[q]).max(d);
+            }
+        }
+        if t < cols {
+            let d = pt_dist(outer, 0, inner, t);
+            s.diag[0] = if t == 0 { d } else { s.cur[0].max(d) };
+        }
+        if t >= 1 && t < rows {
+            s.diag[t] = s.cur[t - 1].max(pt_dist(outer, t, inner, 0));
+        }
+        if t == rows + cols - 2 {
+            return s.diag[rows - 1];
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        std::mem::swap(&mut s.cur, &mut s.diag);
+    }
+    unreachable!("loop returns at the final diagonal")
+}
+
+fn erp_full(a: &TrajCache, b: &TrajCache, s: &mut Scratch) -> f64 {
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let (rows, cols) = (outer.len(), inner.len());
+    // Padded (rows+1)x(cols+1) grid; first row/column are gap prefix
+    // sums. Stale buffer contents are fine (see `dtw_full`).
+    // The banded kernels shrink these buffers, so each is grown
+    // independently back to this pair's height (plus lane padding).
+    for buf in [&mut s.prev, &mut s.cur, &mut s.diag] {
+        if buf.len() < rows + 1 + WAVE_PAD {
+            buf.resize(rows + 1 + WAVE_PAD, 0.0);
+        }
+    }
+    s.tally.dp_cells += (rows * cols) as u64;
+    for t in 0..=(rows + cols) {
+        let lo = t.saturating_sub(cols).max(1);
+        let hi = t.saturating_sub(1).min(rows);
+        if lo <= hi {
+            let len = (hi - lo + 1).next_multiple_of(WAVE_PAD);
+            let k0 = lo + cols - t;
+            let ox = &outer.xs_pad[lo - 1..lo - 1 + len];
+            let oy = &outer.ys_pad[lo - 1..lo - 1 + len];
+            let go = &outer.gap_pad[lo - 1..lo - 1 + len];
+            let rx = &inner.xs_rev[k0..k0 + len];
+            let ry = &inner.ys_rev[k0..k0 + len];
+            let gr = &inner.gap_rev[k0..k0 + len];
+            let d2 = &s.prev[lo - 1..lo - 1 + len];
+            let d1a = &s.cur[lo - 1..lo - 1 + len];
+            let d1b = &s.cur[lo..lo + len];
+            let out = &mut s.diag[lo..lo + len];
+            for q in 0..len {
+                let (dx, dy) = (ox[q] - rx[q], oy[q] - ry[q]);
+                let d = (dx * dx + dy * dy).sqrt();
+                let match_cost = d2[q] + d;
+                let del_outer = d1a[q] + go[q];
+                let del_inner = d1b[q] + gr[q];
+                out[q] = match_cost.min(del_outer).min(del_inner);
+            }
+        }
+        if t == 0 {
+            s.diag[0] = 0.0;
+        } else if t <= cols {
+            s.diag[0] = s.cur[0] + inner.gap_dists[t - 1];
+        }
+        if t >= 1 && t <= rows {
+            s.diag[t] = s.cur[t - 1] + outer.gap_dists[t - 1];
+        }
+        if t == rows + cols {
+            return s.diag[rows];
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        std::mem::swap(&mut s.cur, &mut s.diag);
+    }
+    unreachable!("loop returns at the final diagonal")
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched row-major kernels (dense-matrix mode)
+// ---------------------------------------------------------------------------
+//
+// The row-major DP recurrences are latency-bound: each cell waits for its
+// left neighbour through a `min`/`max` + `add` chain of ~8 cycles, while
+// the distance computation pipelines off the chain for free. Batching
+// [`LANES`] *pairs* — one shared outer trajectory against `LANES` inner
+// trajectories interleaved element-wise — makes every chain step carry
+// `LANES` cells instead of one, so the chain cost per cell drops by the
+// lane count and the inner loop is a fixed-width vector body.
+//
+// Bit-identity is per-lane trivial: lane `l` evaluates the naive kernel's
+// exact expression text over its own operands in the naive iteration
+// order; other lanes never mix in (vector ops are element-wise). The only
+// departure from the naive kernels is that the *row* side is the tile's
+// trajectory rather than the longer of the two — and the recurrences are
+// transpose-invariant bitwise: the per-cell distance is sign-symmetric
+// under squaring and the three DP operands form the same value set, whose
+// `min`/`max` (associative and commutative here: the values are
+// non-negative sums or maxes of distances, never NaN and never `-0.0`)
+// yields the same f64 either way.
+//
+// Lanes shorter than the group's `maxc` compute garbage cells past their
+// own column count; dependencies only flow left/up, so garbage never
+// reaches a live column, and each lane's result is read at its own final
+// column. A lane group is built once per corpus (sorted by length, so
+// co-grouped lanes have similar `maxc` and padding work stays small) and
+// reused by every row of every tile.
+
+/// Pairs processed in lockstep per batched kernel call. Eight f64 lanes =
+/// two 4-wide vectors: enough to cover the recurrence's dependency-chain
+/// latency with independent work.
+const LANES: usize = 8;
+
+/// [`LANES`] corpus trajectories interleaved element-wise for the batched
+/// kernels: `gx[j * LANES + l]` is point `j` of lane `l`.
+struct LaneGroup {
+    /// Corpus index per lane. A short final group repeats its last real
+    /// index; the driver never writes results for the repeated lanes.
+    idx: [usize; LANES],
+    /// Point count per lane.
+    len: [usize; LANES],
+    /// Real (non-repeated) lanes: `LANES` except in the final group.
+    count: usize,
+    /// Longest lane; the batched DP runs all lanes to this column count.
+    maxc: usize,
+    /// X coordinates, lane-interleaved, zero-filled past a lane's end.
+    gx: Vec<f64>,
+    /// Y coordinates, lane-interleaved.
+    gy: Vec<f64>,
+    /// ERP only: per-point gap costs, lane-interleaved.
+    gg: Vec<f64>,
+    /// ERP only: gap-cost prefix sums (the DP's row 0), lane-interleaved,
+    /// `(maxc + 1) * LANES` long, accumulated per lane in the naive row-0
+    /// order.
+    gp: Vec<f64>,
+}
+
+fn build_lane_groups(caches: &[TrajCache], order: &[usize], erp: bool) -> Vec<LaneGroup> {
+    order
+        .chunks(LANES)
+        .map(|chunk| {
+            let last = *chunk.last().expect("chunks are non-empty");
+            let mut idx = [last; LANES];
+            idx[..chunk.len()].copy_from_slice(chunk);
+            let len = idx.map(|i| caches[i].len());
+            let maxc = len.into_iter().max().unwrap_or(0);
+            let mut gx = vec![0.0; maxc * LANES];
+            let mut gy = vec![0.0; maxc * LANES];
+            for l in 0..LANES {
+                let c = &caches[idx[l]];
+                for (j, (&x, &y)) in c.xs.iter().zip(&c.ys).enumerate() {
+                    gx[j * LANES + l] = x;
+                    gy[j * LANES + l] = y;
+                }
+            }
+            let (gg, gp) = if erp {
+                let mut gg = vec![0.0; maxc * LANES];
+                let mut gp = vec![0.0; (maxc + 1) * LANES];
+                for l in 0..LANES {
+                    let c = &caches[idx[l]];
+                    let mut acc = 0.0f64;
+                    for j in 0..maxc {
+                        if let Some(&g) = c.gap_dists.get(j) {
+                            gg[j * LANES + l] = g;
+                            acc += g;
+                        }
+                        // Past the lane's end the prefix plateaus — those
+                        // slots only feed garbage columns.
+                        gp[(j + 1) * LANES + l] = acc;
+                    }
+                }
+                (gg, gp)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            LaneGroup {
+                idx,
+                len,
+                count: chunk.len(),
+                maxc,
+                gx,
+                gy,
+                gg,
+                gp,
+            }
+        })
+        .collect()
+}
+
+/// Batched [`crate::Dtw::full`]: `outer` against every lane of `g`.
+fn dtw_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+    let maxc = g.maxc;
+    let w = (maxc + 1) * LANES;
+    s.prev.clear();
+    s.prev.resize(w, f64::INFINITY);
+    s.cur.clear();
+    s.cur.resize(w, f64::INFINITY);
+    s.prev[..LANES].fill(0.0);
+    for i in 0..outer.len() {
+        let (ox, oy) = (outer.xs[i], outer.ys[i]);
+        s.cur[..LANES].fill(f64::INFINITY);
+        let mut carry = [f64::INFINITY; LANES];
+        let body =
+            g.gx.chunks_exact(LANES)
+                .zip(g.gy.chunks_exact(LANES))
+                .zip(s.prev[..maxc * LANES].chunks_exact(LANES))
+                .zip(s.prev[LANES..].chunks_exact(LANES))
+                .zip(s.cur[LANES..].chunks_exact_mut(LANES));
+        for ((((gx, gy), pl), pu), out) in body {
+            let mut next = [0.0f64; LANES];
+            for l in 0..LANES {
+                let (dx, dy) = (ox - gx[l], oy - gy[l]);
+                let d = (dx * dx + dy * dy).sqrt();
+                let best = pl[l].min(pu[l]).min(carry[l]);
+                next[l] = d + best;
+            }
+            out.copy_from_slice(&next);
+            carry = next;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+    }
+    std::array::from_fn(|l| {
+        if g.len[l] == 0 {
+            f64::INFINITY
+        } else {
+            s.prev[g.len[l] * LANES + l]
+        }
+    })
+}
+
+/// Batched [`crate::DiscreteFrechet::compute`].
+fn frechet_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+    let maxc = g.maxc;
+    let w = maxc * LANES;
+    s.prev.clear();
+    s.prev.resize(w, 0.0);
+    s.cur.clear();
+    s.cur.resize(w, 0.0);
+    // Row 0: a horizontal running-max chain per lane.
+    {
+        let (ox, oy) = (outer.xs[0], outer.ys[0]);
+        let mut carry = [0.0f64; LANES];
+        let row =
+            g.gx.chunks_exact(LANES)
+                .zip(g.gy.chunks_exact(LANES))
+                .zip(s.prev.chunks_exact_mut(LANES));
+        for (j, ((gx, gy), out)) in row.enumerate() {
+            for l in 0..LANES {
+                let (dx, dy) = (ox - gx[l], oy - gy[l]);
+                let d = (dx * dx + dy * dy).sqrt();
+                carry[l] = if j == 0 { d } else { carry[l].max(d) };
+            }
+            out.copy_from_slice(&carry);
+        }
+    }
+    for i in 1..outer.len() {
+        let (ox, oy) = (outer.xs[i], outer.ys[i]);
+        // Column 0 chains vertically: prev[0].max(d).
+        let mut carry = [0.0f64; LANES];
+        let col = carry
+            .iter_mut()
+            .zip(&g.gx[..LANES])
+            .zip(&g.gy[..LANES])
+            .zip(&s.prev[..LANES]);
+        for (((c, &gx), &gy), &pv) in col {
+            let (dx, dy) = (ox - gx, oy - gy);
+            let d = (dx * dx + dy * dy).sqrt();
+            *c = pv.max(d);
+        }
+        s.cur[..LANES].copy_from_slice(&carry);
+        let body = g.gx[LANES..]
+            .chunks_exact(LANES)
+            .zip(g.gy[LANES..].chunks_exact(LANES))
+            .zip(s.prev[..w - LANES].chunks_exact(LANES))
+            .zip(s.prev[LANES..].chunks_exact(LANES))
+            .zip(s.cur[LANES..].chunks_exact_mut(LANES));
+        for ((((gx, gy), pl), pu), out) in body {
+            let mut next = [0.0f64; LANES];
+            for l in 0..LANES {
+                let (dx, dy) = (ox - gx[l], oy - gy[l]);
+                let d = (dx * dx + dy * dy).sqrt();
+                next[l] = pl[l].min(pu[l]).min(carry[l]).max(d);
+            }
+            out.copy_from_slice(&next);
+            carry = next;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+    }
+    std::array::from_fn(|l| {
+        if g.len[l] == 0 {
+            f64::INFINITY
+        } else {
+            s.prev[(g.len[l] - 1) * LANES + l]
+        }
+    })
+}
+
+/// Batched [`crate::Erp::compute`].
+fn erp_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+    let maxc = g.maxc;
+    let w = (maxc + 1) * LANES;
+    s.prev.clear();
+    s.prev.extend_from_slice(&g.gp);
+    s.cur.clear();
+    s.cur.resize(w, 0.0);
+    // G[i][0] — the outer gap prefix — is the same value in every lane;
+    // accumulate it in the naive order (cur[0] = prev[0] + gi per row).
+    let mut edge = 0.0f64;
+    for i in 0..outer.len() {
+        let (ox, oy) = (outer.xs[i], outer.ys[i]);
+        let gi = outer.gap_dists[i];
+        edge += gi;
+        s.cur[..LANES].fill(edge);
+        let mut carry = [edge; LANES];
+        let body =
+            g.gx.chunks_exact(LANES)
+                .zip(g.gy.chunks_exact(LANES))
+                .zip(g.gg.chunks_exact(LANES))
+                .zip(s.prev[..maxc * LANES].chunks_exact(LANES))
+                .zip(s.prev[LANES..].chunks_exact(LANES))
+                .zip(s.cur[LANES..].chunks_exact_mut(LANES));
+        for (((((gx, gy), gg), pl), pu), out) in body {
+            let mut next = [0.0f64; LANES];
+            for l in 0..LANES {
+                let (dx, dy) = (ox - gx[l], oy - gy[l]);
+                let d = (dx * dx + dy * dy).sqrt();
+                let match_cost = pl[l] + d;
+                let del_outer = pu[l] + gi;
+                let del_inner = carry[l] + gg[l];
+                next[l] = match_cost.min(del_outer).min(del_inner);
+            }
+            out.copy_from_slice(&next);
+            carry = next;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+    }
+    std::array::from_fn(|l| {
+        if g.len[l] == 0 {
+            f64::INFINITY
+        } else {
+            s.prev[g.len[l] * LANES + l]
+        }
+    })
+}
+
+fn dtw_kernel(a: &TrajCache, b: &TrajCache, threshold: f64, s: &mut Scratch) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    if threshold == f64::INFINITY {
+        return Some(dtw_full(a, b, s));
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let cols = inner.len();
+    let p = dtw_linear_ub(outer, inner).min(threshold);
+    s.prev.clear();
+    s.prev.resize(cols + 1, f64::INFINITY);
+    s.cur.clear();
+    s.cur.resize(cols + 1, f64::INFINITY);
+    s.prev[0] = 0.0;
+    // Band state: `sc` = first column this row may keep (first kept column
+    // of the previous row), `ec` = last kept column of the previous row.
+    let (mut sc, mut ec) = (1usize, 0usize);
+    let mut cells = 0u64;
+    for i in 0..outer.len() {
+        let (px, py) = (outer.xs[i], outer.ys[i]);
+        s.cur[0] = f64::INFINITY;
+        if sc > 1 {
+            s.cur[sc - 1] = f64::INFINITY;
+        }
+        let (mut first, mut last) = (usize::MAX, 0usize);
+        let mut j = sc;
+        while j <= cols {
+            let (dx, dy) = (px - inner.xs[j - 1], py - inner.ys[j - 1]);
+            let d = (dx * dx + dy * dy).sqrt();
+            let best = s.prev[j - 1].min(s.prev[j]).min(s.cur[j - 1]);
+            let v = d + best;
+            s.cur[j] = v;
+            cells += 1;
+            if v <= p {
+                if first == usize::MAX {
+                    first = j;
+                }
+                last = j;
+            } else if j > ec {
+                // Past the previous row's band with a pruned value: every
+                // remaining cell chains off pruned cells only.
+                break;
+            }
+            j += 1;
+        }
+        if first == usize::MAX {
+            s.tally.dp_cells += cells;
+            return None;
+        }
+        for v in &mut s.cur[(j + 1).min(cols + 1)..] {
+            *v = f64::INFINITY;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        sc = first;
+        ec = last;
+    }
+    s.tally.dp_cells += cells;
+    let v = s.prev[cols];
+    if v <= p {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Max along the linear-interpolation coupling — a bitwise-valid
+/// discrete-Fréchet upper bound (f64 `max` is exact).
+fn frechet_linear_ub(outer: &TrajCache, inner: &TrajCache) -> f64 {
+    let (rows, cols) = (outer.len(), inner.len());
+    let mut acc = 0.0f64;
+    for k in 0..rows {
+        acc = acc.max(pt_dist(outer, k, inner, k * cols / rows));
+    }
+    acc
+}
+
+fn frechet_kernel(a: &TrajCache, b: &TrajCache, threshold: f64, s: &mut Scratch) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    if threshold == f64::INFINITY {
+        return Some(frechet_full(a, b, s));
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let cols = inner.len();
+    let p = frechet_linear_ub(outer, inner).min(threshold);
+    s.prev.clear();
+    s.prev.resize(cols, f64::INFINITY);
+    s.cur.clear();
+    s.cur.resize(cols, f64::INFINITY);
+    let mut cells = 0u64;
+    // Row 0 chains horizontally only: the first pruned cell ends the row.
+    let (mut sc, mut ec);
+    {
+        let (px, py) = (outer.xs[0], outer.ys[0]);
+        let (mut first, mut last) = (usize::MAX, 0usize);
+        let mut j = 0usize;
+        while j < cols {
+            let (dx, dy) = (px - inner.xs[j], py - inner.ys[j]);
+            let d = (dx * dx + dy * dy).sqrt();
+            let reach = if j == 0 { d } else { s.cur[j - 1].max(d) };
+            s.cur[j] = reach;
+            cells += 1;
+            if reach <= p {
+                if first == usize::MAX {
+                    first = j;
+                }
+                last = j;
+            } else {
+                break;
+            }
+            j += 1;
+        }
+        if first == usize::MAX {
+            s.tally.dp_cells += cells;
+            return None;
+        }
+        for v in &mut s.cur[(j + 1).min(cols)..] {
+            *v = f64::INFINITY;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        sc = first;
+        ec = last;
+    }
+    for i in 1..outer.len() {
+        let (px, py) = (outer.xs[i], outer.ys[i]);
+        if sc > 0 {
+            s.cur[sc - 1] = f64::INFINITY;
+        }
+        let (mut first, mut last) = (usize::MAX, 0usize);
+        let mut j = sc;
+        while j < cols {
+            let (dx, dy) = (px - inner.xs[j], py - inner.ys[j]);
+            let d = (dx * dx + dy * dy).sqrt();
+            let reach = if j == 0 {
+                s.prev[0].max(d)
+            } else {
+                s.prev[j - 1].min(s.prev[j]).min(s.cur[j - 1]).max(d)
+            };
+            s.cur[j] = reach;
+            cells += 1;
+            if reach <= p {
+                if first == usize::MAX {
+                    first = j;
+                }
+                last = j;
+            } else if j > ec {
+                break;
+            }
+            j += 1;
+        }
+        if first == usize::MAX {
+            s.tally.dp_cells += cells;
+            return None;
+        }
+        for v in &mut s.cur[(j + 1).min(cols)..] {
+            *v = f64::INFINITY;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        sc = first;
+        ec = last;
+    }
+    s.tally.dp_cells += cells;
+    let v = s.prev[cols - 1];
+    if v <= p {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Cost of the edit sequence that matches along the linear alignment and
+/// deletes the remaining outer points, accumulated in path order — a
+/// bitwise-valid ERP upper bound.
+fn erp_linear_ub(outer: &TrajCache, inner: &TrajCache) -> f64 {
+    let (rows, cols) = (outer.len(), inner.len());
+    let mut acc = 0.0f64;
+    let mut next_j = 0usize;
+    for k in 0..rows {
+        let j = k * cols / rows;
+        if j == next_j {
+            acc += pt_dist(outer, k, inner, j);
+            next_j += 1;
+        } else {
+            acc += outer.gap_dists[k];
+        }
+    }
+    acc
+}
+
+fn erp_kernel(a: &TrajCache, b: &TrajCache, threshold: f64, s: &mut Scratch) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    if threshold == f64::INFINITY {
+        return Some(erp_full(a, b, s));
+    }
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let cols = inner.len();
+    let p = erp_linear_ub(outer, inner).min(threshold);
+    // Row 0: align every inner prefix entirely to gaps (cached costs).
+    // Prefix sums of non-negative costs are non-decreasing, so the kept
+    // band is [0, ec].
+    s.prev.clear();
+    s.prev.push(0.0);
+    for j in 0..cols {
+        let v = s.prev[j] + inner.gap_dists[j];
+        s.prev.push(v);
+    }
+    s.cur.clear();
+    s.cur.resize(cols + 1, 0.0);
+    let mut ec = 0usize;
+    while ec < cols && s.prev[ec + 1] <= p {
+        ec += 1;
+    }
+    let mut sc = 1usize;
+    let mut cells = 0u64;
+    for i in 0..outer.len() {
+        let (px, py) = (outer.xs[i], outer.ys[i]);
+        let gi = outer.gap_dists[i];
+        // Column 0 (delete the whole outer prefix) is always computed: it
+        // is O(1) and keeps the vertical chain's slot valid.
+        s.cur[0] = s.prev[0] + gi;
+        cells += 1;
+        let (mut first, mut last) = (if s.cur[0] <= p { 0 } else { usize::MAX }, 0usize);
+        if sc > 1 {
+            s.cur[sc - 1] = f64::INFINITY;
+        }
+        let mut j = sc;
+        while j <= cols {
+            let (dx, dy) = (px - inner.xs[j - 1], py - inner.ys[j - 1]);
+            let d = (dx * dx + dy * dy).sqrt();
+            let match_cost = s.prev[j - 1] + d;
+            let del_outer = s.prev[j] + gi;
+            let del_inner = s.cur[j - 1] + inner.gap_dists[j - 1];
+            let v = match_cost.min(del_outer).min(del_inner);
+            s.cur[j] = v;
+            cells += 1;
+            if v <= p {
+                if first == usize::MAX {
+                    first = j;
+                }
+                last = j;
+            } else if j > ec {
+                break;
+            }
+            j += 1;
+        }
+        if first == usize::MAX {
+            s.tally.dp_cells += cells;
+            return None;
+        }
+        for v in &mut s.cur[(j + 1).min(cols + 1)..] {
+            *v = f64::INFINITY;
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        sc = first.max(1);
+        ec = last;
+    }
+    s.tally.dp_cells += cells;
+    let v = s.prev[cols];
+    if v <= p {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Linear probes tried per query point before falling back to the grid:
+/// for far-apart pairs almost any target point clears the running `worst`,
+/// exactly like the naive scan's early break on its first candidates.
+const HAUSDORFF_PROBES: usize = 4;
+
+/// Below this target size the directed scan skips the grid entirely: a
+/// wraparound scan from the last hit index settles most points in one or
+/// two squared distances, and ring bookkeeping can't beat that while the
+/// whole point set fits in a few cache lines.
+const HAUSDORFF_GRID_MIN: usize = 64;
+
+/// Directed Hausdorff via the target's point grid. The running `worst` is
+/// exactly the naive scan's: the grid either returns the exact inner
+/// minimum (when it exceeds `worst`, the only case that updates) or stops
+/// early at a value `<= worst` (which the naive early-break also discards).
+fn hausdorff_directed(
+    from: &TrajCache,
+    to: &TrajCache,
+    threshold: f64,
+    t: &mut Tally,
+) -> Option<f64> {
+    let m = to.len();
+    let mut worst = 0.0f64;
+    // Index of the last target point that cleared `worst`: consecutive
+    // query points are adjacent on their route, so their nearest targets
+    // track each other — probing from the last hit settles most points in
+    // one squared distance.
+    let mut hit = 0usize;
+    // Settle the query point farthest from the target's MBR exactly,
+    // before the scan: its minimum is a likely realizer of the directed
+    // max, and a large `worst` up front lets the probes settle nearly
+    // every other point immediately. The final `worst` is the max of
+    // exact per-point minima — order-independent in f64 — so seeding
+    // changes no bits (the seeded point re-settles in the main loop via
+    // its own argmin, now the probe cursor).
+    {
+        let mut far = 0usize;
+        let mut far_d = f64::NEG_INFINITY;
+        for (k, (&x, &y)) in from.xs.iter().zip(&from.ys).enumerate() {
+            let d = to.bbox.min_dist(Point::new(x, y));
+            if d > far_d {
+                far_d = d;
+                far = k;
+            }
+        }
+        let (x, y) = (from.xs[far], from.ys[far]);
+        let mut best = f64::INFINITY;
+        for (k, (&qx, &qy)) in to.xs.iter().zip(&to.ys).enumerate() {
+            let d = (x - qx) * (x - qx) + (y - qy) * (y - qy);
+            if d < best {
+                best = d;
+                hit = k;
+            }
+        }
+        if best > worst {
+            worst = best;
+            if worst.sqrt() > threshold {
+                return None;
+            }
+        }
+    }
+    if m < HAUSDORFF_GRID_MIN {
+        // Small target: a few wraparound probes from the last hit, then a
+        // branch-free exact min over the whole set. The min of a fixed set
+        // of squared distances is order-independent in f64, so the lane
+        // split below returns the same bits as a sequential scan.
+        'points: for (&x, &y) in from.xs.iter().zip(&from.ys) {
+            let mut k = hit;
+            for _ in 0..HAUSDORFF_PROBES.min(m) {
+                let (dx, dy) = (x - to.xs[k], y - to.ys[k]);
+                if dx * dx + dy * dy <= worst {
+                    hit = k;
+                    continue 'points;
+                }
+                k += 1;
+                if k == m {
+                    k = 0;
+                }
+            }
+            let (mut m0, mut m1, mut m2, mut m3) =
+                (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            let mut cx = to.xs.chunks_exact(4);
+            let mut cy = to.ys.chunks_exact(4);
+            for (qx, qy) in cx.by_ref().zip(cy.by_ref()) {
+                let d0 = (x - qx[0]) * (x - qx[0]) + (y - qy[0]) * (y - qy[0]);
+                let d1 = (x - qx[1]) * (x - qx[1]) + (y - qy[1]) * (y - qy[1]);
+                let d2 = (x - qx[2]) * (x - qx[2]) + (y - qy[2]) * (y - qy[2]);
+                let d3 = (x - qx[3]) * (x - qx[3]) + (y - qy[3]) * (y - qy[3]);
+                m0 = m0.min(d0);
+                m1 = m1.min(d1);
+                m2 = m2.min(d2);
+                m3 = m3.min(d3);
+            }
+            for (&qx, &qy) in cx.remainder().iter().zip(cy.remainder()) {
+                let d = (x - qx) * (x - qx) + (y - qy) * (y - qy);
+                m0 = m0.min(d);
+            }
+            let min_sq = m0.min(m1).min(m2).min(m3);
+            if min_sq > worst {
+                worst = min_sq;
+                // The symmetric distance is >= this direction's partial
+                // max; comparing after the sqrt keeps the test exact.
+                if worst.sqrt() > threshold {
+                    return None;
+                }
+            }
+        }
+        t.dp_cells += from.len() as u64;
+        return Some(worst.sqrt());
+    }
+    let grid = to.grid.as_ref().expect("hausdorff cache carries a grid");
+    for (&x, &y) in from.xs.iter().zip(&from.ys) {
+        // Probe a few points directly (squared distances, no sqrt): any
+        // member at `<= worst` settles this term without touching the
+        // grid, and the probed minimum seeds the grid scan otherwise.
+        let mut seed = f64::INFINITY;
+        let mut k = hit;
+        for _ in 0..HAUSDORFF_PROBES.min(m) {
+            let (dx, dy) = (x - to.xs[k], y - to.ys[k]);
+            let d = dx * dx + dy * dy;
+            if d < seed {
+                seed = d;
+            }
+            if d <= worst {
+                hit = k;
+                break;
+            }
+            k += 1;
+            if k == m {
+                k = 0;
+            }
+        }
+        if seed <= worst {
+            continue;
+        }
+        let best = grid.min_dist_sq_from(Point::new(x, y), worst, seed);
+        if best > worst {
+            worst = best;
+            // The symmetric distance is >= this direction's partial max;
+            // comparing after the sqrt keeps the test exact.
+            if worst.sqrt() > threshold {
+                return None;
+            }
+        }
+    }
+    t.dp_cells += from.len() as u64;
+    Some(worst.sqrt())
+}
+
+fn hausdorff_kernel(a: &TrajCache, b: &TrajCache, threshold: f64, t: &mut Tally) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    let d_ab = hausdorff_directed(a, b, threshold, t)?;
+    let d_ba = hausdorff_directed(b, a, threshold, t)?;
+    Some(d_ab.max(d_ba))
+}
+
+/// Dispatches one pair to its accelerated kernel. `None` means the exact
+/// distance provably exceeds `threshold` (never returned for an infinite
+/// threshold).
+fn run_kernel(
+    accel: Accel,
+    a: &TrajCache,
+    b: &TrajCache,
+    threshold: f64,
+    s: &mut Scratch,
+) -> Option<f64> {
+    match accel {
+        Accel::Dtw => dtw_kernel(a, b, threshold, s),
+        Accel::Frechet => frechet_kernel(a, b, threshold, s),
+        Accel::Erp { .. } => erp_kernel(a, b, threshold, s),
+        Accel::Hausdorff => hausdorff_kernel(a, b, threshold, &mut s.tally),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Pruned exact ground-truth driver over a fixed corpus: distance
+/// matrices, dense exact rows and top-k supervision lists, all
+/// bit-identical to the naive per-pair DPs at any thread count.
+///
+/// Construction summarizes every trajectory once ([`TrajCache`]); measures
+/// without an accelerated kernel ([`Measure::accel`] `== None`, e.g. EDR /
+/// LCSS / custom measures) pass through [`Measure::dist`] unchanged and
+/// still benefit from the parallel drivers.
+pub struct GroundTruthEngine<'a> {
+    measure: &'a dyn Measure,
+    trajs: &'a [Trajectory],
+    accel: Option<Accel>,
+    caches: Vec<TrajCache>,
+    metrics: Option<EngineMetrics>,
+}
+
+impl std::fmt::Debug for GroundTruthEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroundTruthEngine")
+            .field("measure", &self.measure.name())
+            .field("n", &self.trajs.len())
+            .field("accel", &self.accel)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> GroundTruthEngine<'a> {
+    /// Builds the engine, summarizing each trajectory once (O(N·L)).
+    pub fn new(measure: &'a dyn Measure, trajs: &'a [Trajectory]) -> Self {
+        let accel = measure.accel();
+        let caches = match accel {
+            Some(acc) => trajs.iter().map(|t| TrajCache::build(t, acc)).collect(),
+            None => Vec::new(),
+        };
+        Self {
+            measure,
+            trajs,
+            accel,
+            caches,
+            metrics: None,
+        }
+    }
+
+    /// Records `neutraj_measures_*` counters and timers into `registry`.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(EngineMetrics::new(registry));
+        self
+    }
+
+    /// Corpus size.
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// Returns `true` for an empty corpus.
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// Exact distance of one pair, orientation `(i, j)` — the same call
+    /// order the naive drivers use, so tie-breaking inside the kernels'
+    /// outer/inner swap is preserved.
+    fn pair_exact(&self, i: usize, j: usize, s: &mut Scratch) -> f64 {
+        s.tally.pairs += 1;
+        match self.accel {
+            Some(acc) => run_kernel(acc, &self.caches[i], &self.caches[j], f64::INFINITY, s)
+                .expect("kernels never abandon under an infinite threshold"),
+            None => self
+                .measure
+                .dist(self.trajs[i].points(), self.trajs[j].points()),
+        }
+    }
+
+    /// The full symmetric distance matrix, computed over cache-blocked
+    /// upper-triangle tiles handed to `threads` workers by an atomic
+    /// work-stealing counter. Every cell is exact (a dense matrix admits
+    /// no threshold), so the win here is throughput: the DP measures run
+    /// the lane-batched kernels ([`LANES`] pairs per chain step), and
+    /// Hausdorff gets scratch reuse plus its locality/grid scan.
+    pub fn matrix(&self, threads: usize) -> DistanceMatrix {
+        match self.accel {
+            Some(acc @ (Accel::Dtw | Accel::Frechet | Accel::Erp { .. })) => {
+                self.matrix_batched(acc, threads)
+            }
+            _ => self.matrix_pairwise(threads),
+        }
+    }
+
+    /// Matrix path for the DP measures: corpus indices sorted by length,
+    /// interleaved into [`LaneGroup`]s once, then upper-triangle tiles
+    /// *of sorted positions* dealt to workers; each tile row runs one
+    /// batched kernel call per lane group. On diagonal tiles a group may
+    /// straddle the row's own position — those lanes are computed and
+    /// discarded (a few percent of one tile row's work) so every pair is
+    /// still produced exactly once.
+    fn matrix_batched(&self, accel: Accel, threads: usize) -> DistanceMatrix {
+        let _span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.matrix_seconds.start_timer());
+        let n = self.trajs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (self.caches[i].len(), i));
+        let erp = matches!(accel, Accel::Erp { .. });
+        let groups = build_lane_groups(&self.caches, &order, erp);
+        let nb = n.div_ceil(TILE);
+        let mut tiles: Vec<(usize, usize)> = Vec::with_capacity(nb * (nb + 1) / 2);
+        for bi in 0..nb {
+            for bj in bi..nb {
+                tiles.push((bi, bj));
+            }
+        }
+        let threads = threads.max(1).min(tiles.len().max(1));
+        let next = AtomicUsize::new(0);
+        let gpb = TILE / LANES;
+        let run = || {
+            let mut s = Scratch::default();
+            let mut out: Vec<(u32, u32, f64)> = Vec::new();
+            loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tiles.len() {
+                    break;
+                }
+                let (bi, bj) = tiles[t];
+                let (p0, p1) = (bi * TILE, ((bi + 1) * TILE).min(n));
+                let (g0, g1) = (bj * gpb, ((bj + 1) * gpb).min(groups.len()));
+                for (off, &i) in order[p0..p1].iter().enumerate() {
+                    let p = p0 + off;
+                    let oc = &self.caches[i];
+                    for (goff, grp) in groups[g0..g1].iter().enumerate() {
+                        let gbase = (g0 + goff) * LANES;
+                        // Highest real lane position <= p: nothing to emit.
+                        if gbase + grp.count <= p + 1 {
+                            continue;
+                        }
+                        let res: [f64; LANES] = if oc.is_empty() || grp.maxc == 0 {
+                            [f64::INFINITY; LANES]
+                        } else {
+                            match accel {
+                                Accel::Dtw => dtw_batch(oc, grp, &mut s),
+                                Accel::Frechet => frechet_batch(oc, grp, &mut s),
+                                Accel::Erp { .. } => erp_batch(oc, grp, &mut s),
+                                Accel::Hausdorff => {
+                                    unreachable!("Hausdorff takes the pairwise path")
+                                }
+                            }
+                        };
+                        for (l, &d) in res.iter().enumerate().take(grp.count) {
+                            if gbase + l <= p {
+                                continue;
+                            }
+                            s.tally.pairs += 1;
+                            s.tally.dp_cells += (oc.len() * grp.len[l]) as u64;
+                            out.push((i as u32, grp.idx[l] as u32, d));
+                        }
+                    }
+                }
+            }
+            if let Some(m) = &self.metrics {
+                m.flush(s.tally);
+            }
+            out
+        };
+        let mut parts: Vec<Vec<(u32, u32, f64)>> = Vec::new();
+        if threads == 1 {
+            parts.push(run());
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run)).collect();
+                for h in handles {
+                    parts.push(h.join().expect("ground-truth matrix worker panicked"));
+                }
+            });
+        }
+        let mut data = vec![0.0; n * n];
+        for part in parts {
+            for (i, j, d) in part {
+                let (i, j) = (i as usize, j as usize);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix::from_raw(n, data)
+    }
+
+    /// Matrix path for Hausdorff and unaccelerated measures: per-pair
+    /// kernels over the same work-stealing tiles.
+    fn matrix_pairwise(&self, threads: usize) -> DistanceMatrix {
+        let _span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.matrix_seconds.start_timer());
+        let n = self.trajs.len();
+        let nb = n.div_ceil(TILE);
+        let mut tiles: Vec<(usize, usize)> = Vec::with_capacity(nb * (nb + 1) / 2);
+        for bi in 0..nb {
+            for bj in bi..nb {
+                tiles.push((bi, bj));
+            }
+        }
+        let threads = threads.max(1).min(tiles.len().max(1));
+        let next = AtomicUsize::new(0);
+        let run = || {
+            let mut s = Scratch::default();
+            let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+            loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tiles.len() {
+                    break;
+                }
+                let (bi, bj) = tiles[t];
+                let (i0, i1) = (bi * TILE, ((bi + 1) * TILE).min(n));
+                let (j0, j1) = (bj * TILE, ((bj + 1) * TILE).min(n));
+                let mut buf = Vec::with_capacity((i1 - i0) * (j1 - j0));
+                for i in i0..i1 {
+                    let lo = if bi == bj { i + 1 } else { j0 };
+                    for j in lo..j1 {
+                        buf.push(self.pair_exact(i, j, &mut s));
+                    }
+                }
+                out.push((t, buf));
+            }
+            if let Some(m) = &self.metrics {
+                m.flush(s.tally);
+            }
+            out
+        };
+        let mut parts: Vec<Vec<(usize, Vec<f64>)>> = Vec::new();
+        if threads == 1 {
+            parts.push(run());
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run)).collect();
+                for h in handles {
+                    parts.push(h.join().expect("ground-truth matrix worker panicked"));
+                }
+            });
+        }
+        let mut data = vec![0.0; n * n];
+        for part in parts {
+            for (t, buf) in part {
+                let (bi, bj) = tiles[t];
+                let (i0, i1) = (bi * TILE, ((bi + 1) * TILE).min(n));
+                let (j0, j1) = (bj * TILE, ((bj + 1) * TILE).min(n));
+                let mut vals = buf.into_iter();
+                for i in i0..i1 {
+                    let lo = if bi == bj { i + 1 } else { j0 };
+                    for j in lo..j1 {
+                        let d = vals.next().expect("tile buffer matches tile shape");
+                        data[i * n + j] = d;
+                        data[j * n + i] = d;
+                    }
+                }
+            }
+        }
+        DistanceMatrix::from_raw(n, data)
+    }
+
+    /// Top-`k` exact neighbour lists (self excluded, ascending by
+    /// `(dist, index)`) for each query — the supervision shape the eval
+    /// harness and TSMini-style training want. This is where the cascade
+    /// bites: candidates are visited in cheap-bound order, the running
+    /// kth-best distance prunes whole tails in bulk, survivors face the
+    /// tier-1 bound and finally an early-abandoning DP.
+    ///
+    /// Identical to `top_k` over a naive exact row at any thread count.
+    pub fn knn_lists(&self, queries: &[usize], k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        let _span = self.metrics.as_ref().map(|m| m.knn_seconds.start_timer());
+        self.query_map(queries, threads, |q, s| self.knn_one(q, k, s))
+    }
+
+    /// Dense exact rows (`out[qi][j] = dist(queries[qi], j)`, including
+    /// `j == q`), parallelized over queries — the drop-in engine behind
+    /// the eval harness's dense ground truth.
+    pub fn rows(&self, queries: &[usize], threads: usize) -> Vec<Vec<f64>> {
+        let _span = self.metrics.as_ref().map(|m| m.knn_seconds.start_timer());
+        let n = self.trajs.len();
+        self.query_map(queries, threads, |q, s| {
+            (0..n).map(|j| self.pair_exact(q, j, s)).collect()
+        })
+    }
+
+    /// Exact distances from `from` to each index in `to` (sparse row) —
+    /// used by top-k ground truth to score method rankings on demand.
+    pub fn distances(&self, from: usize, to: &[usize]) -> Vec<f64> {
+        let mut s = Scratch::default();
+        let out = to
+            .iter()
+            .map(|&j| self.pair_exact(from, j, &mut s))
+            .collect();
+        if let Some(m) = &self.metrics {
+            m.flush(s.tally);
+        }
+        out
+    }
+
+    fn knn_one(&self, q: usize, k: usize, s: &mut Scratch) -> Vec<Neighbor> {
+        let n = self.trajs.len();
+        let mut heap = NeighborHeap::new(k);
+        if k == 0 {
+            return heap.into_sorted();
+        }
+        let Some(acc) = self.accel else {
+            for j in 0..n {
+                if j == q {
+                    continue;
+                }
+                s.tally.pairs += 1;
+                let d = self
+                    .measure
+                    .dist(self.trajs[q].points(), self.trajs[j].points());
+                heap.push(j, d);
+            }
+            return heap.into_sorted();
+        };
+        let cq = &self.caches[q];
+        // Visit candidates in ascending cheap-bound order: good neighbours
+        // tighten the threshold early and the sorted bounds let one
+        // comparison discard the whole remaining tail.
+        let mut order: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != q)
+            .map(|j| (lb_cheap(acc, cq, &self.caches[j]), j))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        s.tally.pairs += order.len() as u64;
+        for (pos, &(lb, j)) in order.iter().enumerate() {
+            match heap.threshold() {
+                Some(thr) => {
+                    if lb > thr.dist {
+                        s.tally.lb_pruned += (order.len() - pos) as u64;
+                        break;
+                    }
+                    if lb_tight(acc, cq, &self.caches[j]) > thr.dist {
+                        s.tally.lb_pruned += 1;
+                        continue;
+                    }
+                    match run_kernel(acc, cq, &self.caches[j], thr.dist, s) {
+                        Some(d) => heap.push(j, d),
+                        None => s.tally.ea_abandoned += 1,
+                    }
+                }
+                None => {
+                    let d = run_kernel(acc, cq, &self.caches[j], f64::INFINITY, s)
+                        .expect("kernels never abandon under an infinite threshold");
+                    heap.push(j, d);
+                }
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Maps queries through `f` on up to `threads` workers (order
+    /// preserved), one reusable [`Scratch`] per worker, tallies flushed
+    /// once per worker.
+    fn query_map<R: Send>(
+        &self,
+        queries: &[usize],
+        threads: usize,
+        f: impl Fn(usize, &mut Scratch) -> R + Sync,
+    ) -> Vec<R> {
+        let threads = threads.max(1);
+        if threads == 1 || queries.len() < 2 {
+            let mut s = Scratch::default();
+            let out = queries.iter().map(|&q| f(q, &mut s)).collect();
+            if let Some(m) = &self.metrics {
+                m.flush(s.tally);
+            }
+            return out;
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let fref = &f;
+        let mut parts: Vec<(Vec<R>, Tally)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut s = Scratch::default();
+                        let out: Vec<R> = part.iter().map(|&q| fref(q, &mut s)).collect();
+                        (out, s.tally)
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("ground-truth query worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for (part, tally) in parts {
+            out.extend(part);
+            if let Some(m) = &self.metrics {
+                m.flush(tally);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{top_k, MeasureKind};
+
+    /// A deterministic mixed-length corpus with clusters (so pruning has
+    /// something to bite on) and degenerate members.
+    fn corpus(n: usize) -> Vec<Trajectory> {
+        (0..n as u64)
+            .map(|id| {
+                let h = id.wrapping_mul(0x9E3779B97F4A7C15);
+                let cluster = (h % 5) as f64;
+                let len = 3 + (h >> 8) % 10;
+                let pts = (0..len)
+                    .map(|k| {
+                        let hk = h.wrapping_add(k.wrapping_mul(0xD1B54A32D192ED03));
+                        Point::new(
+                            cluster * 40.0 + (hk % 97) as f64 * 0.11,
+                            cluster * -25.0 + ((hk >> 13) % 89) as f64 * 0.13,
+                        )
+                    })
+                    .collect();
+                Trajectory::new_unchecked(id, pts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_to_naive_for_all_kinds() {
+        let ts = corpus(70);
+        for kind in MeasureKind::ALL {
+            let measure = kind.measure();
+            let mut naive = vec![0.0; ts.len() * ts.len()];
+            for i in 0..ts.len() {
+                for j in i + 1..ts.len() {
+                    let d = measure.dist(ts[i].points(), ts[j].points());
+                    naive[i * ts.len() + j] = d;
+                    naive[j * ts.len() + i] = d;
+                }
+            }
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            for threads in [1, 3] {
+                let m = engine.matrix(threads);
+                assert_eq!(
+                    m,
+                    DistanceMatrix::from_raw(ts.len(), naive.clone()),
+                    "{kind} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_lists_match_naive_top_k() {
+        let ts = corpus(60);
+        let queries: Vec<usize> = vec![0, 7, 31, 59];
+        for kind in MeasureKind::ALL {
+            let measure = kind.measure();
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            for k in [1usize, 5, 12] {
+                let got = engine.knn_lists(&queries, k, 2);
+                for (qi, &q) in queries.iter().enumerate() {
+                    let dists: Vec<f64> = (0..ts.len())
+                        .map(|j| {
+                            if j == q {
+                                f64::INFINITY
+                            } else {
+                                measure.dist(ts[q].points(), ts[j].points())
+                            }
+                        })
+                        .collect();
+                    let mut expect = top_k(&dists, k);
+                    expect.retain(|n| n.dist.is_finite() || n.index != q);
+                    assert_eq!(got[qi], expect, "{kind} q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_match_naive_and_include_self() {
+        let ts = corpus(25);
+        let queries = vec![0usize, 11, 24];
+        for kind in MeasureKind::ALL {
+            let measure = kind.measure();
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            let rows = engine.rows(&queries, 2);
+            for (qi, &q) in queries.iter().enumerate() {
+                let naive: Vec<f64> = ts
+                    .iter()
+                    .map(|t| measure.dist(ts[q].points(), t.points()))
+                    .collect();
+                assert_eq!(rows[qi], naive, "{kind} q={q}");
+                assert_eq!(rows[qi][q], 0.0);
+            }
+            let sparse = engine.distances(queries[0], &[3, 9, 3]);
+            assert_eq!(sparse[0], sparse[2]);
+            assert_eq!(sparse[1], measure.dist(ts[0].points(), ts[9].points()));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_corpora_are_handled() {
+        let measure = MeasureKind::Dtw.measure();
+        let empty: Vec<Trajectory> = Vec::new();
+        let engine = GroundTruthEngine::new(&*measure, &empty);
+        assert!(engine.is_empty());
+        assert_eq!(engine.matrix(4).n(), 0);
+        assert!(engine.knn_lists(&[], 5, 2).is_empty());
+
+        let one = corpus(1);
+        let engine = GroundTruthEngine::new(&*measure, &one);
+        assert_eq!(engine.len(), 1);
+        assert_eq!(engine.matrix(4).n(), 1);
+        assert!(engine.knn_lists(&[0], 5, 1)[0].is_empty());
+        // A corpus containing an empty trajectory yields infinite rows,
+        // not panics.
+        let mut ts = corpus(4);
+        ts.push(Trajectory::new_unchecked(99, vec![]));
+        let engine = GroundTruthEngine::new(&*measure, &ts);
+        let m = engine.matrix(2);
+        assert_eq!(m.get(0, 4), f64::INFINITY);
+        let nn = engine.knn_lists(&[4], 2, 1);
+        assert_eq!(nn[0].len(), 2);
+        assert_eq!(nn[0][0].dist, f64::INFINITY);
+    }
+
+    #[test]
+    fn metrics_record_pairs_and_prunes() {
+        let ts = corpus(80);
+        let measure = MeasureKind::Dtw.measure();
+        let registry = Registry::new();
+        let engine = GroundTruthEngine::new(&*measure, &ts).with_metrics(&registry);
+        let queries: Vec<usize> = (0..ts.len()).collect();
+        let _ = engine.knn_lists(&queries, 5, 2);
+        let _ = engine.matrix(2);
+        let report = registry.snapshot();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        let pairs = counter(names::MEASURES_PAIRS_TOTAL);
+        let pruned = counter(names::MEASURES_LB_PRUNED_TOTAL);
+        assert_eq!(pairs as usize, ts.len() * (ts.len() - 1) + 80 * 79 / 2);
+        assert!(pruned > 0, "clustered corpus must prune");
+        assert!(counter(names::MEASURES_DP_CELLS_TOTAL) > 0);
+        assert!(report
+            .gauges
+            .iter()
+            .any(|(n, _)| n == names::MEASURES_PRUNE_RATE));
+        assert_eq!(
+            report
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with("neutraj_measures_"))
+                .count(),
+            2
+        );
+    }
+}

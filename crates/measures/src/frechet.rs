@@ -1,6 +1,6 @@
 //! Discrete Fréchet distance.
 
-use crate::Measure;
+use crate::{Accel, Measure};
 use neutraj_trajectory::Point;
 
 /// The discrete Fréchet distance (Alt & Godau; Eiter & Mannila's coupling
@@ -68,6 +68,10 @@ impl Measure for DiscreteFrechet {
 
     fn lower_bound(&self, a: &[Point], b: &[Point]) -> f64 {
         DiscreteFrechet::lower_bound(a, b)
+    }
+
+    fn accel(&self) -> Option<Accel> {
+        Some(Accel::Frechet)
     }
 }
 

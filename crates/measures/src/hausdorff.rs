@@ -73,6 +73,10 @@ impl Measure for Hausdorff {
         };
         dir(a, &mbr_b).max(dir(b, &mbr_a))
     }
+
+    fn accel(&self) -> Option<crate::Accel> {
+        Some(crate::Accel::Hausdorff)
+    }
 }
 
 #[cfg(test)]

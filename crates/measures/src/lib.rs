@@ -23,8 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 mod bruteforce;
 mod dtw;
+pub mod engine;
 mod erp;
 mod extra;
 mod frechet;
@@ -32,10 +34,12 @@ mod hausdorff;
 mod matrix;
 pub mod timed;
 
+pub use bounds::TrajCache;
 pub use bruteforce::{
     knn_query, knn_scan, knn_scan_pruned, partial_sort_neighbors, top_k, Neighbor, NeighborHeap,
 };
 pub use dtw::Dtw;
+pub use engine::GroundTruthEngine;
 pub use erp::Erp;
 pub use extra::{Edr, Lcss, Sspd};
 pub use frechet::DiscreteFrechet;
@@ -72,6 +76,36 @@ pub trait Measure: Send + Sync {
     fn lower_bound(&self, _a: &[Point], _b: &[Point]) -> f64 {
         0.0
     }
+
+    /// Which accelerated kernel of the [`GroundTruthEngine`] computes this
+    /// measure, if any. The default (`None`) routes every pair through
+    /// [`Measure::dist`] unchanged, so custom measures keep working; the
+    /// four paper measures override this to unlock the lower-bound
+    /// cascade, early-abandoning DPs and grid-bucketed Hausdorff.
+    ///
+    /// Implementations must guarantee that the accelerated kernel is
+    /// **bit-identical** to [`Measure::dist`] (see `tests/pruning.rs`).
+    fn accel(&self) -> Option<Accel> {
+        None
+    }
+}
+
+/// The accelerated ground-truth kernels of [`GroundTruthEngine`], chosen
+/// via [`Measure::accel`]. Carries the parameters the kernel needs beyond
+/// the point sequences themselves (only ERP's gap point today).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Accel {
+    /// Early-abandoning min-sum DP (Dynamic Time Warping).
+    Dtw,
+    /// Early-abandoning min-max DP (discrete Fréchet).
+    Frechet,
+    /// Grid-bucketed directed scans (symmetric Hausdorff).
+    Hausdorff,
+    /// Early-abandoning edit DP with the given gap reference point.
+    Erp {
+        /// The gap reference point `g` of the measure instance.
+        gap: Point,
+    },
 }
 
 /// Identifier of the measures the paper evaluates, convenient for CLI

@@ -1,7 +1,9 @@
 //! Pairwise distance matrices.
 
 use crate::bruteforce::{partial_sort_neighbors, Neighbor};
+use crate::engine::GroundTruthEngine;
 use crate::Measure;
+use neutraj_obs::Registry;
 use neutraj_trajectory::Trajectory;
 
 /// Aggregates over the finite off-diagonal entries of a
@@ -32,71 +34,39 @@ pub struct DistanceMatrix {
 impl DistanceMatrix {
     /// Computes all pairwise distances of `trajectories` under `measure`,
     /// sequentially. Diagonal entries are 0 by definition.
+    ///
+    /// Thin forward to [`GroundTruthEngine::matrix`] with one worker —
+    /// same bits as the historical double loop, with the engine's
+    /// per-thread scratch reuse and accelerated kernels.
     pub fn compute(measure: &dyn Measure, trajectories: &[Trajectory]) -> Self {
-        let n = trajectories.len();
-        let mut data = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let d = measure.dist(trajectories[i].points(), trajectories[j].points());
-                data[i * n + j] = d;
-                data[j * n + i] = d;
-            }
-        }
-        Self { n, data }
+        GroundTruthEngine::new(measure, trajectories).matrix(1)
     }
 
     /// Computes all pairwise distances using `threads` worker threads.
     ///
-    /// Rows are dealt round-robin (row `i` costs `n - i` distance calls, so
-    /// striding balances the triangular workload well).
+    /// Thin forward to [`GroundTruthEngine::matrix`]: upper-triangle tiles
+    /// are handed to workers by an atomic work-stealing counter, so the
+    /// triangular workload balances without the old round-robin row
+    /// striding. Results are bit-identical at any thread count.
     pub fn compute_parallel(
         measure: &dyn Measure,
         trajectories: &[Trajectory],
         threads: usize,
     ) -> Self {
-        let n = trajectories.len();
-        let threads = threads.max(1).min(n.max(1));
-        if threads == 1 || n < 32 {
-            return Self::compute(measure, trajectories);
-        }
-        // Each worker produces its rows' upper-triangle segments.
-        let mut rows: Vec<Vec<(usize, Vec<f64>)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut i = t;
-                        while i < n {
-                            let mut row = Vec::with_capacity(n - i - 1);
-                            for j in i + 1..n {
-                                row.push(
-                                    measure
-                                        .dist(trajectories[i].points(), trajectories[j].points()),
-                                );
-                            }
-                            out.push((i, row));
-                            i += threads;
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                rows.push(h.join().expect("distance worker panicked"));
-            }
-        });
-        let mut data = vec![0.0; n * n];
-        for worker_rows in rows {
-            for (i, row) in worker_rows {
-                for (off, d) in row.into_iter().enumerate() {
-                    let j = i + 1 + off;
-                    data[i * n + j] = d;
-                    data[j * n + i] = d;
-                }
-            }
-        }
-        Self { n, data }
+        GroundTruthEngine::new(measure, trajectories).matrix(threads)
+    }
+
+    /// [`Self::compute_parallel`] with the engine's `neutraj_measures_*`
+    /// counters and timers recorded into `registry`.
+    pub fn compute_instrumented(
+        measure: &dyn Measure,
+        trajectories: &[Trajectory],
+        threads: usize,
+        registry: &Registry,
+    ) -> Self {
+        GroundTruthEngine::new(measure, trajectories)
+            .with_metrics(registry)
+            .matrix(threads)
     }
 
     /// Builds a matrix from raw row-major data. Panics when `data` is not

@@ -1,0 +1,185 @@
+//! Property-based bit-identity tests of the pruned ground-truth engine:
+//! for every measure, every engine entry point must return **exactly** the
+//! bits the naive per-pair kernels produce, at any thread count. Pruning
+//! that perturbs even one ULP is a bug, not an approximation.
+
+use neutraj_measures::{
+    top_k, DistanceMatrix, Edr, GroundTruthEngine, Lcss, Measure, MeasureKind, Neighbor,
+};
+use neutraj_trajectory::{Point, Trajectory};
+use proptest::prelude::*;
+
+/// Random corpus with clustered trajectories (so bounds actually prune),
+/// mixed lengths, and occasional empty / single-point degenerates.
+fn arb_corpus(n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
+    prop::collection::vec(
+        (
+            0u8..4,                                                    // cluster
+            prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 0..9), // jitter offsets
+        ),
+        n..n + 1,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cluster, offs))| {
+                let (cx, cy) = (cluster as f64 * 60.0, cluster as f64 * -45.0);
+                let pts = offs
+                    .into_iter()
+                    .map(|(dx, dy)| Point::new(cx + dx, cy + dy))
+                    .collect();
+                Trajectory::new_unchecked(i as u64, pts)
+            })
+            .collect()
+    })
+}
+
+/// Every measure with an accelerated kernel, plus two passthrough
+/// measures (no `accel()`) that must still route correctly through the
+/// engine's drivers.
+fn all_measures() -> Vec<(String, Box<dyn Measure>)> {
+    let mut out: Vec<(String, Box<dyn Measure>)> = MeasureKind::ALL
+        .iter()
+        .map(|k| (k.name().to_string(), k.measure()))
+        .collect();
+    out.push(("EDR".into(), Box::new(Edr::new(1.5))));
+    out.push(("LCSS".into(), Box::new(Lcss::new(1.5))));
+    out
+}
+
+fn naive_matrix(measure: &dyn Measure, ts: &[Trajectory]) -> DistanceMatrix {
+    let n = ts.len();
+    let mut data = vec![0.0; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = measure.dist(ts[i].points(), ts[j].points());
+            data[i * n + j] = d;
+            data[j * n + i] = d;
+        }
+    }
+    DistanceMatrix::from_raw(n, data)
+}
+
+fn naive_knn(measure: &dyn Measure, ts: &[Trajectory], q: usize, k: usize) -> Vec<Neighbor> {
+    let dists: Vec<f64> = ts
+        .iter()
+        .enumerate()
+        .map(|(j, t)| {
+            if j == q {
+                f64::NAN // sorts last under total_cmp; never in top-k here
+            } else {
+                measure.dist(ts[q].points(), t.points())
+            }
+        })
+        .collect();
+    let mut nn = top_k(&dists, k);
+    nn.retain(|n| n.index != q);
+    nn
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole guarantee: engine matrices are bit-identical to the
+    /// naive double loop for every measure at thread counts 1, 2 and 4,
+    /// symmetric, and zero on the diagonal.
+    #[test]
+    fn matrix_is_bit_identical_at_any_thread_count(ts in arb_corpus(24)) {
+        for (name, measure) in all_measures() {
+            let naive = naive_matrix(&*measure, &ts);
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            for threads in [1usize, 2, 4] {
+                let m = engine.matrix(threads);
+                prop_assert_eq!(&m, &naive, "{} threads={}", name, threads);
+            }
+            for i in 0..ts.len() {
+                prop_assert_eq!(naive.get(i, i), 0.0);
+                for j in 0..ts.len() {
+                    // Bitwise symmetry, NaN-safe.
+                    prop_assert_eq!(
+                        naive.get(i, j).to_bits(),
+                        naive.get(j, i).to_bits(),
+                        "{} asymmetric at ({}, {})", name, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// knn lists under the full cascade (cheap bound ordering, bulk tail
+    /// pruning, tight bounds, early-abandoning DPs) equal a naive top-k
+    /// of the exact row — same indices, same distance bits, same tie
+    /// order — at every k and thread count.
+    #[test]
+    fn knn_lists_are_bit_identical(ts in arb_corpus(20), k in 1usize..8) {
+        let queries: Vec<usize> = (0..ts.len()).collect();
+        for (name, measure) in all_measures() {
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            for threads in [1usize, 3] {
+                let got = engine.knn_lists(&queries, k, threads);
+                for (&q, got_q) in queries.iter().zip(&got) {
+                    let want = naive_knn(&*measure, &ts, q, k);
+                    prop_assert_eq!(
+                        got_q, &want,
+                        "{} q={} k={} threads={}", name, q, k, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dense rows (self included) and sparse `distances` agree with the
+    /// direct per-pair calls bit-for-bit.
+    #[test]
+    fn rows_and_sparse_distances_are_bit_identical(ts in arb_corpus(14)) {
+        let queries: Vec<usize> = (0..ts.len()).step_by(3).collect();
+        for (name, measure) in all_measures() {
+            let engine = GroundTruthEngine::new(&*measure, &ts);
+            let rows = engine.rows(&queries, 2);
+            for (&q, row) in queries.iter().zip(&rows) {
+                let want: Vec<f64> = ts
+                    .iter()
+                    .map(|t| measure.dist(ts[q].points(), t.points()))
+                    .collect();
+                prop_assert_eq!(row, &want, "{} q={}", name, q);
+            }
+            let subset: Vec<usize> = (0..ts.len()).step_by(2).collect();
+            let sparse = engine.distances(queries[0], &subset);
+            for (&j, &d) in subset.iter().zip(&sparse) {
+                let want = measure.dist(ts[queries[0]].points(), ts[j].points());
+                prop_assert_eq!(d.to_bits(), want.to_bits(), "{} j={}", name, j);
+            }
+        }
+    }
+}
+
+/// The public matrix entry points are now engine forwards; pin the
+/// equivalence on a deterministic corpus as a plain test too (fast signal
+/// when proptest shrinking is unavailable).
+#[test]
+fn distance_matrix_forwards_match_engine() {
+    let ts: Vec<Trajectory> = (0..40u64)
+        .map(|id| {
+            let pts = (0..5 + id % 7)
+                .map(|k| {
+                    Point::new(
+                        (id % 4) as f64 * 30.0 + k as f64 * 0.7,
+                        (id % 4) as f64 * 20.0 + (k * k % 5) as f64,
+                    )
+                })
+                .collect();
+            Trajectory::new_unchecked(id, pts)
+        })
+        .collect();
+    for kind in MeasureKind::ALL {
+        let measure = kind.measure();
+        let naive = naive_matrix(&*measure, &ts);
+        assert_eq!(DistanceMatrix::compute(&*measure, &ts), naive, "{kind}");
+        assert_eq!(
+            DistanceMatrix::compute_parallel(&*measure, &ts, 4),
+            naive,
+            "{kind}"
+        );
+    }
+}

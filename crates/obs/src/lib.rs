@@ -390,6 +390,25 @@ pub mod names {
     /// Counter: inserts/queries rejected by input validation (empty or
     /// non-finite trajectories) before they could poison the store.
     pub const DB_REJECTS_TOTAL: &str = "neutraj_db_rejects_total";
+
+    /// Counter: candidate pairs considered by the exact ground-truth
+    /// engine (matrix cells, knn candidates, eval rows).
+    pub const MEASURES_PAIRS_TOTAL: &str = "neutraj_measures_pairs_total";
+    /// Counter: pairs discarded by the lower-bound cascade before any DP
+    /// cell was computed.
+    pub const MEASURES_LB_PRUNED_TOTAL: &str = "neutraj_measures_lb_pruned_total";
+    /// Counter: dynamic programs abandoned mid-flight once every frontier
+    /// cell exceeded the running threshold.
+    pub const MEASURES_EA_ABANDONED_TOTAL: &str = "neutraj_measures_ea_abandoned_total";
+    /// Counter: DP cells (or Hausdorff point probes) actually computed.
+    pub const MEASURES_DP_CELLS_TOTAL: &str = "neutraj_measures_dp_cells_total";
+    /// Histogram: wall-clock seconds per distance-matrix build.
+    pub const MEASURES_MATRIX_SECONDS: &str = "neutraj_measures_matrix_seconds";
+    /// Histogram: wall-clock seconds per knn-list / row batch.
+    pub const MEASURES_KNN_SECONDS: &str = "neutraj_measures_knn_seconds";
+    /// Derived gauge (computed at snapshot time, never registered):
+    /// `measures_lb_pruned_total / measures_pairs_total`.
+    pub const MEASURES_PRUNE_RATE: &str = "neutraj_measures_prune_rate";
 }
 
 // ---------------------------------------------------------------------------
@@ -468,7 +487,8 @@ impl Registry {
         self.len() == 0
     }
 
-    /// A point-in-time copy of every instrument, sorted by name.
+    /// A point-in-time copy of every instrument, sorted by name, plus the
+    /// derived gauges of [`MetricsReport::add_derived_gauges`].
     pub fn snapshot(&self) -> MetricsReport {
         let m = self.metrics.lock().expect("obs registry poisoned");
         let mut report = MetricsReport::default();
@@ -479,6 +499,7 @@ impl Registry {
                 Metric::Histogram(h) => report.histograms.push(h.snapshot(name)),
             }
         }
+        report.add_derived_gauges();
         report
     }
 }
@@ -534,6 +555,38 @@ impl MetricsReport {
     /// Returns `true` when the report carries no instruments at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Appends gauges derived from counter ratios — today only
+    /// [`names::MEASURES_PRUNE_RATE`] (`lb_pruned / pairs` of the exact
+    /// ground-truth engine). Derived gauges exist only in snapshots; they
+    /// are never registered, so producers cannot write them and repeated
+    /// snapshots stay idempotent. No-op when the source counters are
+    /// absent, when no pair was recorded, or when the name is already
+    /// taken by a real gauge.
+    pub fn add_derived_gauges(&mut self) {
+        let counter = |name: &str| {
+            self.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        let (Some(pairs), Some(pruned)) = (
+            counter(names::MEASURES_PAIRS_TOTAL),
+            counter(names::MEASURES_LB_PRUNED_TOTAL),
+        ) else {
+            return;
+        };
+        if pairs == 0 {
+            return;
+        }
+        let name = names::MEASURES_PRUNE_RATE;
+        match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(_) => {}
+            Err(pos) => self
+                .gauges
+                .insert(pos, (name.to_string(), pruned as f64 / pairs as f64)),
+        }
     }
 
     /// Renders the report as a self-contained JSON object:
@@ -766,6 +819,63 @@ mod tests {
         let r = Registry::new();
         r.gauge("neutraj_test_x");
         r.counter("neutraj_test_x");
+    }
+
+    #[test]
+    fn prune_rate_gauge_is_derived_at_snapshot_time() {
+        let r = Registry::new();
+        // No measures counters yet: no derived gauge.
+        r.counter("neutraj_db_queries_total").inc();
+        assert!(!r
+            .snapshot()
+            .gauges
+            .iter()
+            .any(|(n, _)| n == names::MEASURES_PRUNE_RATE));
+
+        // Counters present but zero pairs: still absent (no 0/0 noise).
+        let pairs = r.counter(names::MEASURES_PAIRS_TOTAL);
+        let pruned = r.counter(names::MEASURES_LB_PRUNED_TOTAL);
+        assert!(!r
+            .snapshot()
+            .gauges
+            .iter()
+            .any(|(n, _)| n == names::MEASURES_PRUNE_RATE));
+
+        pairs.add(200);
+        pruned.add(150);
+        let report = r.snapshot();
+        let rate = report
+            .gauges
+            .iter()
+            .find(|(n, _)| n == names::MEASURES_PRUNE_RATE)
+            .map(|&(_, v)| v)
+            .expect("derived gauge present");
+        assert_eq!(rate, 0.75);
+        // Gauges stay name-sorted so JSON/Prometheus output is stable.
+        let mut sorted = report.gauges.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(report.gauges, sorted);
+        // Rendered in both export formats.
+        assert!(report
+            .to_json()
+            .contains("\"neutraj_measures_prune_rate\": 0.75"));
+        assert!(report
+            .to_prometheus()
+            .contains("# TYPE neutraj_measures_prune_rate gauge"));
+        // The derived name is snapshot-only: a registry that *does* carry
+        // a real gauge under the name keeps its value untouched.
+        let r2 = Registry::new();
+        r2.counter(names::MEASURES_PAIRS_TOTAL).add(10);
+        r2.counter(names::MEASURES_LB_PRUNED_TOTAL).add(1);
+        r2.gauge(names::MEASURES_PRUNE_RATE).set(0.5);
+        let report2 = r2.snapshot();
+        let vals: Vec<f64> = report2
+            .gauges
+            .iter()
+            .filter(|(n, _)| n == names::MEASURES_PRUNE_RATE)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(vals, vec![0.5], "real gauge wins, no duplicate");
     }
 
     #[test]

@@ -64,7 +64,7 @@ USAGE:
                    [--seeds N] [--dim D] [--epochs E] [--cell-size M]
                    [--seed S] [--threads T] --out MODEL.ntm
                    [--checkpoint-dir DIR [--checkpoint-every N]
-                    [--halt-after N] [--resume]]
+                    [--halt-after N] [--resume]] [--metrics]
   neutraj embed    --model MODEL.ntm --data FILE.csv --out EMB.csv
   neutraj knn      --model MODEL.ntm --data FILE.csv --query ID --k K
                    [--measure M --rerank] [--metrics]";
@@ -182,7 +182,16 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         measure_kind
     );
     let measure = measure_kind.measure();
-    let dist = DistanceMatrix::compute_parallel(&*measure, &rescaled, threads);
+    let dist = if flags.contains_key("metrics") {
+        let registry = Registry::new();
+        let dist = DistanceMatrix::compute_instrumented(&*measure, &rescaled, threads, &registry);
+        // Ground-truth engine counters (pairs / prunes / DP cells) for the
+        // seed matrix, in Prometheus text like `neutraj knn --metrics`.
+        eprint!("{}", registry.snapshot().to_prometheus());
+        dist
+    } else {
+        DistanceMatrix::compute_parallel(&*measure, &rescaled, threads)
+    };
     let cfg = TrainConfig {
         dim,
         epochs,
