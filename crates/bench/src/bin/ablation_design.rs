@@ -29,6 +29,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     println!(
         "Design ablations (Porto-like size={}, Hausdorff, {} queries, {} epochs)\n",

@@ -54,6 +54,7 @@ fn main() {
         dim: 0,
         seed: 2019,
         full: false,
+        ann: false,
     });
     let threads = default_threads();
     let world = ExperimentWorld::build(WorldConfig {

@@ -14,28 +14,46 @@
 //! * **serving** — the end-to-end `SimilarityDb::search_batch` pipeline
 //!   (embed → GEMM scan → exact re-rank) with metrics *disabled* vs
 //!   *enabled*, backing the "near-zero overhead when off" claim of
-//!   `DESIGN.md`'s Observability section. The enabled run's
+//!   `DESIGN.md`'s Observability section, plus the same pipeline through
+//!   the IVF shortlist (`.shortlist_ann`). The instrumented run's
 //!   [`neutraj_obs::MetricsReport`] is embedded in `BENCH_query.json`
 //!   under `"metrics"` and also written as Prometheus text to
-//!   `BENCH_query.prom`.
+//!   `BENCH_query.prom` — including the `neutraj_ann_*` probe counters.
+//! * **ann** (`--ann`) — the IVF shortlist + exact-rerank scan against
+//!   the exhaustive GEMM scan, sweeping N ∈ {100k, 1M} × nprobe over a
+//!   clustered corpus (real trajectory embeddings concentrate around
+//!   motion patterns — the regime IVF exploits). Each operating point
+//!   records recall@10, qps and p50/p99 latency; the run **panics**
+//!   unless some swept nprobe reaches recall@10 ≥ 0.98, unless the full
+//!   probe is bit-identical to the exhaustive scan, and (at N ≥ 1M)
+//!   unless that operating point clears a ≥10x qps speedup over the
+//!   exhaustive GEMM path.
 //!
 //! All result pairs are bit-for-bit result-checked in this binary before
 //! any timing is reported — the speedups below are for *identical*
-//! answers (see `DESIGN.md`, "Serving path").
+//! answers (see `DESIGN.md`, "Serving path"; the sub-`nlists` probe
+//! sweep is the one deliberately approximate measurement, and it is
+//! gated on measured recall instead).
 //!
 //! ```text
-//! cargo run -p neutraj-bench --release --bin bench_query [-- --size 5000 --queries 8]
+//! cargo run -p neutraj-bench --release --bin bench_query [-- --size 5000 --queries 8 --ann]
 //! ```
 //!
 //! `--size N` replaces the default {10k, 100k} corpus sweep with a
 //! single corpus of N rows (the CI smoke run uses this); `--queries`
-//! sets the query batch size B; `--dim` the embedding dimension.
+//! sets the query batch size B; `--dim` the embedding dimension;
+//! `--ann` enables the ANN sweep (over {100k, 1M}, or `--size`).
 
 use std::time::Instant;
 
-use neutraj_measures::DiscreteFrechet;
-use neutraj_model::{BackboneKind, EmbeddingStore, NeuTrajModel, Query, SimilarityDb, TrainConfig};
-use neutraj_obs::{MetricsReport, Registry};
+use neutraj_cluster::{KMeans, KMeansParams};
+use neutraj_index::IvfIndex;
+use neutraj_measures::{DiscreteFrechet, Neighbor};
+use neutraj_model::{
+    AnnIndex, AnnParams, BackboneKind, EmbeddingStore, NeuTrajModel, Query, SimilarityDb,
+    TrainConfig,
+};
+use neutraj_obs::{names, MetricsReport, Registry};
 use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
 
 /// Search depth; k = 10 matches the paper's top-k experiments.
@@ -53,6 +71,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     let sizes: Vec<usize> = if cli.size == 0 {
         vec![10_000, 100_000]
@@ -72,13 +91,47 @@ fn main() {
     let embed_rows = [BackboneKind::SamLstm, BackboneKind::Lstm, BackboneKind::Gru]
         .map(|kind| bench_embed(kind, cli.dim, cli.queries, cli.seed));
 
-    let serving = bench_serving(*sizes.iter().min().unwrap(), cli.dim, cli.queries, cli.seed);
-    let prom = serving.report.to_prometheus();
+    // One registry shared by the ANN sweep and the instrumented serving
+    // leg, so every neutraj_* series (including the ann probe counters)
+    // lands in a single exported snapshot.
+    let registry = Registry::new();
+
+    let ann_sections: Vec<AnnSection> = if cli.ann {
+        let ann_sizes: Vec<usize> = if cli.size == 0 {
+            vec![100_000, 1_000_000]
+        } else {
+            vec![cli.size]
+        };
+        ann_sizes
+            .iter()
+            .map(|&n| bench_ann(n, cli.dim, cli.queries, cli.seed, &registry))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let serving = bench_serving(
+        *sizes.iter().min().unwrap(),
+        cli.dim,
+        cli.queries,
+        cli.seed,
+        &registry,
+    );
+    let report = registry.snapshot();
+    let prom = report.to_prometheus();
     print!("{prom}");
     std::fs::write("BENCH_query.prom", prom).expect("write BENCH_query.prom");
     println!("wrote BENCH_query.prom");
 
-    let json = render_json(&cli, host_cpus, &scan_rows, &embed_rows, &serving);
+    let json = render_json(
+        &cli,
+        host_cpus,
+        &scan_rows,
+        &embed_rows,
+        &serving,
+        &ann_sections,
+        &report,
+    );
     let path = "BENCH_query.json";
     std::fs::write(path, json).expect("write BENCH_query.json");
     println!("wrote {path}");
@@ -99,13 +152,37 @@ struct EmbedRow {
 }
 
 /// End-to-end serving measurement: `search_batch` with re-ranking, with
-/// the metrics registry detached vs attached, plus the attached run's
-/// snapshot.
+/// the metrics registry detached vs attached, plus the same pipeline
+/// through the IVF shortlist.
 struct ServingRow {
     n: usize,
     disabled_qps: f64,
     enabled_qps: f64,
-    report: MetricsReport,
+    ann_qps: f64,
+    ann_nlists: usize,
+    ann_nprobe: usize,
+}
+
+/// One ANN operating point: recall and latency at a probe width.
+struct AnnRow {
+    nprobe: usize,
+    recall: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    scanned_frac: f64,
+}
+
+/// The ANN sweep over one corpus size, with its exhaustive baseline.
+struct AnnSection {
+    n: usize,
+    nlists: usize,
+    gemm_qps: f64,
+    build_secs: f64,
+    rows: Vec<AnnRow>,
+    /// Index into `rows` of the serving operating point — the narrowest
+    /// swept nprobe with recall@10 ≥ 0.98.
+    best: usize,
 }
 
 fn bench_scan(n: usize, dim: usize, batch: usize, seed: u64) -> ScanRow {
@@ -201,7 +278,7 @@ fn bench_embed(kind: BackboneKind, dim: usize, batch: usize, seed: u64) -> Embed
     }
 }
 
-fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
+fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64, registry: &Registry) -> ServingRow {
     let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
     let cfg = TrainConfig {
         backbone: BackboneKind::SamLstm,
@@ -222,8 +299,8 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
     // Instrumentation is observation-only: attached vs detached runs
     // must return the exact same neighbors.
     let plain = db.search_batch(&queries, &query).unwrap();
-    let registry = Registry::new();
-    db.instrument(&registry);
+    let check_registry = Registry::new();
+    db.instrument(&check_registry);
     assert_eq!(
         plain,
         db.search_batch(&queries, &query).unwrap(),
@@ -234,7 +311,6 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
     // Interleaved best-of-N: the off/on comparison is a ~1% effect, far
     // below the noise floor of a single 0.25 s window on a busy host, so
     // alternate the two configurations and keep each one's best rate.
-    let registry = Registry::new();
     let mut disabled_qps = 0.0f64;
     let mut enabled_qps = 0.0f64;
     for _ in 0..5 {
@@ -242,7 +318,7 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
         disabled_qps = disabled_qps.max(time_qps(batch, || {
             let _ = std::hint::black_box(db.search_batch(&queries, &query));
         }));
-        db.instrument(&registry);
+        db.instrument(registry);
         enabled_qps = enabled_qps.max(time_qps(batch, || {
             let _ = std::hint::black_box(db.search_batch(&queries, &query));
         }));
@@ -251,12 +327,232 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64) -> ServingRow {
         "  serving n={n}: metrics off {disabled_qps:.1} q/s, on {enabled_qps:.1} q/s ({:+.2}% overhead)",
         (disabled_qps / enabled_qps - 1.0) * 100.0
     );
+
+    // ANN serving leg: the same embed → shortlist → exact-rerank
+    // pipeline through the IVF index. Probing every list must reproduce
+    // the exhaustive results bit-for-bit; the timed run then probes a
+    // fraction of the lists while instrumented, so the exported registry
+    // carries non-zero `neutraj_ann_*` counters.
+    db.build_ann_index(&AnnParams {
+        nlists: isqrt(n).max(2),
+        ..Default::default()
+    })
+    .expect("serving corpus is non-empty");
+    let nlists = db.ann_index().expect("just built").nlists();
+    let full_probe = Query::new(K)
+        .shortlist(50)
+        .rerank(&DiscreteFrechet)
+        .shortlist_ann(nlists);
+    assert_eq!(
+        plain,
+        db.search_batch(&queries, &full_probe).unwrap(),
+        "ANN full probe changed serving results"
+    );
+    let nprobe = (nlists / 8).max(1);
+    let ann_query = Query::new(K)
+        .shortlist(50)
+        .rerank(&DiscreteFrechet)
+        .shortlist_ann(nprobe);
+    let ann_qps = time_qps(batch, || {
+        let _ = std::hint::black_box(db.search_batch(&queries, &ann_query));
+    });
+    println!(
+        "  serving n={n}: ann shortlist (nprobe {nprobe}/{nlists}) {ann_qps:.1} q/s ({:.2}x vs exhaustive)",
+        ann_qps / enabled_qps
+    );
     ServingRow {
         n,
         disabled_qps,
         enabled_qps,
-        report: registry.snapshot(),
+        ann_qps,
+        ann_nlists: nlists,
+        ann_nprobe: nprobe,
     }
+}
+
+/// The IVF shortlist scan versus the exhaustive GEMM scan over one
+/// clustered N-row corpus, swept across nprobe.
+///
+/// The corpus is `nlists` Gaussian-ish blobs (centres ± small jitter)
+/// with `nlists = ⌈√N⌉`, the standard IVF sizing; queries are jittered
+/// corpus rows, so every query has a well-defined home cell and the
+/// exhaustive top-10 is a meaningful recall target. Three gates run
+/// in-process (panic on failure, so CI cannot silently regress):
+///
+/// * probing all `nlists` lists is bit-identical to `knn_batch`;
+/// * some swept nprobe reaches recall@10 ≥ 0.98;
+/// * at N ≥ 1M that operating point is ≥ 10x the exhaustive GEMM qps.
+fn bench_ann(n: usize, dim: usize, batch: usize, seed: u64, registry: &Registry) -> AnnSection {
+    let nlists = isqrt(n).max(4);
+    let mut state = seed ^ 0xd1b5_4a32_d192_ed03;
+    let centers: Vec<f64> = (0..nlists * dim)
+        .map(|_| 100.0 * unit_f64(&mut state))
+        .collect();
+    let store = {
+        let mut store = EmbeddingStore::new(dim);
+        let mut row = vec![0.0; dim];
+        for i in 0..n {
+            let c = &centers[(i % nlists) * dim..(i % nlists + 1) * dim];
+            for (v, &cv) in row.iter_mut().zip(c) {
+                *v = cv + 2.0 * unit_f64(&mut state);
+            }
+            store.push(&row);
+        }
+        store
+    };
+    let stride = (n / batch.max(1)).max(1);
+    let queries: Vec<Vec<f64>> = (0..batch)
+        .map(|i| {
+            store
+                .get((i * stride) % n)
+                .iter()
+                .map(|&v| v + 0.5 * unit_f64(&mut state))
+                .collect()
+        })
+        .collect();
+    let qrefs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+
+    // Train the coarse quantizer and build the inverted lists. Training
+    // sub-samples past 200k rows (centroid quality saturates long before
+    // the full corpus is seen); list assignment always covers every row.
+    let t0 = Instant::now();
+    let quantizer = KMeans::fit(
+        store.as_flat(),
+        dim,
+        &KMeansParams {
+            k: nlists,
+            max_iters: 10,
+            sample: if n > 200_000 { 100_000 } else { 0 },
+            seed,
+        },
+    );
+    let index: AnnIndex = IvfIndex::build(quantizer, store.as_flat());
+    let build_secs = t0.elapsed().as_secs_f64();
+    let nlists = index.nlists(); // k clamps to distinct rows on tiny corpora
+    println!("  ann n={n}: built {nlists}-list IVF index in {build_secs:.1}s");
+
+    // Anchor: probing every list is bit-identical to the exhaustive scan.
+    let truth = store.knn_batch(&qrefs, K);
+    assert_eq!(
+        truth,
+        store.knn_ann_batch(&qrefs, K, &index, nlists).0,
+        "full probe diverged from the exhaustive scan"
+    );
+
+    let gemm_qps = time_qps(batch, || {
+        std::hint::black_box(store.knn_batch(&qrefs, K));
+    });
+
+    let sweep: Vec<usize> = [1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&p| p <= nlists)
+        .collect();
+    let mut rows = Vec::new();
+    for nprobe in sweep {
+        let (approx, stats) = store.knn_ann_batch(&qrefs, K, &index, nprobe);
+        let recall = mean_recall(&truth, &approx, K);
+        registry.gauge(names::ANN_RECALL_AT_K).set(recall);
+        registry
+            .counter(names::ANN_LISTS_PROBED_TOTAL)
+            .add(stats.lists_probed as u64);
+        registry
+            .counter(names::ANN_CANDIDATES_SCANNED_TOTAL)
+            .add(stats.candidates_scanned as u64);
+        let qps = time_qps(batch, || {
+            std::hint::black_box(store.knn_ann_batch(&qrefs, K, &index, nprobe));
+        });
+        let lat = latencies_us(&qrefs, |q| {
+            std::hint::black_box(store.knn_ann_batch(q, K, &index, nprobe));
+        });
+        let row = AnnRow {
+            nprobe,
+            recall,
+            qps,
+            p50_us: percentile(&lat, 0.50),
+            p99_us: percentile(&lat, 0.99),
+            scanned_frac: stats.candidates_scanned as f64 / (qrefs.len() * n) as f64,
+        };
+        println!(
+            "  ann n={n}: nprobe {nprobe:>3} recall@{K} {recall:.4} {qps:.1} q/s ({:.1}x vs gemm) p50 {:.0}us p99 {:.0}us scanned {:.3}%",
+            row.qps / gemm_qps,
+            row.p50_us,
+            row.p99_us,
+            100.0 * row.scanned_frac
+        );
+        rows.push(row);
+    }
+
+    let best = rows
+        .iter()
+        .position(|r| r.recall >= 0.98)
+        .unwrap_or_else(|| panic!("ann n={n}: no swept nprobe reached recall@{K} >= 0.98"));
+    println!(
+        "  ann n={n}: serving point nprobe {} recall@{K} {:.4} {:.1}x vs exhaustive gemm",
+        rows[best].nprobe,
+        rows[best].recall,
+        rows[best].qps / gemm_qps
+    );
+    if n >= 1_000_000 {
+        assert!(
+            rows[best].qps >= 10.0 * gemm_qps,
+            "ann n={n}: {:.1} q/s at recall {:.4} is under 10x the exhaustive {:.1} q/s",
+            rows[best].qps,
+            rows[best].recall,
+            gemm_qps
+        );
+    }
+    AnnSection {
+        n,
+        nlists,
+        gemm_qps,
+        build_secs,
+        rows,
+        best,
+    }
+}
+
+/// Integer square root (rounded), for the √N list-count heuristic.
+fn isqrt(n: usize) -> usize {
+    (n as f64).sqrt().round() as usize
+}
+
+/// Mean fraction of each exhaustive top-`k` recovered by the ANN lists.
+fn mean_recall(truth: &[Vec<Neighbor>], approx: &[Vec<Neighbor>], k: usize) -> f64 {
+    let mut total = 0.0;
+    for (t, a) in truth.iter().zip(approx) {
+        let t = &t[..k.min(t.len())];
+        if t.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let hits = t
+            .iter()
+            .filter(|n| a.iter().any(|m| m.index == n.index))
+            .count();
+        total += hits as f64 / t.len() as f64;
+    }
+    total / truth.len().max(1) as f64
+}
+
+/// Per-query latencies in microseconds: applies `f` to each query singly
+/// until at least 128 samples and 0.1 s accumulate; returns them sorted.
+fn latencies_us(qrefs: &[&[f64]], mut f: impl FnMut(&[&[f64]])) -> Vec<f64> {
+    let mut out = Vec::new();
+    let start = Instant::now();
+    while out.len() < 128 || start.elapsed().as_secs_f64() < 0.1 {
+        for q in qrefs {
+            let t = Instant::now();
+            f(std::slice::from_ref(q));
+            out.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    out.sort_by(|a, b| a.total_cmp(b));
+    out
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
 }
 
 /// Times `f` (which processes `per_round` queries per call) until at
@@ -309,6 +605,8 @@ fn render_json(
     scan: &[ScanRow],
     embed: &[EmbedRow],
     serving: &ServingRow,
+    ann: &[AnnSection],
+    report: &MetricsReport,
 ) -> String {
     let scan_objs = scan
         .iter()
@@ -337,20 +635,61 @@ fn render_json(
         .collect::<Vec<_>>()
         .join(",\n");
     let serving_obj = format!(
-        "  \"serving\": {{\n    \"n\": {},\n    \"metrics_disabled_qps\": {:.2},\n    \"metrics_enabled_qps\": {:.2},\n    \"metrics_overhead\": {:.4}\n  }}",
+        "  \"serving\": {{\n    \"n\": {},\n    \"metrics_disabled_qps\": {:.2},\n    \"metrics_enabled_qps\": {:.2},\n    \"metrics_overhead\": {:.4},\n    \"ann_qps\": {:.2},\n    \"ann_nlists\": {},\n    \"ann_nprobe\": {}\n  }}",
         serving.n,
         serving.disabled_qps,
         serving.enabled_qps,
-        serving.disabled_qps / serving.enabled_qps - 1.0
+        serving.disabled_qps / serving.enabled_qps - 1.0,
+        serving.ann_qps,
+        serving.ann_nlists,
+        serving.ann_nprobe
     );
+    // The ANN block only appears on `--ann` runs; `ann_recall_ok` is the
+    // key the CI smoke greps for. It can only render as true — the sweep
+    // panics before reaching here otherwise — but compute it anyway.
+    let ann_obj = if ann.is_empty() {
+        String::new()
+    } else {
+        let recall_ok = ann.iter().all(|s| s.rows[s.best].recall >= 0.98);
+        let sections = ann
+            .iter()
+            .map(|s| {
+                let sweep = s
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "        {{\n          \"nprobe\": {},\n          \"recall_at_10\": {:.4},\n          \"qps\": {:.2},\n          \"p50_us\": {:.1},\n          \"p99_us\": {:.1},\n          \"speedup_vs_gemm\": {:.4},\n          \"scanned_frac\": {:.6}\n        }}",
+                            r.nprobe, r.recall, r.qps, r.p50_us, r.p99_us, r.qps / s.gemm_qps, r.scanned_frac
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "    {{\n      \"n\": {},\n      \"nlists\": {},\n      \"gemm_qps\": {:.2},\n      \"build_secs\": {:.2},\n      \"best_nprobe\": {},\n      \"best_recall_at_10\": {:.4},\n      \"best_speedup_vs_gemm\": {:.4},\n      \"sweep\": [\n{}\n      ]\n    }}",
+                    s.n,
+                    s.nlists,
+                    s.gemm_qps,
+                    s.build_secs,
+                    s.rows[s.best].nprobe,
+                    s.rows[s.best].recall,
+                    s.rows[s.best].qps / s.gemm_qps,
+                    sweep
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("  \"ann_recall_ok\": {recall_ok},\n  \"ann\": [\n{sections}\n  ],\n")
+    };
     format!(
-        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ],\n{},\n  \"metrics\": {}\n}}\n",
+        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ],\n{},\n{}  \"metrics\": {}\n}}\n",
         cli.dim,
         cli.queries,
         host_cpus,
         scan_objs,
         embed_objs,
         serving_obj,
-        serving.report.to_json_indented(2)
+        ann_obj,
+        report.to_json_indented(2)
     )
 }

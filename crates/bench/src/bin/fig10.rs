@@ -25,6 +25,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     // Synthetic seed count: the paper uses 6,000; scale with corpus size.
     let n_walks = if cli.full { 2000 } else { 300 };

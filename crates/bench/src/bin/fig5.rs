@@ -19,6 +19,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     println!(
         "Fig 5: convergence (loss per epoch), Porto-like size={}, {} epochs\n",

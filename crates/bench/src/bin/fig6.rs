@@ -24,6 +24,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     // Give the world a generous training pool to subsample from.
     let world = ExperimentWorld::build(WorldConfig {

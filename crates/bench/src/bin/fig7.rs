@@ -22,6 +22,7 @@ fn main() {
         dim: 0, // swept
         seed: 2019,
         full: false,
+        ann: false,
     });
     let dims: &[usize] = if cli.full {
         &[8, 16, 32, 64, 128]

@@ -22,6 +22,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     println!(
         "Fig 8: HR@10 vs scan width w (Porto-like size={}, w in 0..=4)\n",

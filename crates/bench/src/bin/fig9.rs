@@ -24,6 +24,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     println!(
         "Fig 9: DBSCAN clustering agreement, exact vs embedding distances (Frechet, Porto-like size={})\n",

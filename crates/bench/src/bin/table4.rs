@@ -29,6 +29,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     if cli.full {
         cli.size = cli.size.max(20_000);

@@ -23,6 +23,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     let mut embed_n = 5_000usize;
     if cli.full {

@@ -24,6 +24,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     println!(
         "Table VII: case study under Frechet (Porto-like size={})\n",

@@ -23,6 +23,7 @@ fn main() {
         dim: 32,
         seed: 2019,
         full: false,
+        ann: false,
     });
     for dataset in [DatasetKind::GeolifeLike, DatasetKind::PortoLike] {
         let world = ExperimentWorld::build(WorldConfig {

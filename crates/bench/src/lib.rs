@@ -4,8 +4,8 @@
 //! paper (see `DESIGN.md` §4 for the index). They share:
 //!
 //! * [`Cli`] — a tiny flag parser (`--size`, `--epochs`, `--dim`,
-//!   `--queries`, `--seed`, `--full`) so runs scale from smoke-test to
-//!   paper-scale without recompiling;
+//!   `--queries`, `--seed`, `--full`, `--ann`) so runs scale from
+//!   smoke-test to paper-scale without recompiling;
 //! * [`AccuracyRow`] / [`run_method_on_measure`] — the evaluation loop
 //!   shared by Tables II/III and Figs. 6–8/10.
 //!
@@ -37,6 +37,8 @@ pub struct Cli {
     pub seed: u64,
     /// Run the larger "paper-scale" configuration.
     pub full: bool,
+    /// Exercise the ANN (IVF shortlist) serving path where supported.
+    pub ann: bool,
 }
 
 impl Cli {
@@ -64,8 +66,11 @@ impl Cli {
                 "--dim" => cli.dim = take_usize("--dim"),
                 "--seed" => cli.seed = take_usize("--seed") as u64,
                 "--full" => cli.full = true,
+                "--ann" => cli.ann = true,
                 "--help" | "-h" => {
-                    eprintln!("flags: --size N --queries N --epochs N --dim N --seed N --full");
+                    eprintln!(
+                        "flags: --size N --queries N --epochs N --dim N --seed N --full --ann"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag: {other} (try --help)"),
@@ -83,6 +88,7 @@ impl Cli {
             dim: 32,
             seed: 2019,
             full: false,
+            ann: false,
         }
     }
 
@@ -176,14 +182,16 @@ mod tests {
         let d = Cli::accuracy_defaults();
         let got = Cli::parse_from(
             d.clone(),
-            ["--size", "99", "--dim", "8", "--full"]
+            ["--size", "99", "--dim", "8", "--full", "--ann"]
                 .iter()
                 .map(|s| s.to_string()),
         );
         assert_eq!(got.size, 99);
         assert_eq!(got.dim, 8);
         assert!(got.full);
+        assert!(got.ann);
         assert_eq!(got.queries, d.queries);
+        assert!(!d.ann, "defaults leave the ANN path off");
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //!
 //! DBSCAN operates on a precomputed [`DistanceMatrix`], so the same code
 //! path serves any measure and the learned similarity alike.
+//!
+//! A second clustering workload serves the *serving* path rather than
+//! Fig. 9: [`KMeans`] is the coarse quantizer behind the IVF shortlist
+//! index (`neutraj-index`), fitting centroids over embedding rows with
+//! the same register-tiled GEMM the norm-trick scans use.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dbscan;
+mod kmeans;
 mod metrics;
 
 pub use dbscan::{dbscan, num_clusters, DbscanParams, Label};
+pub use kmeans::{KMeans, KMeansParams};
 pub use metrics::{adjusted_rand_index, homogeneity_completeness_v, ClusterAgreement};
 
 use neutraj_measures::DistanceMatrix;

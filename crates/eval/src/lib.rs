@@ -7,6 +7,8 @@
 //!
 //! * [`metrics`] — top-k hitting ratio `HR@k`, cross recall `R10@50` and
 //!   the distance distortions `δ_H10`/`δ_R10` (§VII-A.4).
+//! * [`ann`] — recall@k of the IVF shortlist serving path against the
+//!   brute-force scan and against exact-measure ground truth.
 //! * [`harness`] — corpus construction, ground-truth computation, method
 //!   runners (BruteForce / AP / Siamese / NeuTraj + ablations) and the
 //!   per-measure evaluation pipeline.
@@ -15,11 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod harness;
 pub mod metrics;
 pub mod report;
 pub mod sweeps;
 
+pub use ann::{embedding_recall_at_k, exact_measure_recall_at_k, AnnRecallReport};
 pub use harness::{
     DatasetKind, Evaluator, ExperimentWorld, GroundTruth, KnnGroundTruth, WorldConfig,
 };

@@ -16,6 +16,15 @@
 //!   nearest-point queries by ring expansion (the inner `min` of the
 //!   directed Hausdorff distance).
 //!
+//! A fourth operates on the *learned embedding* space rather than raw
+//! trajectories — the serving-side ANN shortlist:
+//!
+//! * [`IvfIndex`] — an inverted-file index whose coarse quantizer (a
+//!   [`CoarseQuantizer`], in practice the k-means of `neutraj-cluster`)
+//!   buckets embedding rows into Voronoi cells; probing the `nprobe`
+//!   nearest cells yields a sub-linear candidate shortlist for exact
+//!   reranking.
+//!
 //! Both answer the same question: *which trajectories could possibly be
 //! within distance `r` of this query?* The guarantee they provide is for
 //! measures lower-bounded by MBR separation (Hausdorff and Fréchet are:
@@ -27,10 +36,12 @@
 #![warn(missing_docs)]
 
 mod inverted;
+mod ivf;
 mod pointgrid;
 mod rtree;
 
 pub use inverted::GridInvertedIndex;
+pub use ivf::{CoarseQuantizer, IvfCodecError, IvfIndex, IVF_MAGIC};
 pub use pointgrid::PointGrid;
 pub use rtree::RTree;
 

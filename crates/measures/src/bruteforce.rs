@@ -182,6 +182,27 @@ impl NeighborHeap {
         self.heap
     }
 
+    /// Empties the heap and re-arms it for a new top-`k` query, keeping
+    /// the backing storage. Lets one heap serve a whole query batch
+    /// without a per-query allocation (see
+    /// `EmbeddingStore::knn_ann_batch` in `neutraj-model`).
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        self.heap.reserve(k);
+    }
+
+    /// Copies the kept neighbours, sorted ascending by `(dist, index)`,
+    /// into `out` (cleared first), then empties the heap while keeping
+    /// its storage. The non-consuming sibling of [`Self::into_sorted`]
+    /// for heaps reused across a batch via [`Self::reset`].
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        self.heap.sort_unstable_by(neighbor_order);
+        out.clear();
+        out.extend_from_slice(&self.heap);
+        self.heap.clear();
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -289,6 +310,31 @@ mod tests {
         assert_eq!(res[3].index, 2, "NaN must sort last under total_cmp");
         let res = top_k(&[], 5);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn neighbor_heap_reset_and_drain_reuse_storage() {
+        let dists: Vec<f64> = (0..120u64)
+            .map(|i| ((i.wrapping_mul(40503) >> 4) % 31) as f64)
+            .collect();
+        let mut heap = NeighborHeap::new(5);
+        let mut out = Vec::new();
+        // Two rounds with different k through the same heap + scratch must
+        // match fresh single-use heaps exactly.
+        for k in [5usize, 9] {
+            heap.reset(k);
+            for (i, &d) in dists.iter().enumerate() {
+                heap.push(i, d);
+            }
+            heap.drain_sorted_into(&mut out);
+            assert_eq!(out, top_k(&dists, k), "k = {k}");
+        }
+        // Drained heap is empty but still usable.
+        heap.reset(1);
+        heap.push(3, 0.5);
+        heap.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, 3);
     }
 
     #[test]

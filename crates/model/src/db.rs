@@ -15,14 +15,32 @@
 //! [`SimilarityDb::instrument`], every query records per-stage latencies
 //! (embed / scan / re-rank) and counters into a
 //! [`Registry`](neutraj_obs::Registry).
+//!
+//! At million-trajectory scale the exhaustive `O(N·d)` scan itself
+//! becomes the bottleneck; [`SimilarityDb::build_ann_index`] trains an
+//! IVF index (k-means coarse quantizer + inverted lists) over the stored
+//! embeddings, and [`Query::shortlist_ann`] routes the scan through it —
+//! probe the `nprobe` nearest cells, exactly score only their members.
+//! Scored distances are bit-identical to the exhaustive scan's (only
+//! recall is approximate), inserts keep the index in lockstep, and
+//! [`SimilarityDb::save_ann_index`] / [`SimilarityDb::load_ann_index`]
+//! persist it inside the standard CRC-sealed envelope.
 
 use crate::backbone::NeuTrajModel;
 use crate::loss::pair_similarity;
+use crate::persist::{atomic_write, open_payload, seal_payload, PersistError};
 use crate::query::{Query, QueryTarget};
 use crate::search::EmbeddingStore;
+use neutraj_cluster::{KMeans, KMeansParams};
+use neutraj_index::IvfIndex;
 use neutraj_measures::{Measure, Neighbor};
 use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::{TrajError, Trajectory};
+use std::path::Path;
+
+/// The concrete ANN index the database serves from: an inverted-file
+/// index coarse-quantized by k-means.
+pub type AnnIndex = IvfIndex<KMeans>;
 
 /// Typed rejection of invalid serving-path input — the graceful-
 /// degradation contract: bad input never panics the process and never
@@ -47,6 +65,13 @@ pub enum DbError {
     /// A raw query embedding with the wrong dimensionality or non-finite
     /// values.
     InvalidEmbedding(String),
+    /// A query or index configuration that cannot be served: a zero ANN
+    /// probe width, a re-rank shortlist narrower than `k`, an ANN query
+    /// against a database with no index, or an index that does not match
+    /// the corpus. Typed rather than a panic — misconfiguration is
+    /// serving-path input, and it counts into `neutraj_db_rejects_total`
+    /// like any other rejected request.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -62,6 +87,7 @@ impl std::fmt::Display for DbError {
                 )
             }
             Self::InvalidEmbedding(msg) => write!(f, "invalid query embedding: {msg}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid query configuration: {msg}"),
         }
     }
 }
@@ -89,6 +115,9 @@ pub struct DbMetrics {
     candidates_total: Counter,
     corpus_size: Gauge,
     rejects_total: Counter,
+    ann_lists_probed: Counter,
+    ann_candidates_scanned: Counter,
+    ann_rerank_depth: Histogram,
 }
 
 impl DbMetrics {
@@ -102,6 +131,38 @@ impl DbMetrics {
             candidates_total: registry.counter(names::DB_CANDIDATES_TOTAL),
             corpus_size: registry.gauge(names::DB_CORPUS_SIZE),
             rejects_total: registry.counter(names::DB_REJECTS_TOTAL),
+            ann_lists_probed: registry.counter(names::ANN_LISTS_PROBED_TOTAL),
+            ann_candidates_scanned: registry.counter(names::ANN_CANDIDATES_SCANNED_TOTAL),
+            ann_rerank_depth: registry.histogram(names::ANN_RERANK_DEPTH),
+        }
+    }
+}
+
+/// Configuration for [`SimilarityDb::build_ann_index`] — the IVF
+/// coarse-quantizer training knobs, forwarded to the k-means fit.
+#[derive(Debug, Clone)]
+pub struct AnnParams {
+    /// Number of inverted lists (k-means centroids). A good default is
+    /// `≈ √N`; more lists mean a finer partition (fewer candidates per
+    /// probe) but need a larger `nprobe` for the same recall.
+    pub nlists: usize,
+    /// Maximum Lloyd iterations for the quantizer fit.
+    pub train_iters: usize,
+    /// Train the quantizer on at most this many embeddings, sampled
+    /// deterministically (`0` = all).
+    pub train_sample: usize,
+    /// Seed for sampling and initialization.
+    pub seed: u64,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        let k = KMeansParams::default();
+        Self {
+            nlists: k.k,
+            train_iters: k.max_iters,
+            train_sample: k.sample,
+            seed: k.seed,
         }
     }
 }
@@ -119,6 +180,10 @@ pub struct SimilarityDb {
     trajectories: Vec<Trajectory>,
     /// Embeddings + precomputed row norms for norm-trick scans.
     embeddings: EmbeddingStore,
+    /// IVF shortlist index over the embeddings, kept in lockstep with the
+    /// store by [`SimilarityDb::insert`] once built. `None` until
+    /// [`SimilarityDb::build_ann_index`] (or a load) installs one.
+    ann: Option<AnnIndex>,
     /// `None` (the default) records nothing; cloning an instrumented db
     /// shares the underlying instruments.
     metrics: Option<DbMetrics>,
@@ -132,6 +197,7 @@ impl SimilarityDb {
             model,
             trajectories: Vec::new(),
             embeddings: store,
+            ann: None,
             metrics: None,
         }
     }
@@ -195,6 +261,91 @@ impl SimilarityDb {
         &self.embeddings
     }
 
+    /// Trains an IVF index over the current corpus snapshot: a k-means
+    /// coarse quantizer fitted to the stored embeddings, then one bulk
+    /// assignment pass filling the inverted lists. Replaces any existing
+    /// index. Later [`SimilarityDb::insert`]s keep the index in lockstep
+    /// (assign-to-nearest-centroid); rebuild when the corpus has grown or
+    /// drifted enough that the old centroids partition it poorly.
+    ///
+    /// `nlists` is clamped to the number of distinct embeddings; zero
+    /// `nlists` or an empty corpus is an [`DbError::InvalidConfig`].
+    pub fn build_ann_index(&mut self, params: &AnnParams) -> Result<(), DbError> {
+        if params.nlists == 0 {
+            return Err(self.reject(DbError::InvalidConfig(
+                "ann index needs at least one list (nlists == 0)".into(),
+            )));
+        }
+        if self.is_empty() {
+            return Err(self.reject(DbError::InvalidConfig(
+                "cannot train an ann index over an empty corpus".into(),
+            )));
+        }
+        let quantizer = KMeans::fit(
+            self.embeddings.as_flat(),
+            self.embeddings.dim(),
+            &KMeansParams {
+                k: params.nlists,
+                max_iters: params.train_iters,
+                sample: params.train_sample,
+                seed: params.seed,
+            },
+        );
+        self.ann = Some(IvfIndex::build(quantizer, self.embeddings.as_flat()));
+        Ok(())
+    }
+
+    /// The current ANN index, when one is built or loaded.
+    pub fn ann_index(&self) -> Option<&AnnIndex> {
+        self.ann.as_ref()
+    }
+
+    /// Installs an externally built index after checking it matches the
+    /// corpus (dimensionality and row count).
+    pub fn set_ann_index(&mut self, index: AnnIndex) -> Result<(), DbError> {
+        if index.dim() != self.embeddings.dim() || index.len() != self.len() {
+            return Err(self.reject(DbError::InvalidConfig(format!(
+                "ann index (dim {}, {} rows) does not match corpus (dim {}, {} rows)",
+                index.dim(),
+                index.len(),
+                self.embeddings.dim(),
+                self.len()
+            ))));
+        }
+        self.ann = Some(index);
+        Ok(())
+    }
+
+    /// Drops the ANN index; queries fall back to the exhaustive scan
+    /// (ANN queries start failing with [`DbError::InvalidConfig`]).
+    pub fn clear_ann_index(&mut self) {
+        self.ann = None;
+    }
+
+    /// Persists the ANN index to `path` inside the standard sealed
+    /// envelope (`NTFILE01` magic + length + CRC around the `NTIVF01`
+    /// section), written atomically via a same-directory temp file.
+    /// Errors when no index is built.
+    pub fn save_ann_index<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let ann = self.ann.as_ref().ok_or_else(|| {
+            PersistError::Format("no ann index to save: call build_ann_index first".into())
+        })?;
+        atomic_write(path.as_ref(), &seal_payload(&ann.to_bytes()))
+    }
+
+    /// Loads and installs an ANN index written by
+    /// [`SimilarityDb::save_ann_index`], verifying the envelope CRC, the
+    /// section's structural invariants, and that the index matches the
+    /// current corpus.
+    pub fn load_ann_index<P: AsRef<Path>>(&mut self, path: P) -> Result<(), PersistError> {
+        let data = std::fs::read(path.as_ref())?;
+        let payload = open_payload(&data)?;
+        let index =
+            AnnIndex::from_bytes(payload).map_err(|e| PersistError::Corrupted(e.to_string()))?;
+        self.set_ann_index(index)
+            .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
     /// Counts a rejected input (graceful-degradation events are observable
     /// through `neutraj_db_rejects_total`).
     fn reject(&self, e: DbError) -> DbError {
@@ -210,6 +361,57 @@ impl SimilarityDb {
             .map_err(|reason| self.reject(DbError::InvalidTrajectory { id: t.id, reason }))
     }
 
+    /// Validates a query *configuration* at the same boundary: typed
+    /// [`DbError::InvalidConfig`] (counted as a reject), never a panic.
+    fn check_query(&self, query: &Query) -> Result<(), DbError> {
+        if query.rerank_measure().is_some() && query.effective_shortlist() < query.k() {
+            return Err(self.reject(DbError::InvalidConfig(format!(
+                "shortlist {} is narrower than k {}: the re-rank could never fill the result",
+                query.effective_shortlist(),
+                query.k()
+            ))));
+        }
+        match query.ann_nprobe() {
+            Some(0) => Err(self.reject(DbError::InvalidConfig(
+                "nprobe must be positive (shortlist_ann(0) probes no lists)".into(),
+            ))),
+            Some(_) if self.ann.is_none() => Err(self.reject(DbError::InvalidConfig(
+                "shortlist_ann requires an ANN index: call build_ann_index \
+                 (or load_ann_index) first"
+                    .into(),
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// The embedding-space scan stage shared by every search path:
+    /// exhaustive norm-trick GEMM, or the IVF shortlist when the query
+    /// asks for it (recording the ANN work counters). Configuration has
+    /// already passed [`Self::check_query`].
+    fn scan_batch(&self, qrefs: &[&[f64]], fetch: usize, query: &Query) -> Vec<Vec<Neighbor>> {
+        match query.ann_nprobe() {
+            None => self.embeddings.knn_batch(qrefs, fetch),
+            Some(nprobe) => {
+                let ann = self
+                    .ann
+                    .as_ref()
+                    .expect("check_query verified the index exists");
+                let (shorts, stats) = self.embeddings.knn_ann_batch(qrefs, fetch, ann, nprobe);
+                if let Some(m) = &self.metrics {
+                    m.ann_lists_probed.add(stats.lists_probed as u64);
+                    m.ann_candidates_scanned
+                        .add(stats.candidates_scanned as u64);
+                    // Fraction of the corpus exactly scored per query —
+                    // the realized sub-linearity of the shortlist.
+                    let denom = (qrefs.len().max(1) * self.len().max(1)) as f64;
+                    m.ann_rerank_depth
+                        .observe(stats.candidates_scanned as f64 / denom);
+                }
+                shorts
+            }
+        }
+    }
+
     /// Inserts one trajectory; returns its index. Empty or non-finite
     /// trajectories are rejected *before* embedding, leaving the store
     /// untouched.
@@ -217,6 +419,11 @@ impl SimilarityDb {
         self.check(&t)?;
         let e = self.model.embed(&t);
         self.embeddings.push(&e);
+        // Keep the ANN index in lockstep: assign the new row to its
+        // nearest centroid (no retraining — rebuild for that).
+        if let Some(ann) = &mut self.ann {
+            ann.insert(&e);
+        }
         self.trajectories.push(t);
         if let Some(m) = &self.metrics {
             m.corpus_size.set(self.trajectories.len() as f64);
@@ -236,6 +443,9 @@ impl SimilarityDb {
         let embs = self.model.embed_all(&ts, threads);
         for e in &embs {
             self.embeddings.push(e);
+            if let Some(ann) = &mut self.ann {
+                ann.insert(e);
+            }
         }
         self.trajectories.extend(ts);
         if let Some(m) = &self.metrics {
@@ -265,6 +475,7 @@ impl SimilarityDb {
         target: impl Into<QueryTarget<'a>>,
         query: &Query,
     ) -> Result<Vec<Neighbor>, DbError> {
+        self.check_query(query)?;
         match target.into() {
             QueryTarget::Trajectory(t) => {
                 self.check(t)?;
@@ -317,6 +528,7 @@ impl SimilarityDb {
         queries: &[Trajectory],
         query: &Query,
     ) -> Result<Vec<Vec<Neighbor>>, DbError> {
+        self.check_query(query)?;
         for q in queries {
             self.check(q)?;
         }
@@ -333,7 +545,7 @@ impl SimilarityDb {
             None => query.k(),
         };
         let span = m.map(|m| m.scan_seconds.start_timer());
-        let shorts = self.embeddings.knn_batch(&qrefs, fetch);
+        let shorts = self.scan_batch(&qrefs, fetch, query);
         drop(span);
         if let Some(m) = m {
             m.candidates_total
@@ -373,7 +585,10 @@ impl SimilarityDb {
         };
         let fetch = want + usize::from(exclude.is_some());
         let span = m.map(|m| m.scan_seconds.start_timer());
-        let mut short = self.embeddings.knn(emb, fetch);
+        let mut short = self
+            .scan_batch(&[emb], fetch, query)
+            .pop()
+            .expect("one query in, one result out");
         drop(span);
         if let Some(idx) = exclude {
             short.retain(|n| n.index != idx);
@@ -806,6 +1021,242 @@ mod tests {
             assert!(sorted_truth.binary_search(&(i, j)).is_ok());
         }
         assert!(pruned.len() <= full.len());
+    }
+
+    #[test]
+    fn ann_query_matches_exhaustive_at_full_probe_and_stays_synced() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut db = SimilarityDb::with_corpus(model, trajs[..30].to_vec(), 2);
+        db.build_ann_index(&AnnParams {
+            nlists: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let nlists = db.ann_index().unwrap().nlists();
+        // Probing every list is the exhaustive scan, bit for bit — for
+        // every target flavor.
+        let exhaustive = db.search(&trajs[3], &Query::new(6)).unwrap();
+        let ann = db
+            .search(&trajs[3], &Query::new(6).shortlist_ann(nlists))
+            .unwrap();
+        assert_eq!(exhaustive, ann);
+        let by_idx = db.search(3usize, &Query::new(6)).unwrap();
+        let by_idx_ann = db
+            .search(3usize, &Query::new(6).shortlist_ann(nlists))
+            .unwrap();
+        assert_eq!(by_idx, by_idx_ann);
+        let batch = db.search_batch(&trajs[..4], &Query::new(6)).unwrap();
+        let batch_ann = db
+            .search_batch(&trajs[..4], &Query::new(6).shortlist_ann(nlists))
+            .unwrap();
+        assert_eq!(batch, batch_ann);
+        // nprobe = 1 still finds the stored item itself (its embedding
+        // sits in the cell the probe lands in).
+        let res = db
+            .search(&trajs[3], &Query::new(1).shortlist_ann(1))
+            .unwrap();
+        assert_eq!(res[0].index, 3);
+        // ANN composes with exact re-ranking.
+        let rr = db
+            .search(
+                &trajs[3],
+                &Query::new(3)
+                    .shortlist(10)
+                    .shortlist_ann(nlists)
+                    .rerank(&Hausdorff),
+            )
+            .unwrap();
+        assert_eq!(rr[0].index, 3);
+        // Inserts keep the index in lockstep (assign-to-nearest), so ANN
+        // queries keep working and can return the new item.
+        let idx = db.insert(trajs[35].clone()).unwrap();
+        assert_eq!(db.ann_index().unwrap().len(), db.len());
+        let res = db
+            .search(&trajs[35], &Query::new(1).shortlist_ann(nlists))
+            .unwrap();
+        assert_eq!(res[0].index, idx);
+        // Rebuild equals the grown index only after retraining; but a
+        // bulk rebuild over the same corpus must still satisfy ANN ==
+        // exhaustive at full probe.
+        db.build_ann_index(&AnnParams {
+            nlists: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let nlists = db.ann_index().unwrap().nlists();
+        assert_eq!(
+            db.search(&trajs[8], &Query::new(5)).unwrap(),
+            db.search(&trajs[8], &Query::new(5).shortlist_ann(nlists))
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_query_configs_are_rejected_with_typed_errors() {
+        let (model, trajs) = trained_model_and_corpus();
+        let registry = Registry::new();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        db.instrument(&registry);
+
+        // ANN query without an index.
+        let err = db
+            .search(&trajs[0], &Query::new(3).shortlist_ann(4))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        db.build_ann_index(&AnnParams {
+            nlists: 4,
+            ..Default::default()
+        })
+        .unwrap();
+
+        // nprobe == 0.
+        let err = db
+            .search(&trajs[0], &Query::new(3).shortlist_ann(0))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+        let err = db
+            .search_batch(&trajs[..2], &Query::new(3).shortlist_ann(0))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // Re-rank shortlist narrower than k.
+        let err = db
+            .search(&trajs[0], &Query::new(10).shortlist(4).rerank(&Hausdorff))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+        let err = db
+            .search_batch(&trajs[..2], &Query::new(10).shortlist(4).rerank(&Hausdorff))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // Build-time misconfiguration.
+        let err = db
+            .build_ann_index(&AnnParams {
+                nlists: 0,
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+        let mut empty = SimilarityDb::new(db.model().clone());
+        let err = empty.build_ann_index(&AnnParams::default()).unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // A foreign index that doesn't match the corpus.
+        let tiny = {
+            let q = KMeans::from_centroids(db.model().dim(), vec![0.0; db.model().dim()]);
+            IvfIndex::from_parts(q, vec![Vec::new()])
+        };
+        let err = db.set_ann_index(tiny).unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // Every instrumented rejection above was counted (the empty-db
+        // one went to an uninstrumented db).
+        assert_eq!(registry.counter(names::DB_REJECTS_TOTAL).get(), 7);
+        // Valid ANN traffic still flows.
+        assert!(db
+            .search(&trajs[0], &Query::new(3).shortlist_ann(2))
+            .is_ok());
+    }
+
+    #[test]
+    fn ann_metrics_record_probe_work() {
+        let (model, trajs) = trained_model_and_corpus();
+        let registry = Registry::new();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        db.build_ann_index(&AnnParams {
+            nlists: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        db.instrument(&registry);
+        let nlists = db.ann_index().unwrap().nlists();
+        let _ = db
+            .search_batch(&trajs[..3], &Query::new(4).shortlist_ann(2))
+            .unwrap();
+        let _ = db
+            .search(&trajs[0], &Query::new(4).shortlist_ann(nlists))
+            .unwrap();
+        let report = registry.snapshot();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert_eq!(
+            counter(names::ANN_LISTS_PROBED_TOTAL),
+            (3 * 2 + nlists) as u64
+        );
+        // Full probe scans the whole corpus; partial probes scan a
+        // nonempty subset.
+        let scanned = counter(names::ANN_CANDIDATES_SCANNED_TOTAL);
+        assert!(scanned >= db.len() as u64, "scanned {scanned}");
+        let depth = report
+            .histograms
+            .iter()
+            .find(|h| h.name == names::ANN_RERANK_DEPTH)
+            .expect("rerank depth histogram");
+        assert_eq!(depth.count, 2);
+        // Exhaustive queries record no ANN work.
+        let before = counter(names::ANN_LISTS_PROBED_TOTAL);
+        let _ = db.search(&trajs[1], &Query::new(4)).unwrap();
+        let report = registry.snapshot();
+        let after = report
+            .counters
+            .iter()
+            .find(|(n, _)| n == names::ANN_LISTS_PROBED_TOTAL)
+            .unwrap()
+            .1;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn ann_index_persists_through_the_sealed_envelope() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        let dir = std::env::temp_dir().join(format!("neutraj-ann-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.ivf");
+
+        // Nothing to save yet.
+        assert!(db.save_ann_index(&path).is_err());
+        db.build_ann_index(&AnnParams {
+            nlists: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        db.save_ann_index(&path).unwrap();
+        let saved = db.ann_index().unwrap().clone();
+        db.clear_ann_index();
+        assert!(db.ann_index().is_none());
+        db.load_ann_index(&path).unwrap();
+        assert_eq!(db.ann_index().unwrap(), &saved);
+
+        // A flipped payload byte fails the envelope CRC.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let bad = dir.join("corrupt.ivf");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(db.load_ann_index(&bad).is_err());
+        // The db keeps serving from the previously loaded index.
+        assert!(db.ann_index().is_some());
+
+        // An index for a different corpus is rejected at load time.
+        let mut small = SimilarityDb::with_corpus(db.model().clone(), trajs[..10].to_vec(), 2);
+        small
+            .build_ann_index(&AnnParams {
+                nlists: 3,
+                ..Default::default()
+            })
+            .unwrap();
+        let other = dir.join("other.ivf");
+        small.save_ann_index(&other).unwrap();
+        assert!(db.load_ann_index(&other).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -61,12 +61,12 @@ pub use backbone::{
 };
 pub use checkpoint::{Checkpoint, CheckpointPolicy, TrainState, CKPT_EXTENSION};
 pub use config::{BackboneKind, TrainConfig};
-pub use db::{DbError, DbMetrics, SimilarityDb};
+pub use db::{AnnIndex, AnnParams, DbError, DbMetrics, SimilarityDb};
 pub use fault::{FaultyReader, FaultyWriter};
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};
 pub use persist::PersistError;
 pub use query::{Query, QueryOptions, QueryTarget};
 pub use sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
-pub use search::EmbeddingStore;
+pub use search::{AnnStats, EmbeddingStore};
 pub use similarity::{Normalization, SimilarityMatrix};
 pub use trainer::{seed_mse, EpochStats, TrainMetrics, TrainReport, Trainer};

@@ -29,6 +29,7 @@ use neutraj_trajectory::Trajectory;
 pub struct Query<'m> {
     k: usize,
     shortlist: Option<usize>,
+    ann: Option<usize>,
     rerank: Option<&'m dyn Measure>,
 }
 
@@ -42,6 +43,7 @@ impl<'m> Query<'m> {
         Self {
             k,
             shortlist: None,
+            ann: None,
             rerank: None,
         }
     }
@@ -51,6 +53,24 @@ impl<'m> Query<'m> {
     /// `max(2k, 50)`.
     pub fn shortlist(mut self, shortlist: usize) -> Self {
         self.shortlist = Some(shortlist);
+        self
+    }
+
+    /// Answers the embedding-space scan through the database's IVF index
+    /// instead of exhaustively: probe the `nprobe` inverted lists whose
+    /// centroids are nearest the query and exactly score only their
+    /// members. Sub-linear in corpus size; approximate in *recall* only
+    /// (a scored distance is always exact). `nprobe` trades speed for
+    /// recall — `nprobe ≥ nlists` degenerates to the exhaustive scan,
+    /// bit-for-bit. Requires the database to have an index
+    /// ([`SimilarityDb::build_ann_index`](crate::SimilarityDb::build_ann_index));
+    /// searching without one — or with `nprobe == 0` — returns
+    /// [`DbError::InvalidConfig`](crate::DbError::InvalidConfig).
+    ///
+    /// Composes with [`Self::rerank`]: the ANN scan then retrieves the
+    /// shortlist that the exact measure re-ranks.
+    pub fn shortlist_ann(mut self, nprobe: usize) -> Self {
+        self.ann = Some(nprobe);
         self
     }
 
@@ -73,6 +93,11 @@ impl<'m> Query<'m> {
         self.shortlist.unwrap_or_else(|| (2 * self.k).max(50))
     }
 
+    /// The ANN probe width, when [`Self::shortlist_ann`] was configured.
+    pub fn ann_nprobe(&self) -> Option<usize> {
+        self.ann
+    }
+
     /// The re-rank measure, when configured.
     pub fn rerank_measure(&self) -> Option<&'m dyn Measure> {
         self.rerank
@@ -84,6 +109,7 @@ impl std::fmt::Debug for Query<'_> {
         f.debug_struct("Query")
             .field("k", &self.k)
             .field("shortlist", &self.shortlist)
+            .field("ann", &self.ann)
             .field("rerank", &self.rerank.map(|_| "dyn Measure"))
             .finish()
     }

@@ -19,6 +19,7 @@
 //! trivially bit-identical.
 
 use crate::backbone::NeuTrajModel;
+use neutraj_index::{CoarseQuantizer, IvfIndex};
 use neutraj_measures::{partial_sort_neighbors, top_k, Measure, Neighbor, NeighborHeap};
 use neutraj_nn::linalg::{dot, euclidean_sq, matmul_nt};
 use neutraj_trajectory::Trajectory;
@@ -105,6 +106,13 @@ impl EmbeddingStore {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// The flat row-major `N × dim` embedding matrix — the training
+    /// input for the ANN coarse quantizer
+    /// ([`SimilarityDb::build_ann_index`](crate::SimilarityDb::build_ann_index)).
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Top-k nearest stored items to `query` by embedding distance
     /// (equivalently, highest learned similarity `exp(-dist)`).
     ///
@@ -172,6 +180,68 @@ impl EmbeddingStore {
                 out
             })
             .collect()
+    }
+
+    /// IVF-shortlisted top-k for a batch of queries: probe the `nprobe`
+    /// nearest inverted lists per query, exactly score only their
+    /// members, and keep the `k` best — `O(candidates · d)` per query
+    /// instead of the exhaustive `O(N · d)` scan of
+    /// [`Self::knn_batch`].
+    ///
+    /// The per-candidate score is the very same norm-trick expression as
+    /// the exhaustive scan, `(‖q‖² − 2·q·x + ‖x‖²).max(0)`, built from
+    /// the same [`dot`] the blocked GEMM is defined by (each GEMM output
+    /// element is one ascending-order accumulator — see
+    /// [`matmul_nt`]'s contract). A [`NeighborHeap`] keeps the `k`
+    /// smallest under the total order `(dist, index)` regardless of
+    /// insertion order, so with `nprobe ≥ nlists` (lists partition the
+    /// corpus) the result is **bit-identical** to [`Self::knn_batch`] —
+    /// the anchor the `query_api` property test pins down. With smaller
+    /// `nprobe` the result is the same computation restricted to the
+    /// probed cells: any error is purely *recall* (a true neighbor left
+    /// unprobed), never a mis-scored distance.
+    ///
+    /// One heap and one candidate buffer are reused across the whole
+    /// batch. Panics when `index` disagrees with the store on dimension
+    /// or row count, or when `nprobe == 0` (the `Query` builder rejects
+    /// that earlier with a typed error).
+    pub fn knn_ann_batch<Q: CoarseQuantizer>(
+        &self,
+        queries: &[&[f64]],
+        k: usize,
+        index: &IvfIndex<Q>,
+        nprobe: usize,
+    ) -> (Vec<Vec<Neighbor>>, AnnStats) {
+        assert_eq!(index.dim(), self.dim, "ann index dim mismatch");
+        assert_eq!(
+            index.len(),
+            self.len(),
+            "ann index is stale: row count mismatch"
+        );
+        assert!(nprobe > 0, "nprobe must be positive");
+        let mut stats = AnnStats::default();
+        let mut heap = NeighborHeap::new(k);
+        let mut cand: Vec<u32> = Vec::new();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+            let qn = dot(q, q);
+            stats.lists_probed += index.candidates_into(q, nprobe, &mut cand);
+            stats.candidates_scanned += cand.len();
+            heap.reset(k);
+            for &i in &cand {
+                let i = i as usize;
+                let d2 = (qn - 2.0 * dot(q, self.get(i)) + self.norms[i]).max(0.0);
+                heap.push(i, d2);
+            }
+            let mut out = Vec::with_capacity(k.min(cand.len()));
+            heap.drain_sorted_into(&mut out);
+            for nb in &mut out {
+                nb.dist = nb.dist.sqrt();
+            }
+            results.push(out);
+        }
+        (results, stats)
     }
 
     /// Reference scalar scan — per-row [`euclidean_sq`] into a full
@@ -309,22 +379,39 @@ impl EmbeddingStore {
             "embs/queries length mismatch"
         );
         let shorts = self.knn_batch(query_embs, shortlist);
+        // One bounded heap reused across the batch: keeping the k best
+        // under `(dist, index)` is insertion-order independent, so this
+        // ranks exactly like sort-then-truncate did, without a
+        // shortlist-sized sort or a per-query allocation.
+        let mut heap = NeighborHeap::new(k);
         shorts
             .into_iter()
             .zip(queries)
             .map(|(short, query)| {
-                let mut out: Vec<Neighbor> = short
-                    .into_iter()
-                    .map(|n| Neighbor {
-                        index: n.index,
-                        dist: measure.dist(query.points(), corpus[n.index].points()),
-                    })
-                    .collect();
-                partial_sort_neighbors(&mut out, k);
+                heap.reset(k);
+                for n in short {
+                    heap.push(
+                        n.index,
+                        measure.dist(query.points(), corpus[n.index].points()),
+                    );
+                }
+                let mut out = Vec::with_capacity(k);
+                heap.drain_sorted_into(&mut out);
                 out
             })
             .collect()
     }
+}
+
+/// Work counters reported by one [`EmbeddingStore::knn_ann_batch`] call —
+/// the raw material for the serving-side ANN metrics
+/// (`neutraj_ann_lists_probed_total`, `neutraj_ann_candidates_scanned_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnStats {
+    /// Inverted lists visited across the batch.
+    pub lists_probed: usize,
+    /// Candidate rows exactly scored across the batch.
+    pub candidates_scanned: usize,
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! not against the forwards.
 
 use neutraj_measures::{Hausdorff, Measure, Neighbor};
-use neutraj_model::{BackboneKind, NeuTrajModel, Query, SimilarityDb, TrainConfig};
+use neutraj_model::{AnnParams, BackboneKind, NeuTrajModel, Query, SimilarityDb, TrainConfig};
 use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
 use proptest::prelude::*;
 
@@ -159,5 +159,55 @@ proptest! {
             &old_knn_reranked_batch(&db, &queries, &Hausdorff, shortlist, k)
         );
         prop_assert_eq!(&db.search(&queries[0], &reranked).unwrap(), &got[0]);
+    }
+
+    /// `.shortlist_ann(nlists)` — probing every inverted list — is
+    /// **bit-identical** to the exhaustive scan: the lists partition the
+    /// corpus, the per-candidate arithmetic is the same norm-trick
+    /// expression built from the same `dot`, and the bounded heap's
+    /// `(dist, index)` total order is insertion-order independent. Holds
+    /// at every corpus-embedding thread count (the embeddings themselves
+    /// are thread-invariant, so the index and the scan must be too), and
+    /// composes with exact re-ranking.
+    #[test]
+    fn ann_full_probe_bit_identical_to_exhaustive_scan(
+        lens in prop::collection::vec(2usize..30, 12..=40),
+        qlens in prop::collection::vec(2usize..30, 1..=6),
+        k in 1usize..8,
+        nlists in 1usize..9,
+    ) {
+        let queries: Vec<Trajectory> = qlens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| traj(700 + i as u64, len))
+            .collect();
+        type Rankings = Vec<Vec<Neighbor>>;
+        let mut per_thread: Vec<(Rankings, Rankings)> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let corpus: Vec<Trajectory> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| traj(i as u64, len))
+                .collect();
+            let mut db = SimilarityDb::with_corpus(model(), corpus, threads);
+            db.build_ann_index(&AnnParams { nlists, ..Default::default() })
+                .unwrap();
+            let nl = db.ann_index().unwrap().nlists();
+            let exhaustive = db.search_batch(&queries, &Query::new(k)).unwrap();
+            let ann = db
+                .search_batch(&queries, &Query::new(k).shortlist_ann(nl))
+                .unwrap();
+            prop_assert_eq!(&exhaustive, &ann, "threads {}", threads);
+            let rr = Query::new(k).shortlist(k + 5).rerank(&Hausdorff);
+            let rr_ex = db.search_batch(&queries, &rr).unwrap();
+            let rr_ann = db
+                .search_batch(&queries, &rr.shortlist_ann(nl))
+                .unwrap();
+            prop_assert_eq!(&rr_ex, &rr_ann, "reranked, threads {}", threads);
+            per_thread.push((ann, rr_ann));
+        }
+        // Thread-count invariance of the whole ANN pipeline.
+        prop_assert_eq!(&per_thread[0], &per_thread[1]);
+        prop_assert_eq!(&per_thread[0], &per_thread[2]);
     }
 }

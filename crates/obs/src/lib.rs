@@ -391,6 +391,17 @@ pub mod names {
     /// non-finite trajectories) before they could poison the store.
     pub const DB_REJECTS_TOTAL: &str = "neutraj_db_rejects_total";
 
+    /// Counter: IVF inverted lists probed by ANN shortlist queries.
+    pub const ANN_LISTS_PROBED_TOTAL: &str = "neutraj_ann_lists_probed_total";
+    /// Counter: candidate rows exactly scored after IVF probing.
+    pub const ANN_CANDIDATES_SCANNED_TOTAL: &str = "neutraj_ann_candidates_scanned_total";
+    /// Histogram: per-query rerank depth (candidates scored / corpus
+    /// size) — how sub-linear the shortlist actually was.
+    pub const ANN_RERANK_DEPTH: &str = "neutraj_ann_rerank_depth";
+    /// Gauge: most recent recall@k measured against exhaustive ground
+    /// truth (the eval harness writes it; serving never does).
+    pub const ANN_RECALL_AT_K: &str = "neutraj_ann_recall_at_k";
+
     /// Counter: candidate pairs considered by the exact ground-truth
     /// engine (matrix cells, knn candidates, eval rows).
     pub const MEASURES_PAIRS_TOTAL: &str = "neutraj_measures_pairs_total";
