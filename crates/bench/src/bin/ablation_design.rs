@@ -23,13 +23,8 @@ use neutraj_model::{BackboneKind, Normalization, RankedBatchLoss, TrainConfig};
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
         queries: 30,
-        epochs: 10,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     println!(
         "Design ablations (Porto-like size={}, Hausdorff, {} queries, {} epochs)\n",

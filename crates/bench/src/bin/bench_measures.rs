@@ -13,6 +13,14 @@
 //!   per-pair rows, parallelised with the same `parallel_map` the old
 //!   harness used.
 //!
+//! A third section measures the SIMD dispatch (`DESIGN.md` §12): the
+//! matrix workload with the lane kernels forced scalar versus forced
+//! AVX2, for the three DP measures. On an AVX2 host the run **asserts**
+//! the Fréchet matrix speedup ≥ 1.5× (the squared-space kernel removes
+//! the per-cell `vsqrtpd`); DTW/ERP remain sqrt-throughput-bound and are
+//! recorded without a gate. Hosts without AVX2 print a
+//! `simd-gate: skipped` marker instead.
+//!
 //! Every result pair is asserted **bit-identical** before its timing is
 //! reported — the speedups below are for exact answers, not
 //! approximations. The engine runs instrumented; the final
@@ -37,6 +45,7 @@ use neutraj_eval::harness::{
     default_threads, parallel_map, DatasetKind, ExperimentWorld, WorldConfig,
 };
 use neutraj_measures::{top_k, DistanceMatrix, GroundTruthEngine, Measure, MeasureKind, Neighbor};
+use neutraj_obs::simd::SimdLevel;
 use neutraj_obs::Registry;
 use neutraj_trajectory::Trajectory;
 
@@ -52,9 +61,7 @@ fn main() {
         queries: 100,
         epochs: 0,
         dim: 0,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     let threads = default_threads();
     let world = ExperimentWorld::build(WorldConfig {
@@ -78,6 +85,45 @@ fn main() {
         .iter()
         .map(|&kind| bench_measure(kind, corpus, &queries, threads, &registry))
         .collect();
+
+    // SIMD before/after: the PR 5 scalar lane kernels versus the AVX2
+    // dispatch, forced in-process on the same engine workload. Only the
+    // DP measures have lane kernels (Hausdorff takes the pairwise grid
+    // path), and only `matrix` routes through them — the knn path's
+    // early-abandoning kernels interleave threshold compares per DP row
+    // and stay scalar by design.
+    let detected = neutraj_obs::simd::detect();
+    println!("simd: host dispatch level {detected:?}");
+    let simd_rows: Vec<SimdRow> = [MeasureKind::Frechet, MeasureKind::Erp, MeasureKind::Dtw]
+        .iter()
+        .map(|&kind| bench_simd(kind, corpus, threads))
+        .collect();
+    if detected == SimdLevel::Avx2 && n >= 500 {
+        // In-process gate (DESIGN.md §12): the squared-space Fréchet
+        // kernel must clear 1.5x on an AVX2 host. DTW/ERP stay
+        // sqrt-throughput-bound (the scalar oracle takes a square root
+        // per DP cell, and `vsqrtpd` throughput caps the wide version at
+        // parity) — they are recorded, not gated. Tiny smoke corpora
+        // (CI runs --size 120) finish a matrix in well under a
+        // millisecond, where timer noise would make the ratio a coin
+        // flip — the gate needs the default-size workload.
+        let f = simd_rows
+            .iter()
+            .find(|r| r.kind == MeasureKind::Frechet)
+            .expect("Frechet simd row");
+        let speedup = f.scalar_s / f.avx2_s;
+        assert!(
+            speedup >= 1.5,
+            "simd-gate: Frechet matrix speedup {speedup:.2}x < 1.5x on AVX2 host"
+        );
+        println!("simd-gate: Frechet matrix {speedup:.2}x >= 1.5x (AVX2)");
+    } else if detected == SimdLevel::Avx2 {
+        println!("simd-gate: skipped (corpus under 500 rows, timings too noisy)");
+    } else {
+        println!("simd-gate: skipped (no AVX2 host)");
+    }
+
+    neutraj_obs::simd::publish(&registry);
     let report = registry.snapshot();
 
     let json = render_json(
@@ -86,6 +132,8 @@ fn main() {
         &queries,
         threads,
         &rows,
+        &simd_rows,
+        detected,
         &report.to_json_indented(2),
     );
     let path = "BENCH_measures.json";
@@ -154,6 +202,44 @@ fn bench_measure(
         engine_matrix_s,
         naive_knn_s,
         engine_knn_s,
+    }
+}
+
+/// One DP measure's matrix timing at each forced dispatch level.
+struct SimdRow {
+    kind: MeasureKind,
+    scalar_s: f64,
+    avx2_s: f64,
+}
+
+/// Times `GroundTruthEngine::matrix` with dispatch forced to scalar and
+/// to AVX2 (interleaved best-of-N, like [`bench_measure`]), asserting
+/// the two matrices bit-identical on every pass. On a host without AVX2
+/// the forced request falls back to scalar and the ratio is ~1.0.
+fn bench_simd(kind: MeasureKind, corpus: &[Trajectory], threads: usize) -> SimdRow {
+    let measure = kind.measure();
+    let scalar = GroundTruthEngine::new(&*measure, corpus).with_simd_level(SimdLevel::Scalar);
+    let wide = GroundTruthEngine::new(&*measure, corpus).with_simd_level(SimdLevel::Avx2);
+    let mut scalar_s = f64::INFINITY;
+    let mut avx2_s = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let base = scalar.matrix(threads);
+        scalar_s = scalar_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let got = wide.matrix(threads);
+        avx2_s = avx2_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(got, base, "{kind}: AVX2 matrix diverged from scalar");
+    }
+    println!(
+        "  simd {kind}: matrix {scalar_s:.2}s (scalar) -> {avx2_s:.2}s (avx2) ({:.2}x)",
+        scalar_s / avx2_s
+    );
+    SimdRow {
+        kind,
+        scalar_s,
+        avx2_s,
     }
 }
 
@@ -242,12 +328,15 @@ fn baseline_knn(
 }
 
 /// Hand-rolled JSON (the dependency set has no serde_json).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     cli: &Cli,
     n: usize,
     queries: &[usize],
     threads: usize,
     rows: &[MeasureRow],
+    simd_rows: &[SimdRow],
+    detected: SimdLevel,
     metrics_json: &str,
 ) -> String {
     let measure_objs = rows
@@ -272,8 +361,32 @@ fn render_json(
             b + r.engine_matrix_s + r.engine_knn_s,
         )
     });
+    let simd_objs = simd_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\n        \"measure\": \"{}\",\n        \"scalar_matrix_s\": {:.4},\n        \"avx2_matrix_s\": {:.4},\n        \"matrix_speedup\": {:.4}\n      }}",
+                r.kind,
+                r.scalar_s,
+                r.avx2_s,
+                r.scalar_s / r.avx2_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let gate = if detected == SimdLevel::Avx2 && n >= 500 {
+        "frechet_matrix_1.5x: passed"
+    } else if detected == SimdLevel::Avx2 {
+        "skipped (corpus under 500 rows)"
+    } else {
+        "skipped (no AVX2 host)"
+    };
+    let simd_json = format!(
+        "{{\n    \"detected\": \"{:?}\",\n    \"gate\": \"{gate}\",\n    \"measures\": [\n{simd_objs}\n    ]\n  }}",
+        detected
+    );
     format!(
-        "{{\n  \"bench\": \"measures\",\n  \"n\": {n},\n  \"k\": {K},\n  \"queries\": {},\n  \"threads\": {threads},\n  \"seed\": {},\n  \"measures\": [\n{measure_objs}\n  ],\n  \"naive_total_s\": {naive_total:.4},\n  \"engine_total_s\": {engine_total:.4},\n  \"total_speedup\": {:.4},\n  \"metrics\": {metrics_json}\n}}\n",
+        "{{\n  \"bench\": \"measures\",\n  \"n\": {n},\n  \"k\": {K},\n  \"queries\": {},\n  \"threads\": {threads},\n  \"seed\": {},\n  \"measures\": [\n{measure_objs}\n  ],\n  \"naive_total_s\": {naive_total:.4},\n  \"engine_total_s\": {engine_total:.4},\n  \"total_speedup\": {:.4},\n  \"simd\": {simd_json},\n  \"metrics\": {metrics_json}\n}}\n",
         queries.len(),
         cli.seed,
         naive_total / engine_total

@@ -19,6 +19,13 @@
 //!   [`neutraj_obs::MetricsReport`] is embedded in `BENCH_query.json`
 //!   under `"metrics"` and also written as Prometheus text to
 //!   `BENCH_query.prom` — including the `neutraj_ann_*` probe counters.
+//! * **quant** — the `NTQ08` int8 quantized scan (`DESIGN.md` §12):
+//!   approximate u8 integer-dot scoring with an exact over-fetch rerank,
+//!   exhaustive and through the IVF shortlist, against the f64 paths it
+//!   shadows. Gated in-process: recall@10 ≥ 0.99 after the exact rerank
+//!   at every swept N, and ≥ 1.5× the f64 queries/sec at N ≥ 100k (the
+//!   `quant-gate:` / `quant-scan:` lines are the CI grep markers, and
+//!   `"quant_recall_ok"` lands in the JSON).
 //! * **ann** (`--ann`) — the IVF shortlist + exact-rerank scan against
 //!   the exhaustive GEMM scan, sweeping N ∈ {100k, 1M} × nprobe over a
 //!   clustered corpus (real trajectory embeddings concentrate around
@@ -47,11 +54,12 @@
 use std::time::Instant;
 
 use neutraj_cluster::{KMeans, KMeansParams};
+use neutraj_eval::quantized_recall_at_k;
 use neutraj_index::IvfIndex;
 use neutraj_measures::{DiscreteFrechet, Neighbor};
 use neutraj_model::{
-    AnnIndex, AnnParams, BackboneKind, EmbeddingStore, NeuTrajModel, Query, SimilarityDb,
-    TrainConfig,
+    AnnIndex, AnnParams, BackboneKind, EmbeddingStore, NeuTrajModel, QuantizedStore, Query,
+    SimilarityDb, TrainConfig,
 };
 use neutraj_obs::{names, MetricsReport, Registry};
 use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
@@ -68,10 +76,7 @@ fn main() {
         size: 0, // 0 = sweep the default {10k, 100k} corpus sizes
         queries: 32,
         epochs: 0,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..neutraj_bench::Cli::defaults()
     });
     let sizes: Vec<usize> = if cli.size == 0 {
         vec![10_000, 100_000]
@@ -96,6 +101,11 @@ fn main() {
     // lands in a single exported snapshot.
     let registry = Registry::new();
 
+    let quant_rows: Vec<QuantRow> = sizes
+        .iter()
+        .map(|&n| bench_quant(n, cli.dim, cli.queries, cli.seed, &registry))
+        .collect();
+
     let ann_sections: Vec<AnnSection> = if cli.ann {
         let ann_sizes: Vec<usize> = if cli.size == 0 {
             vec![100_000, 1_000_000]
@@ -117,6 +127,11 @@ fn main() {
         cli.seed,
         &registry,
     );
+    // Which SIMD path the GEMM/integer-dot kernels actually took, as the
+    // `neutraj_simd_dispatch` gauge (CI greps the .prom for it).
+    let simd_level = neutraj_obs::simd::publish(&registry);
+    println!("simd: dispatch level {}", simd_level.name());
+
     let report = registry.snapshot();
     let prom = report.to_prometheus();
     print!("{prom}");
@@ -128,6 +143,7 @@ fn main() {
         host_cpus,
         &scan_rows,
         &embed_rows,
+        &quant_rows,
         &serving,
         &ann_sections,
         &report,
@@ -161,6 +177,24 @@ struct ServingRow {
     ann_qps: f64,
     ann_nlists: usize,
     ann_nprobe: usize,
+    quant_qps: f64,
+}
+
+/// One int8 measurement: the NTQ08 quantized scan (approximate u8
+/// scoring with exact over-fetch rerank) versus the f64 paths it
+/// shadows, exhaustive and through the IVF shortlist.
+struct QuantRow {
+    n: usize,
+    f64_scan_qps: f64,
+    int8_scan_qps: f64,
+    scan_recall: f64,
+    bytes_int8: usize,
+    bytes_f64: usize,
+    ann_f64_qps: f64,
+    ann_int8_qps: f64,
+    ann_recall: f64,
+    nlists: usize,
+    nprobe: usize,
 }
 
 /// One ANN operating point: recall and latency at a probe width.
@@ -232,6 +266,126 @@ fn bench_scan(n: usize, dim: usize, batch: usize, seed: u64) -> ScanRow {
         n,
         naive_qps,
         gemm_qps,
+    }
+}
+
+/// The int8 quantized scan versus the f64 paths over one uniform N-row
+/// corpus — the same corpus family as [`bench_scan`], the geometry of
+/// trained-model embeddings (smoothly spread rows; see `DESIGN.md` §12
+/// on the int8 resolution floor for why blob-degenerate corpora are
+/// excluded from the recall gate).
+///
+/// Three gates run in-process (panic on failure):
+///
+/// * exhaustive quantized scan recall@10 ≥ 0.99 after the exact rerank
+///   (measured by [`quantized_recall_at_k`], which also publishes the
+///   `neutraj_quant_recall_at_k` gauge into `registry`);
+/// * IVF-shortlist quantized scan recall@10 ≥ 0.99 against the f64
+///   shortlist over the *same* candidate lists;
+/// * at N ≥ 100k, both int8 paths ≥ 1.5× their f64 counterparts.
+fn bench_quant(n: usize, dim: usize, batch: usize, seed: u64, registry: &Registry) -> QuantRow {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15; // same corpus as bench_scan
+    let store = {
+        let mut store = EmbeddingStore::new(dim);
+        let mut row = vec![0.0; dim];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = unit_f64(&mut state);
+            }
+            store.push(&row);
+        }
+        store
+    };
+    let queries: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..dim).map(|_| unit_f64(&mut state)).collect())
+        .collect();
+    let qrefs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+    let quant = QuantizedStore::from_store(&store);
+
+    // Recall + byte accounting through the eval harness.
+    let rep = quantized_recall_at_k(&store, &quant, &qrefs, K, Some(registry));
+    assert!(
+        rep.recall_at_k >= 0.99,
+        "quant-gate: n={n} exhaustive recall@{K} {:.4} < 0.99",
+        rep.recall_at_k
+    );
+    println!(
+        "  quant-scan n={n}: recall@{K} {:.4} (>= 0.99), {} int8 bytes vs {} f64 bytes ({:.1}x less traffic)",
+        rep.recall_at_k,
+        rep.bytes_scanned,
+        rep.bytes_f64,
+        rep.bytes_f64 as f64 / rep.bytes_scanned.max(1) as f64
+    );
+
+    let f64_scan_qps = time_qps(batch, || {
+        std::hint::black_box(store.knn_batch(&qrefs, K));
+    });
+    let int8_scan_qps = time_qps(batch, || {
+        std::hint::black_box(quant.knn_batch(&store, &qrefs, K));
+    });
+    println!(
+        "  quant-scan n={n}: f64 {f64_scan_qps:.1} q/s, int8 {int8_scan_qps:.1} q/s ({:.2}x)",
+        int8_scan_qps / f64_scan_qps
+    );
+
+    // IVF shortlist leg: both sides probe the same lists, so the recall
+    // delta isolates the u8 scoring (the candidate sets are identical).
+    let nlists = isqrt(n).max(4);
+    let quantizer = KMeans::fit(
+        store.as_flat(),
+        dim,
+        &KMeansParams {
+            k: nlists,
+            max_iters: 10,
+            sample: if n > 200_000 { 100_000 } else { 0 },
+            seed,
+        },
+    );
+    let index: AnnIndex = IvfIndex::build(quantizer, store.as_flat());
+    let nlists = index.nlists();
+    let nprobe = (nlists / 4).max(1);
+    let f64_ann = store.knn_ann_batch(&qrefs, K, &index, nprobe).0;
+    let int8_ann = quant.knn_ann_batch(&store, &qrefs, K, &index, nprobe).0;
+    let ann_recall = mean_recall(&f64_ann, &int8_ann, K);
+    assert!(
+        ann_recall >= 0.99,
+        "quant-gate: n={n} ann recall@{K} {ann_recall:.4} < 0.99 at nprobe {nprobe}"
+    );
+    let ann_f64_qps = time_qps(batch, || {
+        std::hint::black_box(store.knn_ann_batch(&qrefs, K, &index, nprobe));
+    });
+    let ann_int8_qps = time_qps(batch, || {
+        std::hint::black_box(quant.knn_ann_batch(&store, &qrefs, K, &index, nprobe));
+    });
+    println!(
+        "  quant-ann n={n}: nprobe {nprobe}/{nlists} recall@{K} {ann_recall:.4}, f64 {ann_f64_qps:.1} q/s, int8 {ann_int8_qps:.1} q/s ({:.2}x)",
+        ann_int8_qps / ann_f64_qps
+    );
+
+    if n >= 100_000 {
+        assert!(
+            int8_scan_qps >= 1.5 * f64_scan_qps,
+            "quant-gate: n={n} int8 scan {int8_scan_qps:.1} q/s under 1.5x the f64 {f64_scan_qps:.1} q/s"
+        );
+        assert!(
+            ann_int8_qps >= 1.5 * ann_f64_qps,
+            "quant-gate: n={n} int8 ann scan {ann_int8_qps:.1} q/s under 1.5x the f64 {ann_f64_qps:.1} q/s"
+        );
+        println!("  quant-gate: n={n} int8 scan+ann >= 1.5x f64, recall@{K} >= 0.99 (passed)");
+    }
+
+    QuantRow {
+        n,
+        f64_scan_qps,
+        int8_scan_qps,
+        scan_recall: rep.recall_at_k,
+        bytes_int8: rep.bytes_scanned,
+        bytes_f64: rep.bytes_f64,
+        ann_f64_qps,
+        ann_int8_qps,
+        ann_recall,
+        nlists,
+        nprobe,
     }
 }
 
@@ -360,6 +514,23 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64, registry: &Regis
         "  serving n={n}: ann shortlist (nprobe {nprobe}/{nlists}) {ann_qps:.1} q/s ({:.2}x vs exhaustive)",
         ann_qps / enabled_qps
     );
+
+    // Quantized serving leg: the same pipeline with the int8 scan
+    // scoring the embedding shortlist (exact rerank inside the scan, so
+    // the measure rerank sees true distances). Runs instrumented so the
+    // exported registry carries nonzero `neutraj_quant_*` counters.
+    db.build_quantized_store();
+    let quant_query = Query::new(K)
+        .shortlist(50)
+        .rerank(&DiscreteFrechet)
+        .quantized();
+    let quant_qps = time_qps(batch, || {
+        let _ = std::hint::black_box(db.search_batch(&queries, &quant_query));
+    });
+    println!(
+        "  serving n={n}: int8 quantized scan {quant_qps:.1} q/s ({:.2}x vs exhaustive f64)",
+        quant_qps / enabled_qps
+    );
     ServingRow {
         n,
         disabled_qps,
@@ -367,6 +538,7 @@ fn bench_serving(n: usize, dim: usize, batch: usize, seed: u64, registry: &Regis
         ann_qps,
         ann_nlists: nlists,
         ann_nprobe: nprobe,
+        quant_qps,
     }
 }
 
@@ -599,11 +771,13 @@ fn synth_traj(id: u64, len: usize) -> Trajectory {
 }
 
 /// Hand-rolled JSON (the dependency set has no serde_json).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     cli: &neutraj_bench::Cli,
     host_cpus: usize,
     scan: &[ScanRow],
     embed: &[EmbedRow],
+    quant: &[QuantRow],
     serving: &ServingRow,
     ann: &[AnnSection],
     report: &MetricsReport,
@@ -634,15 +808,44 @@ fn render_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // `quant_recall_ok` is the key the CI smoke greps; like the ANN
+    // sweep, the in-process gates panic before an untrue value could
+    // render, but compute it from the data anyway.
+    let quant_recall_ok = quant
+        .iter()
+        .all(|r| r.scan_recall >= 0.99 && r.ann_recall >= 0.99);
+    let quant_objs = quant
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"n\": {},\n      \"f64_scan_qps\": {:.2},\n      \"int8_scan_qps\": {:.2},\n      \"scan_speedup\": {:.4},\n      \"scan_recall_at_10\": {:.4},\n      \"bytes_int8\": {},\n      \"bytes_f64\": {},\n      \"ann_nlists\": {},\n      \"ann_nprobe\": {},\n      \"ann_f64_qps\": {:.2},\n      \"ann_int8_qps\": {:.2},\n      \"ann_speedup\": {:.4},\n      \"ann_recall_at_10\": {:.4}\n    }}",
+                r.n,
+                r.f64_scan_qps,
+                r.int8_scan_qps,
+                r.int8_scan_qps / r.f64_scan_qps,
+                r.scan_recall,
+                r.bytes_int8,
+                r.bytes_f64,
+                r.nlists,
+                r.nprobe,
+                r.ann_f64_qps,
+                r.ann_int8_qps,
+                r.ann_int8_qps / r.ann_f64_qps,
+                r.ann_recall
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let serving_obj = format!(
-        "  \"serving\": {{\n    \"n\": {},\n    \"metrics_disabled_qps\": {:.2},\n    \"metrics_enabled_qps\": {:.2},\n    \"metrics_overhead\": {:.4},\n    \"ann_qps\": {:.2},\n    \"ann_nlists\": {},\n    \"ann_nprobe\": {}\n  }}",
+        "  \"serving\": {{\n    \"n\": {},\n    \"metrics_disabled_qps\": {:.2},\n    \"metrics_enabled_qps\": {:.2},\n    \"metrics_overhead\": {:.4},\n    \"ann_qps\": {:.2},\n    \"ann_nlists\": {},\n    \"ann_nprobe\": {},\n    \"quant_qps\": {:.2}\n  }}",
         serving.n,
         serving.disabled_qps,
         serving.enabled_qps,
         serving.disabled_qps / serving.enabled_qps - 1.0,
         serving.ann_qps,
         serving.ann_nlists,
-        serving.ann_nprobe
+        serving.ann_nprobe,
+        serving.quant_qps
     );
     // The ANN block only appears on `--ann` runs; `ann_recall_ok` is the
     // key the CI smoke greps for. It can only render as true — the sweep
@@ -682,12 +885,14 @@ fn render_json(
         format!("  \"ann_recall_ok\": {recall_ok},\n  \"ann\": [\n{sections}\n  ],\n")
     };
     format!(
-        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ],\n{},\n{}  \"metrics\": {}\n}}\n",
+        "{{\n  \"bench\": \"query\",\n  \"dim\": {},\n  \"k\": {K},\n  \"batch\": {},\n  \"host_cpus\": {},\n  \"scan\": [\n{}\n  ],\n  \"embed\": [\n{}\n  ],\n  \"quant_recall_ok\": {},\n  \"quant\": [\n{}\n  ],\n{},\n{}  \"metrics\": {}\n}}\n",
         cli.dim,
         cli.queries,
         host_cpus,
         scan_objs,
         embed_objs,
+        quant_recall_ok,
+        quant_objs,
         serving_obj,
         ann_obj,
         report.to_json_indented(2)

@@ -24,12 +24,8 @@ const THREAD_COUNTS: [usize; 2] = [1, 4];
 fn main() {
     let cli = Cli::parse(Cli {
         size: 250,
-        queries: 0,
         epochs: 5,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
 
     let world = ExperimentWorld::build(WorldConfig {

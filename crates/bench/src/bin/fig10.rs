@@ -19,13 +19,8 @@ use neutraj_trajectory::Trajectory;
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
         queries: 30,
-        epochs: 10,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     // Synthetic seed count: the paper uses 6,000; scale with corpus size.
     let n_walks = if cli.full { 2000 } else { 300 };

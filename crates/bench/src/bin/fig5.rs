@@ -13,13 +13,8 @@ use neutraj_model::TrainConfig;
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
-        queries: 0,
         epochs: 20,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     println!(
         "Fig 5: convergence (loss per epoch), Porto-like size={}, {} epochs\n",

@@ -21,10 +21,7 @@ fn main() {
         size: 600,
         queries: 30,
         epochs: 8,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     // Give the world a generous training pool to subsample from.
     let world = ExperimentWorld::build(WorldConfig {

@@ -16,13 +16,10 @@ use neutraj_model::TrainConfig;
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
         queries: 30,
         epochs: 8,
         dim: 0, // swept
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     let dims: &[usize] = if cli.full {
         &[8, 16, 32, 64, 128]

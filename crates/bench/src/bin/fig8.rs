@@ -16,13 +16,9 @@ use neutraj_model::TrainConfig;
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
         queries: 30,
         epochs: 8,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     println!(
         "Fig 8: HR@10 vs scan width w (Porto-like size={}, w in 0..=4)\n",

@@ -17,15 +17,7 @@ use neutraj_model::{EmbeddingStore, TrainConfig};
 use neutraj_nn::linalg::euclidean;
 
 fn main() {
-    let cli = Cli::parse(Cli {
-        size: 400,
-        queries: 0,
-        epochs: 10,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
-    });
+    let cli = Cli::parse(Cli::defaults());
     println!(
         "Fig 9: DBSCAN clustering agreement, exact vs embedding distances (Frechet, Porto-like size={})\n",
         cli.size

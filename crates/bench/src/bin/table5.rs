@@ -24,10 +24,7 @@ fn main() {
         size: 2000,
         queries: 15,
         epochs: 2,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     if cli.full {
         cli.size = cli.size.max(20_000);

@@ -18,12 +18,8 @@ use std::time::Instant;
 fn main() {
     let mut cli = Cli::parse(Cli {
         size: 500,
-        queries: 0,
         epochs: 30,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     let mut embed_n = 5_000usize;
     if cli.full {

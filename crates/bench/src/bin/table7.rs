@@ -18,13 +18,8 @@ use neutraj_model::TrainConfig;
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
-        queries: 0,
         epochs: 12,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     println!(
         "Table VII: case study under Frechet (Porto-like size={})\n",

@@ -17,13 +17,8 @@ use neutraj_model::{RankedBatchLoss, SimilarityMatrix, TrainConfig};
 
 fn main() {
     let cli = Cli::parse(Cli {
-        size: 400,
         queries: 30,
-        epochs: 10,
-        dim: 32,
-        seed: 2019,
-        full: false,
-        ann: false,
+        ..Cli::defaults()
     });
     for dataset in [DatasetKind::GeolifeLike, DatasetKind::PortoLike] {
         let world = ExperimentWorld::build(WorldConfig {

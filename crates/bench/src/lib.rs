@@ -42,6 +42,28 @@ pub struct Cli {
 }
 
 impl Cli {
+    /// The baseline configuration every experiment binary starts from
+    /// (the historical per-bin literals repeated these seven fields with
+    /// only one or two differing). Binaries override what they need with
+    /// struct-update syntax:
+    ///
+    /// ```
+    /// # use neutraj_bench::Cli;
+    /// let cli = Cli { epochs: 20, ..Cli::defaults() };
+    /// assert_eq!((cli.size, cli.epochs, cli.seed), (400, 20, 2019));
+    /// ```
+    pub fn defaults() -> Cli {
+        Cli {
+            size: 400,
+            queries: 0,
+            epochs: 10,
+            dim: 32,
+            seed: 2019,
+            full: false,
+            ann: false,
+        }
+    }
+
     /// Parses flags from `std::env::args`, starting from defaults.
     ///
     /// Unknown flags abort with a usage message (better than silently

@@ -17,8 +17,14 @@
 //! through the `neutraj_ann_recall_at_k` gauge — the serving path itself
 //! never writes it (it has no ground truth), only evaluation does.
 
+//! A third notion rides the int8-quantized scan (`DESIGN.md` §12):
+//! [`quantized_recall_at_k`] scores the quantized shortlist + exact
+//! rerank against the same brute-force scan, publishing
+//! `neutraj_quant_recall_at_k` — the number the serving bench gates on
+//! (`recall@10 ≥ 0.99`).
+
 use neutraj_measures::{GroundTruthEngine, Measure, Neighbor};
-use neutraj_model::{AnnIndex, EmbeddingStore, Query, SimilarityDb};
+use neutraj_model::{AnnIndex, EmbeddingStore, QuantizedStore, Query, SimilarityDb};
 use neutraj_obs::{names, Registry};
 
 /// One recall measurement of the IVF shortlist path against the
@@ -101,6 +107,70 @@ pub fn embedding_recall_at_k(
         lists_probed: stats.lists_probed,
         candidates_scanned: stats.candidates_scanned,
         mean_rerank_depth: stats.candidates_scanned as f64 / denom,
+    }
+}
+
+/// One recall measurement of the int8-quantized scan against the
+/// exhaustive f64 scan, with the bytes-streamed telemetry alongside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantRecallReport {
+    /// Result depth scored.
+    pub k: usize,
+    /// Number of queries scored.
+    pub queries: usize,
+    /// Mean fraction of the exhaustive top-`k` recovered by the
+    /// quantized shortlist + exact rerank.
+    pub recall_at_k: f64,
+    /// Rows scored through their u8 codes across the query set.
+    pub rows_scanned: usize,
+    /// Bytes the quantized scan streamed (`dim + 16` per row).
+    pub bytes_scanned: usize,
+    /// Bytes the f64 scan streams for the same work (`8·dim + 8` per
+    /// row) — the ratio is the memory-traffic saving.
+    pub bytes_f64: usize,
+    /// Shortlist survivors exactly re-scored.
+    pub reranked: usize,
+}
+
+/// Scores the int8-quantized exhaustive scan against the brute-force
+/// f64 norm-trick scan on the parent `store`. The quantized path
+/// re-scores its over-fetched shortlist exactly, so any recall gap is
+/// purely rows the approximate ordering dropped from the shortlist —
+/// returned distances are identical for recovered rows. Publishes
+/// `neutraj_quant_recall_at_k` into `registry` when given.
+///
+/// Panics (like the underlying scan) when `quant` is not a view of
+/// `store`.
+pub fn quantized_recall_at_k(
+    store: &EmbeddingStore,
+    quant: &QuantizedStore,
+    queries: &[&[f64]],
+    k: usize,
+    registry: Option<&Registry>,
+) -> QuantRecallReport {
+    let truth = store.knn_batch(queries, k);
+    let (approx, stats) = quant.knn_batch(store, queries, k);
+    let recall = if queries.is_empty() {
+        1.0
+    } else {
+        truth
+            .iter()
+            .zip(&approx)
+            .map(|(t, a)| overlap_at_k(t, a, k))
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+    if let Some(reg) = registry {
+        reg.gauge(names::QUANT_RECALL_AT_K).set(recall);
+    }
+    QuantRecallReport {
+        k,
+        queries: queries.len(),
+        recall_at_k: recall,
+        rows_scanned: stats.rows_scanned,
+        bytes_scanned: stats.bytes_scanned,
+        bytes_f64: stats.rows_scanned * (8 * store.dim() + 8),
+        reranked: stats.reranked,
     }
 }
 
@@ -224,6 +294,52 @@ mod tests {
         // even nprobe = 1 recalls well on this geometry.
         assert!(partial.recall_at_k > 0.9, "{}", partial.recall_at_k);
         assert_eq!(partial.lists_probed, queries.len());
+    }
+
+    /// Smoothly spread rows, like trained-model embeddings. (The blob
+    /// store is *adversarial* for per-row int8: its intra-blob jitter is
+    /// smaller than the quantization step, so same-blob rows tie under
+    /// code noise — see DESIGN.md §12 on the resolution floor.)
+    fn uniform_store(n: usize, dim: usize) -> EmbeddingStore {
+        let mut seed = 11u64;
+        let mut unit = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let embs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| unit() * 4.0 - 2.0).collect())
+            .collect();
+        EmbeddingStore::from_embeddings(dim, &embs)
+    }
+
+    #[test]
+    fn quantized_scan_recall_at_10_clears_the_serving_gate() {
+        let store = uniform_store(2000, 16);
+        let quant = QuantizedStore::from_store(&store);
+        let queries: Vec<&[f64]> = (0..25).map(|i| store.get(i * 71 + 3)).collect();
+        let registry = Registry::new();
+        let r = quantized_recall_at_k(&store, &quant, &queries, 10, Some(&registry));
+        assert!(
+            r.recall_at_k >= 0.99,
+            "quantized recall@10 {} below the 0.99 gate",
+            r.recall_at_k
+        );
+        // Every scored row streamed ~8× fewer bytes than the f64 path.
+        assert_eq!(r.rows_scanned, queries.len() * store.len());
+        assert_eq!(r.bytes_scanned, r.rows_scanned * (store.dim() + 16));
+        assert_eq!(r.bytes_f64, r.rows_scanned * (8 * store.dim() + 8));
+        assert!(r.reranked > 0);
+        // The gauge carries the published recall.
+        let report = registry.snapshot();
+        let gauge = report
+            .gauges
+            .iter()
+            .find(|(n, _)| n == names::QUANT_RECALL_AT_K)
+            .expect("quant recall gauge")
+            .1;
+        assert_eq!(gauge, r.recall_at_k);
     }
 
     #[test]

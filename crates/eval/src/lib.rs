@@ -23,7 +23,10 @@ pub mod metrics;
 pub mod report;
 pub mod sweeps;
 
-pub use ann::{embedding_recall_at_k, exact_measure_recall_at_k, AnnRecallReport};
+pub use ann::{
+    embedding_recall_at_k, exact_measure_recall_at_k, quantized_recall_at_k, AnnRecallReport,
+    QuantRecallReport,
+};
 pub use harness::{
     DatasetKind, Evaluator, ExperimentWorld, GroundTruth, KnnGroundTruth, WorldConfig,
 };

@@ -27,7 +27,9 @@
 
 use crate::bounds::{lb_cheap, lb_tight, TrajCache, WAVE_PAD};
 use crate::bruteforce::{Neighbor, NeighborHeap};
+use crate::simd::{self, LANES};
 use crate::{Accel, DistanceMatrix, Measure};
+use neutraj_obs::simd::SimdLevel;
 use neutraj_obs::{names, Counter, Histogram, Registry};
 use neutraj_trajectory::{Point, Trajectory};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -351,11 +353,6 @@ fn erp_full(a: &TrajCache, b: &TrajCache, s: &mut Scratch) -> f64 {
 // co-grouped lanes have similar `maxc` and padding work stays small) and
 // reused by every row of every tile.
 
-/// Pairs processed in lockstep per batched kernel call. Eight f64 lanes =
-/// two 4-wide vectors: enough to cover the recurrence's dependency-chain
-/// latency with independent work.
-const LANES: usize = 8;
-
 /// [`LANES`] corpus trajectories interleaved element-wise for the batched
 /// kernels: `gx[j * LANES + l]` is point `j` of lane `l`.
 struct LaneGroup {
@@ -432,8 +429,10 @@ fn build_lane_groups(caches: &[TrajCache], order: &[usize], erp: bool) -> Vec<La
         .collect()
 }
 
-/// Batched [`crate::Dtw::full`]: `outer` against every lane of `g`.
-fn dtw_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+/// Batched [`crate::Dtw::full`]: `outer` against every lane of `g`. The
+/// per-row chain runs in `crate::simd` at the requested dispatch level
+/// (scalar oracle or AVX2 — bit-identical either way).
+fn dtw_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch, level: SimdLevel) -> [f64; LANES] {
     let maxc = g.maxc;
     let w = (maxc + 1) * LANES;
     s.prev.clear();
@@ -444,24 +443,7 @@ fn dtw_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] 
     for i in 0..outer.len() {
         let (ox, oy) = (outer.xs[i], outer.ys[i]);
         s.cur[..LANES].fill(f64::INFINITY);
-        let mut carry = [f64::INFINITY; LANES];
-        let body =
-            g.gx.chunks_exact(LANES)
-                .zip(g.gy.chunks_exact(LANES))
-                .zip(s.prev[..maxc * LANES].chunks_exact(LANES))
-                .zip(s.prev[LANES..].chunks_exact(LANES))
-                .zip(s.cur[LANES..].chunks_exact_mut(LANES));
-        for ((((gx, gy), pl), pu), out) in body {
-            let mut next = [0.0f64; LANES];
-            for l in 0..LANES {
-                let (dx, dy) = (ox - gx[l], oy - gy[l]);
-                let d = (dx * dx + dy * dy).sqrt();
-                let best = pl[l].min(pu[l]).min(carry[l]);
-                next[l] = d + best;
-            }
-            out.copy_from_slice(&next);
-            carry = next;
-        }
+        simd::dtw_row(level, ox, oy, &g.gx, &g.gy, &s.prev, &mut s.cur);
         std::mem::swap(&mut s.prev, &mut s.cur);
     }
     std::array::from_fn(|l| {
@@ -474,7 +456,12 @@ fn dtw_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] 
 }
 
 /// Batched [`crate::DiscreteFrechet::compute`].
-fn frechet_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+fn frechet_batch(
+    outer: &TrajCache,
+    g: &LaneGroup,
+    s: &mut Scratch,
+    level: SimdLevel,
+) -> [f64; LANES] {
     let maxc = g.maxc;
     let w = maxc * LANES;
     s.prev.clear();
@@ -482,66 +469,39 @@ fn frechet_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LAN
     s.cur.clear();
     s.cur.resize(w, 0.0);
     // Row 0: a horizontal running-max chain per lane.
-    {
-        let (ox, oy) = (outer.xs[0], outer.ys[0]);
-        let mut carry = [0.0f64; LANES];
-        let row =
-            g.gx.chunks_exact(LANES)
-                .zip(g.gy.chunks_exact(LANES))
-                .zip(s.prev.chunks_exact_mut(LANES));
-        for (j, ((gx, gy), out)) in row.enumerate() {
-            for l in 0..LANES {
-                let (dx, dy) = (ox - gx[l], oy - gy[l]);
-                let d = (dx * dx + dy * dy).sqrt();
-                carry[l] = if j == 0 { d } else { carry[l].max(d) };
-            }
-            out.copy_from_slice(&carry);
-        }
-    }
+    simd::frechet_row0(level, outer.xs[0], outer.ys[0], &g.gx, &g.gy, &mut s.prev);
     for i in 1..outer.len() {
-        let (ox, oy) = (outer.xs[i], outer.ys[i]);
-        // Column 0 chains vertically: prev[0].max(d).
-        let mut carry = [0.0f64; LANES];
-        let col = carry
-            .iter_mut()
-            .zip(&g.gx[..LANES])
-            .zip(&g.gy[..LANES])
-            .zip(&s.prev[..LANES]);
-        for (((c, &gx), &gy), &pv) in col {
-            let (dx, dy) = (ox - gx, oy - gy);
-            let d = (dx * dx + dy * dy).sqrt();
-            *c = pv.max(d);
-        }
-        s.cur[..LANES].copy_from_slice(&carry);
-        let body = g.gx[LANES..]
-            .chunks_exact(LANES)
-            .zip(g.gy[LANES..].chunks_exact(LANES))
-            .zip(s.prev[..w - LANES].chunks_exact(LANES))
-            .zip(s.prev[LANES..].chunks_exact(LANES))
-            .zip(s.cur[LANES..].chunks_exact_mut(LANES));
-        for ((((gx, gy), pl), pu), out) in body {
-            let mut next = [0.0f64; LANES];
-            for l in 0..LANES {
-                let (dx, dy) = (ox - gx[l], oy - gy[l]);
-                let d = (dx * dx + dy * dy).sqrt();
-                next[l] = pl[l].min(pu[l]).min(carry[l]).max(d);
-            }
-            out.copy_from_slice(&next);
-            carry = next;
-        }
+        simd::frechet_row(
+            level,
+            outer.xs[i],
+            outer.ys[i],
+            &g.gx,
+            &g.gy,
+            &s.prev,
+            &mut s.cur,
+        );
         std::mem::swap(&mut s.prev, &mut s.cur);
     }
+    // The AVX2 rows run the min/max DP over squared distances; one sqrt
+    // per lane here reproduces the scalar result bitwise (monotone sqrt
+    // commutes with min/max — see `simd::frechet_squared`).
+    let squared = simd::frechet_squared(level);
     std::array::from_fn(|l| {
         if g.len[l] == 0 {
             f64::INFINITY
         } else {
-            s.prev[(g.len[l] - 1) * LANES + l]
+            let v = s.prev[(g.len[l] - 1) * LANES + l];
+            if squared {
+                v.sqrt()
+            } else {
+                v
+            }
         }
     })
 }
 
 /// Batched [`crate::Erp::compute`].
-fn erp_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] {
+fn erp_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch, level: SimdLevel) -> [f64; LANES] {
     let maxc = g.maxc;
     let w = (maxc + 1) * LANES;
     s.prev.clear();
@@ -556,27 +516,9 @@ fn erp_batch(outer: &TrajCache, g: &LaneGroup, s: &mut Scratch) -> [f64; LANES] 
         let gi = outer.gap_dists[i];
         edge += gi;
         s.cur[..LANES].fill(edge);
-        let mut carry = [edge; LANES];
-        let body =
-            g.gx.chunks_exact(LANES)
-                .zip(g.gy.chunks_exact(LANES))
-                .zip(g.gg.chunks_exact(LANES))
-                .zip(s.prev[..maxc * LANES].chunks_exact(LANES))
-                .zip(s.prev[LANES..].chunks_exact(LANES))
-                .zip(s.cur[LANES..].chunks_exact_mut(LANES));
-        for (((((gx, gy), gg), pl), pu), out) in body {
-            let mut next = [0.0f64; LANES];
-            for l in 0..LANES {
-                let (dx, dy) = (ox - gx[l], oy - gy[l]);
-                let d = (dx * dx + dy * dy).sqrt();
-                let match_cost = pl[l] + d;
-                let del_outer = pu[l] + gi;
-                let del_inner = carry[l] + gg[l];
-                next[l] = match_cost.min(del_outer).min(del_inner);
-            }
-            out.copy_from_slice(&next);
-            carry = next;
-        }
+        simd::erp_row(
+            level, ox, oy, gi, edge, &g.gx, &g.gy, &g.gg, &s.prev, &mut s.cur,
+        );
         std::mem::swap(&mut s.prev, &mut s.cur);
     }
     std::array::from_fn(|l| {
@@ -1051,6 +993,9 @@ pub struct GroundTruthEngine<'a> {
     accel: Option<Accel>,
     caches: Vec<TrajCache>,
     metrics: Option<EngineMetrics>,
+    /// Dispatch level for the lane-batched kernels: the process-wide
+    /// detection by default, overridable per engine for A/B tests.
+    simd: SimdLevel,
 }
 
 impl std::fmt::Debug for GroundTruthEngine<'_> {
@@ -1077,6 +1022,7 @@ impl<'a> GroundTruthEngine<'a> {
             accel,
             caches,
             metrics: None,
+            simd: neutraj_obs::simd::level(),
         }
     }
 
@@ -1084,6 +1030,20 @@ impl<'a> GroundTruthEngine<'a> {
     pub fn with_metrics(mut self, registry: &Registry) -> Self {
         self.metrics = Some(EngineMetrics::new(registry));
         self
+    }
+
+    /// Forces the lane-kernel dispatch level (default: the process-wide
+    /// [`neutraj_obs::simd::level`]). Results are bit-identical at every
+    /// level — this exists for A/B benchmarks and the bit-identity
+    /// property tests, which compare both paths in one process.
+    pub fn with_simd_level(mut self, level: SimdLevel) -> Self {
+        self.simd = level;
+        self
+    }
+
+    /// The dispatch level the lane-batched kernels will run at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// Corpus size.
@@ -1176,9 +1136,9 @@ impl<'a> GroundTruthEngine<'a> {
                             [f64::INFINITY; LANES]
                         } else {
                             match accel {
-                                Accel::Dtw => dtw_batch(oc, grp, &mut s),
-                                Accel::Frechet => frechet_batch(oc, grp, &mut s),
-                                Accel::Erp { .. } => erp_batch(oc, grp, &mut s),
+                                Accel::Dtw => dtw_batch(oc, grp, &mut s, self.simd),
+                                Accel::Frechet => frechet_batch(oc, grp, &mut s, self.simd),
+                                Accel::Erp { .. } => erp_batch(oc, grp, &mut s, self.simd),
                                 Accel::Hausdorff => {
                                     unreachable!("Hausdorff takes the pairwise path")
                                 }

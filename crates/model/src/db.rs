@@ -29,6 +29,7 @@
 use crate::backbone::NeuTrajModel;
 use crate::loss::pair_similarity;
 use crate::persist::{atomic_write, open_payload, seal_payload, PersistError};
+use crate::quant::QuantizedStore;
 use crate::query::{Query, QueryTarget};
 use crate::search::EmbeddingStore;
 use neutraj_cluster::{KMeans, KMeansParams};
@@ -118,6 +119,8 @@ pub struct DbMetrics {
     ann_lists_probed: Counter,
     ann_candidates_scanned: Counter,
     ann_rerank_depth: Histogram,
+    quant_rows_scanned: Counter,
+    quant_bytes_scanned: Counter,
 }
 
 impl DbMetrics {
@@ -134,6 +137,8 @@ impl DbMetrics {
             ann_lists_probed: registry.counter(names::ANN_LISTS_PROBED_TOTAL),
             ann_candidates_scanned: registry.counter(names::ANN_CANDIDATES_SCANNED_TOTAL),
             ann_rerank_depth: registry.histogram(names::ANN_RERANK_DEPTH),
+            quant_rows_scanned: registry.counter(names::QUANT_ROWS_SCANNED_TOTAL),
+            quant_bytes_scanned: registry.counter(names::QUANT_BYTES_SCANNED_TOTAL),
         }
     }
 }
@@ -184,6 +189,11 @@ pub struct SimilarityDb {
     /// store by [`SimilarityDb::insert`] once built. `None` until
     /// [`SimilarityDb::build_ann_index`] (or a load) installs one.
     ann: Option<AnnIndex>,
+    /// Int8-quantized view of the embeddings for [`Query::quantized`]
+    /// scans, kept in lockstep with the store by [`SimilarityDb::insert`]
+    /// once built. `None` until [`SimilarityDb::build_quantized_store`]
+    /// (or a load) installs one.
+    quant: Option<QuantizedStore>,
     /// `None` (the default) records nothing; cloning an instrumented db
     /// shares the underlying instruments.
     metrics: Option<DbMetrics>,
@@ -198,6 +208,7 @@ impl SimilarityDb {
             trajectories: Vec::new(),
             embeddings: store,
             ann: None,
+            quant: None,
             metrics: None,
         }
     }
@@ -346,6 +357,63 @@ impl SimilarityDb {
             .map_err(|e| PersistError::Format(e.to_string()))
     }
 
+    /// Builds (or rebuilds) the int8-quantized view of the current
+    /// corpus snapshot for [`Query::quantized`] scans. Later
+    /// [`SimilarityDb::insert`]s keep it in lockstep (the new row is
+    /// quantized on its own scale — no re-quantization of old rows).
+    pub fn build_quantized_store(&mut self) {
+        self.quant = Some(QuantizedStore::from_store(&self.embeddings));
+    }
+
+    /// The current quantized view, when one is built or loaded.
+    pub fn quantized_store(&self) -> Option<&QuantizedStore> {
+        self.quant.as_ref()
+    }
+
+    /// Installs an externally built quantized view after checking it
+    /// matches the corpus (dimensionality and row count).
+    pub fn set_quantized_store(&mut self, store: QuantizedStore) -> Result<(), DbError> {
+        if store.dim() != self.embeddings.dim() || store.len() != self.len() {
+            return Err(self.reject(DbError::InvalidConfig(format!(
+                "quantized store (dim {}, {} rows) does not match corpus (dim {}, {} rows)",
+                store.dim(),
+                store.len(),
+                self.embeddings.dim(),
+                self.len()
+            ))));
+        }
+        self.quant = Some(store);
+        Ok(())
+    }
+
+    /// Drops the quantized view; [`Query::quantized`] queries start
+    /// failing with [`DbError::InvalidConfig`].
+    pub fn clear_quantized_store(&mut self) {
+        self.quant = None;
+    }
+
+    /// Persists the quantized view to `path` inside the standard sealed
+    /// envelope (`NTFILE01` magic + length + CRC around the `NTQ08`
+    /// section), written atomically. Errors when no view is built.
+    pub fn save_quantized_store<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let q = self.quant.as_ref().ok_or_else(|| {
+            PersistError::Format(
+                "no quantized store to save: call build_quantized_store first".into(),
+            )
+        })?;
+        q.save(path)
+    }
+
+    /// Loads and installs a quantized view written by
+    /// [`SimilarityDb::save_quantized_store`], verifying the envelope
+    /// CRC, the `NTQ08` structural invariants, and that the view matches
+    /// the current corpus.
+    pub fn load_quantized_store<P: AsRef<Path>>(&mut self, path: P) -> Result<(), PersistError> {
+        let store = QuantizedStore::load(path)?;
+        self.set_quantized_store(store)
+            .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
     /// Counts a rejected input (graceful-degradation events are observable
     /// through `neutraj_db_rejects_total`).
     fn reject(&self, e: DbError) -> DbError {
@@ -371,6 +439,13 @@ impl SimilarityDb {
                 query.k()
             ))));
         }
+        if query.is_quantized() && self.quant.is_none() {
+            return Err(self.reject(DbError::InvalidConfig(
+                "quantized queries need the int8 view: call build_quantized_store \
+                 (or load_quantized_store) first"
+                    .into(),
+            )));
+        }
         match query.ann_nprobe() {
             Some(0) => Err(self.reject(DbError::InvalidConfig(
                 "nprobe must be positive (shortlist_ann(0) probes no lists)".into(),
@@ -389,6 +464,9 @@ impl SimilarityDb {
     /// asks for it (recording the ANN work counters). Configuration has
     /// already passed [`Self::check_query`].
     fn scan_batch(&self, qrefs: &[&[f64]], fetch: usize, query: &Query) -> Vec<Vec<Neighbor>> {
+        if query.is_quantized() {
+            return self.scan_batch_quantized(qrefs, fetch, query);
+        }
         match query.ann_nprobe() {
             None => self.embeddings.knn_batch(qrefs, fetch),
             Some(nprobe) => {
@@ -412,6 +490,41 @@ impl SimilarityDb {
         }
     }
 
+    /// The [`Query::quantized`] scan stage: score rows through the int8
+    /// view (exhaustively or over the IVF candidates), then exactly
+    /// re-score the over-fetched shortlist against the f64 store —
+    /// returned distances are exact; recall is what quantization trades.
+    fn scan_batch_quantized(
+        &self,
+        qrefs: &[&[f64]],
+        fetch: usize,
+        query: &Query,
+    ) -> Vec<Vec<Neighbor>> {
+        let quant = self
+            .quant
+            .as_ref()
+            .expect("check_query verified the quantized store exists");
+        let (shorts, stats) = match query.ann_nprobe() {
+            None => quant.knn_batch(&self.embeddings, qrefs, fetch),
+            Some(nprobe) => {
+                let ann = self
+                    .ann
+                    .as_ref()
+                    .expect("check_query verified the index exists");
+                if let Some(m) = &self.metrics {
+                    m.ann_lists_probed
+                        .add((qrefs.len() * nprobe.min(ann.nlists())) as u64);
+                }
+                quant.knn_ann_batch(&self.embeddings, qrefs, fetch, ann, nprobe)
+            }
+        };
+        if let Some(m) = &self.metrics {
+            m.quant_rows_scanned.add(stats.rows_scanned as u64);
+            m.quant_bytes_scanned.add(stats.bytes_scanned as u64);
+        }
+        shorts
+    }
+
     /// Inserts one trajectory; returns its index. Empty or non-finite
     /// trajectories are rejected *before* embedding, leaving the store
     /// untouched.
@@ -423,6 +536,10 @@ impl SimilarityDb {
         // nearest centroid (no retraining — rebuild for that).
         if let Some(ann) = &mut self.ann {
             ann.insert(&e);
+        }
+        // And the quantized view: the new row quantizes on its own scale.
+        if let Some(q) = &mut self.quant {
+            q.push(&e);
         }
         self.trajectories.push(t);
         if let Some(m) = &self.metrics {
@@ -445,6 +562,9 @@ impl SimilarityDb {
             self.embeddings.push(e);
             if let Some(ann) = &mut self.ann {
                 ann.insert(e);
+            }
+            if let Some(q) = &mut self.quant {
+                q.push(e);
             }
         }
         self.trajectories.extend(ts);
@@ -1256,6 +1376,121 @@ mod tests {
         let other = dir.join("other.ivf");
         small.save_ann_index(&other).unwrap();
         assert!(db.load_ann_index(&other).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_query_matches_exhaustive_on_small_corpus() {
+        let (model, trajs) = trained_model_and_corpus();
+        let registry = Registry::new();
+        let mut db = SimilarityDb::with_corpus(model, trajs[..30].to_vec(), 2);
+        db.instrument(&registry);
+
+        // Without the int8 view the query is a typed config rejection.
+        let err = db
+            .search(&trajs[3], &Query::new(6).quantized())
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        db.build_quantized_store();
+        // At 30 rows the over-fetched shortlist covers the whole corpus,
+        // so the exact rerank makes quantized == exhaustive, bit for bit,
+        // for every target flavor.
+        let q = Query::new(6);
+        let qq = Query::new(6).quantized();
+        assert_eq!(
+            db.search(&trajs[3], &q).unwrap(),
+            db.search(&trajs[3], &qq).unwrap()
+        );
+        assert_eq!(
+            db.search(3usize, &q).unwrap(),
+            db.search(3usize, &qq).unwrap()
+        );
+        assert_eq!(
+            db.search_batch(&trajs[..4], &q).unwrap(),
+            db.search_batch(&trajs[..4], &qq).unwrap()
+        );
+
+        // Composes with the IVF shortlist: full probe == exhaustive.
+        db.build_ann_index(&AnnParams {
+            nlists: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let nlists = db.ann_index().unwrap().nlists();
+        assert_eq!(
+            db.search(&trajs[3], &q).unwrap(),
+            db.search(&trajs[3], &Query::new(6).quantized().shortlist_ann(nlists))
+                .unwrap()
+        );
+        // And with exact re-ranking.
+        let rr = db
+            .search(
+                &trajs[3],
+                &Query::new(3).shortlist(10).quantized().rerank(&Hausdorff),
+            )
+            .unwrap();
+        assert_eq!(rr[0].index, 3);
+
+        // Inserts keep the view in lockstep.
+        let idx = db.insert(trajs[35].clone()).unwrap();
+        assert_eq!(db.quantized_store().unwrap().len(), db.len());
+        let res = db.search(&trajs[35], &Query::new(1).quantized()).unwrap();
+        assert_eq!(res[0].index, idx);
+
+        // The quantized work was counted, and each scored row cost
+        // dim + 16 bytes (vs 8·dim + 8 on the f64 path).
+        let report = registry.snapshot();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        let rows = counter(names::QUANT_ROWS_SCANNED_TOTAL);
+        assert!(rows > 0);
+        assert_eq!(
+            counter(names::QUANT_BYTES_SCANNED_TOTAL),
+            rows * (db.model().dim() as u64 + 16)
+        );
+    }
+
+    #[test]
+    fn quantized_store_persists_through_the_sealed_envelope() {
+        let (model, trajs) = trained_model_and_corpus();
+        let mut db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        let dir = std::env::temp_dir().join(format!("neutraj-ntq08-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.ntq08");
+
+        // Nothing to save yet.
+        assert!(db.save_quantized_store(&path).is_err());
+        db.build_quantized_store();
+        db.save_quantized_store(&path).unwrap();
+        let saved = db.quantized_store().unwrap().clone();
+        db.clear_quantized_store();
+        assert!(db.quantized_store().is_none());
+        db.load_quantized_store(&path).unwrap();
+        assert_eq!(db.quantized_store().unwrap(), &saved);
+
+        // A flipped payload byte fails the envelope CRC.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let bad = dir.join("corrupt.ntq08");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(db.load_quantized_store(&bad).is_err());
+        // The db keeps serving from the previously loaded view.
+        assert!(db.quantized_store().is_some());
+
+        // A view for a different corpus is rejected at load time.
+        let mut small = SimilarityDb::with_corpus(db.model().clone(), trajs[..10].to_vec(), 2);
+        small.build_quantized_store();
+        let other = dir.join("other.ntq08");
+        small.save_quantized_store(&other).unwrap();
+        assert!(db.load_quantized_store(&other).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

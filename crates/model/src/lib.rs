@@ -50,6 +50,7 @@ mod db;
 pub mod fault;
 mod loss;
 mod persist;
+mod quant;
 mod query;
 mod sampling;
 mod search;
@@ -65,6 +66,7 @@ pub use db::{AnnIndex, AnnParams, DbError, DbMetrics, SimilarityDb};
 pub use fault::{FaultyReader, FaultyWriter};
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};
 pub use persist::PersistError;
+pub use quant::{QuantStats, QuantizedQuery, QuantizedStore, QUANT_MAX_DIM};
 pub use query::{Query, QueryOptions, QueryTarget};
 pub use sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
 pub use search::{AnnStats, EmbeddingStore};

@@ -113,6 +113,12 @@ impl EmbeddingStore {
         &self.data
     }
 
+    /// Cached `‖row i‖²` — shared with the quantized scan's exact rerank
+    /// so its distances match the norm-trick paths bit-for-bit.
+    pub(crate) fn norm_sq(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
     /// Top-k nearest stored items to `query` by embedding distance
     /// (equivalently, highest learned similarity `exp(-dist)`).
     ///

@@ -4,7 +4,8 @@
 //! loaded file whose parameters differ from what was saved.
 
 use neutraj_model::{
-    Checkpoint, FaultyReader, FaultyWriter, NeuTrajModel, TrainConfig, TrainState,
+    Checkpoint, EmbeddingStore, FaultyReader, FaultyWriter, NeuTrajModel, QuantizedStore,
+    TrainConfig, TrainState,
 };
 use neutraj_nn::AdamState;
 use neutraj_trajectory::{BoundingBox, Grid};
@@ -61,7 +62,50 @@ fn ckpt_image() -> &'static (Checkpoint, Vec<u8>) {
     })
 }
 
+/// A sealed `NTQ08` quantized-store file image.
+fn quant_image() -> &'static (QuantizedStore, Vec<u8>) {
+    static IMG: OnceLock<(QuantizedStore, Vec<u8>)> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let mut seed = 3u64;
+        let mut unit = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let embs: Vec<Vec<f64>> = (0..25)
+            .map(|_| (0..6).map(|_| unit() * 8.0 - 4.0).collect())
+            .collect();
+        let qs = QuantizedStore::from_store(&EmbeddingStore::from_embeddings(6, &embs));
+        let mut sink = Vec::new();
+        qs.write_to(&mut sink).unwrap();
+        (qs, sink)
+    })
+}
+
 proptest! {
+    #[test]
+    fn any_bit_flip_in_a_quantized_store_file_is_rejected(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let (_, image) = quant_image();
+        let offset = offset % image.len();
+        let mut r = FaultyReader::new(image.clone()).flip_bit(offset, bit);
+        prop_assert!(
+            QuantizedStore::read_from(&mut r).is_err(),
+            "bit {bit} of byte {offset} flipped, NTQ08 file still loaded"
+        );
+    }
+
+    #[test]
+    fn any_truncation_of_a_quantized_store_file_is_rejected(len in 0usize..1 << 20) {
+        let (_, image) = quant_image();
+        let len = len % image.len();
+        let mut r = FaultyReader::new(image.clone()).truncate_at(len);
+        prop_assert!(QuantizedStore::read_from(&mut r).is_err());
+    }
+
     #[test]
     fn any_bit_flip_in_a_model_file_is_rejected(
         offset in 0usize..1 << 20,
@@ -160,6 +204,18 @@ proptest! {
         let mut r = FaultyReader::new(w.written.clone());
         prop_assert!(NeuTrajModel::read_from(&mut r).is_err());
     }
+}
+
+#[test]
+fn undamaged_quantized_store_roundtrips_through_the_faulty_reader() {
+    let (qs, image) = quant_image();
+    let mut r = FaultyReader::new(image.clone());
+    let loaded = QuantizedStore::read_from(&mut r).expect("intact file loads");
+    assert_eq!(&loaded, qs);
+    // And through an uninterrupted FaultyWriter.
+    let mut w = FaultyWriter::fails_after(usize::MAX);
+    qs.write_to(&mut w).unwrap();
+    assert_eq!(&w.written, image);
 }
 
 #[test]

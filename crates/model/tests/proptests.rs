@@ -3,8 +3,8 @@
 
 use neutraj_measures::DistanceMatrix;
 use neutraj_model::{
-    pair_similarity, ranked_random_samples, ranked_weighted_samples, Normalization,
-    RankedBatchLoss, SimilarityMatrix,
+    pair_similarity, ranked_random_samples, ranked_weighted_samples, EmbeddingStore, Normalization,
+    QuantizedStore, RankedBatchLoss, SimilarityMatrix,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -149,5 +149,37 @@ proptest! {
         prop_assert!(g > 0.0 && g <= 1.0);
         prop_assert!((pair_similarity(&a, &b) - pair_similarity(&b, &a)).abs() < 1e-15);
         prop_assert!((pair_similarity(&a, &a) - 1.0).abs() < 1e-15);
+    }
+
+    /// The int8 codec's core numeric contract (`DESIGN.md` §12): with
+    /// per-row `scale = range/255` and `offset = min`, dequantization
+    /// recovers every component to within half a quantization step
+    /// (plus fp slop), and the NTQ08 byte roundtrip is lossless.
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_half_scale(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e4f64..1e4, 5),
+            1..12,
+        ),
+    ) {
+        let store = EmbeddingStore::from_embeddings(5, &rows);
+        let qs = QuantizedStore::from_store(&store);
+        for (i, row) in rows.iter().enumerate() {
+            let lo = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let scale = (hi - lo) / 255.0;
+            // Half a step, with slack for the rounding done in
+            // `(v - lo) * (255/range)` floating-point arithmetic.
+            let bound = 0.5 * scale * (1.0 + 1e-9) + 1e-12 * hi.abs().max(lo.abs());
+            let dq = qs.dequantize(i);
+            for (d, (&v, &w)) in row.iter().zip(&dq).enumerate() {
+                prop_assert!(
+                    (v - w).abs() <= bound,
+                    "row {i} dim {d}: |{v} - {w}| > {bound} (scale {scale})"
+                );
+            }
+        }
+        let back = QuantizedStore::from_bytes(&qs.to_bytes()).expect("own bytes parse");
+        prop_assert_eq!(back, qs);
     }
 }

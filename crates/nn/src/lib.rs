@@ -37,7 +37,11 @@
 //!   the intermediate cell state `ĉ_t`. This matches the reference
 //!   implementation of the paper, which detaches the memory tensor.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 GEMM/u8-dot micro-kernels in
+// `simd.rs` opt back in with scoped `#[allow(unsafe_code)]` — every
+// other module stays unsafe-free, and `target_feature` never leaks into
+// safe code (the dispatchers are safe fns that check bounds first).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adam;
@@ -47,6 +51,7 @@ pub mod linalg;
 mod lstm;
 mod memory;
 mod sam;
+pub mod simd;
 mod workspace;
 
 pub use adam::{Adam, AdamState};

@@ -1,5 +1,7 @@
 //! Dense row-major matrices and the small kernel set RNN training needs.
 
+use crate::simd::{self, MR, NR};
+use neutraj_obs::simd::SimdLevel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -141,10 +143,6 @@ impl Mat {
     }
 }
 
-/// Rows per micro-tile of the blocked GEMM kernels.
-const MR: usize = 4;
-/// Columns per micro-tile of the blocked GEMM kernels.
-const NR: usize = 8;
 /// Below this many `A` rows, packing the `B` panel costs about as much as
 /// the multiply it would accelerate; use the direct kernel instead.
 const PACK_MIN_M: usize = 8;
@@ -175,6 +173,22 @@ thread_local! {
 /// identity is what lets the lockstep batched RNN forward and the
 /// norm-trick scans promise bit-equality with their scalar counterparts.
 pub fn matmul_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    matmul_nt_with_level(neutraj_obs::simd::level(), a, b, c, m, n, k);
+}
+
+/// [`matmul_nt`] with the micro-kernel dispatch level pinned — the
+/// bit-identity tests force the scalar oracle and the AVX2 path in one
+/// process. Production callers use [`matmul_nt`], which follows the
+/// process-wide cached [`neutraj_obs::simd::level`].
+pub fn matmul_nt_with_level(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
     assert_eq!(a.len(), m * k, "matmul_nt: A shape");
     assert_eq!(b.len(), n * k, "matmul_nt: B shape");
     assert_eq!(c.len(), m * n, "matmul_nt: C shape");
@@ -216,19 +230,7 @@ pub fn matmul_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usi
                 let nh = (n - j0).min(NR);
                 let panel = &bp[jt * k * NR..(jt + 1) * k * NR];
                 let mut acc = [[0.0f64; NR]; MR];
-                for (av, bv) in ap.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
-                    // Fixed-size views give the optimizer exact trip
-                    // counts for the MR×NR unrolled multiply-add block.
-                    let av: &[f64; MR] = av.try_into().expect("A panel chunk");
-                    let bv: &[f64; NR] = bv.try_into().expect("B panel chunk");
-                    for r in 0..MR {
-                        let ar = av[r];
-                        let accr = &mut acc[r];
-                        for cc in 0..NR {
-                            accr[cc] += ar * bv[cc];
-                        }
-                    }
-                }
+                simd::gemm_tile_nt(level, ap, panel, &mut acc);
                 for (r, accr) in acc.iter().enumerate().take(mh) {
                     c[(i + r) * n + j0..(i + r) * n + j0 + nh].copy_from_slice(&accr[..nh]);
                 }
@@ -260,6 +262,20 @@ fn matmul_nt_direct(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: 
 /// Register-tiled like [`matmul_nt`]; each output element is one
 /// accumulator summed in ascending `p` order.
 pub fn matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    matmul_with_level(neutraj_obs::simd::level(), a, b, c, m, n, k);
+}
+
+/// [`matmul`] with the micro-kernel dispatch level pinned (see
+/// [`matmul_nt_with_level`]).
+pub fn matmul_with_level(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
     assert_eq!(a.len(), m * k, "matmul: A shape");
     assert_eq!(b.len(), k * n, "matmul: B shape");
     assert_eq!(c.len(), m * n, "matmul: C shape");
@@ -271,20 +287,8 @@ pub fn matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize)
             let nh = (n - j).min(NR);
             if mh == MR && nh == NR {
                 let mut acc = [[0.0f64; NR]; MR];
-                for p in 0..k {
-                    let av = [
-                        a[i * k + p],
-                        a[(i + 1) * k + p],
-                        a[(i + 2) * k + p],
-                        a[(i + 3) * k + p],
-                    ];
-                    let brow = &b[p * n + j..p * n + j + NR];
-                    for (accr, &avr) in acc.iter_mut().zip(&av) {
-                        for (accc, &bvc) in accr.iter_mut().zip(brow) {
-                            *accc += avr * bvc;
-                        }
-                    }
-                }
+                let arows: [&[f64]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+                simd::gemm_tile_nn(level, arows, b, n, j, &mut acc);
                 for (ii, accr) in acc.iter().enumerate() {
                     c[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(accr);
                 }

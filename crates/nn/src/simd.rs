@@ -1,0 +1,529 @@
+//! AVX2 micro-kernels for the register-tiled GEMMs in [`crate::linalg`]
+//! and the u8 integer dot product behind the int8-quantized embedding
+//! scan (`DESIGN.md` §12).
+//!
+//! Same policy as the measures DP kernels: every function takes an
+//! explicit [`SimdLevel`] and carries a pure-Rust scalar arm that *is*
+//! the oracle — the AVX2 arm computes the same expression per output
+//! element in the same order, so results are bit-identical:
+//!
+//! * the GEMM tiles keep one accumulator per output element, summed in
+//!   ascending `p` with separate `_mm256_mul_pd`/`_mm256_add_pd` (no
+//!   FMA — the scalar oracle never contracts), vectorized only across
+//!   the `NR` *independent* accumulator columns;
+//! * the u8 dot is exact integer arithmetic, where any summation order
+//!   yields the same value.
+
+use neutraj_obs::simd::SimdLevel;
+
+/// Rows per GEMM micro-tile (matches `linalg::MR`).
+pub(crate) const MR: usize = 4;
+/// Columns per GEMM micro-tile (matches `linalg::NR`).
+pub(crate) const NR: usize = 8;
+
+/// Whether the AVX2 arm may run: requested level AND host support
+/// (`is_x86_feature_detected!` caches, ~one relaxed load per call).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn use_avx2(level: SimdLevel) -> bool {
+    level == SimdLevel::Avx2 && std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// The packed `MR×NR` register tile of [`crate::linalg::matmul_nt`]:
+/// `ap` is the `k`-major A micro-panel (`k·MR`), `panel` the `k`-major
+/// B panel (`k·NR`); `acc[r][c] += Σ_p ap[p·MR+r] · panel[p·NR+c]` in
+/// ascending `p`, one accumulator per element.
+#[inline]
+#[allow(unsafe_code)]
+pub(crate) fn gemm_tile_nt(level: SimdLevel, ap: &[f64], panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    assert_eq!(ap.len() % MR, 0);
+    assert_eq!(ap.len() / MR, panel.len() / NR);
+    assert_eq!(panel.len() % NR, 0);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(level) {
+        // SAFETY: AVX2 presence just verified; lengths checked above.
+        unsafe { avx2::gemm_tile_nt(ap, panel, acc) };
+        return;
+    }
+    let _ = level;
+    for (av, bv) in ap.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+        // Fixed-size views give the optimizer exact trip counts for the
+        // MR×NR unrolled multiply-add block.
+        let av: &[f64; MR] = av.try_into().expect("A panel chunk");
+        let bv: &[f64; NR] = bv.try_into().expect("B panel chunk");
+        for r in 0..MR {
+            let ar = av[r];
+            let accr = &mut acc[r];
+            for cc in 0..NR {
+                accr[cc] += ar * bv[cc];
+            }
+        }
+    }
+}
+
+/// The full `MR×NR` tile of [`crate::linalg::matmul`] (`C = A·B`):
+/// `arows` are the `MR` A rows (each of length `k`), `b` is the packed
+/// row-major `k×n` B with the tile starting at column `j`.
+#[inline]
+#[allow(unsafe_code)]
+pub(crate) fn gemm_tile_nn(
+    level: SimdLevel,
+    arows: [&[f64]; MR],
+    b: &[f64],
+    n: usize,
+    j: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    let k = arows[0].len();
+    for row in &arows {
+        assert_eq!(row.len(), k);
+    }
+    assert!(j + NR <= n);
+    assert!(k * n <= b.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(level) {
+        // SAFETY: AVX2 presence just verified; bounds checked above.
+        unsafe { avx2::gemm_tile_nn(arows, b, n, j, acc) };
+        return;
+    }
+    let _ = level;
+    for p in 0..k {
+        let av = [arows[0][p], arows[1][p], arows[2][p], arows[3][p]];
+        let brow = &b[p * n + j..p * n + j + NR];
+        for (accr, &avr) in acc.iter_mut().zip(&av) {
+            for (accc, &bvc) in accr.iter_mut().zip(brow) {
+                *accc += avr * bvc;
+            }
+        }
+    }
+}
+
+/// Exact `Σ a[i]·b[i]` over u8 codes, as u64. Integer arithmetic is
+/// associative, so the wide path is bit-identical by construction; the
+/// `i32` pair accumulators of the AVX2 arm cannot overflow because the
+/// length is capped (`32768 · 255² < 2³¹`).
+#[inline]
+#[allow(unsafe_code)]
+pub fn dot_u8(level: SimdLevel, a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() <= 32768, "dot_u8: dimension cap");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(level) {
+        // SAFETY: AVX2 presence just verified; lengths checked above.
+        return unsafe { avx2::dot_u8(a, b) };
+    }
+    let _ = level;
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from(x) * u64::from(y))
+        .sum()
+}
+
+/// Per-query constants of the quantized-scan score (`DESIGN.md` §12):
+/// with query offset/scale `qo`/`qs`, `dqo = d·qo`, `qsum = Σ` query
+/// codes and `qn = ‖q̂‖²`, a row with offset `xo`, scale `xs`, code sum
+/// `sx`, dequantized norm `dn` and integer dot `D` scores
+/// `max(0, qn − 2·(dqo·xo + qo·xs·sx + xo·qs·qsum + qs·xs·D) + dn)`.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantQueryTerms {
+    /// Row dimensionality times the query offset.
+    pub dqo: f64,
+    /// Query dequantization offset.
+    pub qo: f64,
+    /// Query dequantization scale.
+    pub qs: f64,
+    /// Sum of the query's u8 codes.
+    pub qsum: f64,
+    /// Squared norm of the dequantized query.
+    pub qn: f64,
+}
+
+/// The affine tail of the quantized score, shared verbatim by the
+/// scalar arm and the AVX2 arm's row tail so every path rounds
+/// identically (the vector arm mirrors this exact operand order,
+/// lane-wise, with separate mul/add — no FMA, no reassociation).
+#[inline]
+fn quant_score(t: &QuantQueryTerms, xo: f64, xs: f64, sx: f64, dn: f64, d: f64) -> f64 {
+    let cross = t.dqo * xo + t.qo * xs * sx + xo * t.qs * t.qsum + t.qs * xs * d;
+    (t.qn - 2.0 * cross + dn).max(0.0)
+}
+
+/// Scores every `q.len()`-sized row of a contiguous u8 code block
+/// against one quantized query: `out[j]` is the approximate squared
+/// distance of row `j` (see [`QuantQueryTerms`]). `xo`/`xs`/`sx`/`dn`
+/// are the per-row offset, scale, code-sum and dequantized-norm
+/// columns.
+///
+/// One dispatched call scores the whole block: the AVX2 arm fuses the
+/// integer dots (four rows per step, query chunk loaded once,
+/// accumulators folded with an in-register `hadd` transpose) with a
+/// 4-lane affine tail — no per-row dispatch, call, or stack spill.
+/// This is what makes the quantized exhaustive scan beat the f64 GEMM
+/// scan per core (`DESIGN.md` §12). Bit-identical to the scalar arm:
+/// the dots are exact integers either way, and the f64 tail performs
+/// the same operations in the same order lane-wise.
+#[inline]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+pub fn quant_scan_block(
+    level: SimdLevel,
+    q: &[u8],
+    codes: &[u8],
+    xo: &[f64],
+    xs: &[f64],
+    sx: &[f64],
+    dn: &[f64],
+    t: &QuantQueryTerms,
+    out: &mut [f64],
+) {
+    let d = q.len();
+    let rows = out.len();
+    assert!(d <= 32768, "quant_scan_block: dimension cap");
+    assert_eq!(codes.len(), d * rows, "codes/out shape mismatch");
+    assert!(
+        xo.len() == rows && xs.len() == rows && sx.len() == rows && dn.len() == rows,
+        "row-statistic column length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(level) {
+        // SAFETY: AVX2 presence just verified; shapes checked above.
+        unsafe { avx2::quant_scan_block(q, codes, xo, xs, sx, dn, t, out) };
+        return;
+    }
+    let _ = level;
+    for (j, o) in out.iter_mut().enumerate() {
+        let dot: u64 = q
+            .iter()
+            .zip(&codes[j * d..(j + 1) * d])
+            .map(|(&x, &y)| u64::from(x) * u64::from(y))
+            .sum();
+        *o = quant_score(t, xo[j], xs[j], sx[j], dn[j], dot as f64);
+    }
+}
+
+/// The `unsafe` lives only here: `#[target_feature(enable = "avx2")]`
+/// kernels called exclusively through the safe dispatchers above after
+/// bounds checks, and only when runtime detection reported AVX2.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_tile_nt(ap: &[f64], panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+        let k = ap.len() / MR;
+        // Eight ymm accumulators: rows r=0..4 × column halves h=0..2.
+        let mut vacc = [[_mm256_setzero_pd(); 2]; MR];
+        for (r, row) in acc.iter().enumerate() {
+            vacc[r] = [
+                _mm256_loadu_pd(row.as_ptr()),
+                _mm256_loadu_pd(row.as_ptr().add(4)),
+            ];
+        }
+        let (app, bpp) = (ap.as_ptr(), panel.as_ptr());
+        for p in 0..k {
+            let b0 = _mm256_loadu_pd(bpp.add(p * NR));
+            let b1 = _mm256_loadu_pd(bpp.add(p * NR + 4));
+            for (r, vr) in vacc.iter_mut().enumerate() {
+                let ar = _mm256_set1_pd(*app.add(p * MR + r));
+                // Separate mul+add: the scalar oracle does not contract.
+                vr[0] = _mm256_add_pd(vr[0], _mm256_mul_pd(ar, b0));
+                vr[1] = _mm256_add_pd(vr[1], _mm256_mul_pd(ar, b1));
+            }
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            _mm256_storeu_pd(row.as_mut_ptr(), vacc[r][0]);
+            _mm256_storeu_pd(row.as_mut_ptr().add(4), vacc[r][1]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_tile_nn(
+        arows: [&[f64]; MR],
+        b: &[f64],
+        n: usize,
+        j: usize,
+        acc: &mut [[f64; NR]; MR],
+    ) {
+        let k = arows[0].len();
+        let mut vacc = [[_mm256_setzero_pd(); 2]; MR];
+        for (r, row) in acc.iter().enumerate() {
+            vacc[r] = [
+                _mm256_loadu_pd(row.as_ptr()),
+                _mm256_loadu_pd(row.as_ptr().add(4)),
+            ];
+        }
+        let bp = b.as_ptr();
+        for p in 0..k {
+            let b0 = _mm256_loadu_pd(bp.add(p * n + j));
+            let b1 = _mm256_loadu_pd(bp.add(p * n + j + 4));
+            for (r, vr) in vacc.iter_mut().enumerate() {
+                let ar = _mm256_set1_pd(*arows[r].get_unchecked(p));
+                vr[0] = _mm256_add_pd(vr[0], _mm256_mul_pd(ar, b0));
+                vr[1] = _mm256_add_pd(vr[1], _mm256_mul_pd(ar, b1));
+            }
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            _mm256_storeu_pd(row.as_mut_ptr(), vacc[r][0]);
+            _mm256_storeu_pd(row.as_mut_ptr().add(4), vacc[r][1]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_u8(a: &[u8], b: &[u8]) -> u64 {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // 16 u8 lanes per step: zero-extend to i16, vpmaddwd pairs into
+        // i32. Lane bound: (32768/2) pair-terms · 2·255² per term still
+        // fits i32 comfortably (see the dispatcher's length cap).
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            let av = _mm256_cvtepu8_epi16(_mm_loadu_si128(ap.add(i).cast()));
+            let bv = _mm256_cvtepu8_epi16(_mm_loadu_si128(bp.add(i).cast()));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            i += 16;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut sum: u64 = lanes.iter().map(|&v| v as u64).sum();
+        while i < n {
+            sum += u64::from(*ap.add(i)) * u64::from(*bp.add(i));
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn quant_scan_block(
+        q: &[u8],
+        codes: &[u8],
+        xo: &[f64],
+        xs: &[f64],
+        sx: &[f64],
+        dn: &[f64],
+        t: &super::QuantQueryTerms,
+        out: &mut [f64],
+    ) {
+        let d = q.len();
+        let rows = out.len();
+        let qp = q.as_ptr();
+        let cp = codes.as_ptr();
+        let vdqo = _mm256_set1_pd(t.dqo);
+        let vqo = _mm256_set1_pd(t.qo);
+        let vqs = _mm256_set1_pd(t.qs);
+        let vqsum = _mm256_set1_pd(t.qsum);
+        let vqn = _mm256_set1_pd(t.qn);
+        let vtwo = _mm256_set1_pd(2.0);
+        let vzero = _mm256_setzero_pd();
+        let mut j = 0;
+        while j + 4 <= rows {
+            // Same lane math as `dot_u8` (zero-extend to i16, vpmaddwd
+            // pairs into non-negative i32 partials, bound by the 32768
+            // dimension cap), fused four rows deep: each query chunk is
+            // converted once and shared, and the four accumulators fold
+            // with one hadd transpose instead of four per-row spills.
+            let rp = [
+                cp.add(j * d),
+                cp.add((j + 1) * d),
+                cp.add((j + 2) * d),
+                cp.add((j + 3) * d),
+            ];
+            let mut acc = [_mm256_setzero_si256(); 4];
+            let mut i = 0;
+            while i + 16 <= d {
+                let qv = _mm256_cvtepu8_epi16(_mm_loadu_si128(qp.add(i).cast()));
+                for (a, p) in acc.iter_mut().zip(&rp) {
+                    let rv = _mm256_cvtepu8_epi16(_mm_loadu_si128(p.add(i).cast()));
+                    *a = _mm256_add_epi32(*a, _mm256_madd_epi16(qv, rv));
+                }
+                i += 16;
+            }
+            // hadd transpose: [Σacc0, Σacc1, Σacc2, Σacc3] in one xmm.
+            let t01 = _mm256_hadd_epi32(acc[0], acc[1]);
+            let t23 = _mm256_hadd_epi32(acc[2], acc[3]);
+            let t0123 = _mm256_hadd_epi32(t01, t23);
+            let sums = _mm_add_epi32(
+                _mm256_castsi256_si128(t0123),
+                _mm256_extracti128_si256(t0123, 1),
+            );
+            let mut s4 = [0i32; 4];
+            _mm_storeu_si128(s4.as_mut_ptr().cast(), sums);
+            while i < d {
+                let qi = i32::from(*qp.add(i));
+                for (s, p) in s4.iter_mut().zip(&rp) {
+                    *s += qi * i32::from(*p.add(i));
+                }
+                i += 1;
+            }
+            // Exact: each dot is an integer <= 32768·255² < 2^31 < 2^53.
+            let dot4 = _mm256_cvtepi32_pd(_mm_loadu_si128(s4.as_ptr().cast()));
+            // Affine tail, lane-wise in `quant_score`'s operand order.
+            let vxo = _mm256_loadu_pd(xo.as_ptr().add(j));
+            let vxs = _mm256_loadu_pd(xs.as_ptr().add(j));
+            let vsx = _mm256_loadu_pd(sx.as_ptr().add(j));
+            let vdn = _mm256_loadu_pd(dn.as_ptr().add(j));
+            let m1 = _mm256_mul_pd(vdqo, vxo);
+            let m2 = _mm256_mul_pd(_mm256_mul_pd(vqo, vxs), vsx);
+            let m3 = _mm256_mul_pd(_mm256_mul_pd(vxo, vqs), vqsum);
+            let m4 = _mm256_mul_pd(_mm256_mul_pd(vqs, vxs), dot4);
+            let cross = _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(m1, m2), m3), m4);
+            let val = _mm256_add_pd(_mm256_sub_pd(vqn, _mm256_mul_pd(vtwo, cross)), vdn);
+            _mm256_storeu_pd(out.as_mut_ptr().add(j), _mm256_max_pd(val, vzero));
+            j += 4;
+        }
+        while j < rows {
+            let dot = dot_u8(q, core::slice::from_raw_parts(cp.add(j * d), d));
+            out[j] = super::quant_score(t, xo[j], xs[j], sx[j], dn[j], dot as f64);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed
+    }
+
+    fn fill(n: usize, seed: &mut u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| (lcg(seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn gemm_tiles_agree_bitwise_across_levels() {
+        let mut seed = 9u64;
+        for k in [1usize, 3, 16, 61] {
+            let ap = fill(k * MR, &mut seed);
+            let panel = fill(k * NR, &mut seed);
+            let mut a = [[0.5f64; NR]; MR];
+            let mut b = a;
+            gemm_tile_nt(SimdLevel::Scalar, &ap, &panel, &mut a);
+            gemm_tile_nt(SimdLevel::Avx2, &ap, &panel, &mut b);
+            assert_eq!(a, b, "nt k={k}");
+
+            let n = NR + 3;
+            let rows = fill(MR * k, &mut seed);
+            let bmat = fill(k * n, &mut seed);
+            let arows: [&[f64]; MR] = std::array::from_fn(|r| &rows[r * k..(r + 1) * k]);
+            let mut a = [[0.25f64; NR]; MR];
+            let mut b = a;
+            gemm_tile_nn(SimdLevel::Scalar, arows, &bmat, n, 2, &mut a);
+            gemm_tile_nn(SimdLevel::Avx2, arows, &bmat, n, 2, &mut b);
+            assert_eq!(a, b, "nn k={k}");
+        }
+    }
+
+    #[test]
+    fn dot_u8_matches_scalar_all_lengths() {
+        let mut seed = 17u64;
+        for n in [0usize, 1, 15, 16, 17, 128, 333] {
+            let a: Vec<u8> = (0..n).map(|_| (lcg(&mut seed) >> 32) as u8).collect();
+            let b: Vec<u8> = (0..n).map(|_| (lcg(&mut seed) >> 32) as u8).collect();
+            assert_eq!(
+                dot_u8(SimdLevel::Scalar, &a, &b),
+                dot_u8(SimdLevel::Avx2, &a, &b),
+                "n={n}"
+            );
+        }
+        // Saturation-adjacent extremes exercise the i32 pair bound.
+        let a = vec![255u8; 1024];
+        assert_eq!(dot_u8(SimdLevel::Avx2, &a, &a), 1024 * 255 * 255);
+    }
+
+    #[test]
+    fn quant_scan_block_matches_scalar_bitwise_all_shapes() {
+        let mut seed = 23u64;
+        // Row/dim shapes straddling the 4-row and 16-lane boundaries.
+        for d in [1usize, 15, 16, 17, 32, 77] {
+            for rows in [0usize, 1, 3, 4, 5, 8, 11] {
+                let q: Vec<u8> = (0..d).map(|_| (lcg(&mut seed) >> 32) as u8).collect();
+                let codes: Vec<u8> = (0..rows * d)
+                    .map(|_| (lcg(&mut seed) >> 32) as u8)
+                    .collect();
+                let stat = |s: &mut u64| {
+                    (0..rows)
+                        .map(|_| (lcg(s) >> 11) as f64 / (1u64 << 55) as f64)
+                        .collect()
+                };
+                let (xo, xs): (Vec<f64>, Vec<f64>) = (stat(&mut seed), stat(&mut seed));
+                let (sxv, dn): (Vec<f64>, Vec<f64>) = (stat(&mut seed), stat(&mut seed));
+                let t = QuantQueryTerms {
+                    dqo: d as f64 * 0.125,
+                    qo: 0.125,
+                    qs: 0.03,
+                    qsum: q.iter().map(|&c| f64::from(c)).sum(),
+                    qn: 7.5,
+                };
+                let mut narrow = vec![0.0f64; rows];
+                let mut wide = vec![0.0f64; rows];
+                quant_scan_block(
+                    SimdLevel::Scalar,
+                    &q,
+                    &codes,
+                    &xo,
+                    &xs,
+                    &sxv,
+                    &dn,
+                    &t,
+                    &mut narrow,
+                );
+                quant_scan_block(
+                    SimdLevel::Avx2,
+                    &q,
+                    &codes,
+                    &xo,
+                    &xs,
+                    &sxv,
+                    &dn,
+                    &t,
+                    &mut wide,
+                );
+                for (r, (a, b)) in narrow.iter().zip(&wide).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "d={d} rows={rows} row {r}");
+                }
+                // Cross-check one row against the standalone dot + score.
+                if rows > 0 {
+                    let dot = dot_u8(SimdLevel::Scalar, &q, &codes[..d]);
+                    let want = quant_score(&t, xo[0], xs[0], sxv[0], dn[0], dot as f64);
+                    assert_eq!(narrow[0].to_bits(), want.to_bits(), "d={d} rows={rows}");
+                }
+            }
+        }
+        // Saturation-adjacent extremes exercise the i32 dot bound, and a
+        // large-qn query exercises the max(0, ·) clamp in both arms.
+        let q = vec![255u8; 64];
+        let codes = vec![255u8; 64 * 5];
+        let zeros = vec![0.0f64; 5];
+        let t = QuantQueryTerms {
+            dqo: 0.0,
+            qo: 0.0,
+            qs: 1.0,
+            qsum: 0.0,
+            qn: 0.0,
+        };
+        let mut out = vec![0.0f64; 5];
+        quant_scan_block(
+            SimdLevel::Avx2,
+            &q,
+            &codes,
+            &zeros,
+            &[1.0; 5],
+            &zeros,
+            &zeros,
+            &t,
+            &mut out,
+        );
+        // qn − 2·dot + dn = −2·64·255² clamps to 0 in every lane.
+        assert_eq!(out, vec![0.0; 5]);
+    }
+}

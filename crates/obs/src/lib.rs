@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod simd;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -401,6 +403,23 @@ pub mod names {
     /// Gauge: most recent recall@k measured against exhaustive ground
     /// truth (the eval harness writes it; serving never does).
     pub const ANN_RECALL_AT_K: &str = "neutraj_ann_recall_at_k";
+
+    /// Gauge: the SIMD dispatch level the process resolved at startup
+    /// (`0` scalar, `1` avx2 — see [`crate::simd::SimdLevel`]). Written
+    /// by [`crate::simd::publish`] wherever a vectorized workload is
+    /// instrumented, so exported snapshots say which path actually ran.
+    pub const SIMD_DISPATCH: &str = "neutraj_simd_dispatch";
+
+    /// Counter: bytes read by the int8-quantized embedding scan (codes
+    /// plus per-row constants). Compare against `dim × 8` bytes per row
+    /// for the f64 path to see the realized bandwidth saving.
+    pub const QUANT_BYTES_SCANNED_TOTAL: &str = "neutraj_quant_bytes_scanned_total";
+    /// Counter: rows scored by the quantized scan before exact rerank.
+    pub const QUANT_ROWS_SCANNED_TOTAL: &str = "neutraj_quant_rows_scanned_total";
+    /// Gauge: most recent recall@k of the quantized scan + exact rerank
+    /// against the full-precision scan (the eval harness writes it;
+    /// serving never does).
+    pub const QUANT_RECALL_AT_K: &str = "neutraj_quant_recall_at_k";
 
     /// Counter: candidate pairs considered by the exact ground-truth
     /// engine (matrix cells, knn candidates, eval rows).
