@@ -431,13 +431,14 @@ impl SimilarityDb {
 
     /// Validates a query *configuration* at the same boundary: typed
     /// [`DbError::InvalidConfig`] (counted as a reject), never a panic.
+    /// The database-independent invariants (`k == 0`, explicit shortlist
+    /// narrower than `k`, `nprobe == 0`) live in [`Query::validate`] so
+    /// the serving layer can apply the identical contract before
+    /// queueing; the checks against *this* database's state (quantized
+    /// view / ANN index actually built) follow here.
     fn check_query(&self, query: &Query) -> Result<(), DbError> {
-        if query.rerank_measure().is_some() && query.effective_shortlist() < query.k() {
-            return Err(self.reject(DbError::InvalidConfig(format!(
-                "shortlist {} is narrower than k {}: the re-rank could never fill the result",
-                query.effective_shortlist(),
-                query.k()
-            ))));
+        if let Err(reason) = query.validate() {
+            return Err(self.reject(DbError::InvalidConfig(reason)));
         }
         if query.is_quantized() && self.quant.is_none() {
             return Err(self.reject(DbError::InvalidConfig(
@@ -446,17 +447,14 @@ impl SimilarityDb {
                     .into(),
             )));
         }
-        match query.ann_nprobe() {
-            Some(0) => Err(self.reject(DbError::InvalidConfig(
-                "nprobe must be positive (shortlist_ann(0) probes no lists)".into(),
-            ))),
-            Some(_) if self.ann.is_none() => Err(self.reject(DbError::InvalidConfig(
+        if query.ann_nprobe().is_some() && self.ann.is_none() {
+            return Err(self.reject(DbError::InvalidConfig(
                 "shortlist_ann requires an ANN index: call build_ann_index \
                  (or load_ann_index) first"
                     .into(),
-            ))),
-            _ => Ok(()),
+            )));
         }
+        Ok(())
     }
 
     /// The embedding-space scan stage shared by every search path:
@@ -523,6 +521,46 @@ impl SimilarityDb {
             m.quant_bytes_scanned.add(stats.bytes_scanned as u64);
         }
         shorts
+    }
+
+    /// The embedding-space scan stage as a public seam: top-`fetch`
+    /// neighbors for each already-embedded query, through whichever path
+    /// `query` selects (exhaustive GEMM, IVF shortlist, quantized view),
+    /// *without* the re-rank stage or [`Query::k`] truncation.
+    ///
+    /// This is what a sharded serving layer needs from each partition:
+    /// each shard returns its local top-`fetch` list, the results are
+    /// merged under the scan's `(dist, index)` total order, and any
+    /// re-ranking happens once, globally. Because the per-row norm-trick
+    /// score is a pure function of (query row, corpus row) — independent
+    /// of batch size and GEMM blocking — a merged sharded scan is
+    /// bit-identical to the unsharded scan over the concatenated corpus.
+    ///
+    /// Validates the query configuration and each embedding (dimension,
+    /// finiteness) with the same typed rejections as
+    /// [`SimilarityDb::search`].
+    pub fn scan_embeddings(
+        &self,
+        qrefs: &[&[f64]],
+        fetch: usize,
+        query: &Query,
+    ) -> Result<Vec<Vec<Neighbor>>, DbError> {
+        self.check_query(query)?;
+        for e in qrefs {
+            if e.len() != self.model.dim() {
+                return Err(self.reject(DbError::InvalidEmbedding(format!(
+                    "dimension {} does not match model dimension {}",
+                    e.len(),
+                    self.model.dim()
+                ))));
+            }
+            if let Some(k) = e.iter().position(|v| !v.is_finite()) {
+                return Err(self.reject(DbError::InvalidEmbedding(format!(
+                    "non-finite value at component {k}"
+                ))));
+            }
+        }
+        Ok(self.scan_batch(qrefs, fetch, query))
     }
 
     /// Inserts one trajectory; returns its index. Empty or non-finite
@@ -770,6 +808,7 @@ impl SimilarityDb {
     ///
     /// Legacy forward to [`SimilarityDb::search`]; panics on invalid
     /// input — use `search` directly for typed rejection.
+    #[deprecated(since = "0.1.0", note = "use `search(query, &Query::new(k))`")]
     pub fn knn(&self, query: &Trajectory, k: usize) -> Vec<Neighbor> {
         self.search(query, &Query::new(k))
             .unwrap_or_else(|e| panic!("knn: {e}"))
@@ -778,6 +817,7 @@ impl SimilarityDb {
     /// Top-k for a whole batch of ad-hoc queries; each result is
     /// bit-identical to [`Self::knn`] on that query. Panics on invalid
     /// input — use [`SimilarityDb::search_batch`] for typed rejection.
+    #[deprecated(since = "0.1.0", note = "use `search_batch(queries, &Query::new(k))`")]
     pub fn knn_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<Neighbor>> {
         self.search_batch(queries, &Query::new(k))
             .unwrap_or_else(|e| panic!("knn_batch: {e}"))
@@ -785,6 +825,7 @@ impl SimilarityDb {
 
     /// Top-k by a precomputed query embedding. Panics on invalid input —
     /// use [`SimilarityDb::search`] for typed rejection.
+    #[deprecated(since = "0.1.0", note = "use `search(&emb[..], &Query::new(k))`")]
     pub fn knn_embedding(&self, query_emb: &[f64], k: usize) -> Vec<Neighbor> {
         self.search(query_emb, &Query::new(k))
             .unwrap_or_else(|e| panic!("knn_embedding: {e}"))
@@ -793,6 +834,7 @@ impl SimilarityDb {
     /// Top-k of a *stored* item (excluding itself). Panics on an
     /// out-of-range index — use [`SimilarityDb::search`] for typed
     /// rejection.
+    #[deprecated(since = "0.1.0", note = "use `search(idx, &Query::new(k))`")]
     pub fn knn_of(&self, idx: usize, k: usize) -> Vec<Neighbor> {
         self.search(idx, &Query::new(k))
             .unwrap_or_else(|e| panic!("knn_of: {e}"))
@@ -801,6 +843,10 @@ impl SimilarityDb {
     /// The paper's protocol: shortlist by embeddings, re-rank the
     /// shortlist by the exact `measure`, return top-k. Panics on invalid
     /// input — use [`SimilarityDb::search`] for typed rejection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `search(query, &Query::new(k).shortlist(s).rerank(&m))`"
+    )]
     pub fn knn_reranked(
         &self,
         query: &Trajectory,
@@ -814,6 +860,10 @@ impl SimilarityDb {
 
     /// Batched [`Self::knn_reranked`]. Panics on invalid input — use
     /// [`SimilarityDb::search_batch`] for typed rejection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `search_batch(queries, &Query::new(k).shortlist(s).rerank(&m))`"
+    )]
     pub fn knn_reranked_batch(
         &self,
         queries: &[Trajectory],
@@ -936,13 +986,44 @@ mod tests {
         }
         assert_eq!(db.len(), 30);
         // Query with a stored trajectory: it must rank itself first.
-        let res = db.knn(&trajs[7], 3);
+        let res = db.search(&trajs[7], &Query::new(3)).unwrap();
         assert_eq!(res[0].index, 7);
         assert!(res[0].dist < 1e-12);
-        // knn_of excludes self.
-        let res = db.knn_of(7, 3);
+        // A stored target excludes self.
+        let res = db.search(7usize, &Query::new(3)).unwrap();
         assert!(res.iter().all(|n| n.index != 7));
         assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_knn_forwards_still_match_the_query_api() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
+        assert_eq!(
+            db.knn(&trajs[7], 3),
+            db.search(&trajs[7], &Query::new(3)).unwrap()
+        );
+        assert_eq!(db.knn_of(7, 3), db.search(7usize, &Query::new(3)).unwrap());
+        let emb = db.embedding(4).to_vec();
+        assert_eq!(
+            db.knn_embedding(&emb, 3),
+            db.search(&emb[..], &Query::new(3)).unwrap()
+        );
+        assert_eq!(
+            db.knn_reranked(&trajs[3], &Hausdorff, 10, 5),
+            db.search(&trajs[3], &Query::new(5).shortlist(10).rerank(&Hausdorff))
+                .unwrap()
+        );
+        assert_eq!(
+            db.knn_batch(&trajs[..3], 4),
+            db.search_batch(&trajs[..3], &Query::new(4)).unwrap()
+        );
+        assert_eq!(
+            db.knn_reranked_batch(&trajs[..3], &Hausdorff, 10, 4),
+            db.search_batch(&trajs[..3], &Query::new(4).shortlist(10).rerank(&Hausdorff))
+                .unwrap()
+        );
     }
 
     #[test]
@@ -987,6 +1068,22 @@ mod tests {
             .search(5usize, &Query::new(4).shortlist(10).rerank(&Hausdorff))
             .unwrap();
         assert!(rr.iter().all(|n| n.index != 5));
+    }
+
+    #[test]
+    fn scan_embeddings_is_the_search_scan_stage() {
+        let (model, trajs) = trained_model_and_corpus();
+        let db = SimilarityDb::with_corpus(model, trajs, 2);
+        let qrefs = [db.embedding(1), db.embedding(2)];
+        let got = db.scan_embeddings(&qrefs, 5, &Query::new(5)).unwrap();
+        assert_eq!(got, db.store().knn_batch(&qrefs, 5));
+        // The fetch width is explicit — the caller (a sharded merge)
+        // controls it, not Query::k.
+        let wide = db.scan_embeddings(&qrefs, 9, &Query::new(2)).unwrap();
+        assert_eq!(wide[0].len(), 9);
+        // Uniform over-fetch preserves prefixes under the (dist, index)
+        // total order, so the narrow result is the wide one's prefix.
+        assert_eq!(&wide[0][..5], &got[0][..]);
     }
 
     #[test]
@@ -1097,7 +1194,9 @@ mod tests {
     fn rerank_orders_by_exact_distance() {
         let (model, trajs) = trained_model_and_corpus();
         let db = SimilarityDb::with_corpus(model, trajs.clone(), 2);
-        let res = db.knn_reranked(&trajs[3], &Hausdorff, 10, 5);
+        let res = db
+            .search(&trajs[3], &Query::new(5).shortlist(10).rerank(&Hausdorff))
+            .unwrap();
         assert_eq!(res.len(), 5);
         assert_eq!(res[0].index, 3); // exact self-distance 0
         for w in res.windows(2) {
@@ -1250,6 +1349,35 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
 
+        // An explicit shortlist narrower than k is a misconfiguration
+        // even without a re-rank (it was silently ignored historically).
+        let err = db
+            .search(&trajs[0], &Query::new(10).shortlist(4))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // k == 0 is a typed rejection, not a silent empty result.
+        let err = db.search(&trajs[0], &Query::new(0)).unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+        let err = db.search_batch(&trajs[..2], &Query::new(0)).unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+        let err = db
+            .scan_embeddings(&[db.embedding(0)], 3, &Query::new(0))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidConfig(_)), "{err}");
+
+        // The scan seam also validates raw embeddings.
+        let short = vec![0.0; db.model().dim() - 1];
+        let err = db
+            .scan_embeddings(&[&short[..]], 3, &Query::new(3))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidEmbedding(_)), "{err}");
+        let nan = vec![f64::NAN; db.model().dim()];
+        let err = db
+            .scan_embeddings(&[&nan[..]], 3, &Query::new(3))
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidEmbedding(_)), "{err}");
+
         // Build-time misconfiguration.
         let err = db
             .build_ann_index(&AnnParams {
@@ -1272,7 +1400,7 @@ mod tests {
 
         // Every instrumented rejection above was counted (the empty-db
         // one went to an uninstrumented db).
-        assert_eq!(registry.counter(names::DB_REJECTS_TOTAL).get(), 7);
+        assert_eq!(registry.counter(names::DB_REJECTS_TOTAL).get(), 13);
         // Valid ANN traffic still flows.
         assert!(db
             .search(&trajs[0], &Query::new(3).shortlist_ann(2))

@@ -128,6 +128,36 @@ impl<'m> Query<'m> {
     pub fn rerank_measure(&self) -> Option<&'m dyn Measure> {
         self.rerank
     }
+
+    /// Checks the query's *database-independent* invariants: `k` must be
+    /// positive (a top-0 query is always a caller bug, not an empty
+    /// result), an explicitly configured shortlist must be at least `k`
+    /// (narrower could never fill the result, re-ranked or not), and an
+    /// ANN probe width must be positive. Returns the human-readable
+    /// reason on failure; [`SimilarityDb`](crate::SimilarityDb) folds it
+    /// into [`DbError::InvalidConfig`](crate::DbError::InvalidConfig)
+    /// (counted in `neutraj_db_rejects_total`) at search time, and the
+    /// serving layer applies the same check before queueing a request —
+    /// one validation contract for every path.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err(
+                "k must be positive (a top-0 query returns nothing by construction)".into(),
+            );
+        }
+        if let Some(s) = self.shortlist {
+            if s < self.k {
+                return Err(format!(
+                    "shortlist {s} is narrower than k {}: it could never fill the result",
+                    self.k
+                ));
+            }
+        }
+        if self.ann == Some(0) {
+            return Err("nprobe must be positive (shortlist_ann(0) probes no lists)".into());
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for Query<'_> {

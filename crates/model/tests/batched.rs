@@ -100,15 +100,16 @@ proptest! {
 /// queries bit-identically to scalar ones.
 #[test]
 fn db_knn_batch_matches_scalar_knn() {
-    use neutraj_model::SimilarityDb;
+    use neutraj_model::{Query, SimilarityDb};
     let m = model(BackboneKind::SamLstm);
     let mut db = SimilarityDb::new(m);
     for i in 0..40 {
         db.insert(traj(i, 3 + (i as usize * 7) % 25)).unwrap();
     }
     let queries: Vec<Trajectory> = (100..109).map(|i| traj(i, 5 + (i as usize) % 20)).collect();
-    let batch = db.knn_batch(&queries, 5);
-    for (q, got) in queries.iter().zip(&batch) {
-        assert_eq!(&db.knn(q, 5), got);
+    let q = Query::new(5);
+    let batch = db.search_batch(&queries, &q).unwrap();
+    for (one, got) in queries.iter().zip(&batch) {
+        assert_eq!(&db.search(one, &q).unwrap(), got);
     }
 }

@@ -439,6 +439,29 @@ pub mod names {
     /// Derived gauge (computed at snapshot time, never registered):
     /// `measures_lb_pruned_total / measures_pairs_total`.
     pub const MEASURES_PRUNE_RATE: &str = "neutraj_measures_prune_rate";
+
+    /// Counter: requests accepted by the async similarity service
+    /// (rejected requests count into [`DB_REJECTS_TOTAL`] instead).
+    pub const SERVE_REQUESTS_TOTAL: &str = "neutraj_serve_requests_total";
+    /// Counter: micro-batches dispatched by the coalescing scheduler
+    /// (one per lockstep embed + scan, so
+    /// `requests_total / batches_total` is the mean realized batch size).
+    pub const SERVE_BATCHES_TOTAL: &str = "neutraj_serve_batches_total";
+    /// Histogram: requests coalesced into each dispatched micro-batch.
+    pub const SERVE_BATCH_SIZE: &str = "neutraj_serve_batch_size";
+    /// Gauge: requests waiting in the coalescing queue, sampled at each
+    /// dispatch (the scheduler's backlog signal).
+    pub const SERVE_QUEUE_DEPTH: &str = "neutraj_serve_queue_depth";
+    /// Histogram: seconds a request waited in the coalescing queue
+    /// before its batch dispatched — the latency the deadline knob
+    /// trades for batching throughput.
+    pub const SERVE_COALESCE_SECONDS: &str = "neutraj_serve_coalesce_seconds";
+    /// Histogram: seconds from enqueue to response send (queueing +
+    /// embed + scan + merge + rerank) per served request.
+    pub const SERVE_REQUEST_SECONDS: &str = "neutraj_serve_request_seconds";
+    /// Gauge: epoch of the snapshot currently served (bumped once per
+    /// writer swap; readers holding the old `Arc` drain undisturbed).
+    pub const SERVE_SNAPSHOT_EPOCH: &str = "neutraj_serve_snapshot_epoch";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,253 @@
+//! The typed request/response surface shared by the service, the CLI,
+//! and library callers.
+//!
+//! [`QuerySpec`] is the *owned* twin of the borrow-based
+//! [`Query`](neutraj_model::Query) builder: same knobs, but the re-rank
+//! measure is named by [`MeasureKind`] instead of borrowed, so a spec can
+//! cross threads, sit in a queue, and key a coalescing group. Every
+//! execution path lowers a spec to a `Query` through
+//! [`QuerySpec::with_query`], so the two surfaces cannot drift.
+
+use neutraj_measures::{MeasureKind, Neighbor};
+use neutraj_model::{DbError, Query};
+use neutraj_trajectory::Trajectory;
+
+/// An owned, hashable description of *how* to search — the micro-batching
+/// scheduler coalesces concurrent requests with equal specs into one
+/// lockstep batch, so equality doubles as batch-compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QuerySpec {
+    k: usize,
+    shortlist: Option<usize>,
+    nprobe: Option<usize>,
+    quantized: bool,
+    rerank: Option<MeasureKind>,
+}
+
+impl QuerySpec {
+    /// A plain embedding-distance top-`k` spec.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the embedding-space shortlist width (see
+    /// [`Query::shortlist`]).
+    pub fn shortlist(mut self, shortlist: usize) -> Self {
+        self.shortlist = Some(shortlist);
+        self
+    }
+
+    /// Routes the scan through the per-shard IVF index, probing `nprobe`
+    /// lists per shard (see [`Query::shortlist_ann`]).
+    pub fn shortlist_ann(mut self, nprobe: usize) -> Self {
+        self.nprobe = Some(nprobe);
+        self
+    }
+
+    /// Scans through the per-shard int8-quantized view (see
+    /// [`Query::quantized`]).
+    pub fn quantized(mut self) -> Self {
+        self.quantized = true;
+        self
+    }
+
+    /// Re-ranks the merged shortlist with the exact `measure` and returns
+    /// the top-k of that ordering (see [`Query::rerank`]).
+    pub fn rerank(mut self, measure: MeasureKind) -> Self {
+        self.rerank = Some(measure);
+        self
+    }
+
+    /// Number of results requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The re-rank measure, when configured.
+    pub fn rerank_measure(&self) -> Option<MeasureKind> {
+        self.rerank
+    }
+
+    /// Whether the scan goes through the quantized view.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// The per-shard ANN probe width, when configured.
+    pub fn ann_nprobe(&self) -> Option<usize> {
+        self.nprobe
+    }
+
+    /// Runs `f` with the equivalent borrow-based [`Query`], holding the
+    /// instantiated re-rank measure alive for the duration. This is the
+    /// single lowering from the owned surface to the execution surface —
+    /// the CLI's direct path and the service's sharded path both go
+    /// through it.
+    pub fn with_query<R>(&self, f: impl FnOnce(&Query) -> R) -> R {
+        let measure = self.rerank.map(|kind| kind.measure());
+        let mut q = Query::new(self.k);
+        if let Some(s) = self.shortlist {
+            q = q.shortlist(s);
+        }
+        if let Some(np) = self.nprobe {
+            q = q.shortlist_ann(np);
+        }
+        if self.quantized {
+            q = q.quantized();
+        }
+        if let Some(m) = &measure {
+            q = q.rerank(&**m);
+        }
+        f(&q)
+    }
+
+    /// The scan-stage `Query` (everything but the re-rank, which a
+    /// sharded search applies once, globally, after the merge).
+    pub(crate) fn scan_query(&self) -> Query<'static> {
+        let mut q = Query::new(self.k);
+        if let Some(s) = self.shortlist {
+            q = q.shortlist(s);
+        }
+        if let Some(np) = self.nprobe {
+            q = q.shortlist_ann(np);
+        }
+        if self.quantized {
+            q = q.quantized();
+        }
+        q
+    }
+
+    /// The fetch width of the scan stage: the effective shortlist when a
+    /// re-rank follows, otherwise `k` — mirrors what
+    /// [`SimilarityDb::search`](neutraj_model::SimilarityDb::search)
+    /// fetches, which keeps the sharded path bit-identical to it.
+    pub(crate) fn scan_fetch(&self) -> usize {
+        self.with_query(|q| match q.rerank_measure() {
+            Some(_) => q.effective_shortlist(),
+            None => q.k(),
+        })
+    }
+
+    /// The database-independent validity check, shared verbatim with the
+    /// direct path (it is [`Query::validate`] under the hood).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.with_query(|q| q.validate())
+            .map_err(|reason| ServeError::Db(DbError::InvalidConfig(reason)))
+    }
+}
+
+/// One query request: a caller-chosen correlation id, the ad-hoc query
+/// trajectory, and the spec describing how to search.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen id, echoed in the response (requests coalesced into
+    /// one batch complete in arbitrary order relative to each other).
+    pub id: u64,
+    /// The query trajectory; embedded once, in lockstep with the rest of
+    /// its micro-batch.
+    pub trajectory: Trajectory,
+    /// How to search.
+    pub spec: QuerySpec,
+}
+
+impl ServeRequest {
+    /// Convenience constructor.
+    pub fn new(id: u64, trajectory: Trajectory, spec: QuerySpec) -> Self {
+        Self {
+            id,
+            trajectory,
+            spec,
+        }
+    }
+}
+
+/// The answer to one [`ServeRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Top-k neighbors as **global** corpus indices, bit-identical to a
+    /// sequential [`Query`] search over the same snapshot.
+    pub neighbors: Vec<Neighbor>,
+    /// Epoch of the snapshot that answered — two responses with the same
+    /// epoch saw the identical corpus.
+    pub epoch: u64,
+}
+
+/// Typed failure of the service route. The service never panics on
+/// request input: every invalid request folds into a [`ServeError`]
+/// (and counts into `neutraj_db_rejects_total` when instrumented).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request was rejected at a validation boundary — the spec's
+    /// own invariants, the trajectory check, or a per-shard database
+    /// rejection, all folded into the one typed [`DbError`].
+    Db(DbError),
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker dropped the reply channel without answering — only
+    /// possible if the service was torn down mid-request.
+    Dropped,
+}
+
+impl From<DbError> for ServeError {
+    fn from(e: DbError) -> Self {
+        ServeError::Db(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Db(e) => write!(f, "request rejected: {e}"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::Dropped => write!(f, "service dropped the request mid-flight"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_lowers_to_the_same_query() {
+        let spec = QuerySpec::new(7)
+            .shortlist(20)
+            .shortlist_ann(3)
+            .quantized()
+            .rerank(MeasureKind::Hausdorff);
+        spec.with_query(|q| {
+            assert_eq!(q.k(), 7);
+            assert_eq!(q.effective_shortlist(), 20);
+            assert_eq!(q.ann_nprobe(), Some(3));
+            assert!(q.is_quantized());
+            assert!(q.rerank_measure().is_some());
+        });
+        assert_eq!(spec.scan_fetch(), 20);
+        assert_eq!(QuerySpec::new(7).scan_fetch(), 7);
+        // Default shortlist matches Query's max(2k, 50).
+        assert_eq!(QuerySpec::new(7).rerank(MeasureKind::Dtw).scan_fetch(), 50);
+    }
+
+    #[test]
+    fn spec_validation_matches_query_validation() {
+        assert!(QuerySpec::new(0).validate().is_err());
+        assert!(QuerySpec::new(5).shortlist(3).validate().is_err());
+        assert!(QuerySpec::new(5).shortlist_ann(0).validate().is_err());
+        assert!(QuerySpec::new(5).shortlist(5).validate().is_ok());
+        assert!(QuerySpec::new(1).validate().is_ok());
+    }
+}

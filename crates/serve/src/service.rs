@@ -1,0 +1,463 @@
+//! The async similarity service: epoch-rotated snapshots, a coalescing
+//! micro-batch scheduler, and a typed, panic-free request route.
+//!
+//! # Snapshot rotation
+//!
+//! The served corpus lives in an `Arc<Snapshot>` behind a mutex that
+//! guards **only the pointer**: readers clone the `Arc` (nanoseconds) and
+//! scan entirely outside any lock; writers build the next snapshot
+//! copy-on-write off to the side and swap the pointer when done. Readers
+//! therefore never block on insert *work* — a query admitted before a
+//! swap finishes on the old snapshot, one admitted after sees the new
+//! corpus, and nothing in between is observable (no torn reads). This is
+//! the std-only equivalent of arc-swap's load/store protocol.
+//!
+//! # Adaptive micro-batching
+//!
+//! Single queries enter a coalescing queue. The scheduler dispatches a
+//! batch when either `max_batch` requests are waiting or the *oldest*
+//! request has waited `batch_deadline` — so an idle service answers a
+//! lone query after at most one deadline, while a busy one fills batches
+//! to the brim without ever consulting a clock twice. Batches group by
+//! [`QuerySpec`] and ride the lockstep batched embed + blocked GEMM scan,
+//! whose per-row arithmetic is batch-size-invariant — coalesced results
+//! are bit-identical to issuing each query sequentially.
+
+use crate::request::{QuerySpec, ServeError, ServeRequest, ServeResponse};
+use crate::snapshot::{ShardConfig, Snapshot};
+use neutraj_model::{DbError, NeuTrajModel, SimilarityDb};
+use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
+use neutraj_trajectory::Trajectory;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Round-robin shard count for the snapshot (see [`ShardConfig`]).
+    pub nshards: usize,
+    /// Dispatch a batch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// …or as soon as the oldest queued request has waited this long.
+    pub batch_deadline: Duration,
+    /// Scoped threads for the parallel per-shard scan (1 = sequential).
+    pub scan_threads: usize,
+    /// Threads for the bulk corpus embed at construction.
+    pub build_threads: usize,
+    /// Train a per-shard IVF index at construction when set.
+    pub ann: Option<neutraj_model::AnnParams>,
+    /// Build per-shard int8 views at construction when `true`.
+    pub quantized: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            nshards: 1,
+            max_batch: 32,
+            batch_deadline: Duration::from_micros(200),
+            scan_threads: 1,
+            build_threads: 1,
+            ann: None,
+            quantized: false,
+        }
+    }
+}
+
+/// Instrument handles for the service route, resolved once (the request
+/// path only touches atomics). Rejections share the database's
+/// `neutraj_db_rejects_total` so one counter covers every boundary.
+#[derive(Debug, Clone)]
+struct ServeMetrics {
+    requests_total: Counter,
+    batches_total: Counter,
+    batch_size: Histogram,
+    queue_depth: Gauge,
+    coalesce_seconds: Histogram,
+    request_seconds: Histogram,
+    snapshot_epoch: Gauge,
+    rejects_total: Counter,
+}
+
+impl ServeMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            requests_total: registry.counter(names::SERVE_REQUESTS_TOTAL),
+            batches_total: registry.counter(names::SERVE_BATCHES_TOTAL),
+            batch_size: registry.histogram(names::SERVE_BATCH_SIZE),
+            queue_depth: registry.gauge(names::SERVE_QUEUE_DEPTH),
+            coalesce_seconds: registry.histogram(names::SERVE_COALESCE_SECONDS),
+            request_seconds: registry.histogram(names::SERVE_REQUEST_SECONDS),
+            snapshot_epoch: registry.gauge(names::SERVE_SNAPSHOT_EPOCH),
+            rejects_total: registry.counter(names::DB_REJECTS_TOTAL),
+        }
+    }
+}
+
+/// One queued request plus its reply slot and arrival time.
+struct Pending {
+    req: ServeRequest,
+    enqueued: Instant,
+    reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+/// State shared between the front door, the scheduler thread, and
+/// writers.
+struct Shared {
+    /// The mutex guards the *pointer*, never the scan — see module docs.
+    snapshot: Mutex<Arc<Snapshot>>,
+    /// Serializes writers so concurrent inserts compose instead of
+    /// overwriting each other's snapshots.
+    write_lock: Mutex<()>,
+    queue: Mutex<VecDeque<Pending>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    max_batch: usize,
+    batch_deadline: Duration,
+    scan_threads: usize,
+    metrics: Option<ServeMetrics>,
+}
+
+/// The async similarity service — see the module docs for the
+/// architecture and `DESIGN.md` §13 for the proofs.
+///
+/// Dropping the service flushes the queue: queued requests are answered,
+/// then the scheduler thread exits.
+pub struct SimilarityService {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SimilarityService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimilarityService")
+            .field("len", &self.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl SimilarityService {
+    /// Builds the epoch-0 snapshot over `corpus` and starts the
+    /// scheduler thread.
+    pub fn new(
+        model: NeuTrajModel,
+        corpus: Vec<Trajectory>,
+        cfg: &ServiceConfig,
+    ) -> Result<Self, ServeError> {
+        Self::build(model, corpus, cfg, None)
+    }
+
+    /// Like [`SimilarityService::new`], recording serving metrics into
+    /// `registry` (`neutraj_serve_*`, plus rejections into
+    /// `neutraj_db_rejects_total`).
+    pub fn with_metrics(
+        model: NeuTrajModel,
+        corpus: Vec<Trajectory>,
+        cfg: &ServiceConfig,
+        registry: &Registry,
+    ) -> Result<Self, ServeError> {
+        Self::build(model, corpus, cfg, Some(ServeMetrics::register(registry)))
+    }
+
+    fn build(
+        model: NeuTrajModel,
+        corpus: Vec<Trajectory>,
+        cfg: &ServiceConfig,
+        metrics: Option<ServeMetrics>,
+    ) -> Result<Self, ServeError> {
+        if cfg.max_batch == 0 {
+            return Err(ServeError::Db(DbError::InvalidConfig(
+                "max_batch must be positive (a zero-size batch never dispatches)".into(),
+            )));
+        }
+        let shard_cfg = ShardConfig {
+            nshards: cfg.nshards,
+            build_threads: cfg.build_threads,
+            ann: cfg.ann.clone(),
+            quantized: cfg.quantized,
+        };
+        let snapshot = Snapshot::build(&model, corpus, &shard_cfg)?;
+        if let Some(m) = &metrics {
+            m.snapshot_epoch.set(snapshot.epoch() as f64);
+        }
+        let shared = Arc::new(Shared {
+            snapshot: Mutex::new(Arc::new(snapshot)),
+            write_lock: Mutex::new(()),
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            max_batch: cfg.max_batch,
+            batch_deadline: cfg.batch_deadline,
+            scan_threads: cfg.scan_threads,
+            metrics,
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("neutraj-serve".into())
+                .spawn(move || scheduler_loop(&shared))
+                .expect("spawn scheduler thread")
+        };
+        Ok(Self {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// The snapshot currently served. Readers may hold it as long as
+    /// they like; writers never mutate it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.snapshot.lock().expect("snapshot lock").clone()
+    }
+
+    /// Current corpus size.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Returns `true` when the served corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Epoch of the snapshot currently served.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Enqueues one request and returns the channel its answer will
+    /// arrive on — the open-loop entry point: the call never blocks on
+    /// scan work. Invalid requests are answered (with a typed error)
+    /// through the same channel without ever occupying the queue.
+    pub fn submit(&self, req: ServeRequest) -> Receiver<Result<ServeResponse, ServeError>> {
+        let (tx, rx) = sync_channel(1);
+        if let Err(e) = self.admit(&req) {
+            let _ = tx.try_send(Err(e));
+            return rx;
+        }
+        let pending = Pending {
+            req,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let depth = {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.push_back(pending);
+            q.len()
+        };
+        if let Some(m) = &self.shared.metrics {
+            m.queue_depth.set(depth as f64);
+        }
+        self.shared.notify.notify_all();
+        rx
+    }
+
+    /// Submits and waits: the closed-loop entry point.
+    pub fn query(&self, req: ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.submit(req).recv().map_err(|_| ServeError::Dropped)?
+    }
+
+    /// The admission check — every rejection is typed, counted, and
+    /// never panics the service.
+    fn admit(&self, req: &ServeRequest) -> Result<(), ServeError> {
+        let verdict = (|| {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            req.spec.validate()?;
+            req.trajectory
+                .validate()
+                .map_err(|reason| DbError::InvalidTrajectory {
+                    id: req.trajectory.id,
+                    reason,
+                })?;
+            // Configuration-vs-snapshot checks (quantized view / ANN
+            // index actually built) — shards are uniform, shard 0 speaks
+            // for all. Uses the un-instrumented scan seam so the
+            // rejection is not double-counted below.
+            let snapshot = self.snapshot();
+            req.spec
+                .with_query(|q| snapshot.shard(0).scan_embeddings(&[], 0, q).map(|_| ()))?;
+            Ok(())
+        })();
+        if verdict.is_err() {
+            if let Some(m) = &self.shared.metrics {
+                m.rejects_total.inc();
+            }
+        }
+        verdict
+    }
+
+    /// Inserts one trajectory and publishes the next snapshot; returns
+    /// the new **global** index. In-flight readers keep the old snapshot
+    /// until they next ask for one.
+    pub fn insert(&self, t: Trajectory) -> Result<usize, ServeError> {
+        let _writer = self.shared.write_lock.lock().expect("write lock");
+        let current = self.snapshot();
+        let idx = current.len();
+        let next = current.inserted(std::slice::from_ref(&t))?;
+        self.publish(next);
+        Ok(idx)
+    }
+
+    /// Inserts many trajectories as one epoch step (all-or-nothing).
+    pub fn insert_batch(&self, ts: Vec<Trajectory>) -> Result<(), ServeError> {
+        let _writer = self.shared.write_lock.lock().expect("write lock");
+        let next = self.snapshot().inserted(&ts)?;
+        self.publish(next);
+        Ok(())
+    }
+
+    /// The swap — the only instant the snapshot mutex is held by a
+    /// writer, and it holds no other work.
+    fn publish(&self, next: Snapshot) {
+        let epoch = next.epoch();
+        *self.shared.snapshot.lock().expect("snapshot lock") = Arc::new(next);
+        if let Some(m) = &self.shared.metrics {
+            m.snapshot_epoch.set(epoch as f64);
+        }
+    }
+}
+
+impl Drop for SimilarityService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The scheduler: coalesce → group → lockstep dispatch → reply.
+fn scheduler_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                let shutting_down = shared.shutdown.load(Ordering::Acquire);
+                if let Some(front) = q.front() {
+                    let deadline = front.enqueued + shared.batch_deadline;
+                    let now = Instant::now();
+                    if q.len() >= shared.max_batch || now >= deadline || shutting_down {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .notify
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock");
+                    q = guard;
+                } else if shutting_down {
+                    return;
+                } else {
+                    q = shared.notify.wait(q).expect("queue lock");
+                }
+            }
+            let n = q.len().min(shared.max_batch);
+            if let Some(m) = &shared.metrics {
+                m.queue_depth.set((q.len() - n) as f64);
+            }
+            q.drain(..n).collect::<Vec<Pending>>()
+        };
+        dispatch(shared, batch);
+    }
+}
+
+/// Runs one coalesced micro-batch: group members by spec, embed each
+/// group in lockstep, scan shards, merge, reply.
+fn dispatch(shared: &Shared, batch: Vec<Pending>) {
+    let dispatched_at = Instant::now();
+    if let Some(m) = &shared.metrics {
+        m.batches_total.inc();
+        m.batch_size.observe(batch.len() as f64);
+        m.requests_total.add(batch.len() as u64);
+        for p in &batch {
+            m.coalesce_seconds
+                .observe(dispatched_at.duration_since(p.enqueued).as_secs_f64());
+        }
+    }
+    let snapshot = {
+        shared.snapshot.lock().expect("snapshot lock").clone()
+        // Lock released here: the whole scan runs against our Arc,
+        // unaffected by any concurrent swap.
+    };
+    // Group by spec, preserving arrival order within each group.
+    let mut groups: Vec<(QuerySpec, Vec<Pending>)> = Vec::new();
+    for p in batch {
+        match groups.iter_mut().find(|(s, _)| *s == p.req.spec) {
+            Some((_, members)) => members.push(p),
+            None => groups.push((p.req.spec, vec![p])),
+        }
+    }
+    for (spec, members) in groups {
+        let trajs: Vec<Trajectory> = members.iter().map(|p| p.req.trajectory.clone()).collect();
+        match snapshot.search_batch(&trajs, &spec, shared.scan_threads) {
+            Ok(results) => {
+                for (p, neighbors) in members.into_iter().zip(results) {
+                    respond(shared, &snapshot, p, Ok(neighbors));
+                }
+            }
+            // A group-level rejection (raced with nothing — admission
+            // already vetted each request) falls back to per-request
+            // answers so one bad request cannot fail its batch peers.
+            Err(_) => {
+                for p in members {
+                    let one = snapshot
+                        .search(&p.req.trajectory, &spec)
+                        .map_err(ServeError::from);
+                    if one.is_err() {
+                        if let Some(m) = &shared.metrics {
+                            m.rejects_total.inc();
+                        }
+                    }
+                    respond(shared, &snapshot, p, one);
+                }
+            }
+        }
+    }
+}
+
+/// Sends one reply (ignoring receivers the client abandoned) and records
+/// the end-to-end latency.
+fn respond(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    p: Pending,
+    result: Result<Vec<neutraj_measures::Neighbor>, ServeError>,
+) {
+    let response = result.map(|neighbors| ServeResponse {
+        id: p.req.id,
+        neighbors,
+        epoch: snapshot.epoch(),
+    });
+    let _ = p.reply.try_send(response);
+    if let Some(m) = &shared.metrics {
+        m.request_seconds
+            .observe(p.enqueued.elapsed().as_secs_f64());
+    }
+}
+
+/// A one-query-at-a-time reference implementation over the same
+/// snapshot semantics — what the bench's unbatched baseline and the
+/// bit-identity suite compare the coalesced service against. (It is the
+/// service with `max_batch = 1` and no queue, minus the thread hop.)
+pub fn sequential_reference(
+    snapshot: &Snapshot,
+    requests: &[ServeRequest],
+) -> Vec<Result<Vec<neutraj_measures::Neighbor>, DbError>> {
+    requests
+        .iter()
+        .map(|r| snapshot.search(&r.trajectory, &r.spec))
+        .collect()
+}
+
+/// Convenience: a single-shard snapshot's shard is semantically an
+/// unsharded [`SimilarityDb`] over the same corpus — exposed for tests
+/// and benches that compare against the direct database path.
+pub fn unsharded_db(snapshot: &Snapshot) -> Option<&SimilarityDb> {
+    (snapshot.nshards() == 1).then(|| snapshot.shard(0))
+}

@@ -1,0 +1,312 @@
+//! Immutable, sharded read snapshots.
+//!
+//! A [`Snapshot`] is the unit of epoch rotation: readers clone an
+//! `Arc<Snapshot>` and scan it without any coordination; writers build
+//! the *next* snapshot off to the side (copy-on-write) and publish it
+//! with a pointer swap. A snapshot holds `S` round-robin shards, each a
+//! complete [`SimilarityDb`] partition (embeddings + optional per-shard
+//! IVF index and int8 view), scanned independently and merged under the
+//! scan's `(dist, index)` total order.
+//!
+//! # Why the sharded scan is bit-identical (exact mode)
+//!
+//! Round-robin placement maps shard-local row `l` of shard `s` to global
+//! row `g = l·S + s` — strictly increasing in `l`, so each shard's
+//! `(dist, local)` order *is* its `(dist, global)` order. The per-row
+//! norm-trick score is a pure function of (query row, corpus row):
+//! `matmul_nt` computes every output element as one ascending-index dot
+//! accumulator, independent of batch size and blocking, so a row scores
+//! identically in any shard of any snapshot. Each shard returns its top
+//! `fetch` under the `(dist, index)` total order; the union of the
+//! per-shard top-`fetch` lists contains the global top-`fetch` (every
+//! global winner is a winner within its own shard), so sorting the
+//! concatenation by `(dist, global index)` and truncating to `fetch`
+//! reproduces the unsharded scan's list element for element, bit for
+//! bit. IVF and quantized shortlists are per-shard structures, so their
+//! *recall* depends on the sharding, but every scored distance is still
+//! exact and the merged result is still deterministic for a given
+//! snapshot — the concurrency bit-identity tests pin both claims.
+
+use crate::request::QuerySpec;
+use neutraj_measures::Neighbor;
+use neutraj_model::{AnnParams, DbError, NeuTrajModel, SimilarityDb};
+use neutraj_trajectory::Trajectory;
+
+/// How to build a [`Snapshot`]'s shards.
+#[derive(Debug, Clone, Default)]
+pub struct ShardConfig {
+    /// Number of round-robin partitions (0 is rejected).
+    pub nshards: usize,
+    /// Worker threads for the bulk corpus embed at build time.
+    pub build_threads: usize,
+    /// Train a per-shard IVF index over each partition when set.
+    pub ann: Option<AnnParams>,
+    /// Build a per-shard int8-quantized view when `true`.
+    pub quantized: bool,
+}
+
+impl ShardConfig {
+    /// A plain `nshards`-way exact-scan configuration.
+    pub fn new(nshards: usize) -> Self {
+        Self {
+            nshards,
+            build_threads: 1,
+            ann: None,
+            quantized: false,
+        }
+    }
+}
+
+/// One immutable corpus view: `S` round-robin [`SimilarityDb`] shards
+/// plus the epoch that named it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    shards: Vec<SimilarityDb>,
+    len: usize,
+}
+
+impl Snapshot {
+    /// Builds epoch-0 over `corpus`, partitioned round-robin (global row
+    /// `g` lands in shard `g % S` at local row `g / S`). Each shard
+    /// embeds its partition with the lockstep batched forward; per-shard
+    /// IVF/quantized structures are built when configured.
+    pub fn build(
+        model: &NeuTrajModel,
+        corpus: Vec<Trajectory>,
+        cfg: &ShardConfig,
+    ) -> Result<Self, DbError> {
+        if cfg.nshards == 0 {
+            return Err(DbError::InvalidConfig(
+                "a snapshot needs at least one shard (nshards == 0)".into(),
+            ));
+        }
+        let nshards = cfg.nshards;
+        let mut parts: Vec<Vec<Trajectory>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (g, t) in corpus.into_iter().enumerate() {
+            parts[g % nshards].push(t);
+        }
+        if cfg.ann.is_some() && parts.iter().any(|p| p.is_empty()) {
+            return Err(DbError::InvalidConfig(format!(
+                "per-shard ANN needs every shard non-empty: corpus too small for {nshards} shards"
+            )));
+        }
+        let threads = cfg.build_threads.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        let mut len = 0;
+        for part in parts {
+            let mut db = SimilarityDb::new(model.clone());
+            len += part.len();
+            db.insert_batch(part, threads)?;
+            if let Some(params) = &cfg.ann {
+                if !db.is_empty() {
+                    db.build_ann_index(params)?;
+                }
+            }
+            if cfg.quantized {
+                db.build_quantized_store();
+            }
+            shards.push(db);
+        }
+        Ok(Self {
+            epoch: 0,
+            shards,
+            len,
+        })
+    }
+
+    /// The epoch counter: bumped by one on every published mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total stored trajectories across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no trajectories are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared model (all shards hold clones of the same weights).
+    pub fn model(&self) -> &NeuTrajModel {
+        self.shards[0].model()
+    }
+
+    /// Borrow shard `s`.
+    pub fn shard(&self, s: usize) -> &SimilarityDb {
+        &self.shards[s]
+    }
+
+    /// The stored trajectory at **global** index `g`.
+    pub fn trajectory(&self, g: usize) -> Option<&Trajectory> {
+        let s = self.nshards();
+        self.shards.get(g % s)?.get(g / s)
+    }
+
+    /// The next snapshot with `ts` appended — copy-on-write: `self` is
+    /// untouched (readers holding it drain undisturbed), the clone
+    /// absorbs the inserts (each shard's IVF/quantized structures stay in
+    /// lockstep via [`SimilarityDb::insert`]), and the epoch advances.
+    /// All-or-nothing on invalid input for free: a rejected trajectory
+    /// discards the half-built clone.
+    pub fn inserted(&self, ts: &[Trajectory]) -> Result<Self, DbError> {
+        let mut next = self.clone();
+        next.epoch += 1;
+        let s = next.shards.len();
+        for t in ts {
+            let g = next.len;
+            let local = next.shards[g % s].insert(t.clone())?;
+            debug_assert_eq!(local, g / s, "round-robin placement drifted");
+            next.len += 1;
+        }
+        Ok(next)
+    }
+
+    /// Answers one ad-hoc query — identical semantics (and, in exact
+    /// mode, identical bits) to `SimilarityDb::search(trajectory, query)`
+    /// over the concatenated corpus.
+    pub fn search(&self, query: &Trajectory, spec: &QuerySpec) -> Result<Vec<Neighbor>, DbError> {
+        Ok(self
+            .search_batch(std::slice::from_ref(query), spec, 1)?
+            .pop()
+            .expect("one query in, one result out"))
+    }
+
+    /// Answers a batch of ad-hoc queries with one lockstep batched embed
+    /// and one scan per shard shared by the whole batch; per-shard scans
+    /// run on up to `scan_threads` scoped threads. Each result is
+    /// bit-identical to [`Snapshot::search`] on that query — the scan's
+    /// per-row score is batch-size-invariant, which is what lets the
+    /// micro-batching scheduler coalesce requests without changing
+    /// anyone's answer.
+    pub fn search_batch(
+        &self,
+        queries: &[Trajectory],
+        spec: &QuerySpec,
+        scan_threads: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, DbError> {
+        for t in queries {
+            t.validate()
+                .map_err(|reason| DbError::InvalidTrajectory { id: t.id, reason })?;
+        }
+        let scan_query = spec.scan_query();
+        // Surface configuration rejections before embedding work, and
+        // from every shard's perspective at once (shards are uniform, so
+        // shard 0 speaks for all).
+        self.shards[0].scan_embeddings(&[], 0, &scan_query)?;
+        let fetch = spec.scan_fetch();
+        let qembs = self.model().embed_batch(queries);
+        let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
+
+        let nshards = self.nshards();
+        let scan = |db: &SimilarityDb| db.scan_embeddings(&qrefs, fetch, &scan_query);
+        let per_shard: Vec<Vec<Vec<Neighbor>>> = if scan_threads <= 1 || nshards == 1 {
+            let mut out = Vec::with_capacity(nshards);
+            for db in &self.shards {
+                out.push(scan(db)?);
+            }
+            out
+        } else {
+            // Scoped fan-out, rejoined in shard order so the merge input
+            // (and therefore the result) is thread-count independent.
+            let mut out = Vec::with_capacity(nshards);
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|db| scope.spawn(|| scan(db)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scanner panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for r in results {
+                out.push(r?);
+            }
+            out
+        };
+
+        let merged: Vec<Vec<Neighbor>> = (0..queries.len())
+            .map(|qi| merge_shard_lists(&per_shard, qi, nshards, fetch))
+            .collect();
+
+        match spec.rerank_measure() {
+            None => Ok(merged),
+            Some(kind) => {
+                let measure = kind.measure();
+                Ok(merged
+                    .into_iter()
+                    .zip(queries)
+                    .map(|(short, q)| self.rerank_global(short, q, &*measure, spec.k()))
+                    .collect())
+            }
+        }
+    }
+
+    /// Re-ranks a merged global shortlist by the exact `measure` on
+    /// grid-rescaled coordinates — the same comparator and truncation as
+    /// the unsharded database's re-rank stage, applied once over the
+    /// merged list.
+    fn rerank_global(
+        &self,
+        short: Vec<Neighbor>,
+        query: &Trajectory,
+        measure: &dyn neutraj_measures::Measure,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let grid = self.model().grid();
+        let q = grid.rescale_trajectory(query);
+        let mut out: Vec<Neighbor> = short
+            .into_iter()
+            .map(|n| Neighbor {
+                index: n.index,
+                dist: measure.dist(
+                    q.points(),
+                    grid.rescale_trajectory(
+                        self.trajectory(n.index).expect("merged index in range"),
+                    )
+                    .points(),
+                ),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+/// Merges query `qi`'s per-shard top-`fetch` lists: map local indices to
+/// global (`g = l·S + s`), sort under the scan's `(dist, index)` total
+/// order, truncate. See the module docs for why this equals the unsharded
+/// scan bit for bit in exact mode.
+fn merge_shard_lists(
+    per_shard: &[Vec<Vec<Neighbor>>],
+    qi: usize,
+    nshards: usize,
+    fetch: usize,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = Vec::new();
+    for (s, shard_lists) in per_shard.iter().enumerate() {
+        all.extend(shard_lists[qi].iter().map(|n| Neighbor {
+            index: n.index * nshards + s,
+            dist: n.dist,
+        }));
+    }
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index)));
+    all.truncate(fetch);
+    all
+}

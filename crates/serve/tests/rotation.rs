@@ -1,0 +1,166 @@
+//! Snapshot-rotation suite: readers querying concurrently with a writer
+//! never see a torn corpus — every answer equals the reference result of
+//! exactly one published epoch, old snapshots keep serving until the
+//! swap, and the final epoch serves the final corpus.
+
+use neutraj_model::{BackboneKind, NeuTrajModel, TrainConfig};
+use neutraj_serve::{QuerySpec, ServeRequest, ServiceConfig, SimilarityService, Snapshot};
+use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
+use std::time::Duration;
+
+fn model() -> NeuTrajModel {
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+    let cfg = TrainConfig {
+        backbone: BackboneKind::SamLstm,
+        dim: 8,
+        seed: 9,
+        ..TrainConfig::neutraj()
+    };
+    NeuTrajModel::untrained(cfg, grid)
+}
+
+fn traj(id: u64, len: usize) -> Trajectory {
+    Trajectory::new_unchecked(
+        id,
+        (0..len)
+            .map(|k| {
+                let t = k as f64;
+                let i = id as f64;
+                Point::new(
+                    500.0 + 450.0 * (0.41 * t + 0.11 * i).sin(),
+                    250.0 + 220.0 * (0.19 * t - 0.31 * i).cos(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Readers race a writer that publishes `M` single-insert epochs. Every
+/// response must match the reference answer of the epoch it reports —
+/// i.e. one of the `M + 1` corpus prefixes, never a mix of two.
+#[test]
+fn concurrent_reads_see_whole_epochs_only() {
+    const INITIAL: usize = 30;
+    const INSERTS: usize = 10;
+    const NSHARDS: usize = 2;
+
+    let m = model();
+    let initial: Vec<Trajectory> = (0..INITIAL)
+        .map(|i| traj(i as u64, 3 + (i * 7) % 23))
+        .collect();
+    let inserts: Vec<Trajectory> = (0..INSERTS)
+        .map(|i| traj((INITIAL + i) as u64, 4 + (i * 5) % 21))
+        .collect();
+    let query = traj(5000, 11);
+    let spec = QuerySpec::new(5);
+
+    // Reference chain: epoch e's corpus is initial + inserts[..e], built
+    // through the same copy-on-write `inserted` path the service uses.
+    let cfg = ServiceConfig {
+        nshards: NSHARDS,
+        max_batch: 4,
+        batch_deadline: Duration::from_micros(200),
+        ..ServiceConfig::default()
+    };
+    let shard_cfg = neutraj_serve::ShardConfig::new(NSHARDS);
+    let mut chain = vec![Snapshot::build(&m, initial.clone(), &shard_cfg).unwrap()];
+    for t in &inserts {
+        chain.push(
+            chain
+                .last()
+                .unwrap()
+                .inserted(std::slice::from_ref(t))
+                .unwrap(),
+        );
+    }
+    let expected: Vec<_> = chain
+        .iter()
+        .map(|snap| snap.search(&query, &spec).unwrap())
+        .collect();
+
+    let service = SimilarityService::new(m, initial, &cfg).unwrap();
+    assert_eq!(service.epoch(), 0);
+    assert_eq!(service.len(), INITIAL);
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for t in &inserts {
+                let global = service.insert(t.clone()).unwrap();
+                // Global indices are handed out densely in insert order.
+                assert!((INITIAL..INITIAL + INSERTS).contains(&global));
+            }
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let service = &service;
+                let query = &query;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut seen_epochs = Vec::new();
+                    for i in 0..20u64 {
+                        let resp = service
+                            .query(ServeRequest::new(r * 100 + i, query.clone(), spec))
+                            .unwrap();
+                        let epoch = resp.epoch as usize;
+                        assert!(
+                            epoch <= INSERTS,
+                            "epoch {epoch} was never published (reader {r})"
+                        );
+                        assert_eq!(
+                            resp.neighbors, expected[epoch],
+                            "reader {r} iteration {i}: answer does not match the \
+                             corpus of its reported epoch {epoch} — torn read"
+                        );
+                        seen_epochs.push(resp.epoch);
+                    }
+                    seen_epochs
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            let epochs = reader.join().unwrap();
+            // Snapshots are published in order, so each reader observes a
+            // non-decreasing epoch sequence.
+            assert!(
+                epochs.windows(2).all(|w| w[0] <= w[1]),
+                "epochs went backwards: {epochs:?}"
+            );
+        }
+    });
+
+    // The final published snapshot serves the full corpus.
+    assert_eq!(service.epoch(), INSERTS as u64);
+    assert_eq!(service.len(), INITIAL + INSERTS);
+    let last = service
+        .query(ServeRequest::new(9999, query.clone(), spec))
+        .unwrap();
+    assert_eq!(last.epoch, INSERTS as u64);
+    assert_eq!(last.neighbors, expected[INSERTS]);
+
+    // An old snapshot handle taken before teardown keeps answering with
+    // its own epoch's corpus — publication never mutates in place.
+    let old = chain.first().unwrap();
+    assert_eq!(old.search(&query, &spec).unwrap(), expected[0]);
+    assert_eq!(old.len(), INITIAL);
+}
+
+/// Batch inserts are one epoch step: all-or-nothing, single publication.
+#[test]
+fn batch_insert_publishes_one_epoch() {
+    let m = model();
+    let initial: Vec<Trajectory> = (0..20).map(|i| traj(i as u64, 5 + (i * 3) % 17)).collect();
+    let service = SimilarityService::new(m, initial, &ServiceConfig::default()).unwrap();
+    assert_eq!(service.epoch(), 0);
+
+    let more: Vec<Trajectory> = (20..30).map(|i| traj(i as u64, 6 + (i * 5) % 13)).collect();
+    service.insert_batch(more).unwrap();
+    assert_eq!(service.epoch(), 1);
+    assert_eq!(service.len(), 30);
+
+    // A batch containing one invalid trajectory changes nothing at all.
+    let poisoned = vec![traj(30, 8), Trajectory::new_unchecked(31, vec![])];
+    assert!(service.insert_batch(poisoned).is_err());
+    assert_eq!(service.epoch(), 1);
+    assert_eq!(service.len(), 30);
+}

@@ -295,14 +295,17 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
         db.instrument(&registry);
     }
     // A stored-index target excludes the query itself from the results.
-    let mut query = Query::new(k);
-    let measure;
+    // The CLI speaks the same owned QuerySpec surface as the serving
+    // layer; with_query lowers it to the library's borrow-based Query.
+    let mut spec = QuerySpec::new(k);
     if rerank {
         let kind: MeasureKind = req(flags, "measure")?.parse()?;
-        measure = kind.measure();
-        query = query.shortlist((k + 1).max(50)).rerank(&*measure);
+        spec = spec.shortlist((k + 1).max(50)).rerank(kind);
     }
-    let results = db.search(q_pos, &query).map_err(|e| e.to_string())?;
+    spec.validate().map_err(|e| e.to_string())?;
+    let results = spec
+        .with_query(|query| db.search(q_pos, query))
+        .map_err(|e| e.to_string())?;
     println!("top-{k} similar to T{query_id}:");
     for n in &results {
         println!(

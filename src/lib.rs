@@ -17,6 +17,7 @@
 //! | [`obs`] | metrics substrate: atomic counters/gauges, latency histograms, RAII span timers, JSON/Prometheus snapshots |
 //! | [`cluster`] | DBSCAN + clustering-agreement metrics |
 //! | [`eval`] | HR@k / R10@50 / distortion metrics and the experiment harness |
+//! | [`serve`] | async similarity service: snapshot rotation, sharded scans, adaptive micro-batching |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use neutraj_measures as measures;
 pub use neutraj_model as model;
 pub use neutraj_nn as nn;
 pub use neutraj_obs as obs;
+pub use neutraj_serve as serve;
 pub use neutraj_trajectory as trajectory;
 
 /// One-stop imports for typical use.
@@ -68,6 +70,9 @@ pub mod prelude {
         QueryTarget, SimilarityDb, TrainConfig, TrainReport, Trainer,
     };
     pub use neutraj_obs::{MetricsReport, Registry};
+    pub use neutraj_serve::{
+        QuerySpec, ServeError, ServeRequest, ServeResponse, ServiceConfig, SimilarityService,
+    };
     pub use neutraj_trajectory::gen::{
         GeolifeLikeGenerator, PortoLikeGenerator, RoadNetwork, RoadWalkGenerator,
     };
