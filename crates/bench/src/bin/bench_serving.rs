@@ -23,6 +23,13 @@
 //!   service's p99: the baseline's queue grows without bound past its
 //!   saturation point while batching's capacity absorbs the same load.
 //!   Panics otherwise (`SERVING_GATE smoke-p99:` is the marker).
+//! * **overload** (`--overload`) — at 1.5× the *batched* saturation, a
+//!   bounded-admission service (`max_queue = 2×CLIENTS`, typed
+//!   `Overloaded` shedding) versus the unbounded baseline: accepted-work
+//!   p99 must be at or under the baseline's (shedding trades goodput for
+//!   latency; an unbounded queue trades latency for nothing once past
+//!   saturation). Requires nonzero `neutraj_serve_shed_total` and panics
+//!   if the gate fails (`SERVING_GATE overload-p99:` is the marker).
 //!
 //! Results land in `BENCH_serving.json` (qps/p50_us/p99_us per operating
 //! point, plus the `neutraj_serve_*` metrics snapshot).
@@ -159,6 +166,58 @@ fn main() {
         smoke_unbatched.p99_us
     );
 
+    // --- overload: bounded admission + shedding vs the unbounded
+    //     baseline, past saturation (gated behind --overload) ---
+    let overload = cli.overload.then(|| {
+        let shed_registry = Registry::new();
+        let bounded = SimilarityService::with_metrics(
+            model.clone(),
+            corpus.clone(),
+            &ServiceConfig {
+                max_queue: 2 * CLIENTS,
+                ..base_config(1)
+            },
+            &shed_registry,
+        )
+        .expect("build bounded service");
+        let offered = 1.5 * batched_qps;
+        let unbounded_run = open_loop_shedding(&batched, &pool, spec, offered, cli.seed ^ 0xC3);
+        let bounded_run = open_loop_shedding(&bounded, &pool, spec, offered, cli.seed ^ 0xC3);
+        drop(bounded); // flush before reading the shed counter
+        let shed_total = shed_registry
+            .counter(neutraj_obs::names::SERVE_SHED_TOTAL)
+            .get();
+        println!(
+            "  overload offered {offered:.1} q/s: bounded accepted {}/{} \
+             (serve_shed_total={shed_total})",
+            bounded_run.accepted, bounded_run.requests
+        );
+        assert!(
+            shed_total > 0,
+            "overload leg at 1.5x saturation against a {}-deep queue must shed",
+            2 * CLIENTS
+        );
+        println!(
+            "SERVING_GATE overload-p99: bounded {:.0}us <= unbounded {:.0}us at offered \
+             {offered:.1} q/s shed_total={shed_total}",
+            bounded_run.p99_us, unbounded_run.p99_us
+        );
+        assert!(
+            bounded_run.p99_us <= unbounded_run.p99_us,
+            "SERVING_GATE overload-p99: bounded-queue p99 {:.0}us above the unbounded \
+             baseline's {:.0}us at offered {offered:.1} q/s — shedding must buy latency",
+            bounded_run.p99_us,
+            unbounded_run.p99_us
+        );
+        OverloadLeg {
+            offered_qps: offered,
+            max_queue: 2 * CLIENTS,
+            unbounded: unbounded_run,
+            bounded: bounded_run,
+            shed_total,
+        }
+    });
+
     drop(unbatched);
     drop(batched); // flush the instrumented scheduler before snapshotting
     let report = registry.snapshot();
@@ -171,6 +230,7 @@ fn main() {
         smoke_offered,
         &smoke_unbatched,
         &smoke_batched,
+        overload.as_ref(),
         &report,
     );
     let path = "BENCH_serving.json";
@@ -178,7 +238,10 @@ fn main() {
     println!("wrote {path}");
 }
 
-/// The coalescing configuration every measurement varies from.
+/// The coalescing configuration every measurement varies from. The
+/// queue is explicitly unbounded here: the saturation/sweep/smoke legs
+/// measure the scheduler, not the admission ladder, and the unbounded
+/// queue is also the overload leg's baseline.
 fn base_config(nshards: usize) -> ServiceConfig {
     ServiceConfig {
         nshards,
@@ -188,6 +251,8 @@ fn base_config(nshards: usize) -> ServiceConfig {
         build_threads: 1,
         ann: None,
         quantized: false,
+        max_queue: usize::MAX,
+        ..ServiceConfig::default()
     }
 }
 
@@ -255,9 +320,14 @@ fn closed_loop_qps(
 }
 
 /// One open-loop operating point: achieved throughput and latency
-/// percentiles (microseconds, measured from scheduled arrival).
+/// percentiles (microseconds, measured from scheduled arrival). Under a
+/// bounded queue, `shed` counts typed `Overloaded` rejections; latency
+/// covers the `accepted` requests only (a rejection is an answer, but
+/// not a served one).
 struct OpenLoopRun {
     requests: usize,
+    accepted: usize,
+    shed: usize,
     qps: f64,
     p50_us: f64,
     p99_us: f64,
@@ -269,6 +339,16 @@ struct SweepRow {
     deadline_us: u64,
     offered_qps: f64,
     run: OpenLoopRun,
+}
+
+/// The overload leg's result: bounded admission + shedding versus the
+/// unbounded baseline at the same past-saturation offered load.
+struct OverloadLeg {
+    offered_qps: f64,
+    max_queue: usize,
+    unbounded: OpenLoopRun,
+    bounded: OpenLoopRun,
+    shed_total: u64,
 }
 
 /// Open-loop Poisson-ish load: a generator thread submits requests at
@@ -284,9 +364,27 @@ fn open_loop(
     offered_qps: f64,
     seed: u64,
 ) -> OpenLoopRun {
+    let run = open_loop_shedding(service, pool, spec, offered_qps, seed);
+    assert_eq!(
+        run.shed, 0,
+        "unexpected shedding on an unbounded-queue operating point"
+    );
+    run
+}
+
+/// [`open_loop`] that tolerates typed `Overloaded` rejections — the
+/// overload leg's runner. Any other error still aborts the bench.
+fn open_loop_shedding(
+    service: &SimilarityService,
+    pool: &[Trajectory],
+    spec: QuerySpec,
+    offered_qps: f64,
+    seed: u64,
+) -> OpenLoopRun {
     let n_req = ((offered_qps * 1.0) as usize).clamp(150, 800);
     let (tx, rx) = std::sync::mpsc::channel();
     let mut latencies_us = Vec::with_capacity(n_req);
+    let mut shed = 0usize;
     let mut last_completion = Instant::now();
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -306,19 +404,35 @@ fn open_loop(
             }
         });
         for (scheduled, reply) in rx {
-            let resp = reply.recv().expect("service alive");
-            resp.expect("open-loop query");
-            last_completion = Instant::now();
-            latencies_us.push(last_completion.duration_since(scheduled).as_secs_f64() * 1e6);
+            match reply.recv().expect("service alive") {
+                Ok(_) => {
+                    last_completion = Instant::now();
+                    latencies_us
+                        .push(last_completion.duration_since(scheduled).as_secs_f64() * 1e6);
+                }
+                Err(neutraj_serve::ServeError::Overloaded { .. }) => shed += 1,
+                Err(other) => panic!("open-loop query failed: {other}"),
+            }
         }
     });
-    let qps = n_req as f64 / last_completion.duration_since(start).as_secs_f64();
+    let accepted = latencies_us.len();
+    let qps = accepted as f64 / last_completion.duration_since(start).as_secs_f64();
     latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let (p50_us, p99_us) = if latencies_us.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (
+            percentile(&latencies_us, 0.50),
+            percentile(&latencies_us, 0.99),
+        )
+    };
     OpenLoopRun {
         requests: n_req,
+        accepted,
+        shed,
         qps,
-        p50_us: percentile(&latencies_us, 0.50),
-        p99_us: percentile(&latencies_us, 0.99),
+        p50_us,
+        p99_us,
     }
 }
 
@@ -366,6 +480,7 @@ fn render_json(
     smoke_offered: f64,
     smoke_unbatched: &OpenLoopRun,
     smoke_batched: &OpenLoopRun,
+    overload: Option<&OverloadLeg>,
     report: &MetricsReport,
 ) -> String {
     let sweep_objs = sweep
@@ -384,8 +499,26 @@ fn render_json(
             run.requests, run.qps, run.p50_us, run.p99_us
         )
     };
+    let overload_leg = |run: &OpenLoopRun| {
+        format!(
+            "{{\n      \"requests\": {},\n      \"accepted\": {},\n      \"shed\": {},\n      \"qps\": {:.2},\n      \"p50_us\": {:.1},\n      \"p99_us\": {:.1}\n    }}",
+            run.requests, run.accepted, run.shed, run.qps, run.p50_us, run.p99_us
+        )
+    };
+    let overload_obj = match overload {
+        None => "null".to_string(),
+        Some(leg) => format!(
+            "{{\n    \"offered_qps\": {:.2},\n    \"max_queue\": {},\n    \"unbounded\": {},\n    \"bounded\": {},\n    \"shed_total\": {},\n    \"p99_ok\": {}\n  }}",
+            leg.offered_qps,
+            leg.max_queue,
+            overload_leg(&leg.unbounded),
+            overload_leg(&leg.bounded),
+            leg.shed_total,
+            leg.bounded.p99_us <= leg.unbounded.p99_us,
+        ),
+    };
     format!(
-        "{{\n  \"bench\": \"serving\",\n  \"n\": {},\n  \"dim\": {},\n  \"k\": {K},\n  \"pool\": {},\n  \"clients\": {CLIENTS},\n  \"host_cpus\": {},\n  \"saturation\": {{\n    \"unbatched_qps\": {:.2},\n    \"batched_qps\": {:.2},\n    \"speedup\": {:.4},\n    \"bit_identical\": true\n  }},\n  \"sweep\": [\n{}\n  ],\n  \"smoke\": {{\n    \"offered_qps\": {:.2},\n    \"unbatched\": {},\n    \"batched\": {},\n    \"p99_ok\": {}\n  }},\n  \"metrics\": {}\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"n\": {},\n  \"dim\": {},\n  \"k\": {K},\n  \"pool\": {},\n  \"clients\": {CLIENTS},\n  \"host_cpus\": {},\n  \"saturation\": {{\n    \"unbatched_qps\": {:.2},\n    \"batched_qps\": {:.2},\n    \"speedup\": {:.4},\n    \"bit_identical\": true\n  }},\n  \"sweep\": [\n{}\n  ],\n  \"smoke\": {{\n    \"offered_qps\": {:.2},\n    \"unbatched\": {},\n    \"batched\": {},\n    \"p99_ok\": {}\n  }},\n  \"overload\": {},\n  \"metrics\": {}\n}}\n",
         cli.size,
         cli.dim,
         cli.queries,
@@ -398,6 +531,7 @@ fn render_json(
         smoke_leg(smoke_unbatched),
         smoke_leg(smoke_batched),
         smoke_batched.p99_us <= smoke_unbatched.p99_us,
+        overload_obj,
         report.to_json_indented(2)
     )
 }

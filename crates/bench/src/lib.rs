@@ -39,6 +39,9 @@ pub struct Cli {
     pub full: bool,
     /// Exercise the ANN (IVF shortlist) serving path where supported.
     pub ann: bool,
+    /// Run the overload leg (bounded admission + shedding) where
+    /// supported (`bench_serving`).
+    pub overload: bool,
 }
 
 impl Cli {
@@ -61,6 +64,7 @@ impl Cli {
             seed: 2019,
             full: false,
             ann: false,
+            overload: false,
         }
     }
 
@@ -89,9 +93,10 @@ impl Cli {
                 "--seed" => cli.seed = take_usize("--seed") as u64,
                 "--full" => cli.full = true,
                 "--ann" => cli.ann = true,
+                "--overload" => cli.overload = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --queries N --epochs N --dim N --seed N --full --ann"
+                        "flags: --size N --queries N --epochs N --dim N --seed N --full --ann --overload"
                     );
                     std::process::exit(0);
                 }
@@ -111,6 +116,7 @@ impl Cli {
             seed: 2019,
             full: false,
             ann: false,
+            overload: false,
         }
     }
 

@@ -49,7 +49,7 @@ mod config;
 mod db;
 pub mod fault;
 mod loss;
-mod persist;
+pub mod persist;
 mod quant;
 mod query;
 mod sampling;

@@ -36,10 +36,10 @@ use std::path::Path;
 const MAGIC: &[u8; 8] = b"NTMODEL1";
 
 /// Magic header + format version of the checksummed file envelope.
-pub(crate) const FILE_MAGIC: &[u8; 8] = b"NTFILE01";
+pub const FILE_MAGIC: &[u8; 8] = b"NTFILE01";
 
 /// Envelope overhead: magic (8) + payload length (8) + CRC32 (4).
-pub(crate) const ENVELOPE_OVERHEAD: usize = 8 + 8 + 4;
+pub const ENVELOPE_OVERHEAD: usize = 8 + 8 + 4;
 
 /// Errors from model (de)serialization.
 #[derive(Debug)]
@@ -100,8 +100,10 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
 // File envelope
 // ---------------------------------------------------------------------------
 
-/// Wraps `payload` in the checksummed file envelope.
-pub(crate) fn seal_payload(payload: &[u8]) -> Vec<u8> {
+/// Wraps `payload` in the checksummed file envelope. Public so sibling
+/// crates (e.g. the serving snapshot codec) persist their own artifacts
+/// through the identical `NTFILE01 ‖ len ‖ payload ‖ crc32` contract.
+pub fn seal_payload(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + ENVELOPE_OVERHEAD);
     out.extend_from_slice(FILE_MAGIC);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -113,7 +115,7 @@ pub(crate) fn seal_payload(payload: &[u8]) -> Vec<u8> {
 /// Validates the envelope of a whole file image and returns the payload
 /// slice. Size mismatches are rejected *before* any payload parsing, with
 /// expected-vs-actual byte counts in the message.
-pub(crate) fn open_payload(data: &[u8]) -> Result<&[u8], PersistError> {
+pub fn open_payload(data: &[u8]) -> Result<&[u8], PersistError> {
     if data.len() < ENVELOPE_OVERHEAD {
         return Err(PersistError::Corrupted(format!(
             "file too small for envelope: need at least {ENVELOPE_OVERHEAD} bytes, got {}",
@@ -147,7 +149,7 @@ pub(crate) fn open_payload(data: &[u8]) -> Result<&[u8], PersistError> {
 
 /// Writes `payload` wrapped in the file envelope to `w` (the generic
 /// `Write` seam that fault-injection tests hook into).
-pub(crate) fn write_enveloped<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), PersistError> {
+pub fn write_enveloped<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), PersistError> {
     w.write_all(FILE_MAGIC)?;
     w.write_all(&(payload.len() as u64).to_le_bytes())?;
     w.write_all(payload)?;
@@ -158,7 +160,7 @@ pub(crate) fn write_enveloped<W: Write>(w: &mut W, payload: &[u8]) -> Result<(),
 
 /// Reads a whole enveloped file image from `r` and returns the verified
 /// payload.
-pub(crate) fn read_enveloped<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
+pub fn read_enveloped<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
     let payload = open_payload(&data)?;
@@ -169,7 +171,7 @@ pub(crate) fn read_enveloped<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError
 /// temporary sibling, fsync it, rename over the destination, then fsync
 /// the directory (best-effort) so the rename itself is durable. A crash at
 /// any point leaves either the old file or the new file, never a torn mix.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let tmp = match path.file_name() {
         Some(name) => {
             let mut n = name.to_os_string();

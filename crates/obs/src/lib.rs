@@ -462,6 +462,26 @@ pub mod names {
     /// Gauge: epoch of the snapshot currently served (bumped once per
     /// writer swap; readers holding the old `Arc` drain undisturbed).
     pub const SERVE_SNAPSHOT_EPOCH: &str = "neutraj_serve_snapshot_epoch";
+    /// Counter: requests shed by the overload ladder — bounded-admission
+    /// rejections when the queue is full, plus queued lower-priority work
+    /// evicted to make room for higher-priority arrivals. Every shed is
+    /// answered with a typed `Overloaded` error carrying a retry hint,
+    /// never dropped silently.
+    pub const SERVE_SHED_TOTAL: &str = "neutraj_serve_shed_total";
+    /// Counter: requests whose deadline expired before an answer was
+    /// produced — purged at dequeue without burning a scan, or detected
+    /// by the between-shard cancellation checks mid-scan. Each is
+    /// answered with a typed `DeadlineExceeded` error.
+    pub const SERVE_DEADLINE_EXPIRED_TOTAL: &str = "neutraj_serve_deadline_expired_total";
+    /// Counter: requests answered in degraded mode — the pressure ladder
+    /// downgraded an exact-scan spec to the quantized/ANN shortlist view
+    /// to shed scan cost. Responses are tagged `degraded: true`.
+    pub const SERVE_DEGRADED_TOTAL: &str = "neutraj_serve_degraded_total";
+    /// Counter: shard quarantine events — a shard scanner panicked, was
+    /// isolated by `catch_unwind`, and entered exponential-backoff
+    /// quarantine while the service kept answering from healthy shards
+    /// (responses tagged `partial: true`).
+    pub const SERVE_SHARD_QUARANTINED_TOTAL: &str = "neutraj_serve_shard_quarantined_total";
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,15 @@
 //! `Query` builder) is shared by the service, the CLI, and library
 //! callers, and the service route never panics on request input.
 //!
+//! The service is additionally **overload- and failure-hardened**
+//! (`DESIGN.md` §14): bounded admission with typed
+//! [`ServeError::Overloaded`] shedding, per-request deadlines with
+//! cooperative cancellation, graceful degradation of exact scans to
+//! quantized/ANN shortlist views under queue pressure, panic-isolated
+//! shard scans with quarantine + backoff re-admission, and
+//! crash-recoverable snapshots sealed through the checksummed `NTFILE01`
+//! envelope ([`persist`] module docs carry the codec).
+//!
 //! ```no_run
 //! use neutraj_serve::{QuerySpec, ServeRequest, ServiceConfig, SimilarityService};
 //! # fn demo(model: neutraj_model::NeuTrajModel,
@@ -39,10 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod persist;
 pub mod request;
 pub mod service;
 pub mod snapshot;
 
-pub use request::{QuerySpec, ServeError, ServeRequest, ServeResponse};
-pub use service::{sequential_reference, unsharded_db, ServiceConfig, SimilarityService};
+pub use request::{Priority, QuerySpec, ServeError, ServeRequest, ServeResponse};
+pub use service::{
+    sequential_reference, unsharded_db, ScanFaultHook, ServiceConfig, SimilarityService,
+};
 pub use snapshot::{ShardConfig, Snapshot};

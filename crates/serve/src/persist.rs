@@ -1,0 +1,244 @@
+//! Crash-recoverable snapshot persistence.
+//!
+//! A served [`Snapshot`] can be sealed to disk and re-adopted after a
+//! crash or restart through the same `NTFILE01` envelope contract as
+//! model files (`DESIGN.md` §9): `magic ‖ payload_len:u64 ‖ payload ‖
+//! crc32(payload):u32`, written via temp-file + fsync + atomic rename.
+//! Corruption anywhere in the file — a flipped bit, a torn tail, trailing
+//! garbage — is rejected by the envelope **before** a single payload byte
+//! is parsed, so a damaged snapshot can never be adopted (the persistence
+//! suite drives this with [`FaultyReader`](neutraj_model::FaultyReader)).
+//!
+//! # What is stored
+//!
+//! The payload (`NTSNAP01` codec, little-endian throughout) carries the
+//! *inputs* of the snapshot, not its derived state:
+//!
+//! * the epoch and shard layout (`nshards`, quantized/ANN flags and
+//!   [`AnnParams`]),
+//! * the trained model through its own `NTMODEL1` codec
+//!   ([`NeuTrajModel::to_bytes`]), and
+//! * every stored trajectory in **global** order (id + raw points).
+//!
+//! Embeddings, IVF centroids, and int8 views are *recomputed* on load by
+//! [`Snapshot::build`] — the build pipeline is deterministic (lockstep
+//! batched embed, seeded k-means), so the rebuilt snapshot answers
+//! queries bit-identically to the one that was saved, and the file stays
+//! compact and structurally simple enough to validate field by field.
+
+use crate::snapshot::{ShardConfig, Snapshot};
+use neutraj_model::persist::{
+    atomic_write, open_payload, read_enveloped, seal_payload, write_enveloped,
+};
+use neutraj_model::{AnnParams, NeuTrajModel, PersistError};
+use neutraj_trajectory::{Point, Trajectory};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic header + format version of the snapshot payload codec.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"NTSNAP01";
+
+const FLAG_QUANTIZED: u8 = 1 << 0;
+const FLAG_ANN: u8 = 1 << 1;
+
+fn fail(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian cursor helpers (the serve crate stays dependency-free,
+// so no `bytes` here — a borrowed-slice cursor is all the codec needs).
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.data.len() < n {
+            return Err(fail(format!(
+                "truncated snapshot: need {n} bytes for {what}, have {}",
+                self.data.len()
+            )));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, PersistError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| fail(format!("{what} {v} overflows usize")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Snapshot {
+    /// Serializes the snapshot into the raw `NTSNAP01` payload (no file
+    /// envelope — see [`Snapshot::save`] for the checksummed form).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let cfg = self.shard_config();
+        let model_bytes = self.model().to_bytes();
+        let mut out = Vec::with_capacity(model_bytes.len() + (1 << 12));
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u64(&mut out, self.epoch());
+        put_u64(&mut out, self.nshards() as u64);
+        let mut flags = 0u8;
+        if cfg.quantized {
+            flags |= FLAG_QUANTIZED;
+        }
+        if cfg.ann.is_some() {
+            flags |= FLAG_ANN;
+        }
+        out.push(flags);
+        if let Some(ann) = &cfg.ann {
+            put_u64(&mut out, ann.nlists as u64);
+            put_u64(&mut out, ann.train_iters as u64);
+            put_u64(&mut out, ann.train_sample as u64);
+            put_u64(&mut out, ann.seed);
+        }
+        put_u64(&mut out, model_bytes.len() as u64);
+        out.extend_from_slice(&model_bytes);
+        put_u64(&mut out, self.len() as u64);
+        // Global order, so load-time round-robin placement reproduces
+        // the exact shard layout (and therefore the exact global
+        // indices) of the saved snapshot.
+        for g in 0..self.len() {
+            let t = self.trajectory(g).expect("global index in range");
+            put_u64(&mut out, t.id);
+            put_u64(&mut out, t.points().len() as u64);
+            for p in t.points() {
+                put_f64(&mut out, p.x);
+                put_f64(&mut out, p.y);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a snapshot from a raw payload produced by
+    /// [`Snapshot::to_bytes`]. `build_threads` is the load-time embed
+    /// parallelism — it affects speed only, never the rebuilt bits.
+    pub fn from_bytes(data: &[u8], build_threads: usize) -> Result<Self, PersistError> {
+        let mut r = Reader { data };
+        if r.take(8, "magic")? != SNAPSHOT_MAGIC {
+            return Err(fail("bad snapshot magic (not a NeuTraj snapshot?)"));
+        }
+        let epoch = r.u64("epoch")?;
+        let nshards = r.usize("shard count")?;
+        if nshards == 0 {
+            return Err(fail("snapshot declares zero shards"));
+        }
+        let flags = r.u8("flags")?;
+        if flags & !(FLAG_QUANTIZED | FLAG_ANN) != 0 {
+            return Err(fail(format!("unknown snapshot flags {flags:#04x}")));
+        }
+        let ann = if flags & FLAG_ANN != 0 {
+            Some(AnnParams {
+                nlists: r.usize("ann nlists")?,
+                train_iters: r.usize("ann train_iters")?,
+                train_sample: r.usize("ann train_sample")?,
+                seed: r.u64("ann seed")?,
+            })
+        } else {
+            None
+        };
+        let model_len = r.usize("model length")?;
+        let model = NeuTrajModel::from_bytes(r.take(model_len, "model payload")?)?;
+        let ntraj = r.usize("trajectory count")?;
+        let mut corpus = Vec::with_capacity(ntraj.min(1 << 20));
+        for g in 0..ntraj {
+            let id = r.u64("trajectory id")?;
+            let npts = r.usize("point count")?;
+            // 16 bytes per point must still fit in what remains — reject
+            // an implausible count before reserving for it.
+            if r.data.len() / 16 < npts {
+                return Err(fail(format!(
+                    "truncated snapshot: trajectory {g} declares {npts} points, \
+                     only {} bytes remain",
+                    r.data.len()
+                )));
+            }
+            let mut points = Vec::with_capacity(npts);
+            for _ in 0..npts {
+                let x = r.f64("point x")?;
+                let y = r.f64("point y")?;
+                points.push(Point::new(x, y));
+            }
+            let t = Trajectory::new(id, points)
+                .map_err(|e| fail(format!("invalid stored trajectory {g} (id {id}): {e}")))?;
+            corpus.push(t);
+        }
+        if !r.data.is_empty() {
+            return Err(fail(format!(
+                "{} trailing bytes after the snapshot payload",
+                r.data.len()
+            )));
+        }
+        let cfg = ShardConfig {
+            nshards,
+            build_threads: build_threads.max(1),
+            ann,
+            quantized: flags & FLAG_QUANTIZED != 0,
+        };
+        let snapshot = Snapshot::build(&model, corpus, &cfg)
+            .map_err(|e| fail(format!("stored snapshot fails to rebuild: {e}")))?;
+        Ok(snapshot.with_epoch(epoch))
+    }
+
+    /// Writes the snapshot through any [`Write`] sink, wrapped in the
+    /// checksummed `NTFILE01` envelope — the seam the fault-injection
+    /// harness targets (see [`FaultyWriter`](neutraj_model::FaultyWriter)).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        write_enveloped(w, &self.to_bytes())
+    }
+
+    /// Reads an envelope-wrapped snapshot from any [`Read`] source,
+    /// verifying size and checksum before parsing a single payload byte
+    /// (see [`FaultyReader`](neutraj_model::FaultyReader)).
+    pub fn read_from<R: Read>(r: &mut R, build_threads: usize) -> Result<Self, PersistError> {
+        let payload = read_enveloped(r)?;
+        Self::from_bytes(&payload, build_threads)
+    }
+
+    /// Persists the snapshot to a file: checksummed envelope, temp-file +
+    /// fsync + atomic rename — a crash mid-save leaves either the old
+    /// file or the new one, never a torn mix.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        atomic_write(path.as_ref(), &seal_payload(&self.to_bytes()))
+    }
+
+    /// Loads a snapshot saved by [`Snapshot::save`], rebuilding shards
+    /// with `build_threads`-way embed parallelism. Pair with
+    /// [`SimilarityService::from_snapshot`](crate::SimilarityService::from_snapshot)
+    /// to resume serving at the saved epoch.
+    pub fn load<P: AsRef<Path>>(path: P, build_threads: usize) -> Result<Self, PersistError> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        Self::from_bytes(open_payload(&data)?, build_threads)
+    }
+}

@@ -11,6 +11,7 @@
 use neutraj_measures::{MeasureKind, Neighbor};
 use neutraj_model::{DbError, Query};
 use neutraj_trajectory::Trajectory;
+use std::time::Duration;
 
 /// An owned, hashable description of *how* to search — the micro-batching
 /// scheduler coalesces concurrent requests with equal specs into one
@@ -81,6 +82,14 @@ impl QuerySpec {
         self.nprobe
     }
 
+    /// Whether the scan stage is the full-precision exhaustive scan —
+    /// the only shape the overload ladder may downgrade to a cheaper
+    /// shortlist view (a spec already on a shortlist view has nothing
+    /// cheaper to fall back to).
+    pub(crate) fn is_exact_scan(&self) -> bool {
+        !self.quantized && self.nprobe.is_none()
+    }
+
     /// Runs `f` with the equivalent borrow-based [`Query`], holding the
     /// instantiated re-rank measure alive for the duration. This is the
     /// single lowering from the owned surface to the execution surface —
@@ -139,6 +148,23 @@ impl QuerySpec {
     }
 }
 
+/// Scheduling class of a request in the coalescing queue. The scheduler
+/// serves the high lane first, with anti-starvation promotion for
+/// overdue normal work (see the [`service`](crate::service) docs); when
+/// the bounded queue is full, an arriving high-priority request may
+/// evict the newest queued normal-priority request (typed
+/// [`ServeError::Overloaded`], counted in `neutraj_serve_shed_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Best-effort work: served in arrival order after the high lane,
+    /// sheddable under overload.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: dispatched ahead of the normal lane and
+    /// never evicted by admission shedding.
+    High,
+}
+
 /// One query request: a caller-chosen correlation id, the ad-hoc query
 /// trajectory, and the spec describing how to search.
 #[derive(Debug, Clone)]
@@ -151,16 +177,38 @@ pub struct ServeRequest {
     pub trajectory: Trajectory,
     /// How to search.
     pub spec: QuerySpec,
+    /// Time budget measured from submission. Work whose budget expires
+    /// is answered [`ServeError::DeadlineExceeded`] — at dequeue without
+    /// burning a scan, or by the cooperative between-shard cancellation
+    /// checks mid-scan. `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Scheduling class (see [`Priority`]).
+    pub priority: Priority,
 }
 
 impl ServeRequest {
-    /// Convenience constructor.
+    /// Convenience constructor: no deadline, normal priority.
     pub fn new(id: u64, trajectory: Trajectory, spec: QuerySpec) -> Self {
         Self {
             id,
             trajectory,
             spec,
+            deadline: None,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Sets the time budget, measured from the moment the request is
+    /// submitted.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -175,6 +223,17 @@ pub struct ServeResponse {
     /// Epoch of the snapshot that answered — two responses with the same
     /// epoch saw the identical corpus.
     pub epoch: u64,
+    /// `true` when the overload ladder downgraded this request's
+    /// exact-scan spec to a quantized/ANN shortlist view under queue
+    /// pressure: the answer is a best-effort shortlist result, not the
+    /// exact-scan oracle answer. Never set silently — every degraded
+    /// response counts into `neutraj_serve_degraded_total`.
+    pub degraded: bool,
+    /// `true` when one or more shards were quarantined (or panicked)
+    /// during this scan: the answer covers the healthy shards only.
+    /// Counted into `neutraj_serve_shard_quarantined_total` at the
+    /// quarantine event.
+    pub partial: bool,
 }
 
 /// Typed failure of the service route. The service never panics on
@@ -191,6 +250,16 @@ pub enum ServeError {
     /// The worker dropped the reply channel without answering — only
     /// possible if the service was torn down mid-request.
     Dropped,
+    /// The bounded admission queue is full (or this request was evicted
+    /// to admit higher-priority work). The hint estimates how long the
+    /// backlog needs to drain — callers should back off at least that
+    /// long before retrying.
+    Overloaded {
+        /// Estimated backlog drain time at the moment of rejection.
+        retry_after_hint: Duration,
+    },
+    /// The request's time budget expired before an answer was produced.
+    DeadlineExceeded,
 }
 
 impl From<DbError> for ServeError {
@@ -205,6 +274,12 @@ impl std::fmt::Display for ServeError {
             Self::Db(e) => write!(f, "request rejected: {e}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::Dropped => write!(f, "service dropped the request mid-flight"),
+            Self::Overloaded { retry_after_hint } => write!(
+                f,
+                "service overloaded: retry after ~{:.1}ms",
+                retry_after_hint.as_secs_f64() * 1e3
+            ),
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -240,6 +315,24 @@ mod tests {
         assert_eq!(QuerySpec::new(7).scan_fetch(), 7);
         // Default shortlist matches Query's max(2k, 50).
         assert_eq!(QuerySpec::new(7).rerank(MeasureKind::Dtw).scan_fetch(), 50);
+    }
+
+    #[test]
+    fn request_builders_set_deadline_and_priority() {
+        let t = Trajectory::new_unchecked(1, vec![]);
+        let req = ServeRequest::new(7, t.clone(), QuerySpec::new(3));
+        assert_eq!(req.priority, Priority::Normal);
+        assert!(req.deadline.is_none());
+        let req = req
+            .with_deadline(Duration::from_millis(5))
+            .with_priority(Priority::High);
+        assert_eq!(req.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(req.priority, Priority::High);
+        // Only the full-precision exhaustive scan is downgrade-eligible.
+        assert!(QuerySpec::new(3).is_exact_scan());
+        assert!(QuerySpec::new(3).rerank(MeasureKind::Dtw).is_exact_scan());
+        assert!(!QuerySpec::new(3).quantized().is_exact_scan());
+        assert!(!QuerySpec::new(3).shortlist_ann(2).is_exact_scan());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The async similarity service: epoch-rotated snapshots, a coalescing
-//! micro-batch scheduler, and a typed, panic-free request route.
+//! micro-batch scheduler, and a typed, panic-free request route, hardened
+//! against overload and shard failure.
 //!
 //! # Snapshot rotation
 //!
@@ -22,16 +23,41 @@
 //! [`QuerySpec`] and ride the lockstep batched embed + blocked GEMM scan,
 //! whose per-row arithmetic is batch-size-invariant — coalesced results
 //! are bit-identical to issuing each query sequentially.
+//!
+//! # The overload and failure ladder
+//!
+//! Every failure path is typed, counted, and survivable (`DESIGN.md` §14
+//! carries the invariants the chaos suite enforces):
+//!
+//! 1. **Bounded admission** — the queue holds at most `max_queue`
+//!    requests; overflow is answered [`ServeError::Overloaded`] with a
+//!    backlog-drain retry hint instead of growing without bound. A
+//!    [`Priority::High`](crate::Priority) arrival may evict the newest
+//!    queued normal-priority request (the shed ladder's bottom rung);
+//!    both count into `neutraj_serve_shed_total`.
+//! 2. **Deadlines** — a request's time budget is checked at dequeue
+//!    (expired work is answered [`ServeError::DeadlineExceeded`] without
+//!    burning a scan) and cooperatively between shard scans.
+//! 3. **Graceful degradation** — when the queue depth at dispatch
+//!    reaches the degrade watermark, exact-scan specs are downgraded to
+//!    the snapshot's quantized (preferred) or IVF shortlist view when
+//!    one is built; responses are tagged `degraded: true` and counted.
+//! 4. **Panic isolation and quarantine** — shard scans run under
+//!    `catch_unwind`; a panicking shard is quarantined with exponential
+//!    backoff re-admission (one trial scan per backoff expiry, strikes
+//!    reset on success) while the service keeps answering from healthy
+//!    shards with responses tagged `partial: true`. Queue locks recover
+//!    from poisoning, so a panic can never wedge admission or dispatch.
 
-use crate::request::{QuerySpec, ServeError, ServeRequest, ServeResponse};
-use crate::snapshot::{ShardConfig, Snapshot};
+use crate::request::{Priority, QuerySpec, ServeError, ServeRequest, ServeResponse};
+use crate::snapshot::{ScanFault, ScanGuard, ShardConfig, Snapshot};
 use neutraj_model::{DbError, NeuTrajModel, SimilarityDb};
 use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::Trajectory;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Service construction knobs.
@@ -42,6 +68,7 @@ pub struct ServiceConfig {
     /// Dispatch a batch as soon as this many requests are queued.
     pub max_batch: usize,
     /// …or as soon as the oldest queued request has waited this long.
+    /// Must be nonzero (a zero deadline would spin the scheduler).
     pub batch_deadline: Duration,
     /// Scoped threads for the parallel per-shard scan (1 = sequential).
     pub scan_threads: usize,
@@ -51,6 +78,18 @@ pub struct ServiceConfig {
     pub ann: Option<neutraj_model::AnnParams>,
     /// Build per-shard int8 views at construction when `true`.
     pub quantized: bool,
+    /// Bounded admission: at most this many requests may wait in the
+    /// coalescing queue; overflow is answered
+    /// [`ServeError::Overloaded`]. Must be nonzero (use `usize::MAX`
+    /// for an explicitly unbounded queue, e.g. as a bench baseline).
+    pub max_queue: usize,
+    /// Queue depth at dispatch beyond which exact-scan specs degrade to
+    /// the quantized/ANN shortlist view when one is built (`0` = auto:
+    /// half of `max_queue`).
+    pub degrade_watermark: usize,
+    /// Base quarantine backoff after a shard scan panics; doubles per
+    /// consecutive strike (capped at 64×), halts at zero strikes.
+    pub quarantine_backoff: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +102,9 @@ impl Default for ServiceConfig {
             build_threads: 1,
             ann: None,
             quantized: false,
+            max_queue: 1024,
+            degrade_watermark: 0,
+            quarantine_backoff: Duration::from_millis(100),
         }
     }
 }
@@ -80,6 +122,10 @@ struct ServeMetrics {
     request_seconds: Histogram,
     snapshot_epoch: Gauge,
     rejects_total: Counter,
+    shed_total: Counter,
+    deadline_expired_total: Counter,
+    degraded_total: Counter,
+    shard_quarantined_total: Counter,
 }
 
 impl ServeMetrics {
@@ -93,15 +139,76 @@ impl ServeMetrics {
             request_seconds: registry.histogram(names::SERVE_REQUEST_SECONDS),
             snapshot_epoch: registry.gauge(names::SERVE_SNAPSHOT_EPOCH),
             rejects_total: registry.counter(names::DB_REJECTS_TOTAL),
+            shed_total: registry.counter(names::SERVE_SHED_TOTAL),
+            deadline_expired_total: registry.counter(names::SERVE_DEADLINE_EXPIRED_TOTAL),
+            degraded_total: registry.counter(names::SERVE_DEGRADED_TOTAL),
+            shard_quarantined_total: registry.counter(names::SERVE_SHARD_QUARANTINED_TOTAL),
         }
     }
 }
 
-/// One queued request plus its reply slot and arrival time.
+/// Locks a mutex, recovering from poisoning: the protected state is a
+/// queue of requests (or plain bookkeeping), every transition of which is
+/// valid on its own, so a panic that poisoned the lock left consistent
+/// data behind — recovery keeps the service answering instead of
+/// cascading the panic into every thread that touches the lock.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One queued request plus its reply slot, arrival time, and absolute
+/// deadline (resolved from the request's relative budget at submission).
 struct Pending {
     req: ServeRequest,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// The two-lane coalescing queue: the high lane dispatches first, the
+/// normal lane is protected from starvation by overdue promotion (see
+/// [`form_batch`]) and is the shed target when admission overflows.
+#[derive(Default)]
+struct Lanes {
+    high: VecDeque<Pending>,
+    normal: VecDeque<Pending>,
+}
+
+impl Lanes {
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn push(&mut self, p: Pending) {
+        match p.req.priority {
+            Priority::High => self.high.push_back(p),
+            Priority::Normal => self.normal.push_back(p),
+        }
+    }
+
+    /// Arrival instant of the oldest queued request across both lanes —
+    /// what the coalescing deadline is measured from.
+    fn oldest(&self) -> Option<Instant> {
+        match (self.high.front(), self.normal.front()) {
+            (Some(h), Some(n)) => Some(h.enqueued.min(n.enqueued)),
+            (Some(h), None) => Some(h.enqueued),
+            (None, Some(n)) => Some(n.enqueued),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Per-shard failure bookkeeping for quarantine and re-admission.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardHealth {
+    quarantined_until: Option<Instant>,
+    strikes: u32,
 }
 
 /// State shared between the front door, the scheduler thread, and
@@ -112,17 +219,45 @@ struct Shared {
     /// Serializes writers so concurrent inserts compose instead of
     /// overwriting each other's snapshots.
     write_lock: Mutex<()>,
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<Lanes>,
     notify: Condvar,
     shutdown: AtomicBool,
+    health: Mutex<Vec<ShardHealth>>,
+    fault: Mutex<Option<Arc<ScanFault>>>,
     max_batch: usize,
     batch_deadline: Duration,
     scan_threads: usize,
+    max_queue: usize,
+    degrade_watermark: usize,
+    quarantine_backoff: Duration,
     metrics: Option<ServeMetrics>,
 }
 
+impl Shared {
+    fn count_shed(&self) {
+        if let Some(m) = &self.metrics {
+            m.shed_total.inc();
+        }
+    }
+
+    fn count_deadline(&self) {
+        if let Some(m) = &self.metrics {
+            m.deadline_expired_total.inc();
+        }
+    }
+
+    /// Backlog-drain estimate at queue depth `depth`: each `max_batch`
+    /// slice needs at least one coalescing deadline to dispatch. A hint,
+    /// not a promise — callers should treat it as a floor.
+    fn retry_hint(&self, depth: usize) -> Duration {
+        let batches = (depth / self.max_batch.max(1)) as u32 + 1;
+        self.batch_deadline.saturating_mul(batches)
+    }
+}
+
 /// The async similarity service — see the module docs for the
-/// architecture and `DESIGN.md` §13 for the proofs.
+/// architecture and `DESIGN.md` §13–§14 for the proofs and the failure
+/// ladder.
 ///
 /// Dropping the service flushes the queue: queued requests are answered,
 /// then the scheduler thread exits.
@@ -148,7 +283,8 @@ impl SimilarityService {
         corpus: Vec<Trajectory>,
         cfg: &ServiceConfig,
     ) -> Result<Self, ServeError> {
-        Self::build(model, corpus, cfg, None)
+        let snapshot = Snapshot::build(&model, corpus, &Self::shard_config(cfg))?;
+        Self::build(snapshot, cfg, None)
     }
 
     /// Like [`SimilarityService::new`], recording serving metrics into
@@ -160,39 +296,90 @@ impl SimilarityService {
         cfg: &ServiceConfig,
         registry: &Registry,
     ) -> Result<Self, ServeError> {
-        Self::build(model, corpus, cfg, Some(ServeMetrics::register(registry)))
+        let metrics = ServeMetrics::register(registry);
+        let snapshot = match Snapshot::build(&model, corpus, &Self::shard_config(cfg)) {
+            Ok(s) => s,
+            Err(e) => {
+                metrics.rejects_total.inc();
+                return Err(e.into());
+            }
+        };
+        Self::build(snapshot, cfg, Some(metrics))
     }
 
-    fn build(
-        model: NeuTrajModel,
-        corpus: Vec<Trajectory>,
+    /// Starts a service around an already-built snapshot — the crash
+    /// recovery entry point: pair with [`Snapshot::load`] to resume
+    /// serving a persisted corpus at its saved epoch (the snapshot's own
+    /// shard layout wins over `cfg`'s shard fields).
+    pub fn from_snapshot(snapshot: Snapshot, cfg: &ServiceConfig) -> Result<Self, ServeError> {
+        Self::build(snapshot, cfg, None)
+    }
+
+    /// [`SimilarityService::from_snapshot`] with metrics.
+    pub fn from_snapshot_with_metrics(
+        snapshot: Snapshot,
         cfg: &ServiceConfig,
-        metrics: Option<ServeMetrics>,
+        registry: &Registry,
     ) -> Result<Self, ServeError> {
-        if cfg.max_batch == 0 {
-            return Err(ServeError::Db(DbError::InvalidConfig(
-                "max_batch must be positive (a zero-size batch never dispatches)".into(),
-            )));
-        }
-        let shard_cfg = ShardConfig {
+        Self::build(snapshot, cfg, Some(ServeMetrics::register(registry)))
+    }
+
+    fn shard_config(cfg: &ServiceConfig) -> ShardConfig {
+        ShardConfig {
             nshards: cfg.nshards,
             build_threads: cfg.build_threads,
             ann: cfg.ann.clone(),
             quantized: cfg.quantized,
+        }
+    }
+
+    fn build(
+        snapshot: Snapshot,
+        cfg: &ServiceConfig,
+        metrics: Option<ServeMetrics>,
+    ) -> Result<Self, ServeError> {
+        let invalid = |reason: &str| {
+            if let Some(m) = &metrics {
+                m.rejects_total.inc();
+            }
+            Err(ServeError::Db(DbError::InvalidConfig(reason.into())))
         };
-        let snapshot = Snapshot::build(&model, corpus, &shard_cfg)?;
+        if cfg.max_batch == 0 {
+            return invalid("max_batch must be positive (a zero-size batch never dispatches)");
+        }
+        if cfg.batch_deadline.is_zero() {
+            return invalid(
+                "batch_deadline must be positive (a zero deadline spins the scheduler)",
+            );
+        }
+        if cfg.max_queue == 0 {
+            return invalid(
+                "max_queue must be positive (bounded admission needs room for at least \
+                 one request; use usize::MAX for an unbounded queue)",
+            );
+        }
         if let Some(m) = &metrics {
             m.snapshot_epoch.set(snapshot.epoch() as f64);
         }
+        let nshards = snapshot.nshards();
+        let degrade_watermark = match cfg.degrade_watermark {
+            0 => (cfg.max_queue / 2).max(1),
+            w => w,
+        };
         let shared = Arc::new(Shared {
             snapshot: Mutex::new(Arc::new(snapshot)),
             write_lock: Mutex::new(()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Lanes::default()),
             notify: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            health: Mutex::new(vec![ShardHealth::default(); nshards]),
+            fault: Mutex::new(None),
             max_batch: cfg.max_batch,
             batch_deadline: cfg.batch_deadline,
             scan_threads: cfg.scan_threads,
+            max_queue: cfg.max_queue,
+            degrade_watermark,
+            quarantine_backoff: cfg.quarantine_backoff,
             metrics,
         });
         let worker = {
@@ -211,7 +398,7 @@ impl SimilarityService {
     /// The snapshot currently served. Readers may hold it as long as
     /// they like; writers never mutate it.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        self.shared.snapshot.lock().expect("snapshot lock").clone()
+        lock_recover(&self.shared.snapshot).clone()
     }
 
     /// Current corpus size.
@@ -229,26 +416,67 @@ impl SimilarityService {
         self.snapshot().epoch()
     }
 
+    /// Persists the currently served snapshot through the sealed
+    /// `NTFILE01` envelope (see [`Snapshot::save`]) — pair with
+    /// [`Snapshot::load`] + [`SimilarityService::from_snapshot`] to
+    /// recover after a crash or restart.
+    pub fn save_snapshot<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<(), neutraj_model::PersistError> {
+        self.snapshot().save(path)
+    }
+
     /// Enqueues one request and returns the channel its answer will
     /// arrive on — the open-loop entry point: the call never blocks on
     /// scan work. Invalid requests are answered (with a typed error)
-    /// through the same channel without ever occupying the queue.
+    /// through the same channel without ever occupying the queue, and
+    /// when the bounded queue is full the request (or, for a
+    /// high-priority arrival, the newest queued normal-priority request)
+    /// is answered [`ServeError::Overloaded`] instead of growing the
+    /// backlog.
     pub fn submit(&self, req: ServeRequest) -> Receiver<Result<ServeResponse, ServeError>> {
         let (tx, rx) = sync_channel(1);
         if let Err(e) = self.admit(&req) {
             let _ = tx.try_send(Err(e));
             return rx;
         }
+        let enqueued = Instant::now();
         let pending = Pending {
+            deadline: req.deadline.map(|budget| enqueued + budget),
             req,
-            enqueued: Instant::now(),
+            enqueued,
             reply: tx,
         };
-        let depth = {
-            let mut q = self.shared.queue.lock().expect("queue lock");
-            q.push_back(pending);
-            q.len()
+        // Admission under the queue lock; sheds answered after release.
+        let (depth, shed) = {
+            let mut q = lock_recover(&self.shared.queue);
+            if q.len() >= self.shared.max_queue {
+                if pending.req.priority == Priority::High {
+                    match q.normal.pop_back() {
+                        // Make room: evict the newest normal request —
+                        // the one that has invested the least wait.
+                        Some(victim) => {
+                            q.push(pending);
+                            (q.len(), Some(victim))
+                        }
+                        None => (q.len(), Some(pending)),
+                    }
+                } else {
+                    (q.len(), Some(pending))
+                }
+            } else {
+                q.push(pending);
+                (q.len(), None)
+            }
         };
+        if let Some(victim) = shed {
+            self.shared.count_shed();
+            let hint = self.shared.retry_hint(depth);
+            let _ = victim.reply.try_send(Err(ServeError::Overloaded {
+                retry_after_hint: hint,
+            }));
+        }
         if let Some(m) = &self.shared.metrics {
             m.queue_depth.set(depth as f64);
         }
@@ -296,7 +524,7 @@ impl SimilarityService {
     /// the new **global** index. In-flight readers keep the old snapshot
     /// until they next ask for one.
     pub fn insert(&self, t: Trajectory) -> Result<usize, ServeError> {
-        let _writer = self.shared.write_lock.lock().expect("write lock");
+        let _writer = lock_recover(&self.shared.write_lock);
         let current = self.snapshot();
         let idx = current.len();
         let next = current.inserted(std::slice::from_ref(&t))?;
@@ -306,7 +534,7 @@ impl SimilarityService {
 
     /// Inserts many trajectories as one epoch step (all-or-nothing).
     pub fn insert_batch(&self, ts: Vec<Trajectory>) -> Result<(), ServeError> {
-        let _writer = self.shared.write_lock.lock().expect("write lock");
+        let _writer = lock_recover(&self.shared.write_lock);
         let next = self.snapshot().inserted(&ts)?;
         self.publish(next);
         Ok(())
@@ -316,12 +544,49 @@ impl SimilarityService {
     /// writer, and it holds no other work.
     fn publish(&self, next: Snapshot) {
         let epoch = next.epoch();
-        *self.shared.snapshot.lock().expect("snapshot lock") = Arc::new(next);
+        *lock_recover(&self.shared.snapshot) = Arc::new(next);
         if let Some(m) = &self.shared.metrics {
             m.snapshot_epoch.set(epoch as f64);
         }
     }
+
+    /// Shard indices currently under quarantine (chaos-test seam, also
+    /// handy for health endpoints).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        let now = Instant::now();
+        lock_recover(&self.shared.health)
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.quarantined_until.is_some_and(|u| now < u))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Installs (or clears) a scan fault injector: called with the shard
+    /// index before each shard scan, a `true` return panics that scan
+    /// inside the isolation boundary. Test seam for the chaos suite.
+    #[doc(hidden)]
+    pub fn set_scan_fault(&self, fault: Option<Arc<ScanFaultHook>>) {
+        *lock_recover(&self.shared.fault) = fault;
+    }
+
+    /// Deliberately poisons the queue mutex from a panicking thread —
+    /// chaos-test seam proving the lock-recovery path keeps the service
+    /// answering.
+    #[doc(hidden)]
+    pub fn poison_queue_for_test(&self) {
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.queue.lock().expect("queue lock");
+            panic!("deliberate queue poison (chaos test)");
+        })
+        .join();
+    }
 }
+
+/// Public alias of the scan fault injector signature (see
+/// [`SimilarityService::set_scan_fault`]).
+pub type ScanFaultHook = dyn Fn(usize) -> bool + Send + Sync;
 
 impl Drop for SimilarityService {
     fn drop(&mut self) {
@@ -333,43 +598,157 @@ impl Drop for SimilarityService {
     }
 }
 
-/// The scheduler: coalesce → group → lockstep dispatch → reply.
+/// The scheduler: coalesce → purge expired → form batch → dispatch.
 fn scheduler_loop(shared: &Shared) {
     loop {
-        let batch = {
-            let mut q = shared.queue.lock().expect("queue lock");
+        let (batch, pressure) = {
+            let mut q = lock_recover(&shared.queue);
             loop {
                 let shutting_down = shared.shutdown.load(Ordering::Acquire);
-                if let Some(front) = q.front() {
-                    let deadline = front.enqueued + shared.batch_deadline;
+                purge_expired(shared, &mut q);
+                if let Some(oldest) = q.oldest() {
+                    let deadline = oldest + shared.batch_deadline;
                     let now = Instant::now();
                     if q.len() >= shared.max_batch || now >= deadline || shutting_down {
                         break;
                     }
-                    let (guard, _) = shared
+                    q = shared
                         .notify
                         .wait_timeout(q, deadline - now)
-                        .expect("queue lock");
-                    q = guard;
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
                 } else if shutting_down {
                     return;
                 } else {
-                    q = shared.notify.wait(q).expect("queue lock");
+                    q = shared
+                        .notify
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
-            let n = q.len().min(shared.max_batch);
+            let pressure = q.len();
+            let batch = form_batch(shared, &mut q);
             if let Some(m) = &shared.metrics {
-                m.queue_depth.set((q.len() - n) as f64);
+                m.queue_depth.set(q.len() as f64);
             }
-            q.drain(..n).collect::<Vec<Pending>>()
+            (batch, pressure)
         };
-        dispatch(shared, batch);
+        if !batch.is_empty() {
+            dispatch(shared, batch, pressure);
+        }
     }
 }
 
-/// Runs one coalesced micro-batch: group members by spec, embed each
-/// group in lockstep, scan shards, merge, reply.
-fn dispatch(shared: &Shared, batch: Vec<Pending>) {
+/// Answers and removes every queued request whose deadline has already
+/// passed — the "without burning a scan" half of the deadline contract.
+fn purge_expired(shared: &Shared, q: &mut Lanes) {
+    let now = Instant::now();
+    for lane in [&mut q.high, &mut q.normal] {
+        let mut i = 0;
+        while i < lane.len() {
+            if lane[i].expired(now) {
+                let p = lane.remove(i).expect("index in range");
+                shared.count_deadline();
+                answer(shared, p, Err(ServeError::DeadlineExceeded));
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Drains up to `max_batch` requests: the high lane first, then the
+/// normal lane — with anti-starvation promotion: when the oldest normal
+/// request has waited past the promotion threshold (4× the coalescing
+/// deadline), it ships in this batch ahead of the high lane, so a
+/// sustained high-priority flood can delay normal work by at most a few
+/// deadlines per batch, never indefinitely.
+fn form_batch(shared: &Shared, q: &mut Lanes) -> Vec<Pending> {
+    let now = Instant::now();
+    let promote_after = shared.batch_deadline.saturating_mul(4);
+    let mut batch = Vec::new();
+    if q.normal
+        .front()
+        .is_some_and(|p| now.duration_since(p.enqueued) >= promote_after)
+    {
+        batch.push(q.normal.pop_front().expect("front exists"));
+    }
+    while batch.len() < shared.max_batch {
+        if let Some(p) = q.high.pop_front() {
+            batch.push(p);
+        } else if let Some(p) = q.normal.pop_front() {
+            batch.push(p);
+        } else {
+            break;
+        }
+    }
+    batch
+}
+
+/// The degrade rung of the overload ladder: under queue pressure an
+/// exact-scan spec falls back to the snapshot's quantized view
+/// (preferred: exact rerank keeps reported distances exact) or IVF
+/// shortlist when one is built. Returns the effective spec and whether
+/// it was downgraded.
+fn effective_spec(snapshot: &Snapshot, spec: QuerySpec, pressured: bool) -> (QuerySpec, bool) {
+    if !pressured || !spec.is_exact_scan() {
+        return (spec, false);
+    }
+    if snapshot.has_quantized() {
+        return (spec.quantized(), true);
+    }
+    if let Some(nlists) = snapshot.ann_nlists() {
+        return (spec.shortlist_ann(nlists.div_ceil(2)), true);
+    }
+    (spec, false)
+}
+
+/// Resolves the quarantine mask for this dispatch: quarantined shards
+/// whose backoff has not expired are skipped; expired ones get a trial
+/// scan (strikes persist until a success clears them).
+fn quarantine_mask(shared: &Shared, nshards: usize, now: Instant) -> Vec<bool> {
+    let mut health = lock_recover(&shared.health);
+    health.resize(nshards, ShardHealth::default());
+    health
+        .iter_mut()
+        .map(|h| match h.quarantined_until {
+            Some(until) if now < until => true,
+            Some(_) => {
+                // Backoff expired: re-admit for one trial scan.
+                h.quarantined_until = None;
+                false
+            }
+            None => false,
+        })
+        .collect()
+}
+
+/// Folds one scan's outcome back into quarantine state: panicking shards
+/// gain a strike and a doubled backoff window; shards that scanned
+/// cleanly reset to zero strikes.
+fn update_health(shared: &Shared, nshards: usize, skip: &[bool], failed: &[usize], now: Instant) {
+    let mut health = lock_recover(&shared.health);
+    health.resize(nshards, ShardHealth::default());
+    for (s, h) in health.iter_mut().enumerate() {
+        if failed.contains(&s) {
+            h.strikes = (h.strikes + 1).min(7);
+            let backoff = shared
+                .quarantine_backoff
+                .saturating_mul(1u32 << (h.strikes - 1).min(6));
+            h.quarantined_until = Some(now + backoff);
+            if let Some(m) = &shared.metrics {
+                m.shard_quarantined_total.inc();
+            }
+        } else if !skip.get(s).copied().unwrap_or(false) && h.quarantined_until.is_none() {
+            h.strikes = 0;
+        }
+    }
+}
+
+/// Runs one coalesced micro-batch: degrade under pressure, group members
+/// by effective spec, embed each group in lockstep, scan healthy shards
+/// under panic isolation, merge, reply.
+fn dispatch(shared: &Shared, batch: Vec<Pending>, pressure: usize) {
     let dispatched_at = Instant::now();
     if let Some(m) = &shared.metrics {
         m.batches_total.inc();
@@ -381,41 +760,127 @@ fn dispatch(shared: &Shared, batch: Vec<Pending>) {
         }
     }
     let snapshot = {
-        shared.snapshot.lock().expect("snapshot lock").clone()
+        lock_recover(&shared.snapshot).clone()
         // Lock released here: the whole scan runs against our Arc,
         // unaffected by any concurrent swap.
     };
-    // Group by spec, preserving arrival order within each group.
-    let mut groups: Vec<(QuerySpec, Vec<Pending>)> = Vec::new();
+    let pressured = pressure >= shared.degrade_watermark;
+    // Group by effective spec, preserving arrival order within each
+    // group (the degrade rewrite is a pure function of the spec and the
+    // snapshot, so equal input specs stay batch-compatible).
+    let mut groups: Vec<(QuerySpec, bool, Vec<Pending>)> = Vec::new();
     for p in batch {
-        match groups.iter_mut().find(|(s, _)| *s == p.req.spec) {
-            Some((_, members)) => members.push(p),
-            None => groups.push((p.req.spec, vec![p])),
+        let (spec, degraded) = effective_spec(&snapshot, p.req.spec, pressured);
+        match groups.iter_mut().find(|(s, _, _)| *s == spec) {
+            Some((_, _, members)) => members.push(p),
+            None => groups.push((spec, degraded, vec![p])),
         }
     }
-    for (spec, members) in groups {
-        let trajs: Vec<Trajectory> = members.iter().map(|p| p.req.trajectory.clone()).collect();
-        match snapshot.search_batch(&trajs, &spec, shared.scan_threads) {
-            Ok(results) => {
-                for (p, neighbors) in members.into_iter().zip(results) {
-                    respond(shared, &snapshot, p, Ok(neighbors));
-                }
-            }
-            // A group-level rejection (raced with nothing — admission
-            // already vetted each request) falls back to per-request
-            // answers so one bad request cannot fail its batch peers.
-            Err(_) => {
+    let fault = lock_recover(&shared.fault).clone();
+    for (spec, degraded, members) in groups {
+        run_group(shared, &snapshot, spec, degraded, members, fault.as_deref());
+    }
+}
+
+/// Scans one spec-group under the full guard set and answers its
+/// members.
+fn run_group(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    spec: QuerySpec,
+    degraded: bool,
+    members: Vec<Pending>,
+    fault: Option<&ScanFault>,
+) {
+    let now = Instant::now();
+    let nshards = snapshot.nshards();
+    let skip = quarantine_mask(shared, nshards, now);
+    // Cooperative cancellation aborts only once *no* member can still
+    // use the result: the guard deadline is the latest member deadline,
+    // and absent entirely when any member has no deadline.
+    let group_deadline = if members.iter().any(|p| p.deadline.is_none()) {
+        None
+    } else {
+        members.iter().filter_map(|p| p.deadline).max()
+    };
+    let trajs: Vec<Trajectory> = members.iter().map(|p| p.req.trajectory.clone()).collect();
+    let guard = ScanGuard {
+        deadline: group_deadline,
+        skip: &skip,
+        fault,
+    };
+    match snapshot.scan_batch_guarded(&trajs, &spec, shared.scan_threads, &guard) {
+        Ok(scan) => {
+            update_health(shared, nshards, &skip, &scan.failed, Instant::now());
+            if scan.expired {
                 for p in members {
-                    let one = snapshot
-                        .search(&p.req.trajectory, &spec)
-                        .map_err(ServeError::from);
-                    if one.is_err() {
+                    shared.count_deadline();
+                    answer(shared, p, Err(ServeError::DeadlineExceeded));
+                }
+                return;
+            }
+            let partial = scan.is_partial();
+            let done = Instant::now();
+            for (p, neighbors) in members.into_iter().zip(scan.results) {
+                if p.expired(done) {
+                    shared.count_deadline();
+                    answer(shared, p, Err(ServeError::DeadlineExceeded));
+                    continue;
+                }
+                if degraded {
+                    if let Some(m) = &shared.metrics {
+                        m.degraded_total.inc();
+                    }
+                }
+                let resp = ServeResponse {
+                    id: p.req.id,
+                    neighbors,
+                    epoch: snapshot.epoch(),
+                    degraded,
+                    partial,
+                };
+                answer(shared, p, Ok(resp));
+            }
+        }
+        // A group-level rejection (raced with nothing — admission
+        // already vetted each request) falls back to per-request
+        // answers so one bad request cannot fail its batch peers. The
+        // fallback stays inside the guarded scan so a panicking shard
+        // still cannot take the scheduler down.
+        Err(_) => {
+            for p in members {
+                let one = snapshot
+                    .scan_batch_guarded(
+                        std::slice::from_ref(&p.req.trajectory),
+                        &spec,
+                        1,
+                        &ScanGuard {
+                            deadline: p.deadline,
+                            skip: &skip,
+                            fault,
+                        },
+                    )
+                    .map_err(ServeError::from);
+                let result = match one {
+                    Err(e) => {
                         if let Some(m) = &shared.metrics {
                             m.rejects_total.inc();
                         }
+                        Err(e)
                     }
-                    respond(shared, &snapshot, p, one);
-                }
+                    Ok(scan) if scan.expired => {
+                        shared.count_deadline();
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Ok(mut scan) => Ok(ServeResponse {
+                        id: p.req.id,
+                        neighbors: scan.results.pop().unwrap_or_default(),
+                        epoch: snapshot.epoch(),
+                        degraded,
+                        partial: scan.is_partial(),
+                    }),
+                };
+                answer(shared, p, result);
             }
         }
     }
@@ -423,18 +888,8 @@ fn dispatch(shared: &Shared, batch: Vec<Pending>) {
 
 /// Sends one reply (ignoring receivers the client abandoned) and records
 /// the end-to-end latency.
-fn respond(
-    shared: &Shared,
-    snapshot: &Snapshot,
-    p: Pending,
-    result: Result<Vec<neutraj_measures::Neighbor>, ServeError>,
-) {
-    let response = result.map(|neighbors| ServeResponse {
-        id: p.req.id,
-        neighbors,
-        epoch: snapshot.epoch(),
-    });
-    let _ = p.reply.try_send(response);
+fn answer(shared: &Shared, p: Pending, result: Result<ServeResponse, ServeError>) {
+    let _ = p.reply.try_send(result);
     if let Some(m) = &shared.metrics {
         m.request_seconds
             .observe(p.enqueued.elapsed().as_secs_f64());

@@ -31,6 +31,64 @@ use crate::request::QuerySpec;
 use neutraj_measures::Neighbor;
 use neutraj_model::{AnnParams, DbError, NeuTrajModel, SimilarityDb};
 use neutraj_trajectory::Trajectory;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Signature of the test-only scan fault injector: called with the shard
+/// index just before that shard scans; returning `true` panics the scan
+/// (inside the `catch_unwind` isolation boundary).
+pub(crate) type ScanFault = dyn Fn(usize) -> bool + Send + Sync;
+
+/// Failure-handling knobs for one guarded scan (the service's view; the
+/// public [`Snapshot::search_batch`] runs unguarded).
+pub(crate) struct ScanGuard<'a> {
+    /// Latest deadline among the batch members — the cooperative
+    /// cancellation checks between shard scans abort once it passes.
+    pub deadline: Option<Instant>,
+    /// Per-shard quarantine mask (`true` = do not scan); empty skips
+    /// nothing.
+    pub skip: &'a [bool],
+    /// Test-only fault injector (see [`ScanFault`]).
+    pub fault: Option<&'a ScanFault>,
+}
+
+impl ScanGuard<'_> {
+    /// No deadline, no quarantine, no injected faults.
+    pub(crate) fn none() -> Self {
+        Self {
+            deadline: None,
+            skip: &[],
+            fault: None,
+        }
+    }
+}
+
+/// Outcome of one guarded scan: merged results plus the failure facts
+/// the service folds into quarantine state and response markers.
+pub(crate) struct GuardedScan {
+    /// Merged per-query results over the contributing shards. Empty when
+    /// `expired`.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Shards whose scan panicked this pass (isolated by
+    /// `catch_unwind`; their candidates are absent from `results`).
+    pub failed: Vec<usize>,
+    /// The first captured panic payload, for callers that want to
+    /// re-raise instead of degrade (the public `search_batch` contract).
+    pub first_panic: Option<Box<dyn Any + Send>>,
+    /// Number of shards skipped by the quarantine mask.
+    pub skipped: usize,
+    /// The deadline passed before results were produced; `results` is
+    /// empty and must not be used.
+    pub expired: bool,
+}
+
+impl GuardedScan {
+    /// `true` when at least one shard did not contribute.
+    pub(crate) fn is_partial(&self) -> bool {
+        self.skipped > 0 || !self.failed.is_empty()
+    }
+}
 
 /// How to build a [`Snapshot`]'s shards.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +122,12 @@ pub struct Snapshot {
     epoch: u64,
     shards: Vec<SimilarityDb>,
     len: usize,
+    /// The ANN params the shards were built with — retained so a saved
+    /// snapshot can rebuild its per-shard indexes on load (they are not
+    /// recoverable from the built index alone).
+    ann: Option<AnnParams>,
+    /// Whether per-shard int8 views were requested at build time.
+    quantized: bool,
 }
 
 impl Snapshot {
@@ -112,7 +176,40 @@ impl Snapshot {
             epoch: 0,
             shards,
             len,
+            ann: cfg.ann.clone(),
+            quantized: cfg.quantized,
         })
+    }
+
+    /// The [`ShardConfig`] that rebuilds an equivalent snapshot (used by
+    /// the persistence codec; `build_threads` is a load-time choice, not
+    /// a property of the snapshot).
+    pub(crate) fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            nshards: self.nshards(),
+            build_threads: 1,
+            ann: self.ann.clone(),
+            quantized: self.quantized,
+        }
+    }
+
+    /// Renames the epoch — the persistence loader restores the saved
+    /// epoch so sequences stay non-decreasing across a crash/restart.
+    pub(crate) fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Whether this snapshot carries per-shard int8 views (a degrade
+    /// target for the overload ladder).
+    pub(crate) fn has_quantized(&self) -> bool {
+        self.quantized && self.shards[0].quantized_store().is_some()
+    }
+
+    /// The per-shard IVF list count when ANN indexes are built (the
+    /// other degrade target).
+    pub(crate) fn ann_nlists(&self) -> Option<usize> {
+        self.shards[0].ann_index().map(|ix| ix.nlists())
     }
 
     /// The epoch counter: bumped by one on every published mutation.
@@ -193,6 +290,30 @@ impl Snapshot {
         spec: &QuerySpec,
         scan_threads: usize,
     ) -> Result<Vec<Vec<Neighbor>>, DbError> {
+        let scan = self.scan_batch_guarded(queries, spec, scan_threads, &ScanGuard::none())?;
+        // Unguarded contract: a shard panic propagates to the caller
+        // exactly as it did before panic isolation existed.
+        if let Some(payload) = scan.first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        Ok(scan.results)
+    }
+
+    /// The guarded core of [`Snapshot::search_batch`]: shard scans run
+    /// under `catch_unwind` so one panicking shard cannot take down the
+    /// caller, quarantined shards are skipped, and the deadline is
+    /// checked cooperatively — before the embed, between sequential
+    /// shard scans, and before the re-rank stage — so expired work stops
+    /// burning CPU as early as possible. Configuration errors
+    /// ([`DbError`]) still return `Err`; panics and skips are reported
+    /// as data in the [`GuardedScan`].
+    pub(crate) fn scan_batch_guarded(
+        &self,
+        queries: &[Trajectory],
+        spec: &QuerySpec,
+        scan_threads: usize,
+        guard: &ScanGuard<'_>,
+    ) -> Result<GuardedScan, DbError> {
         for t in queries {
             t.validate()
                 .map_err(|reason| DbError::InvalidTrajectory { id: t.id, reason })?;
@@ -202,54 +323,108 @@ impl Snapshot {
         // from every shard's perspective at once (shards are uniform, so
         // shard 0 speaks for all).
         self.shards[0].scan_embeddings(&[], 0, &scan_query)?;
+        let nshards = self.nshards();
+        let skipped = guard.skip.iter().filter(|&&s| s).count();
+        let mut out = GuardedScan {
+            results: Vec::new(),
+            failed: Vec::new(),
+            first_panic: None,
+            skipped,
+            expired: false,
+        };
+        let expired = |d: &Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+        if expired(&guard.deadline) {
+            out.expired = true;
+            return Ok(out);
+        }
         let fetch = spec.scan_fetch();
         let qembs = self.model().embed_batch(queries);
         let qrefs: Vec<&[f64]> = qembs.iter().map(|e| e.as_slice()).collect();
 
-        let nshards = self.nshards();
-        let scan = |db: &SimilarityDb| db.scan_embeddings(&qrefs, fetch, &scan_query);
-        let per_shard: Vec<Vec<Vec<Neighbor>>> = if scan_threads <= 1 || nshards == 1 {
-            let mut out = Vec::with_capacity(nshards);
-            for db in &self.shards {
-                out.push(scan(db)?);
+        let is_skipped = |s: usize| guard.skip.get(s).copied().unwrap_or(false);
+        let scan = |s: usize, db: &SimilarityDb| {
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(fault) = guard.fault {
+                    if fault(s) {
+                        panic!("injected shard {s} scan fault");
+                    }
+                }
+                db.scan_embeddings(&qrefs, fetch, &scan_query)
+            }))
+        };
+        // `None` slots (skipped or failed shards) are absent from the
+        // merge; shard order is preserved either way so results stay
+        // thread-count independent.
+        let mut per_shard: Vec<Option<Vec<Vec<Neighbor>>>> = vec![None; nshards];
+        if scan_threads <= 1 || nshards == 1 {
+            for (s, db) in self.shards.iter().enumerate() {
+                if is_skipped(s) {
+                    continue;
+                }
+                // Cooperative cancellation between shard scans: once the
+                // latest member deadline passes, finishing the scan can
+                // no longer help anyone.
+                if expired(&guard.deadline) {
+                    out.expired = true;
+                    return Ok(out);
+                }
+                match scan(s, db) {
+                    Ok(r) => per_shard[s] = Some(r?),
+                    Err(payload) => {
+                        out.failed.push(s);
+                        out.first_panic.get_or_insert(payload);
+                    }
+                }
             }
-            out
         } else {
-            // Scoped fan-out, rejoined in shard order so the merge input
-            // (and therefore the result) is thread-count independent.
-            let mut out = Vec::with_capacity(nshards);
-            let results = std::thread::scope(|scope| {
+            // Scoped fan-out, rejoined in shard order. A panicking shard
+            // scan is caught inside its own thread — captured, not
+            // propagated.
+            let scan = &scan;
+            let joined = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter()
-                    .map(|db| scope.spawn(|| scan(db)))
+                    .enumerate()
+                    .map(|(s, db)| (!is_skipped(s)).then(|| scope.spawn(move || scan(s, db))))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard scanner panicked"))
+                    .map(|h| h.map(|h| h.join().expect("catch_unwind never panics")))
                     .collect::<Vec<_>>()
             });
-            for r in results {
-                out.push(r?);
+            for (s, r) in joined.into_iter().enumerate() {
+                match r {
+                    None => {}
+                    Some(Ok(r)) => per_shard[s] = Some(r?),
+                    Some(Err(payload)) => {
+                        out.failed.push(s);
+                        out.first_panic.get_or_insert(payload);
+                    }
+                }
             }
-            out
-        };
+        }
 
         let merged: Vec<Vec<Neighbor>> = (0..queries.len())
             .map(|qi| merge_shard_lists(&per_shard, qi, nshards, fetch))
             .collect();
 
-        match spec.rerank_measure() {
-            None => Ok(merged),
+        if expired(&guard.deadline) {
+            out.expired = true;
+            return Ok(out);
+        }
+        out.results = match spec.rerank_measure() {
+            None => merged,
             Some(kind) => {
                 let measure = kind.measure();
-                Ok(merged
+                merged
                     .into_iter()
                     .zip(queries)
                     .map(|(short, q)| self.rerank_global(short, q, &*measure, spec.k()))
-                    .collect())
+                    .collect()
             }
-        }
+        };
+        Ok(out)
     }
 
     /// Re-ranks a merged global shortlist by the exact `measure` on
@@ -292,15 +467,21 @@ impl Snapshot {
 /// Merges query `qi`'s per-shard top-`fetch` lists: map local indices to
 /// global (`g = l·S + s`), sort under the scan's `(dist, index)` total
 /// order, truncate. See the module docs for why this equals the unsharded
-/// scan bit for bit in exact mode.
+/// scan bit for bit in exact mode. `None` slots (quarantined or panicked
+/// shards) contribute nothing — the merge over the remaining shards is
+/// still exact for the sub-corpus they hold, which is what makes partial
+/// answers well-defined.
 fn merge_shard_lists(
-    per_shard: &[Vec<Vec<Neighbor>>],
+    per_shard: &[Option<Vec<Vec<Neighbor>>>],
     qi: usize,
     nshards: usize,
     fetch: usize,
 ) -> Vec<Neighbor> {
     let mut all: Vec<Neighbor> = Vec::new();
     for (s, shard_lists) in per_shard.iter().enumerate() {
+        let Some(shard_lists) = shard_lists else {
+            continue;
+        };
         all.extend(shard_lists[qi].iter().map(|n| Neighbor {
             index: n.index * nshards + s,
             dist: n.dist,

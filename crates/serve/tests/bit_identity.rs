@@ -95,6 +95,7 @@ fn service_config(nshards: usize) -> ServiceConfig {
         build_threads: 1,
         ann: Some(ann_params()),
         quantized: true,
+        ..ServiceConfig::default()
     }
 }
 

@@ -1,0 +1,185 @@
+//! Snapshot persistence suite: save/load through the sealed `NTFILE01`
+//! envelope round-trips the served corpus bit-identically (exact,
+//! quantized, and ANN paths), preserves the epoch across restart, and —
+//! the crash-recovery contract — rejects every corrupted image at the
+//! envelope before a single payload byte is parsed, so a damaged
+//! snapshot can never be adopted.
+
+use neutraj_model::{
+    AnnParams, BackboneKind, FaultyReader, FaultyWriter, NeuTrajModel, PersistError, TrainConfig,
+};
+use neutraj_serve::{QuerySpec, ServeRequest, ServiceConfig, SimilarityService, Snapshot};
+use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
+use std::time::Duration;
+
+fn model() -> NeuTrajModel {
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+    let cfg = TrainConfig {
+        backbone: BackboneKind::SamLstm,
+        dim: 8,
+        seed: 13,
+        ..TrainConfig::neutraj()
+    };
+    NeuTrajModel::untrained(cfg, grid)
+}
+
+fn traj(id: u64, len: usize) -> Trajectory {
+    Trajectory::new_unchecked(
+        id,
+        (0..len)
+            .map(|k| {
+                let t = k as f64;
+                let i = id as f64;
+                Point::new(
+                    500.0 + 450.0 * (0.31 * t + 0.17 * i).sin(),
+                    250.0 + 220.0 * (0.27 * t - 0.23 * i).cos(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn corpus(n: usize) -> Vec<Trajectory> {
+    (0..n).map(|i| traj(i as u64, 4 + (i * 7) % 19)).collect()
+}
+
+fn full_config() -> ServiceConfig {
+    ServiceConfig {
+        nshards: 2,
+        batch_deadline: Duration::from_micros(200),
+        ann: Some(AnnParams {
+            nlists: 3,
+            train_iters: 5,
+            train_sample: 0,
+            seed: 7,
+        }),
+        quantized: true,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Round-trip through the in-memory codec: the rebuilt snapshot answers
+/// every query shape bit-identically to the original (the rebuild
+/// pipeline — lockstep embed, seeded k-means, int8 views — is
+/// deterministic, so recomputing derived state loses nothing).
+#[test]
+fn snapshot_roundtrip_is_bit_identical_across_query_shapes() {
+    let service = SimilarityService::new(model(), corpus(30), &full_config()).unwrap();
+    let snapshot = service.snapshot();
+    let bytes = snapshot.to_bytes();
+    let back = Snapshot::from_bytes(&bytes, 2).unwrap();
+
+    assert_eq!(back.epoch(), snapshot.epoch());
+    assert_eq!(back.len(), snapshot.len());
+    assert_eq!(back.nshards(), snapshot.nshards());
+
+    let query = traj(5000, 11);
+    for spec in [
+        QuerySpec::new(5),
+        QuerySpec::new(5).quantized(),
+        QuerySpec::new(5).shortlist_ann(2),
+        QuerySpec::new(3).rerank(neutraj_measures::MeasureKind::Hausdorff),
+    ] {
+        assert_eq!(
+            back.search(&query, &spec).unwrap(),
+            snapshot.search(&query, &spec).unwrap(),
+            "loaded snapshot diverged for {spec:?}"
+        );
+    }
+}
+
+/// File-level crash recovery: save at a non-zero epoch, load, resume
+/// serving — the epoch is preserved (sequences stay non-decreasing
+/// across restart) and the resumed service picks up writes from there.
+#[test]
+fn save_load_resumes_service_at_the_saved_epoch() {
+    let dir = std::env::temp_dir().join("neutraj_serve_persistence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.nts");
+
+    let cfg = ServiceConfig {
+        nshards: 2,
+        batch_deadline: Duration::from_micros(200),
+        ..ServiceConfig::default()
+    };
+    let service = SimilarityService::new(model(), corpus(20), &cfg).unwrap();
+    service.insert(traj(20, 9)).unwrap();
+    service.insert(traj(21, 12)).unwrap();
+    assert_eq!(service.epoch(), 2);
+
+    let query = traj(6000, 10);
+    let spec = QuerySpec::new(5);
+    let expected = service
+        .query(ServeRequest::new(1, query.clone(), spec))
+        .unwrap();
+    service.save_snapshot(&path).unwrap();
+    // No temp file left behind by the atomic write.
+    assert!(!dir.join("snapshot.nts.tmp").exists());
+    drop(service);
+
+    let restored = Snapshot::load(&path, 2).unwrap();
+    assert_eq!(restored.epoch(), 2);
+    assert_eq!(restored.len(), 22);
+    let resumed = SimilarityService::from_snapshot(restored, &cfg).unwrap();
+    let resp = resumed
+        .query(ServeRequest::new(2, query.clone(), spec))
+        .unwrap();
+    assert_eq!(resp.epoch, 2, "saved epoch must survive the restart");
+    assert_eq!(resp.neighbors, expected.neighbors);
+
+    // Writes resume from the saved epoch, never reusing an old number.
+    resumed.insert(traj(22, 8)).unwrap();
+    assert_eq!(resumed.epoch(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The corruption contract: any damaged image — a flipped bit anywhere,
+/// a torn tail, trailing garbage — is rejected by the envelope checks
+/// and never adopted as a snapshot.
+#[test]
+fn corrupted_snapshot_images_are_rejected_never_adopted() {
+    let service = SimilarityService::new(model(), corpus(16), &full_config()).unwrap();
+    let snapshot = service.snapshot();
+    let mut sealed = Vec::new();
+    snapshot.write_to(&mut sealed).unwrap();
+
+    // The pristine image loads.
+    let mut ok = FaultyReader::new(sealed.clone());
+    assert!(Snapshot::read_from(&mut ok, 1).is_ok());
+
+    // A single flipped bit anywhere in the file is caught. Probe a
+    // spread of positions: header, lengths, model payload, trajectory
+    // data, checksum.
+    let step = (sealed.len() / 48).max(1);
+    for pos in (0..sealed.len()).step_by(step) {
+        let mut r = FaultyReader::new(sealed.clone()).flip_bit(pos, 3);
+        let err = Snapshot::read_from(&mut r, 1);
+        assert!(err.is_err(), "bit flip at byte {pos} was adopted");
+    }
+
+    // Torn writes (truncation at any prefix) are caught by the size
+    // check before any parsing.
+    for cut in [0, 7, 16, sealed.len() / 2, sealed.len() - 1] {
+        let mut r = FaultyReader::new(sealed.clone()).truncate_at(cut);
+        match Snapshot::read_from(&mut r, 1) {
+            Err(PersistError::Corrupted(_)) | Err(PersistError::Format(_)) => {}
+            other => panic!("truncation at {cut} not rejected: {other:?}"),
+        }
+    }
+
+    // Trailing garbage changes the declared size — rejected.
+    let mut over = sealed.clone();
+    over.extend_from_slice(b"junk");
+    let mut r = FaultyReader::new(over);
+    assert!(matches!(
+        Snapshot::read_from(&mut r, 1),
+        Err(PersistError::Corrupted(_))
+    ));
+
+    // A failing sink surfaces the I/O error instead of a half file.
+    let mut w = FaultyWriter::fails_after(32);
+    assert!(matches!(
+        snapshot.write_to(&mut w),
+        Err(PersistError::Io(_))
+    ));
+}

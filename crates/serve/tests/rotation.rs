@@ -145,6 +145,137 @@ fn concurrent_reads_see_whole_epochs_only() {
     assert_eq!(old.len(), INITIAL);
 }
 
+/// Rotation racing shedding: writers publish epochs while reader bursts
+/// overflow a small bounded queue. Every *accepted* answer must still
+/// match the reference result of exactly one published epoch (no torn
+/// reads under admission pressure), per-reader epoch sequences stay
+/// non-decreasing, and every rejection is the typed `Overloaded` — the
+/// overload ladder may drop work, never corrupt it.
+#[test]
+fn rotation_races_overload_shedding_without_tearing() {
+    use neutraj_serve::ServeError;
+
+    const INITIAL: usize = 24;
+    const INSERTS: usize = 8;
+    const NSHARDS: usize = 2;
+
+    let m = model();
+    let initial: Vec<Trajectory> = (0..INITIAL)
+        .map(|i| traj(i as u64, 3 + (i * 7) % 23))
+        .collect();
+    let inserts: Vec<Trajectory> = (0..INSERTS)
+        .map(|i| traj((INITIAL + i) as u64, 4 + (i * 5) % 21))
+        .collect();
+    let query = traj(5000, 11);
+    let spec = QuerySpec::new(5);
+
+    let shard_cfg = neutraj_serve::ShardConfig::new(NSHARDS);
+    let mut chain = vec![Snapshot::build(&m, initial.clone(), &shard_cfg).unwrap()];
+    for t in &inserts {
+        chain.push(
+            chain
+                .last()
+                .unwrap()
+                .inserted(std::slice::from_ref(t))
+                .unwrap(),
+        );
+    }
+    let expected: Vec<_> = chain
+        .iter()
+        .map(|snap| snap.search(&query, &spec).unwrap())
+        .collect();
+
+    let cfg = ServiceConfig {
+        nshards: NSHARDS,
+        max_batch: 4,
+        batch_deadline: Duration::from_micros(300),
+        // Small enough that reader bursts overflow it routinely.
+        max_queue: 6,
+        ..ServiceConfig::default()
+    };
+    let service = SimilarityService::new(m, initial, &cfg).unwrap();
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for t in &inserts {
+                service.insert(t.clone()).unwrap();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let service = &service;
+                let query = &query;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let (mut accepted, mut shed) = (0u64, 0u64);
+                    for burst in 0..30u64 {
+                        // Fire a burst without draining, so admissions
+                        // race the writer's publications *and* the
+                        // bounded queue.
+                        let rxs: Vec<_> = (0..4u64)
+                            .map(|i| {
+                                service.submit(ServeRequest::new(
+                                    r * 1000 + burst * 10 + i,
+                                    query.clone(),
+                                    spec,
+                                ))
+                            })
+                            .collect();
+                        for rx in rxs {
+                            match rx.recv().unwrap() {
+                                Ok(resp) => {
+                                    accepted += 1;
+                                    let epoch = resp.epoch as usize;
+                                    assert!(epoch <= INSERTS, "unpublished epoch {epoch}");
+                                    assert!(!resp.degraded && !resp.partial);
+                                    assert_eq!(
+                                        resp.neighbors, expected[epoch],
+                                        "reader {r}: answer does not match its \
+                                         reported epoch {epoch} — torn under shedding"
+                                    );
+                                    assert!(
+                                        resp.epoch >= last_epoch,
+                                        "reader {r}: epoch went backwards \
+                                         ({} after {last_epoch})",
+                                        resp.epoch
+                                    );
+                                    last_epoch = resp.epoch;
+                                }
+                                Err(ServeError::Overloaded { retry_after_hint }) => {
+                                    shed += 1;
+                                    assert!(retry_after_hint > Duration::ZERO);
+                                }
+                                Err(other) => panic!("untyped failure: {other:?}"),
+                            }
+                        }
+                    }
+                    (accepted, shed)
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        let mut total_accepted = 0;
+        for reader in readers {
+            let (accepted, _) = reader.join().unwrap();
+            total_accepted += accepted;
+        }
+        assert!(
+            total_accepted > 0,
+            "overload pressure must not starve the service entirely"
+        );
+    });
+
+    // The writer's epochs all landed despite the shedding storm.
+    assert_eq!(service.epoch(), INSERTS as u64);
+    assert_eq!(service.len(), INITIAL + INSERTS);
+    let last = service
+        .query(ServeRequest::new(9999, query.clone(), spec))
+        .unwrap();
+    assert_eq!(last.neighbors, expected[INSERTS]);
+}
+
 /// Batch inserts are one epoch step: all-or-nothing, single publication.
 #[test]
 fn batch_insert_publishes_one_epoch() {

@@ -71,7 +71,8 @@ pub mod prelude {
     };
     pub use neutraj_obs::{MetricsReport, Registry};
     pub use neutraj_serve::{
-        QuerySpec, ServeError, ServeRequest, ServeResponse, ServiceConfig, SimilarityService,
+        Priority, QuerySpec, ServeError, ServeRequest, ServeResponse, ServiceConfig,
+        SimilarityService, Snapshot,
     };
     pub use neutraj_trajectory::gen::{
         GeolifeLikeGenerator, PortoLikeGenerator, RoadNetwork, RoadWalkGenerator,
