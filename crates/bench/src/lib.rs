@@ -4,8 +4,8 @@
 //! paper (see `DESIGN.md` §4 for the index). They share:
 //!
 //! * [`Cli`] — a tiny flag parser (`--size`, `--epochs`, `--dim`,
-//!   `--queries`, `--seed`, `--full`, `--ann`) so runs scale from
-//!   smoke-test to paper-scale without recompiling;
+//!   `--queries`, `--seed`, `--full`, `--ann`, `--graph`) so runs scale
+//!   from smoke-test to paper-scale without recompiling;
 //! * [`AccuracyRow`] / [`run_method_on_measure`] — the evaluation loop
 //!   shared by Tables II/III and Figs. 6–8/10.
 //!
@@ -39,6 +39,9 @@ pub struct Cli {
     pub full: bool,
     /// Exercise the ANN (IVF shortlist) serving path where supported.
     pub ann: bool,
+    /// Exercise the HNSW graph shortlist path where supported
+    /// (`bench_query`).
+    pub graph: bool,
     /// Run the overload leg (bounded admission + shedding) where
     /// supported (`bench_serving`).
     pub overload: bool,
@@ -64,6 +67,7 @@ impl Cli {
             seed: 2019,
             full: false,
             ann: false,
+            graph: false,
             overload: false,
         }
     }
@@ -93,10 +97,12 @@ impl Cli {
                 "--seed" => cli.seed = take_usize("--seed") as u64,
                 "--full" => cli.full = true,
                 "--ann" => cli.ann = true,
+                "--graph" => cli.graph = true,
                 "--overload" => cli.overload = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --queries N --epochs N --dim N --seed N --full --ann --overload"
+                        "flags: --size N --queries N --epochs N --dim N --seed N --full --ann \
+                         --graph --overload"
                     );
                     std::process::exit(0);
                 }
@@ -116,6 +122,7 @@ impl Cli {
             seed: 2019,
             full: false,
             ann: false,
+            graph: false,
             overload: false,
         }
     }
@@ -210,7 +217,7 @@ mod tests {
         let d = Cli::accuracy_defaults();
         let got = Cli::parse_from(
             d.clone(),
-            ["--size", "99", "--dim", "8", "--full", "--ann"]
+            ["--size", "99", "--dim", "8", "--full", "--ann", "--graph"]
                 .iter()
                 .map(|s| s.to_string()),
         );
@@ -218,8 +225,10 @@ mod tests {
         assert_eq!(got.dim, 8);
         assert!(got.full);
         assert!(got.ann);
+        assert!(got.graph);
         assert_eq!(got.queries, d.queries);
         assert!(!d.ann, "defaults leave the ANN path off");
+        assert!(!d.graph, "defaults leave the graph path off");
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //! rerank against the same brute-force scan, publishing
 //! `neutraj_quant_recall_at_k` — the number the serving bench gates on
 //! (`recall@10 ≥ 0.99`).
+//!
+//! A fourth rides the HNSW graph shortlist (`DESIGN.md` §15):
+//! [`graph_recall_at_k`] scores the beam-searched shortlist + exact
+//! rerank against the same brute-force scan, publishing
+//! `neutraj_graph_recall_at_k` — the number the graph bench gates on
+//! (`recall@10 ≥ 0.99`).
 
 use neutraj_measures::{GroundTruthEngine, Measure, Neighbor};
-use neutraj_model::{AnnIndex, EmbeddingStore, QuantizedStore, Query, SimilarityDb};
+use neutraj_model::{AnnIndex, EmbeddingStore, HnswIndex, QuantizedStore, Query, SimilarityDb};
 use neutraj_obs::{names, Registry};
 
 /// One recall measurement of the IVF shortlist path against the
@@ -171,6 +177,72 @@ pub fn quantized_recall_at_k(
         bytes_scanned: stats.bytes_scanned,
         bytes_f64: stats.rows_scanned * (8 * store.dim() + 8),
         reranked: stats.reranked,
+    }
+}
+
+/// One recall measurement of the HNSW graph shortlist path against the
+/// exhaustive scan, with the beam-search telemetry alongside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphRecallReport {
+    /// Result depth scored.
+    pub k: usize,
+    /// Beam width used for the graph search.
+    pub ef: usize,
+    /// Number of queries scored.
+    pub queries: usize,
+    /// Mean fraction of the exhaustive top-`k` recovered by the graph
+    /// path (1.0 when `ef ≥ N`).
+    pub recall_at_k: f64,
+    /// Total greedy-descent + beam hops across the query set.
+    pub hops: usize,
+    /// Total candidate rows exactly scored across the query set.
+    pub candidates_scanned: usize,
+    /// Mean fraction of the corpus exactly scored per query — the
+    /// realized sub-linearity (1.0 means the beam visited everything).
+    pub mean_rerank_depth: f64,
+}
+
+/// Scores the HNSW graph shortlist path against the brute-force
+/// norm-trick scan on `store`: both rank by the same exact embedding
+/// distance (the graph search scores through the identical norm-trick
+/// oracle), so the reported recall is exactly the fraction of true
+/// top-`k` rows the beam reached. Publishes `neutraj_graph_recall_at_k`
+/// into `registry` when given.
+///
+/// Panics (like the underlying scan) when `graph` does not match `store`
+/// or `ef == 0`.
+pub fn graph_recall_at_k(
+    store: &EmbeddingStore,
+    graph: &HnswIndex,
+    queries: &[&[f64]],
+    k: usize,
+    ef: usize,
+    registry: Option<&Registry>,
+) -> GraphRecallReport {
+    let truth = store.knn_batch(queries, k);
+    let (approx, stats) = store.knn_graph_batch(queries, k, graph, ef);
+    let recall = if queries.is_empty() {
+        1.0
+    } else {
+        truth
+            .iter()
+            .zip(&approx)
+            .map(|(t, a)| overlap_at_k(t, a, k))
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+    if let Some(reg) = registry {
+        reg.gauge(names::GRAPH_RECALL_AT_K).set(recall);
+    }
+    let denom = (queries.len().max(1) * store.len().max(1)) as f64;
+    GraphRecallReport {
+        k,
+        ef,
+        queries: queries.len(),
+        recall_at_k: recall,
+        hops: stats.hops,
+        candidates_scanned: stats.candidates_scanned,
+        mean_rerank_depth: stats.candidates_scanned as f64 / denom,
     }
 }
 
@@ -340,6 +412,40 @@ mod tests {
             .expect("quant recall gauge")
             .1;
         assert_eq!(gauge, r.recall_at_k);
+    }
+
+    #[test]
+    fn graph_recall_full_ef_is_exact_and_narrow_beam_is_cheaper() {
+        let store = uniform_store(1200, 8);
+        let graph = neutraj_model::HnswIndex::build(
+            neutraj_model::HnswParams::default(),
+            store.len(),
+            2,
+            &|a, b| store.row_dist_sq(a, b),
+        );
+        let queries: Vec<&[f64]> = (0..20).map(|i| store.get(i * 53 + 1)).collect();
+        let registry = Registry::new();
+        let full = graph_recall_at_k(&store, &graph, &queries, 10, store.len(), Some(&registry));
+        assert_eq!(full.recall_at_k, 1.0, "ef >= N must be exact");
+        assert!((full.mean_rerank_depth - 1.0).abs() < 1e-12);
+        let gauge = registry
+            .snapshot()
+            .gauges
+            .iter()
+            .find(|(n, _)| n == names::GRAPH_RECALL_AT_K)
+            .expect("graph recall gauge")
+            .1;
+        assert_eq!(gauge, 1.0);
+
+        let narrow = graph_recall_at_k(&store, &graph, &queries, 10, 64, None);
+        assert!(narrow.candidates_scanned < full.candidates_scanned);
+        assert!(narrow.mean_rerank_depth < 1.0);
+        assert!(narrow.hops > 0);
+        assert!(
+            narrow.recall_at_k > 0.8,
+            "ef=64 recall@10 {} implausibly low",
+            narrow.recall_at_k
+        );
     }
 
     #[test]

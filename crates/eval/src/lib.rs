@@ -24,8 +24,8 @@ pub mod report;
 pub mod sweeps;
 
 pub use ann::{
-    embedding_recall_at_k, exact_measure_recall_at_k, quantized_recall_at_k, AnnRecallReport,
-    QuantRecallReport,
+    embedding_recall_at_k, exact_measure_recall_at_k, graph_recall_at_k, quantized_recall_at_k,
+    AnnRecallReport, GraphRecallReport, QuantRecallReport,
 };
 pub use harness::{
     DatasetKind, Evaluator, ExperimentWorld, GroundTruth, KnnGroundTruth, WorldConfig,

@@ -24,6 +24,11 @@
 //!   buckets embedding rows into Voronoi cells; probing the `nprobe`
 //!   nearest cells yields a sub-linear candidate shortlist for exact
 //!   reranking.
+//! * [`HnswIndex`] — a deterministic hierarchical navigable-small-world
+//!   graph over embedding row ids behind the same shortlist seam:
+//!   `ef`-bounded beam search yields a near-logarithmic candidate
+//!   shortlist whose recall holds as `N` grows past where IVF's probe
+//!   cost climbs.
 //!
 //! Both answer the same question: *which trajectories could possibly be
 //! within distance `r` of this query?* The guarantee they provide is for
@@ -35,11 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hnsw;
 mod inverted;
 mod ivf;
 mod pointgrid;
 mod rtree;
 
+pub use hnsw::{GraphScratch, GraphSearchStats, HnswCodecError, HnswIndex, HnswParams, HNSW_MAGIC};
 pub use inverted::GridInvertedIndex;
 pub use ivf::{CoarseQuantizer, IvfCodecError, IvfIndex, IVF_MAGIC};
 pub use pointgrid::PointGrid;

@@ -33,7 +33,7 @@ use crate::quant::QuantizedStore;
 use crate::query::{Query, QueryTarget};
 use crate::search::EmbeddingStore;
 use neutraj_cluster::{KMeans, KMeansParams};
-use neutraj_index::IvfIndex;
+use neutraj_index::{HnswIndex, HnswParams, IvfIndex};
 use neutraj_measures::{Measure, Neighbor};
 use neutraj_obs::{names, Counter, Gauge, Histogram, Registry};
 use neutraj_trajectory::{TrajError, Trajectory};
@@ -119,6 +119,10 @@ pub struct DbMetrics {
     ann_lists_probed: Counter,
     ann_candidates_scanned: Counter,
     ann_rerank_depth: Histogram,
+    graph_hops: Counter,
+    graph_candidates_scanned: Counter,
+    graph_ef: Histogram,
+    graph_rerank_depth: Histogram,
     quant_rows_scanned: Counter,
     quant_bytes_scanned: Counter,
 }
@@ -137,6 +141,10 @@ impl DbMetrics {
             ann_lists_probed: registry.counter(names::ANN_LISTS_PROBED_TOTAL),
             ann_candidates_scanned: registry.counter(names::ANN_CANDIDATES_SCANNED_TOTAL),
             ann_rerank_depth: registry.histogram(names::ANN_RERANK_DEPTH),
+            graph_hops: registry.counter(names::GRAPH_HOPS_TOTAL),
+            graph_candidates_scanned: registry.counter(names::GRAPH_CANDIDATES_SCANNED_TOTAL),
+            graph_ef: registry.histogram(names::GRAPH_EF),
+            graph_rerank_depth: registry.histogram(names::GRAPH_RERANK_DEPTH),
             quant_rows_scanned: registry.counter(names::QUANT_ROWS_SCANNED_TOTAL),
             quant_bytes_scanned: registry.counter(names::QUANT_BYTES_SCANNED_TOTAL),
         }
@@ -189,6 +197,11 @@ pub struct SimilarityDb {
     /// store by [`SimilarityDb::insert`] once built. `None` until
     /// [`SimilarityDb::build_ann_index`] (or a load) installs one.
     ann: Option<AnnIndex>,
+    /// HNSW graph shortlist index over the embeddings, kept in lockstep
+    /// with the store by [`SimilarityDb::insert`] once built. `None`
+    /// until [`SimilarityDb::build_graph_index`] (or a load) installs
+    /// one.
+    graph: Option<HnswIndex>,
     /// Int8-quantized view of the embeddings for [`Query::quantized`]
     /// scans, kept in lockstep with the store by [`SimilarityDb::insert`]
     /// once built. `None` until [`SimilarityDb::build_quantized_store`]
@@ -208,6 +221,7 @@ impl SimilarityDb {
             trajectories: Vec::new(),
             embeddings: store,
             ann: None,
+            graph: None,
             quant: None,
             metrics: None,
         }
@@ -357,6 +371,87 @@ impl SimilarityDb {
             .map_err(|e| PersistError::Format(e.to_string()))
     }
 
+    /// Builds a deterministic HNSW graph index over the current corpus
+    /// snapshot for [`Query::shortlist_graph`] scans, with
+    /// `threads`-way parallel construction rounds — the committed graph
+    /// is **bit-identical for every thread count** (see the `hnsw`
+    /// module docs in `neutraj-index`). Replaces any existing graph.
+    /// Later [`SimilarityDb::insert`]s keep it in lockstep (the new row
+    /// is assigned its hashed level and linked immediately).
+    ///
+    /// Invalid parameters or an empty corpus are a
+    /// [`DbError::InvalidConfig`].
+    pub fn build_graph_index(
+        &mut self,
+        params: &HnswParams,
+        threads: usize,
+    ) -> Result<(), DbError> {
+        if let Err(e) = params.validate() {
+            return Err(self.reject(DbError::InvalidConfig(e)));
+        }
+        if self.is_empty() {
+            return Err(self.reject(DbError::InvalidConfig(
+                "cannot build a graph index over an empty corpus".into(),
+            )));
+        }
+        let store = &self.embeddings;
+        let graph = HnswIndex::build(*params, store.len(), threads.max(1), &|a, b| {
+            store.row_dist_sq(a, b)
+        });
+        self.graph = Some(graph);
+        Ok(())
+    }
+
+    /// The current graph index, when one is built or loaded.
+    pub fn graph_index(&self) -> Option<&HnswIndex> {
+        self.graph.as_ref()
+    }
+
+    /// Installs an externally built graph index after checking it
+    /// matches the corpus (row count — the graph stores no vectors, so
+    /// dimensionality is the store's concern).
+    pub fn set_graph_index(&mut self, graph: HnswIndex) -> Result<(), DbError> {
+        if graph.len() != self.len() {
+            return Err(self.reject(DbError::InvalidConfig(format!(
+                "graph index ({} rows) does not match corpus ({} rows)",
+                graph.len(),
+                self.len()
+            ))));
+        }
+        self.graph = Some(graph);
+        Ok(())
+    }
+
+    /// Drops the graph index; graph queries start failing with
+    /// [`DbError::InvalidConfig`] while other paths are unaffected.
+    pub fn clear_graph_index(&mut self) {
+        self.graph = None;
+    }
+
+    /// Persists the graph index to `path` inside the standard sealed
+    /// envelope (`NTFILE01` magic + length + CRC around the `NTHNSW01`
+    /// section), written atomically via a same-directory temp file.
+    /// Errors when no graph is built.
+    pub fn save_graph_index<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let graph = self.graph.as_ref().ok_or_else(|| {
+            PersistError::Format("no graph index to save: call build_graph_index first".into())
+        })?;
+        atomic_write(path.as_ref(), &seal_payload(&graph.to_bytes()))
+    }
+
+    /// Loads and installs a graph index written by
+    /// [`SimilarityDb::save_graph_index`], verifying the envelope CRC,
+    /// the section's structural invariants, and that the graph matches
+    /// the current corpus.
+    pub fn load_graph_index<P: AsRef<Path>>(&mut self, path: P) -> Result<(), PersistError> {
+        let data = std::fs::read(path.as_ref())?;
+        let payload = open_payload(&data)?;
+        let graph =
+            HnswIndex::from_bytes(payload).map_err(|e| PersistError::Corrupted(e.to_string()))?;
+        self.set_graph_index(graph)
+            .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
     /// Builds (or rebuilds) the int8-quantized view of the current
     /// corpus snapshot for [`Query::quantized`] scans. Later
     /// [`SimilarityDb::insert`]s keep it in lockstep (the new row is
@@ -454,16 +549,45 @@ impl SimilarityDb {
                     .into(),
             )));
         }
+        if query.graph_ef().is_some() && self.graph.is_none() {
+            return Err(self.reject(DbError::InvalidConfig(
+                "shortlist_graph requires a graph index: call build_graph_index \
+                 (or load_graph_index) first"
+                    .into(),
+            )));
+        }
         Ok(())
     }
 
     /// The embedding-space scan stage shared by every search path:
-    /// exhaustive norm-trick GEMM, or the IVF shortlist when the query
-    /// asks for it (recording the ANN work counters). Configuration has
-    /// already passed [`Self::check_query`].
+    /// exhaustive norm-trick GEMM, or the IVF/graph shortlist when the
+    /// query asks for one (recording the shortlist work counters).
+    /// Configuration has already passed [`Self::check_query`].
     fn scan_batch(&self, qrefs: &[&[f64]], fetch: usize, query: &Query) -> Vec<Vec<Neighbor>> {
         if query.is_quantized() {
             return self.scan_batch_quantized(qrefs, fetch, query);
+        }
+        if let Some(ef) = query.graph_ef() {
+            let graph = self
+                .graph
+                .as_ref()
+                .expect("check_query verified the graph exists");
+            // The beam must be at least as wide as the fetch depth or
+            // the shortlist could never fill it.
+            let ef = ef.max(fetch);
+            let (shorts, stats) = self.embeddings.knn_graph_batch(qrefs, fetch, graph, ef);
+            if let Some(m) = &self.metrics {
+                m.graph_hops.add(stats.hops as u64);
+                m.graph_candidates_scanned
+                    .add(stats.candidates_scanned as u64);
+                m.graph_ef.observe(ef as f64);
+                // Fraction of the corpus exactly scored per query — the
+                // realized sub-linearity of the graph shortlist.
+                let denom = (qrefs.len().max(1) * self.len().max(1)) as f64;
+                m.graph_rerank_depth
+                    .observe(stats.candidates_scanned as f64 / denom);
+            }
+            return shorts;
         }
         match query.ann_nprobe() {
             None => self.embeddings.knn_batch(qrefs, fetch),
@@ -575,6 +699,14 @@ impl SimilarityDb {
         if let Some(ann) = &mut self.ann {
             ann.insert(&e);
         }
+        // The graph index too: the new node gets its hashed level and
+        // links immediately (a one-node construction round), so graph
+        // queries see every inserted row — same liveness contract as
+        // the IVF index.
+        if let Some(graph) = &mut self.graph {
+            let store = &self.embeddings;
+            graph.insert(&|a, b| store.row_dist_sq(a, b));
+        }
         // And the quantized view: the new row quantizes on its own scale.
         if let Some(q) = &mut self.quant {
             q.push(&e);
@@ -600,6 +732,10 @@ impl SimilarityDb {
             self.embeddings.push(e);
             if let Some(ann) = &mut self.ann {
                 ann.insert(e);
+            }
+            if let Some(graph) = &mut self.graph {
+                let store = &self.embeddings;
+                graph.insert(&|a, b| store.row_dist_sq(a, b));
             }
             if let Some(q) = &mut self.quant {
                 q.push(e);

@@ -65,10 +65,11 @@ pub use config::{BackboneKind, TrainConfig};
 pub use db::{AnnIndex, AnnParams, DbError, DbMetrics, SimilarityDb};
 pub use fault::{FaultyReader, FaultyWriter};
 pub use loss::{pair_similarity, PairLoss, RankedBatchLoss};
+pub use neutraj_index::{HnswIndex, HnswParams};
 pub use persist::PersistError;
 pub use quant::{QuantStats, QuantizedQuery, QuantizedStore, QUANT_MAX_DIM};
 pub use query::{Query, QueryOptions, QueryTarget};
 pub use sampling::{ranked_random_samples, ranked_weighted_samples, AnchorSamples};
-pub use search::{AnnStats, EmbeddingStore};
+pub use search::{AnnStats, EmbeddingStore, GraphStats};
 pub use similarity::{Normalization, SimilarityMatrix};
 pub use trainer::{seed_mse, EpochStats, TrainMetrics, TrainReport, Trainer};

@@ -30,6 +30,7 @@ pub struct Query<'m> {
     k: usize,
     shortlist: Option<usize>,
     ann: Option<usize>,
+    graph: Option<usize>,
     quantized: bool,
     rerank: Option<&'m dyn Measure>,
 }
@@ -45,6 +46,7 @@ impl<'m> Query<'m> {
             k,
             shortlist: None,
             ann: None,
+            graph: None,
             quantized: false,
             rerank: None,
         }
@@ -73,6 +75,26 @@ impl<'m> Query<'m> {
     /// shortlist that the exact measure re-ranks.
     pub fn shortlist_ann(mut self, nprobe: usize) -> Self {
         self.ann = Some(nprobe);
+        self
+    }
+
+    /// Answers the embedding-space scan through the database's HNSW
+    /// graph index: an `ef`-bounded beam search over the navigable
+    /// small-world graph yields the candidate shortlist, and only those
+    /// candidates are exactly scored. Near-logarithmic in corpus size;
+    /// approximate in *recall* only (a scored distance is always
+    /// exact). `ef` trades speed for recall — `ef ≥ N` degenerates to
+    /// the exhaustive scan, bit-for-bit. Requires the database to have
+    /// a graph index
+    /// ([`SimilarityDb::build_graph_index`](crate::SimilarityDb::build_graph_index));
+    /// searching without one — or with `ef == 0`, `ef < k`, or combined
+    /// with [`Self::shortlist_ann`]/[`Self::quantized`] — returns
+    /// [`DbError::InvalidConfig`](crate::DbError::InvalidConfig).
+    ///
+    /// Composes with [`Self::rerank`]: the graph scan retrieves the
+    /// shortlist that the exact measure re-ranks.
+    pub fn shortlist_graph(mut self, ef: usize) -> Self {
+        self.graph = Some(ef);
         self
     }
 
@@ -119,6 +141,12 @@ impl<'m> Query<'m> {
         self.ann
     }
 
+    /// The graph beam width, when [`Self::shortlist_graph`] was
+    /// configured.
+    pub fn graph_ef(&self) -> Option<usize> {
+        self.graph
+    }
+
     /// Whether the scan goes through the quantized embedding view.
     pub fn is_quantized(&self) -> bool {
         self.quantized
@@ -156,6 +184,28 @@ impl<'m> Query<'m> {
         if self.ann == Some(0) {
             return Err("nprobe must be positive (shortlist_ann(0) probes no lists)".into());
         }
+        if let Some(ef) = self.graph {
+            if ef == 0 {
+                return Err("ef must be positive (shortlist_graph(0) visits no nodes)".into());
+            }
+            if ef < self.k {
+                return Err(format!(
+                    "graph ef {ef} is narrower than k {}: it could never fill the result",
+                    self.k
+                ));
+            }
+            if self.ann.is_some() {
+                return Err(
+                    "shortlist_graph and shortlist_ann are mutually exclusive shortlist backends"
+                        .into(),
+                );
+            }
+            if self.quantized {
+                return Err("shortlist_graph does not compose with the quantized scan \
+                            (the graph already scores exactly in f64)"
+                    .into());
+            }
+        }
         Ok(())
     }
 }
@@ -166,6 +216,7 @@ impl std::fmt::Debug for Query<'_> {
             .field("k", &self.k)
             .field("shortlist", &self.shortlist)
             .field("ann", &self.ann)
+            .field("graph", &self.graph)
             .field("quantized", &self.quantized)
             .field("rerank", &self.rerank.map(|_| "dyn Measure"))
             .finish()

@@ -19,7 +19,7 @@
 //! trivially bit-identical.
 
 use crate::backbone::NeuTrajModel;
-use neutraj_index::{CoarseQuantizer, IvfIndex};
+use neutraj_index::{CoarseQuantizer, GraphScratch, HnswIndex, IvfIndex};
 use neutraj_measures::{partial_sort_neighbors, top_k, Measure, Neighbor, NeighborHeap};
 use neutraj_nn::linalg::{dot, euclidean_sq, matmul_nt};
 use neutraj_trajectory::Trajectory;
@@ -78,6 +78,15 @@ impl EmbeddingStore {
         store
     }
 
+    /// Pre-allocates room for `additional` more rows — the block-wise
+    /// corpus-generation path (`bench_query`) fills a store row by row
+    /// without ever materializing a `Vec<Vec<f64>>`, so at N=10M the
+    /// only large allocations are this flat matrix and the norm cache.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional * self.dim);
+        self.norms.reserve(additional);
+    }
+
     /// Appends one embedding, precomputing its squared norm. Panics on
     /// dimension mismatch.
     pub fn push(&mut self, emb: &[f64]) {
@@ -117,6 +126,16 @@ impl EmbeddingStore {
     /// so its distances match the norm-trick paths bit-for-bit.
     pub(crate) fn norm_sq(&self, i: usize) -> f64 {
         self.norms[i]
+    }
+
+    /// Norm-trick squared distance between stored rows `a` and `b` —
+    /// the distance oracle the HNSW graph is built and searched with,
+    /// the same `(‖a‖² − 2·a·b + ‖b‖²).max(0)` expression as every
+    /// scan path, so graph-internal distances and reported rerank
+    /// distances agree bit-for-bit.
+    pub fn row_dist_sq(&self, a: u32, b: u32) -> f64 {
+        let (a, b) = (a as usize, b as usize);
+        (self.norms[a] - 2.0 * dot(self.get(a), self.get(b)) + self.norms[b]).max(0.0)
     }
 
     /// Top-k nearest stored items to `query` by embedding distance
@@ -239,6 +258,69 @@ impl EmbeddingStore {
                 let i = i as usize;
                 let d2 = (qn - 2.0 * dot(q, self.get(i)) + self.norms[i]).max(0.0);
                 heap.push(i, d2);
+            }
+            let mut out = Vec::with_capacity(k.min(cand.len()));
+            heap.drain_sorted_into(&mut out);
+            for nb in &mut out {
+                nb.dist = nb.dist.sqrt();
+            }
+            results.push(out);
+        }
+        (results, stats)
+    }
+
+    /// ANN search through an HNSW graph shortlist with the same exact
+    /// rerank as [`Self::knn_ann_batch`] — the graph alternative behind
+    /// the shortlist seam (see [`HnswIndex`]).
+    ///
+    /// Per query, the graph's `ef`-bounded beam search (driven by the
+    /// norm-trick oracle `(‖q‖² − 2·q·x + ‖x‖²).max(0)`, built from the
+    /// same [`dot`] as the blocked GEMM) yields up to `ef` candidates; a
+    /// [`NeighborHeap`] then keeps the `k` smallest under the total
+    /// order `(dist, index)`. With `ef ≥ N` the graph degenerates to
+    /// enumerating every row, so the result is **bit-identical** to
+    /// [`Self::knn_batch`] — the same recall-1.0 anchor `nprobe ≥
+    /// nlists` provides for IVF, pinned by the `query_api` property
+    /// test across thread counts and SIMD modes. With smaller `ef` any
+    /// error is purely *recall* (a true neighbor left unvisited), never
+    /// a mis-scored distance.
+    ///
+    /// One heap, one graph scratch, and one candidate buffer are reused
+    /// across the batch. Panics when `graph` disagrees with the store
+    /// on row count or when `ef == 0` (the `Query` builder rejects both
+    /// earlier with typed errors).
+    pub fn knn_graph_batch(
+        &self,
+        queries: &[&[f64]],
+        k: usize,
+        graph: &HnswIndex,
+        ef: usize,
+    ) -> (Vec<Vec<Neighbor>>, GraphStats) {
+        assert_eq!(
+            graph.len(),
+            self.len(),
+            "graph index is stale: row count mismatch"
+        );
+        assert!(ef > 0, "ef must be positive");
+        let mut stats = GraphStats::default();
+        let mut heap = NeighborHeap::new(k);
+        let mut scratch = GraphScratch::new();
+        let mut cand: Vec<(f64, u32)> = Vec::new();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+            let qn = dot(q, q);
+            let s = graph.shortlist_into(
+                ef,
+                |i| (qn - 2.0 * dot(q, self.get(i as usize)) + self.norms[i as usize]).max(0.0),
+                &mut scratch,
+                &mut cand,
+            );
+            stats.hops += s.hops;
+            stats.candidates_scanned += s.candidates_scanned;
+            heap.reset(k);
+            for &(d2, i) in &cand {
+                heap.push(i as usize, d2);
             }
             let mut out = Vec::with_capacity(k.min(cand.len()));
             heap.drain_sorted_into(&mut out);
@@ -417,6 +499,17 @@ pub struct AnnStats {
     /// Inverted lists visited across the batch.
     pub lists_probed: usize,
     /// Candidate rows exactly scored across the batch.
+    pub candidates_scanned: usize,
+}
+
+/// Work counters reported by one [`EmbeddingStore::knn_graph_batch`]
+/// call — the raw material for the graph-shortlist metrics
+/// (`neutraj_graph_hops_total`, `neutraj_graph_candidates_scanned_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Graph nodes whose adjacency was expanded across the batch.
+    pub hops: usize,
+    /// Distance evaluations performed across the batch.
     pub candidates_scanned: usize,
 }
 

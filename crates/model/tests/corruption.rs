@@ -4,8 +4,8 @@
 //! loaded file whose parameters differ from what was saved.
 
 use neutraj_model::{
-    Checkpoint, EmbeddingStore, FaultyReader, FaultyWriter, NeuTrajModel, QuantizedStore,
-    TrainConfig, TrainState,
+    Checkpoint, EmbeddingStore, FaultyReader, FaultyWriter, HnswIndex, HnswParams, NeuTrajModel,
+    QuantizedStore, SimilarityDb, TrainConfig, TrainState,
 };
 use neutraj_nn::AdamState;
 use neutraj_trajectory::{BoundingBox, Grid};
@@ -81,6 +81,145 @@ fn quant_image() -> &'static (QuantizedStore, Vec<u8>) {
         qs.write_to(&mut sink).unwrap();
         (qs, sink)
     })
+}
+
+/// A populated database plus the sealed `NTHNSW01` graph-index file
+/// image produced by `save_graph_index` (envelope + payload).
+fn graph_db_image() -> &'static (SimilarityDb, Vec<u8>) {
+    static IMG: OnceLock<(SimilarityDb, Vec<u8>)> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 1000.0, 500.0), 50.0).unwrap();
+        let cfg = TrainConfig {
+            dim: 6,
+            seed: 31,
+            ..TrainConfig::neutraj()
+        };
+        let model = NeuTrajModel::untrained(cfg, grid);
+        let corpus: Vec<neutraj_trajectory::Trajectory> = (0..40)
+            .map(|i| {
+                neutraj_trajectory::Trajectory::new_unchecked(
+                    i as u64,
+                    (0..4 + i % 9)
+                        .map(|k| {
+                            let (t, j) = (k as f64, i as f64);
+                            neutraj_trajectory::Point::new(
+                                500.0 + 450.0 * (0.31 * t + 0.11 * j).sin(),
+                                250.0 + 220.0 * (0.17 * t - 0.23 * j).cos(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut db = SimilarityDb::with_corpus(model, corpus, 2);
+        db.build_graph_index(&HnswParams::default(), 2).unwrap();
+        let dir = std::env::temp_dir().join(format!("neutraj-hnsw-img-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.nthnsw");
+        db.save_graph_index(&path).unwrap();
+        let image = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        (db, image)
+    })
+}
+
+/// Writes `bytes` to a unique temp file and returns the path (each
+/// proptest case gets its own file so cases never race each other).
+fn scratch_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("neutraj-hnsw-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "{tag}-{}.nthnsw",
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn undamaged_graph_index_file_roundtrips() {
+    let (db, image) = graph_db_image();
+    let path = scratch_file("intact", image);
+    let mut fresh = db.clone();
+    fresh.clear_graph_index();
+    fresh.load_graph_index(&path).expect("intact file loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        fresh.graph_index().unwrap().to_bytes(),
+        db.graph_index().unwrap().to_bytes(),
+        "loaded graph must be byte-identical to the saved one"
+    );
+}
+
+proptest! {
+    #[test]
+    fn any_bit_flip_in_a_graph_index_file_is_rejected(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let (db, image) = graph_db_image();
+        let mut bytes = image.clone();
+        let offset = offset % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        let path = scratch_file("flip", &bytes);
+        let mut fresh = db.clone();
+        let res = fresh.load_graph_index(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            res.is_err(),
+            "bit {bit} of byte {offset} flipped, NTHNSW01 file still loaded"
+        );
+    }
+
+    #[test]
+    fn any_truncation_of_a_graph_index_file_is_rejected(len in 0usize..1 << 20) {
+        let (db, image) = graph_db_image();
+        let len = len % image.len();
+        let path = scratch_file("trunc", &image[..len]);
+        let mut fresh = db.clone();
+        let res = fresh.load_graph_index(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(res.is_err(), "file truncated to {len} bytes still loaded");
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_graph_index_file_is_rejected(
+        extra in prop::collection::vec(0u8..=255, 1..64),
+    ) {
+        let (db, image) = graph_db_image();
+        let mut bytes = image.clone();
+        bytes.extend_from_slice(&extra);
+        let path = scratch_file("trail", &bytes);
+        let mut fresh = db.clone();
+        let res = fresh.load_graph_index(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(res.is_err(), "{} trailing bytes still loaded", extra.len());
+    }
+
+    #[test]
+    fn raw_graph_payload_damage_never_panics(
+        offset in 0usize..1 << 20,
+        bit in 0u8..8,
+        cut in 0usize..1 << 20,
+    ) {
+        // Below the envelope (no checksum): structural validation must
+        // reject or accept without ever panicking, even when the damage
+        // is re-sealed inside a fresh valid envelope.
+        let (db, image) = graph_db_image();
+        let payload = neutraj_model::persist::open_payload(image).unwrap();
+        let mut payload = payload.to_vec();
+        let off = offset % payload.len();
+        payload[off] ^= 1 << (bit % 8);
+        payload.truncate(1 + cut % payload.len());
+        let _ = HnswIndex::from_bytes(&payload);
+        let resealed = neutraj_model::persist::seal_payload(&payload);
+        let path = scratch_file("reseal", &resealed);
+        let mut fresh = db.clone();
+        let _ = fresh.load_graph_index(&path); // must not panic
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 proptest! {

@@ -6,7 +6,9 @@
 //! not against the forwards.
 
 use neutraj_measures::{Hausdorff, Measure, Neighbor};
-use neutraj_model::{AnnParams, BackboneKind, NeuTrajModel, Query, SimilarityDb, TrainConfig};
+use neutraj_model::{
+    AnnParams, BackboneKind, HnswParams, NeuTrajModel, Query, SimilarityDb, TrainConfig,
+};
 use neutraj_trajectory::{BoundingBox, Grid, Point, Trajectory};
 use proptest::prelude::*;
 
@@ -207,6 +209,57 @@ proptest! {
             per_thread.push((ann, rr_ann));
         }
         // Thread-count invariance of the whole ANN pipeline.
+        prop_assert_eq!(&per_thread[0], &per_thread[1]);
+        prop_assert_eq!(&per_thread[0], &per_thread[2]);
+    }
+
+    /// `.shortlist_graph(ef)` with `ef >= n` — the beam wide enough to
+    /// enumerate the whole corpus — is **bit-identical** to the
+    /// exhaustive scan: the degenerate beam visits every row, computes
+    /// the same squared distance per candidate, and the `(dist, index)`
+    /// total order is traversal-order independent. The graph itself must
+    /// be byte-identical across build thread counts (the two-phase
+    /// round-based construction is scheduled deterministically), so the
+    /// whole pipeline is thread-invariant, and it composes with exact
+    /// re-ranking.
+    #[test]
+    fn graph_ef_max_matches_exhaustive_scan(
+        lens in prop::collection::vec(2usize..30, 12..=40),
+        qlens in prop::collection::vec(2usize..30, 1..=6),
+        k in 1usize..8,
+    ) {
+        let queries: Vec<Trajectory> = qlens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| traj(800 + i as u64, len))
+            .collect();
+        type Rankings = Vec<Vec<Neighbor>>;
+        let mut per_thread: Vec<(Vec<u8>, Rankings, Rankings)> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let corpus: Vec<Trajectory> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| traj(i as u64, len))
+                .collect();
+            let n = corpus.len();
+            let mut db = SimilarityDb::with_corpus(model(), corpus, threads);
+            db.build_graph_index(&HnswParams::default(), threads).unwrap();
+            let bytes = db.graph_index().unwrap().to_bytes();
+            let exhaustive = db.search_batch(&queries, &Query::new(k)).unwrap();
+            let graph = db
+                .search_batch(&queries, &Query::new(k).shortlist_graph(n.max(k)))
+                .unwrap();
+            prop_assert_eq!(&exhaustive, &graph, "build threads {}", threads);
+            let rr = Query::new(k).shortlist(k + 5).rerank(&Hausdorff);
+            let rr_ex = db.search_batch(&queries, &rr).unwrap();
+            let rr_graph = db
+                .search_batch(&queries, &rr.shortlist_graph(n.max(k + 5)))
+                .unwrap();
+            prop_assert_eq!(&rr_ex, &rr_graph, "reranked, build threads {}", threads);
+            per_thread.push((bytes, graph, rr_graph));
+        }
+        // Deterministic construction: identical serialized graph — and
+        // therefore identical answers — at every build thread count.
         prop_assert_eq!(&per_thread[0], &per_thread[1]);
         prop_assert_eq!(&per_thread[0], &per_thread[2]);
     }

@@ -404,6 +404,21 @@ pub mod names {
     /// truth (the eval harness writes it; serving never does).
     pub const ANN_RECALL_AT_K: &str = "neutraj_ann_recall_at_k";
 
+    /// Counter: HNSW graph nodes expanded by graph-shortlist queries.
+    pub const GRAPH_HOPS_TOTAL: &str = "neutraj_graph_hops_total";
+    /// Counter: distance evaluations performed by graph beam searches.
+    pub const GRAPH_CANDIDATES_SCANNED_TOTAL: &str = "neutraj_graph_candidates_scanned_total";
+    /// Histogram: the effective beam width (`ef`) of served graph
+    /// queries after the fetch-depth floor.
+    pub const GRAPH_EF: &str = "neutraj_graph_ef";
+    /// Histogram: per-query graph rerank depth (candidates scored /
+    /// corpus size) — how sub-linear the graph shortlist actually was.
+    pub const GRAPH_RERANK_DEPTH: &str = "neutraj_graph_rerank_depth";
+    /// Gauge: most recent recall@k of the graph shortlist + exact
+    /// rerank against exhaustive ground truth (the eval harness writes
+    /// it; serving never does).
+    pub const GRAPH_RECALL_AT_K: &str = "neutraj_graph_recall_at_k";
+
     /// Gauge: the SIMD dispatch level the process resolved at startup
     /// (`0` scalar, `1` avx2 — see [`crate::simd::SimdLevel`]). Written
     /// by [`crate::simd::publish`] wherever a vectorized workload is

@@ -14,15 +14,16 @@
 //! The payload (`NTSNAP01` codec, little-endian throughout) carries the
 //! *inputs* of the snapshot, not its derived state:
 //!
-//! * the epoch and shard layout (`nshards`, quantized/ANN flags and
-//!   [`AnnParams`]),
+//! * the epoch and shard layout (`nshards`, quantized/ANN/graph flags,
+//!   [`AnnParams`], and [`HnswParams`]),
 //! * the trained model through its own `NTMODEL1` codec
 //!   ([`NeuTrajModel::to_bytes`]), and
 //! * every stored trajectory in **global** order (id + raw points).
 //!
-//! Embeddings, IVF centroids, and int8 views are *recomputed* on load by
-//! [`Snapshot::build`] — the build pipeline is deterministic (lockstep
-//! batched embed, seeded k-means), so the rebuilt snapshot answers
+//! Embeddings, IVF centroids, HNSW graphs, and int8 views are
+//! *recomputed* on load by [`Snapshot::build`] — the build pipeline is
+//! deterministic (lockstep batched embed, seeded k-means, seeded
+//! hashed-level graph construction), so the rebuilt snapshot answers
 //! queries bit-identically to the one that was saved, and the file stays
 //! compact and structurally simple enough to validate field by field.
 
@@ -30,7 +31,7 @@ use crate::snapshot::{ShardConfig, Snapshot};
 use neutraj_model::persist::{
     atomic_write, open_payload, read_enveloped, seal_payload, write_enveloped,
 };
-use neutraj_model::{AnnParams, NeuTrajModel, PersistError};
+use neutraj_model::{AnnParams, HnswParams, NeuTrajModel, PersistError};
 use neutraj_trajectory::{Point, Trajectory};
 use std::fs::File;
 use std::io::{Read, Write};
@@ -41,6 +42,7 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"NTSNAP01";
 
 const FLAG_QUANTIZED: u8 = 1 << 0;
 const FLAG_ANN: u8 = 1 << 1;
+const FLAG_GRAPH: u8 = 1 << 2;
 
 fn fail(msg: impl Into<String>) -> PersistError {
     PersistError::Format(msg.into())
@@ -115,12 +117,21 @@ impl Snapshot {
         if cfg.ann.is_some() {
             flags |= FLAG_ANN;
         }
+        if cfg.graph.is_some() {
+            flags |= FLAG_GRAPH;
+        }
         out.push(flags);
         if let Some(ann) = &cfg.ann {
             put_u64(&mut out, ann.nlists as u64);
             put_u64(&mut out, ann.train_iters as u64);
             put_u64(&mut out, ann.train_sample as u64);
             put_u64(&mut out, ann.seed);
+        }
+        if let Some(graph) = &cfg.graph {
+            put_u64(&mut out, graph.m as u64);
+            put_u64(&mut out, graph.m0 as u64);
+            put_u64(&mut out, graph.ef_construction as u64);
+            put_u64(&mut out, graph.seed);
         }
         put_u64(&mut out, model_bytes.len() as u64);
         out.extend_from_slice(&model_bytes);
@@ -154,7 +165,7 @@ impl Snapshot {
             return Err(fail("snapshot declares zero shards"));
         }
         let flags = r.u8("flags")?;
-        if flags & !(FLAG_QUANTIZED | FLAG_ANN) != 0 {
+        if flags & !(FLAG_QUANTIZED | FLAG_ANN | FLAG_GRAPH) != 0 {
             return Err(fail(format!("unknown snapshot flags {flags:#04x}")));
         }
         let ann = if flags & FLAG_ANN != 0 {
@@ -164,6 +175,20 @@ impl Snapshot {
                 train_sample: r.usize("ann train_sample")?,
                 seed: r.u64("ann seed")?,
             })
+        } else {
+            None
+        };
+        let graph = if flags & FLAG_GRAPH != 0 {
+            let params = HnswParams {
+                m: r.usize("graph m")?,
+                m0: r.usize("graph m0")?,
+                ef_construction: r.usize("graph ef_construction")?,
+                seed: r.u64("graph seed")?,
+            };
+            params
+                .validate()
+                .map_err(|e| fail(format!("stored graph params are invalid: {e}")))?;
+            Some(params)
         } else {
             None
         };
@@ -203,6 +228,7 @@ impl Snapshot {
             nshards,
             build_threads: build_threads.max(1),
             ann,
+            graph,
             quantized: flags & FLAG_QUANTIZED != 0,
         };
         let snapshot = Snapshot::build(&model, corpus, &cfg)

@@ -21,6 +21,7 @@ pub struct QuerySpec {
     k: usize,
     shortlist: Option<usize>,
     nprobe: Option<usize>,
+    ef: Option<usize>,
     quantized: bool,
     rerank: Option<MeasureKind>,
 }
@@ -45,6 +46,16 @@ impl QuerySpec {
     /// lists per shard (see [`Query::shortlist_ann`]).
     pub fn shortlist_ann(mut self, nprobe: usize) -> Self {
         self.nprobe = Some(nprobe);
+        self
+    }
+
+    /// Routes the scan through the per-shard HNSW graph index with beam
+    /// width `ef` (see [`Query::shortlist_graph`]). When the serving
+    /// snapshot has no graph index but does have an IVF index, the
+    /// service degrades the request to the IVF shortlist instead of
+    /// rejecting it (tagged `degraded: true`).
+    pub fn shortlist_graph(mut self, ef: usize) -> Self {
+        self.ef = Some(ef);
         self
     }
 
@@ -82,12 +93,27 @@ impl QuerySpec {
         self.nprobe
     }
 
+    /// The per-shard graph beam width, when configured.
+    pub fn graph_ef(&self) -> Option<usize> {
+        self.ef
+    }
+
+    /// The degrade-ladder rewrite from the graph backend to the IVF
+    /// backend: clears the beam width and probes `nprobe` lists instead
+    /// (the two backends are mutually exclusive, so a plain
+    /// `shortlist_ann` on a graph spec would produce an invalid spec).
+    pub(crate) fn graph_to_ann(mut self, nprobe: usize) -> Self {
+        self.ef = None;
+        self.nprobe = Some(nprobe);
+        self
+    }
+
     /// Whether the scan stage is the full-precision exhaustive scan —
     /// the only shape the overload ladder may downgrade to a cheaper
     /// shortlist view (a spec already on a shortlist view has nothing
     /// cheaper to fall back to).
     pub(crate) fn is_exact_scan(&self) -> bool {
-        !self.quantized && self.nprobe.is_none()
+        !self.quantized && self.nprobe.is_none() && self.ef.is_none()
     }
 
     /// Runs `f` with the equivalent borrow-based [`Query`], holding the
@@ -103,6 +129,9 @@ impl QuerySpec {
         }
         if let Some(np) = self.nprobe {
             q = q.shortlist_ann(np);
+        }
+        if let Some(ef) = self.ef {
+            q = q.shortlist_graph(ef);
         }
         if self.quantized {
             q = q.quantized();
@@ -122,6 +151,9 @@ impl QuerySpec {
         }
         if let Some(np) = self.nprobe {
             q = q.shortlist_ann(np);
+        }
+        if let Some(ef) = self.ef {
+            q = q.shortlist_graph(ef);
         }
         if self.quantized {
             q = q.quantized();
@@ -315,6 +347,13 @@ mod tests {
         assert_eq!(QuerySpec::new(7).scan_fetch(), 7);
         // Default shortlist matches Query's max(2k, 50).
         assert_eq!(QuerySpec::new(7).rerank(MeasureKind::Dtw).scan_fetch(), 50);
+        // The graph beam width lowers through the same single path.
+        let graph = QuerySpec::new(5).shortlist_graph(40);
+        graph.with_query(|q| {
+            assert_eq!(q.graph_ef(), Some(40));
+            assert_eq!(q.ann_nprobe(), None);
+        });
+        assert_eq!(graph.graph_ef(), Some(40));
     }
 
     #[test]
@@ -333,6 +372,8 @@ mod tests {
         assert!(QuerySpec::new(3).rerank(MeasureKind::Dtw).is_exact_scan());
         assert!(!QuerySpec::new(3).quantized().is_exact_scan());
         assert!(!QuerySpec::new(3).shortlist_ann(2).is_exact_scan());
+        // A graph spec already sits on a shortlist view.
+        assert!(!QuerySpec::new(3).shortlist_graph(8).is_exact_scan());
     }
 
     #[test]
@@ -342,5 +383,19 @@ mod tests {
         assert!(QuerySpec::new(5).shortlist_ann(0).validate().is_err());
         assert!(QuerySpec::new(5).shortlist(5).validate().is_ok());
         assert!(QuerySpec::new(1).validate().is_ok());
+        // Graph-spec invariants are Query::validate's, verbatim.
+        assert!(QuerySpec::new(5).shortlist_graph(0).validate().is_err());
+        assert!(QuerySpec::new(5).shortlist_graph(3).validate().is_err());
+        assert!(QuerySpec::new(5)
+            .shortlist_graph(8)
+            .shortlist_ann(2)
+            .validate()
+            .is_err());
+        assert!(QuerySpec::new(5)
+            .shortlist_graph(8)
+            .quantized()
+            .validate()
+            .is_err());
+        assert!(QuerySpec::new(5).shortlist_graph(8).validate().is_ok());
     }
 }

@@ -76,6 +76,8 @@ pub struct ServiceConfig {
     pub build_threads: usize,
     /// Train a per-shard IVF index at construction when set.
     pub ann: Option<neutraj_model::AnnParams>,
+    /// Build a per-shard HNSW graph index at construction when set.
+    pub graph: Option<neutraj_model::HnswParams>,
     /// Build per-shard int8 views at construction when `true`.
     pub quantized: bool,
     /// Bounded admission: at most this many requests may wait in the
@@ -101,6 +103,7 @@ impl Default for ServiceConfig {
             scan_threads: 1,
             build_threads: 1,
             ann: None,
+            graph: None,
             quantized: false,
             max_queue: 1024,
             degrade_watermark: 0,
@@ -329,6 +332,7 @@ impl SimilarityService {
             nshards: cfg.nshards,
             build_threads: cfg.build_threads,
             ann: cfg.ann.clone(),
+            graph: cfg.graph,
             quantized: cfg.quantized,
         }
     }
@@ -503,13 +507,15 @@ impl SimilarityService {
                     id: req.trajectory.id,
                     reason,
                 })?;
-            // Configuration-vs-snapshot checks (quantized view / ANN
-            // index actually built) — shards are uniform, shard 0 speaks
-            // for all. Uses the un-instrumented scan seam so the
-            // rejection is not double-counted below.
+            // Configuration-vs-snapshot checks (quantized view / ANN /
+            // graph index actually built) — shards are uniform, shard 0
+            // speaks for all. Vets the *effective* spec so a graph
+            // request the degrade ladder can answer through IVF is
+            // admitted rather than bounced. Uses the un-instrumented
+            // scan seam so the rejection is not double-counted below.
             let snapshot = self.snapshot();
-            req.spec
-                .with_query(|q| snapshot.shard(0).scan_embeddings(&[], 0, q).map(|_| ()))?;
+            let (spec, _) = effective_spec(&snapshot, req.spec, false);
+            spec.with_query(|q| snapshot.shard(0).scan_embeddings(&[], 0, q).map(|_| ()))?;
             Ok(())
         })();
         if verdict.is_err() {
@@ -685,12 +691,26 @@ fn form_batch(shared: &Shared, q: &mut Lanes) -> Vec<Pending> {
     batch
 }
 
-/// The degrade rung of the overload ladder: under queue pressure an
-/// exact-scan spec falls back to the snapshot's quantized view
-/// (preferred: exact rerank keeps reported distances exact) or IVF
-/// shortlist when one is built. Returns the effective spec and whether
-/// it was downgraded.
+/// The degrade rungs of the overload/capability ladder. Two independent
+/// rewrites, both tagged `degraded: true`:
+///
+/// 1. **Graph→IVF fallback** (pressure-independent): a graph spec
+///    against a snapshot whose shards carry no HNSW index is answered
+///    through the IVF shortlist when one is built — the request stays
+///    servable instead of bouncing off a capability mismatch.
+/// 2. **Overload downgrade**: under queue pressure an exact-scan spec
+///    falls back to the snapshot's quantized view (preferred: exact
+///    rerank keeps reported distances exact) or IVF shortlist when one
+///    is built.
+///
+/// Returns the effective spec and whether it was downgraded.
 fn effective_spec(snapshot: &Snapshot, spec: QuerySpec, pressured: bool) -> (QuerySpec, bool) {
+    if spec.graph_ef().is_some() && !snapshot.has_graph() {
+        if let Some(nlists) = snapshot.ann_nlists() {
+            return (spec.graph_to_ann(nlists.div_ceil(2)), true);
+        }
+        return (spec, false);
+    }
     if !pressured || !spec.is_exact_scan() {
         return (spec, false);
     }

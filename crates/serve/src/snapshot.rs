@@ -29,7 +29,7 @@
 
 use crate::request::QuerySpec;
 use neutraj_measures::Neighbor;
-use neutraj_model::{AnnParams, DbError, NeuTrajModel, SimilarityDb};
+use neutraj_model::{AnnParams, DbError, HnswParams, NeuTrajModel, SimilarityDb};
 use neutraj_trajectory::Trajectory;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -99,6 +99,8 @@ pub struct ShardConfig {
     pub build_threads: usize,
     /// Train a per-shard IVF index over each partition when set.
     pub ann: Option<AnnParams>,
+    /// Build a per-shard HNSW graph index over each partition when set.
+    pub graph: Option<HnswParams>,
     /// Build a per-shard int8-quantized view when `true`.
     pub quantized: bool,
 }
@@ -110,6 +112,7 @@ impl ShardConfig {
             nshards,
             build_threads: 1,
             ann: None,
+            graph: None,
             quantized: false,
         }
     }
@@ -126,6 +129,9 @@ pub struct Snapshot {
     /// snapshot can rebuild its per-shard indexes on load (they are not
     /// recoverable from the built index alone).
     ann: Option<AnnParams>,
+    /// The HNSW params the shards were built with (same retention
+    /// rationale as `ann`).
+    graph: Option<HnswParams>,
     /// Whether per-shard int8 views were requested at build time.
     quantized: bool,
 }
@@ -155,6 +161,12 @@ impl Snapshot {
                 "per-shard ANN needs every shard non-empty: corpus too small for {nshards} shards"
             )));
         }
+        if cfg.graph.is_some() && parts.iter().any(|p| p.is_empty()) {
+            return Err(DbError::InvalidConfig(format!(
+                "per-shard graph index needs every shard non-empty: \
+                 corpus too small for {nshards} shards"
+            )));
+        }
         let threads = cfg.build_threads.max(1);
         let mut shards = Vec::with_capacity(nshards);
         let mut len = 0;
@@ -167,6 +179,11 @@ impl Snapshot {
                     db.build_ann_index(params)?;
                 }
             }
+            if let Some(params) = &cfg.graph {
+                if !db.is_empty() {
+                    db.build_graph_index(params, threads)?;
+                }
+            }
             if cfg.quantized {
                 db.build_quantized_store();
             }
@@ -177,6 +194,7 @@ impl Snapshot {
             shards,
             len,
             ann: cfg.ann.clone(),
+            graph: cfg.graph,
             quantized: cfg.quantized,
         })
     }
@@ -189,6 +207,7 @@ impl Snapshot {
             nshards: self.nshards(),
             build_threads: 1,
             ann: self.ann.clone(),
+            graph: self.graph,
             quantized: self.quantized,
         }
     }
@@ -210,6 +229,13 @@ impl Snapshot {
     /// other degrade target).
     pub(crate) fn ann_nlists(&self) -> Option<usize> {
         self.shards[0].ann_index().map(|ix| ix.nlists())
+    }
+
+    /// Whether every shard carries an HNSW graph index — a graph spec is
+    /// answerable only when they all do (and the graph→IVF degrade rung
+    /// fires only when they don't).
+    pub(crate) fn has_graph(&self) -> bool {
+        self.graph.is_some() && self.shards.iter().all(|s| s.graph_index().is_some())
     }
 
     /// The epoch counter: bumped by one on every published mutation.

@@ -189,6 +189,7 @@ fn full_probe_ivf_matches_exact_scan() {
             nshards,
             build_threads: 1,
             ann: Some(ann_params()),
+            graph: None,
             quantized: false,
         };
         let snapshot = Snapshot::build(&m, corpus.clone(), &cfg).unwrap();

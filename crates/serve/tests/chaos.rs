@@ -177,6 +177,115 @@ fn persistent_shard_failure_keeps_serving_the_healthy_shards() {
     }
 }
 
+/// A shard panic under the *graph* backend follows the same isolation
+/// contract as exact scans: the lost shard is quarantined, the answer is
+/// `partial` over the healthy remainder, and recovery returns the
+/// service to full graph-reference answers.
+#[test]
+fn injected_shard_panic_under_graph_queries_quarantines_then_recovers() {
+    silence_injected_panics();
+    let registry = Registry::new();
+    let cfg = ServiceConfig {
+        nshards: 2,
+        scan_threads: 2,
+        max_batch: 4,
+        batch_deadline: Duration::from_micros(200),
+        quarantine_backoff: Duration::from_millis(30),
+        graph: Some(neutraj_model::HnswParams::default()),
+        ..ServiceConfig::default()
+    };
+    let service = SimilarityService::with_metrics(model(), corpus(30), &cfg, &registry).unwrap();
+    let snapshot = service.snapshot();
+    let query = traj(5100, 11);
+    let spec = QuerySpec::new(5).shortlist_graph(24);
+    let oracle = snapshot.search(&query, &spec).unwrap();
+
+    let failing = Arc::new(AtomicBool::new(true));
+    let hook = Arc::clone(&failing);
+    service.set_scan_fault(Some(Arc::new(move |s| {
+        s == 1 && hook.load(Ordering::SeqCst)
+    })));
+
+    let resp = service
+        .query(ServeRequest::new(1, query.clone(), spec))
+        .unwrap();
+    assert!(resp.partial, "a lost graph shard must be reported partial");
+    assert!(
+        !resp.degraded,
+        "losing a shard is partial coverage, not a backend fallback"
+    );
+    assert!(
+        resp.neighbors.iter().all(|n| n.index % 2 == 0),
+        "a partial graph answer over shard 0 holds only even global \
+         indices: {:?}",
+        resp.neighbors
+    );
+    assert_eq!(service.quarantined_shards(), vec![1]);
+    assert!(counter(&registry, names::SERVE_SHARD_QUARANTINED_TOTAL) >= 1);
+
+    failing.store(false, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        let resp = service
+            .query(ServeRequest::new(3, query.clone(), spec))
+            .unwrap();
+        if !resp.partial {
+            assert_eq!(
+                resp.neighbors, oracle,
+                "a recovered graph answer must equal the snapshot's own \
+                 graph reference"
+            );
+            assert!(service.quarantined_shards().is_empty());
+            break;
+        }
+        assert!(Instant::now() < deadline, "shard never left quarantine");
+    }
+}
+
+/// A graph spec against a snapshot with no graph index is not an error:
+/// the degrade ladder rewrites it onto the IVF shortlist (nprobe =
+/// ⌈nlists/2⌉), tags the answer `degraded`, counts it, and the result
+/// equals the rewritten spec's own reference.
+#[test]
+fn graph_spec_on_ann_only_snapshot_degrades_to_ivf() {
+    let registry = Registry::new();
+    let cfg = ServiceConfig {
+        nshards: 2,
+        scan_threads: 2,
+        batch_deadline: Duration::from_micros(200),
+        ann: Some(neutraj_model::AnnParams {
+            nlists: 4,
+            train_iters: 10,
+            train_sample: 0,
+            seed: 7,
+        }),
+        ..ServiceConfig::default()
+    };
+    let service = SimilarityService::with_metrics(model(), corpus(30), &cfg, &registry).unwrap();
+    let snapshot = service.snapshot();
+    let query = traj(5200, 10);
+    let graph_spec = QuerySpec::new(5).shortlist_graph(24);
+    // The ladder's published rewrite: IVF with half the lists probed.
+    let ivf_reference = snapshot
+        .search(&query, &QuerySpec::new(5).shortlist_ann(2))
+        .unwrap();
+
+    let resp = service
+        .query(ServeRequest::new(1, query.clone(), graph_spec))
+        .unwrap();
+    assert!(
+        resp.degraded,
+        "a graph spec answered through IVF must be tagged degraded"
+    );
+    assert!(!resp.partial, "every shard answered — nothing was lost");
+    assert_eq!(
+        resp.neighbors, ivf_reference,
+        "the fallback must answer exactly what its rewritten spec answers"
+    );
+    assert!(counter(&registry, names::SERVE_DEGRADED_TOTAL) >= 1);
+}
+
 /// A poisoned queue mutex (a thread panicked while holding it) does not
 /// wedge the service: lock recovery keeps admission and dispatch alive.
 #[test]

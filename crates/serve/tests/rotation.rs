@@ -276,6 +276,111 @@ fn rotation_races_overload_shedding_without_tearing() {
     assert_eq!(last.neighbors, expected[INSERTS]);
 }
 
+/// Rotation racing the graph backend: a writer publishes single-insert
+/// epochs while readers issue graph-shortlist queries. Every answer must
+/// match the reference result of its reported epoch's corpus under the
+/// *same* deterministic HNSW construction — inserts keep the per-shard
+/// graphs live, so no response is degraded and no epoch is torn.
+#[test]
+fn graph_queries_race_rotation_without_tearing() {
+    use neutraj_model::HnswParams;
+
+    const INITIAL: usize = 30;
+    const INSERTS: usize = 10;
+    const NSHARDS: usize = 2;
+
+    let m = model();
+    let initial: Vec<Trajectory> = (0..INITIAL)
+        .map(|i| traj(i as u64, 3 + (i * 7) % 23))
+        .collect();
+    let inserts: Vec<Trajectory> = (0..INSERTS)
+        .map(|i| traj((INITIAL + i) as u64, 4 + (i * 5) % 21))
+        .collect();
+    let query = traj(5000, 11);
+    let params = HnswParams::default();
+    let spec = QuerySpec::new(5).shortlist_graph(24);
+
+    // Reference chain with the same graph params: epoch e answers over
+    // initial + inserts[..e] through live graph maintenance, exactly
+    // like the service's copy-on-write insert path.
+    let shard_cfg = neutraj_serve::ShardConfig {
+        graph: Some(params),
+        ..neutraj_serve::ShardConfig::new(NSHARDS)
+    };
+    let mut chain = vec![Snapshot::build(&m, initial.clone(), &shard_cfg).unwrap()];
+    for t in &inserts {
+        chain.push(
+            chain
+                .last()
+                .unwrap()
+                .inserted(std::slice::from_ref(t))
+                .unwrap(),
+        );
+    }
+    let expected: Vec<_> = chain
+        .iter()
+        .map(|snap| snap.search(&query, &spec).unwrap())
+        .collect();
+
+    let cfg = ServiceConfig {
+        nshards: NSHARDS,
+        max_batch: 4,
+        batch_deadline: Duration::from_micros(200),
+        graph: Some(params),
+        ..ServiceConfig::default()
+    };
+    let service = SimilarityService::new(m, initial, &cfg).unwrap();
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for t in &inserts {
+                service.insert(t.clone()).unwrap();
+            }
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let service = &service;
+                let query = &query;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    for i in 0..20u64 {
+                        let resp = service
+                            .query(ServeRequest::new(r * 100 + i, query.clone(), spec))
+                            .unwrap();
+                        let epoch = resp.epoch as usize;
+                        assert!(epoch <= INSERTS, "unpublished epoch {epoch}");
+                        assert!(
+                            !resp.degraded,
+                            "graph index must stay live across rotation \
+                             (reader {r} epoch {epoch} fell back)"
+                        );
+                        assert_eq!(
+                            resp.neighbors, expected[epoch],
+                            "reader {r} iteration {i}: graph answer does not \
+                             match the corpus of its reported epoch {epoch}"
+                        );
+                        assert!(resp.epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = resp.epoch;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+    });
+
+    assert_eq!(service.epoch(), INSERTS as u64);
+    assert_eq!(service.len(), INITIAL + INSERTS);
+    let last = service
+        .query(ServeRequest::new(9999, query.clone(), spec))
+        .unwrap();
+    assert!(!last.degraded);
+    assert_eq!(last.neighbors, expected[INSERTS]);
+}
+
 /// Batch inserts are one epoch step: all-or-nothing, single publication.
 #[test]
 fn batch_insert_publishes_one_epoch() {
